@@ -1,0 +1,202 @@
+// Benchmarks regenerating every table and figure of the paper (DESIGN.md
+// §4 maps IDs to artifacts). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark reports the reproduced headline quantity as a custom
+// metric so `go test -bench` output doubles as the reproduction record.
+package ultrabeam_test
+
+import (
+	"testing"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/experiments"
+	"ultrabeam/internal/fpga"
+	"ultrabeam/internal/tablefree"
+	"ultrabeam/internal/tablesteer"
+)
+
+// BenchmarkTable1_Specs regenerates Table I (system specification).
+func BenchmarkTable1_Specs(b *testing.B) {
+	s := core.PaperSpec()
+	for i := 0; i < b.N; i++ {
+		if err := s.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.SpecsTable(s)
+	}
+	b.ReportMetric(s.DelaysPerFrame(), "delays/frame")
+}
+
+// BenchmarkFigure1_SweepOrders regenerates the Algorithm 1 / Fig. 1
+// locality comparison.
+func BenchmarkFigure1_SweepOrders(b *testing.B) {
+	s := core.ReducedSpec()
+	var r experiments.OrdersResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.SweepOrders(s)
+	}
+	b.ReportMetric(float64(r.ScanlineChanges)/float64(r.NappeChanges), "locality-ratio")
+}
+
+// BenchmarkFigure2_SqrtApprox regenerates the Fig. 2(b) error profile and
+// the ~70-segment PWL construction.
+func BenchmarkFigure2_SqrtApprox(b *testing.B) {
+	s := core.PaperSpec()
+	var r experiments.Fig2Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure2(s, 4096)
+	}
+	b.ReportMetric(float64(r.Segments), "segments")
+	b.ReportMetric(r.MaxErr, "max-err-samples")
+}
+
+// BenchmarkSecVIA_TableFreeAccuracy regenerates the §VI-A TABLEFREE
+// accuracy statistics (paper: ideal mean ≈0.204; fixed mean ≈0.2489, max 2).
+func BenchmarkSecVIA_TableFreeAccuracy(b *testing.B) {
+	s := core.PaperSpec()
+	var r experiments.TableFreeAccuracyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.TableFreeAccuracy(s, 16, 24)
+	}
+	b.ReportMetric(r.Ideal.MeanAbs, "ideal-mean-samples")
+	b.ReportMetric(r.Fixed.MeanAbsIndex, "fixed-mean-index-err")
+	b.ReportMetric(float64(r.Fixed.MaxAbsIndex), "fixed-max-index-err")
+}
+
+// BenchmarkFigure3a_RefTable regenerates the folded, directivity-pruned
+// reference delay table (2.5×10⁶ entries, 45 Mb).
+func BenchmarkFigure3a_RefTable(b *testing.B) {
+	s := core.PaperSpec()
+	var r experiments.Fig3aResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r = experiments.Figure3a(s, 10, 50)
+	}
+	b.ReportMetric(float64(r.Entries), "entries")
+	b.ReportMetric(float64(r.StorageBits)/1e6, "storage-Mb")
+}
+
+// BenchmarkSecVIA_TableSteerAccuracy regenerates the §VI-A steering-error
+// sweep (paper: mean 1.4285 samples, filtered max 99, bound 214).
+func BenchmarkSecVIA_TableSteerAccuracy(b *testing.B) {
+	s := core.PaperSpec()
+	opt := tablesteer.SweepOptions{StrideTheta: 8, StridePhi: 8, StrideDepth: 8,
+		StrideElem: 9, Parallel: true}
+	var r experiments.SteerAccuracyResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.SteerAccuracy(s, opt)
+	}
+	b.ReportMetric(r.Stats.MeanAbsSecAcc*s.Fs, "mean-samples")
+	b.ReportMetric(r.Stats.MaxAcceptedSamples(s.Fs), "max-filtered-samples")
+	b.ReportMetric(r.BoundSec*s.Fs, "bound-samples")
+}
+
+// BenchmarkSecVIA_FixedPointMonteCarlo regenerates the §VI-A fixed-point
+// index-error Monte Carlo at the paper's 10×10⁶ sample count.
+func BenchmarkSecVIA_FixedPointMonteCarlo(b *testing.B) {
+	var r experiments.FixedPointResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.FixedPoint(10_000_000, 1)
+	}
+	b.ReportMetric(r.Off13, "frac-off-13b")
+	b.ReportMetric(r.Off18Cmb, "frac-off-18b")
+}
+
+// BenchmarkSecVB_StorageBandwidth regenerates the §V-B memory accounting
+// (45 Mb + 14.3 Mb tables, 5.3/4.1 GB/s DRAM streams, 164×10⁹ baseline).
+func BenchmarkSecVB_StorageBandwidth(b *testing.B) {
+	s := core.PaperSpec()
+	var r experiments.StorageResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Storage(s)
+	}
+	b.ReportMetric(r.Stream18GBs, "GBps-18b")
+	b.ReportMetric(r.Stream14GBs, "GBps-14b")
+	b.ReportMetric(r.Naive.Entries(), "naive-entries")
+}
+
+// BenchmarkTable2_Synthesis regenerates the full Table II comparison.
+func BenchmarkTable2_Synthesis(b *testing.B) {
+	s := core.PaperSpec()
+	tf := experiments.TableFreeAccuracy(s, 16, 24)
+	steer := experiments.SteerAccuracy(s, tablesteer.SweepOptions{
+		StrideTheta: 16, StridePhi: 16, StrideDepth: 16, StrideElem: 12, Parallel: true})
+	var r experiments.TableIIResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.TableII(s, fpga.Virtex7VX1140T2(), tf, steer)
+	}
+	b.ReportMetric(r.Rows[0].FrameRate, "tablefree-fps")
+	b.ReportMetric(r.Rows[2].FrameRate, "tablesteer18-fps")
+	b.ReportMetric(r.Rows[2].LUTFrac, "tablesteer18-lut-frac")
+}
+
+// BenchmarkSecVIB_Throughput regenerates the §IV-B/§V-B performance laws.
+func BenchmarkSecVIB_Throughput(b *testing.B) {
+	s := core.PaperSpec()
+	var r experiments.ThroughputResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Throughput(s)
+	}
+	b.ReportMetric(r.TFPeak/1e12, "TF-Tdelays")
+	b.ReportMetric(r.TSPeak/1e12, "TS-Tdelays")
+}
+
+// BenchmarkImageQuality_PSF regenerates the §II-A image-quality experiment
+// at reduced scale (similarity ≈1 across delay architectures).
+func BenchmarkImageQuality_PSF(b *testing.B) {
+	s := core.ReducedSpec()
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 21, 1, 120
+	s.PhiDeg = 0
+	s.DepthLambda = 80
+	var r experiments.ImageQualityResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		r, err = experiments.ImageQuality(s, 0.02)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(r.Similarity["tablefree-fixed"], "similarity-tablefree")
+	b.ReportMetric(r.Similarity["tablesteer-18b"], "similarity-tablesteer")
+}
+
+// Raw datapath microbenchmarks: the per-delay cost of each provider.
+
+func BenchmarkProviderExact(b *testing.B) {
+	s := core.ReducedSpec()
+	p := s.NewExact()
+	runProvider(b, s, p)
+}
+
+func BenchmarkProviderTableFree(b *testing.B) {
+	s := core.ReducedSpec()
+	p := s.NewTableFree()
+	p.UseFixed = true
+	runProvider(b, s, p)
+}
+
+func BenchmarkProviderTableSteer(b *testing.B) {
+	s := core.ReducedSpec()
+	p := s.NewTableSteer(18)
+	p.UseFixed = true
+	runProvider(b, s, p)
+}
+
+func runProvider(b *testing.B, s core.SystemSpec, p delay.Provider) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.DelaySamples(i%s.FocalTheta, (i/7)%s.FocalPhi, i%s.FocalDepth,
+			i%s.ElemX, (i/3)%s.ElemY)
+	}
+}
+
+// Compile-time interface checks for every provider implementation.
+var (
+	_ delay.Provider = (*delay.Exact)(nil)
+	_ delay.Provider = (*tablefree.Provider)(nil)
+	_ delay.Provider = (*tablesteer.Provider)(nil)
+)

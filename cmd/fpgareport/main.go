@@ -1,0 +1,72 @@
+// Command fpgareport regenerates the paper's Table II — the Virtex-7
+// synthesis comparison of TABLEFREE, TABLESTEER-14b and TABLESTEER-18b —
+// from the resource/timing model, and projects the §VI-B UltraScale part.
+//
+// Usage:
+//
+//	fpgareport [-device virtex7|ultrascale] [-paper]
+//
+// -paper prints the published Table II rows next to the modeled ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/experiments"
+	"ultrabeam/internal/fpga"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/tablesteer"
+)
+
+func main() {
+	device := flag.String("device", "virtex7", "target: virtex7|ultrascale")
+	withPaper := flag.Bool("paper", false, "print the published rows too")
+	flag.Parse()
+
+	var d fpga.Device
+	switch *device {
+	case "virtex7":
+		d = fpga.Virtex7VX1140T2()
+	case "ultrascale":
+		d = fpga.VirtexUltraScale()
+	default:
+		fmt.Fprintf(os.Stderr, "fpgareport: unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	spec := core.PaperSpec()
+	tf := experiments.TableFreeAccuracy(spec, 16, 24)
+	steer := experiments.SteerAccuracy(spec, tablesteer.SweepOptions{
+		StrideTheta: 16, StridePhi: 16, StrideDepth: 16, StrideElem: 12, Parallel: true})
+	res := experiments.TableII(spec, d, tf, steer)
+	if err := res.Table().Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "fpgareport:", err)
+		os.Exit(1)
+	}
+
+	if *withPaper {
+		fmt.Println()
+		t := report.NewTable("Table II — published values (DATE'15)",
+			"architecture", "LUTs", "regs", "BRAM", "clock", "offchip BW",
+			"inaccuracy (avg/max)", "throughput", "frame rate", "channels")
+		for _, arch := range []string{"TABLEFREE", "TABLESTEER-14b", "TABLESTEER-18b"} {
+			r, _ := experiments.PaperTableIIRow(arch)
+			bw := "none"
+			if r.OffchipGBs > 0 {
+				bw = fmt.Sprintf("%.1f GB/s", r.OffchipGBs)
+			}
+			t.Add(r.Arch, report.Pct(r.LUTFrac), report.Pct(r.RegFrac), report.Pct(r.BRAMFrac),
+				fmt.Sprintf("%.0f MHz", r.ClockMHz), bw,
+				fmt.Sprintf("%.2f / %.0f", r.InaccAvg, r.InaccMax),
+				fmt.Sprintf("%.2f Tdel/s", r.Tdelays/1e12),
+				fmt.Sprintf("%.1f fps", r.FrameRate), r.Channels)
+		}
+		if err := t.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fpgareport:", err)
+			os.Exit(1)
+		}
+	}
+}

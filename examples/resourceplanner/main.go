@@ -1,0 +1,89 @@
+// resourceplanner sweeps the FPGA feasibility space the way §VI-B reasons
+// about device generations: for each device and delay architecture it
+// reports what fits, the achievable frame rate, and the aperture supported —
+// extending Table II into a design-space exploration.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ultrabeam"
+	"ultrabeam/internal/fpga"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/tablefree"
+	"ultrabeam/internal/tablesteer"
+)
+
+func main() {
+	spec := ultrabeam.PaperSpec()
+	devices := []fpga.Device{fpga.Virtex7VX1140T2(), fpga.VirtexUltraScale()}
+
+	t := report.NewTable("FPGA design space (extends Table II / §VI-B)",
+		"device", "architecture", "fits", "LUTs", "BRAM", "clock",
+		"channels", "frame rate", "offchip BW")
+
+	for _, d := range devices {
+		// TABLEFREE: pack units until the LUT budget runs out.
+		unit := fpga.PaperTableFreeUnit(70)
+		des := fpga.FitTableFree(d, unit, spec.ElemX)
+		u := des.Utilization(d)
+		law := tablefree.Throughput{ClockHz: u.ClockHz, Units: des.Units,
+			CyclesPerPointOverhead: tablefree.PaperOverhead}
+		t.Add(d.Name, "TABLEFREE", yes(u.Fits(d)),
+			report.Pct(u.LUTFrac(d)), report.Pct(u.BRAMFrac(d)),
+			fmt.Sprintf("%.0f MHz", u.ClockHz/1e6),
+			fmt.Sprintf("%d×%d", des.Channels, des.Channels),
+			fmt.Sprintf("%.1f fps", law.FrameRate(spec.Points())),
+			"none")
+
+		// TABLESTEER at both precisions.
+		for _, bits := range []int{14, 18} {
+			p := spec.NewTableSteer(bits)
+			arch := tablesteer.PaperArch(bits)
+			stream := p.Stream(arch, 960)
+			design := fpga.TableSteerDesign{
+				WordBits: bits, Blocks: arch.Blocks, AddersPerBl: arch.Block.Adders(),
+				CorrBits:   p.Corr.StorageBits(),
+				BufferBits: arch.OnChipBufferBits(),
+				OffchipBps: stream.OffchipBandwidth(),
+			}
+			du := design.Utilization(d)
+			t.Add(d.Name, fmt.Sprintf("TABLESTEER-%db", bits), yes(du.Fits(d)),
+				report.Pct(du.LUTFrac(d)), report.Pct(du.BRAMFrac(d)),
+				fmt.Sprintf("%.0f MHz", du.ClockHz/1e6),
+				fmt.Sprintf("%d×%d", spec.ElemX, spec.ElemY),
+				fmt.Sprintf("%.1f fps", arch.FrameRate(spec.Points(), spec.Elements())),
+				fmt.Sprintf("%.1f GB/s", du.OffchipB/1e9))
+		}
+
+		// TABLESTEER with the whole reference table on chip (§V-B's "steep
+		// BRAM cost" alternative: no DRAM traffic at all).
+		p := spec.NewTableSteer(18)
+		arch := tablesteer.PaperArch(18)
+		onchip := fpga.TableSteerDesign{
+			WordBits: 18, Blocks: arch.Blocks, AddersPerBl: arch.Block.Adders(),
+			CorrBits:   p.Corr.StorageBits(),
+			BufferBits: p.Ref.StorageBits(), // full 45 Mb resident
+		}
+		ou := onchip.Utilization(d)
+		t.Add(d.Name, "TABLESTEER-18b (all on-chip)", yes(ou.Fits(d)),
+			report.Pct(ou.LUTFrac(d)), report.Pct(ou.BRAMFrac(d)),
+			fmt.Sprintf("%.0f MHz", ou.ClockHz/1e6),
+			fmt.Sprintf("%d×%d", spec.ElemX, spec.ElemY),
+			fmt.Sprintf("%.1f fps", arch.FrameRate(spec.Points(), spec.Elements())),
+			"none")
+	}
+
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "resourceplanner:", err)
+		os.Exit(1)
+	}
+}
+
+func yes(b bool) string {
+	if b {
+		return "yes"
+	}
+	return "NO"
+}

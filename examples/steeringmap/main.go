@@ -1,0 +1,69 @@
+// steeringmap maps the TABLESTEER first-order steering error over depth and
+// angle (the ablation behind §VI-A's observation that "the far-field
+// approximation's worst errors occur only at extremely short distances from
+// the origin and at the extreme angles of the field of view"). It prints a
+// coarse text heat map and the per-depth mean profile along the most-steered
+// line of sight.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"ultrabeam"
+	"ultrabeam/internal/tablesteer"
+)
+
+func main() {
+	spec := ultrabeam.PaperSpec()
+	cfg := tablesteer.Config{
+		Vol: spec.Volume(), Arr: spec.Array(), Conv: spec.Converter(),
+	}
+	cfg.RefFmt, cfg.CorrFmt = tablesteer.Bits18Config()
+
+	// Heat map: max |error| (samples) over a corner element, θ × depth.
+	fmt.Println("max |steering error| in samples (rows: depth, cols: θ), corner element:")
+	xD := cfg.Arr.ElementX(cfg.Arr.NX - 1)
+	yD := cfg.Arr.ElementY(cfg.Arr.NY - 1)
+	const cols = 16
+	depths := []int{0, 2, 5, 10, 25, 50, 100, 250, 500, 999}
+	fmt.Printf("%10s", "depth\\θ")
+	for c := 0; c < cols; c++ {
+		it := c * (cfg.Vol.Theta.N - 1) / (cols - 1)
+		fmt.Printf("%6.0f°", thetaDeg(cfg, it))
+	}
+	fmt.Println()
+	for _, id := range depths {
+		r := cfg.Vol.Depth.At(id)
+		fmt.Printf("%8.1fmm", r*1e3)
+		for c := 0; c < cols; c++ {
+			it := c * (cfg.Vol.Theta.N - 1) / (cols - 1)
+			theta := cfg.Vol.Theta.At(it)
+			worst := 0.0
+			for _, ip := range []int{0, cfg.Vol.Phi.N / 2, cfg.Vol.Phi.N - 1} {
+				e := math.Abs(tablesteer.SteerErrorSeconds(r, theta, cfg.Vol.Phi.At(ip), xD, yD, cfg.Conv.C))
+				if e > worst {
+					worst = e
+				}
+			}
+			fmt.Printf("%7.1f", worst*cfg.Conv.Fs)
+		}
+		fmt.Println()
+	}
+
+	// Depth profile along the most-steered corner direction.
+	fmt.Println("\nmean |error| per depth at the extreme (θ,φ) corner (samples):")
+	prof := tablesteer.DepthErrorProfile(cfg, 0, 0, 9)
+	for _, id := range depths {
+		fmt.Printf("  depth %6.1f mm: %7.3f\n", cfg.Vol.Depth.At(id)*1e3, prof[id])
+	}
+
+	// Theoretical bound for calibration.
+	bound := tablesteer.WorstTaylorBound(cfg, 1.0)
+	fmt.Printf("\nLagrange bound over the far-field region: %.2f µs = %.0f samples (paper: 6.7 µs / 214)\n",
+		bound*1e6, bound*cfg.Conv.Fs)
+}
+
+func thetaDeg(cfg tablesteer.Config, it int) float64 {
+	return cfg.Vol.Theta.At(it) * 180 / math.Pi
+}

@@ -1,0 +1,55 @@
+// streamingnappe demonstrates the §V-B DRAM→BRAM circular-buffer streaming
+// of the reference delay table: the on-chip buffer holds a sliding window
+// of nappe slices while the beamformer consumes them, and the example
+// verifies bandwidth, prefetch margin and stall behaviour at and below the
+// rated DRAM bandwidth — plus the bank-layout rule that keeps 128 parallel
+// readers conflict-free.
+package main
+
+import (
+	"fmt"
+
+	"ultrabeam"
+	"ultrabeam/internal/memmodel"
+	"ultrabeam/internal/tablesteer"
+)
+
+func main() {
+	spec := ultrabeam.PaperSpec()
+	p := spec.NewTableSteer(18)
+	arch := tablesteer.PaperArch(18)
+
+	// §V-B example: 64 insonifications/volume at 15 Hz → 960 refills/s.
+	stream := p.Stream(arch, 960)
+	fmt.Printf("reference table: %d words × %d bits (%.1f Mb off-chip)\n",
+		stream.TableWords, stream.WordBits,
+		float64(stream.TableWords*stream.WordBits)/1e6)
+	fmt.Printf("circular buffer: %d words (%.1f Mb on-chip, %d nappes deep)\n",
+		stream.BufferWords, float64(stream.BufferBits())/1e6,
+		stream.BufferWords/stream.WordsPerNappe)
+	fmt.Printf("DRAM bandwidth:  %.2f GB/s (paper: ≈5.3 GB/s)\n",
+		stream.OffchipBandwidth()/1e9)
+	fmt.Printf("prefetch margin: %d cycles (paper: \"an ample margin of 1k cycles\")\n\n",
+		stream.MarginCycles())
+
+	rated := stream.RequiredFillRate() / stream.ClockHz // words per cycle
+	for _, factor := range []float64{1.5, 1.05, 0.95, 0.7} {
+		stalls := stream.SimulateStream(1000, rated*factor)
+		fmt.Printf("fill at %.0f%% of consumption rate over 1000 nappes: %6d stall cycles\n",
+			factor*100, stalls)
+	}
+
+	// Bank layout: staggered placement lets 128 consecutive nappes be read
+	// in the same cycle; chunked placement collides.
+	arr := memmodel.BankArray{Spec: memmodel.BankSpec{WordBits: 18, Lines: 1024}, Banks: 128}
+	depths := make([]int, 128)
+	for i := range depths {
+		depths[i] = 100 + i
+	}
+	for _, layout := range []memmodel.Layout{memmodel.StaggeredLayout, memmodel.ChunkedLayout} {
+		pl := memmodel.Placement{Arr: arr, Layout: layout, Depths: spec.FocalDepth}
+		fmt.Printf("\n%s layout: %d bank conflicts for 128 parallel nappe readers",
+			layout, pl.Conflicts(depths))
+	}
+	fmt.Println()
+}

@@ -1,0 +1,52 @@
+package ultrabeam_test
+
+import (
+	"math"
+	"testing"
+
+	"ultrabeam"
+)
+
+func TestFacadeSpecs(t *testing.T) {
+	paper := ultrabeam.PaperSpec()
+	if err := paper.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if paper.Elements() != 10000 {
+		t.Errorf("paper elements = %d", paper.Elements())
+	}
+	reduced := ultrabeam.ReducedSpec()
+	if err := reduced.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Elements() >= paper.Elements() {
+		t.Error("reduced spec must be smaller")
+	}
+}
+
+func TestFacadeProvidersInterchangeable(t *testing.T) {
+	spec := ultrabeam.ReducedSpec()
+	providers := []ultrabeam.Provider{
+		spec.NewExact(),
+		spec.NewTableFree(),
+		spec.NewTableSteer(18),
+	}
+	names := map[string]bool{}
+	for _, p := range providers {
+		names[p.Name()] = true
+		d := p.DelaySamples(spec.FocalTheta/2, spec.FocalPhi/2, spec.FocalDepth/2, 8, 8)
+		if d <= 0 || math.IsNaN(d) {
+			t.Errorf("%s returned delay %v", p.Name(), d)
+		}
+	}
+	if len(names) != 3 {
+		t.Errorf("providers must have distinct names: %v", names)
+	}
+}
+
+func TestFacadeConverter(t *testing.T) {
+	cv := ultrabeam.Converter{C: 1540, Fs: 32e6}
+	if got := cv.MetersToSamples(0.385e-3); math.Abs(got-8) > 1e-9 {
+		t.Errorf("λ = %v samples, want 8", got)
+	}
+}

@@ -1,0 +1,313 @@
+package beamform
+
+import (
+	"math"
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/tablefree"
+	"ultrabeam/internal/tablesteer"
+	"ultrabeam/internal/xdcr"
+)
+
+var conv = delay.Converter{C: 1540, Fs: 32e6}
+
+// psfSetup builds a 2-D-ish imaging scenario (single φ plane) with a point
+// scatterer on axis at 20 mm.
+func psfSetup(t testing.TB) (Config, []rf.EchoBuffer, geom.Vec3) {
+	t.Helper()
+	cfg := Config{
+		Vol:    scan.NewVolume(geom.Radians(40), 0, 0.03, 41, 1, 240),
+		Arr:    xdcr.NewArray(16, 16, 0.385e-3/2),
+		Conv:   conv,
+		Window: xdcr.Hann,
+	}
+	target := geom.Vec3{Z: 0.02}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: cfg.Arr, Conv: conv, Pulse: rf.NewPulse(4e6, 4e6),
+		BufSamples: 1400,
+	}, rf.PointPhantom(target))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, bufs, target
+}
+
+func exactProvider(cfg Config) *delay.Exact {
+	return delay.NewExact(cfg.Vol, cfg.Arr, geom.Vec3{}, cfg.Conv)
+}
+
+func TestBeamformFocusesOnScatterer(t *testing.T) {
+	cfg, bufs, target := psfSetup(t)
+	vol, err := New(cfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := MeasurePSF(vol, conv, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak must sit on the scatterer: θ index 20 (center), depth ≈ 20 mm.
+	if m.PeakIndex.Theta != 20 {
+		t.Errorf("peak θ index = %d, want 20 (on axis)", m.PeakIndex.Theta)
+	}
+	peakDepth := cfg.Vol.Depth.At(m.PeakIndex.Depth)
+	if math.Abs(peakDepth-target.Z) > 0.0005 {
+		t.Errorf("peak depth = %.4f m, want %.4f", peakDepth, target.Z)
+	}
+	// Resolution sanity: axial FWHM of a 100%-bandwidth 4 MHz pulse is a
+	// fraction of a millimeter; lateral FWHM ≈ λ/d·depth ≈ a few degrees.
+	if m.AxialFWHMmm <= 0.05 || m.AxialFWHMmm > 2 {
+		t.Errorf("axial FWHM = %.3f mm", m.AxialFWHMmm)
+	}
+	// Receive-only focusing with a 7.5λ Hann-weighted aperture: ≈15°.
+	if m.LateralFWHMdeg <= 0.2 || m.LateralFWHMdeg > 20 {
+		t.Errorf("lateral FWHM = %.2f°", m.LateralFWHMdeg)
+	}
+}
+
+func TestBeamformApodizationLowersSidelobes(t *testing.T) {
+	// Apodization sidelobe suppression is a narrowband (array-pattern)
+	// phenomenon: with a broadband pulse the off-peak response is
+	// incoherent pulse haze, where smaller effective apertures lose.
+	// Use a 20%-bandwidth pulse and a 15.5λ aperture so the classic
+	// pattern comparison applies.
+	cfg := Config{
+		Vol:    scan.NewVolume(geom.Radians(40), 0, 0.025, 41, 1, 150),
+		Arr:    xdcr.NewArray(32, 32, 0.385e-3/2),
+		Conv:   conv,
+		Window: xdcr.Hann,
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: cfg.Arr, Conv: conv, Pulse: rf.NewPulse(4e6, 0.8e6),
+		BufSamples: 3600,
+	}, rf.PointPhantom(geom.Vec3{Z: 0.02}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rectCfg := cfg
+	rectCfg.Window = xdcr.Rect
+	rect, err := New(rectCfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hann, err := New(cfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sidelobe level relative to each pattern's own first null: walk
+	// outward from the peak until the |profile| turns back up, then take
+	// the max beyond that point (the standard apples-to-apples comparison,
+	// since Hann's mainlobe is intentionally wider).
+	sidelobe := func(v *Volume) float64 {
+		m, err := MeasurePSF(v, conv, 4e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := v.LateralProfile(m.PeakIndex.Phi, m.PeakIndex.Depth)
+		for i := range lat {
+			lat[i] = math.Abs(lat[i])
+		}
+		worst := 0.0
+		for _, dir := range []int{-1, +1} {
+			i := m.PeakIndex.Theta
+			for i+dir >= 0 && i+dir < len(lat) && lat[i+dir] <= lat[i] {
+				i += dir // descend the mainlobe to the first null
+			}
+			for ; i >= 0 && i < len(lat); i += dir {
+				if lat[i] > worst {
+					worst = lat[i]
+				}
+			}
+		}
+		return worst / m.PeakValue
+	}
+	sh, sr := sidelobe(hann), sidelobe(rect)
+	if sh >= sr {
+		t.Errorf("hann sidelobes (%v) should beat rect (%v)", sh, sr)
+	}
+	t.Logf("sidelobes beyond first null: rect %.4f, hann %.4f", sr, sh)
+}
+
+func TestOrderInvariance(t *testing.T) {
+	// Algorithm 1: nappe and scanline orders must produce identical volumes.
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 11, 1, 60)
+	nappe := cfg
+	nappe.Order = scan.NappeOrder
+	sl := cfg
+	sl.Order = scan.ScanlineOrder
+	a, err := New(nappe).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(sl).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("orders disagree at %d", i)
+		}
+	}
+}
+
+func TestWorkerCountInvariance(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 11, 1, 60)
+	cfg.Workers = 1
+	serial, err := New(cfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := New(cfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Data {
+		if serial.Data[i] != parallel.Data[i] {
+			t.Fatalf("parallel beamforming diverges at %d", i)
+		}
+	}
+}
+
+func TestImageQualityAcrossProviders(t *testing.T) {
+	// The paper's §II-A claim: equally accurate delay generation yields the
+	// same image. TABLEFREE (±0.5 sample) and TABLESTEER (Taylor error)
+	// volumes must correlate ≈1 with the exact-delay volume.
+	cfg, bufs, _ := psfSetup(t)
+	exact, err := New(cfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := tablefree.New(tablefree.Config{Vol: cfg.Vol, Arr: cfg.Arr, Conv: conv})
+	tfVol, err := New(cfg).Beamform(tf, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, corr := tablesteer.Bits18Config()
+	ts := tablesteer.New(tablesteer.Config{Vol: cfg.Vol, Arr: cfg.Arr, Conv: conv,
+		RefFmt: ref, CorrFmt: corr})
+	ts.UseFixed = true
+	tsVol, err := New(cfg).Beamform(ts, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simTF, err := Similarity(exact, tfVol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simTS, err := Similarity(exact, tsVol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simTF < 0.98 {
+		t.Errorf("TABLEFREE similarity = %.4f, want ≈1", simTF)
+	}
+	if simTS < 0.95 {
+		t.Errorf("TABLESTEER similarity = %.4f, want ≈1", simTS)
+	}
+	t.Logf("image similarity vs exact: tablefree %.4f, tablesteer-18b %.4f", simTF, simTS)
+	// PSF stays put across providers.
+	me, err := MeasurePSF(exact, conv, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mt, err := MeasurePSF(tfVol, conv, 4e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if me.PeakIndex != mt.PeakIndex {
+		t.Errorf("PSF peak moved: %v vs %v", me.PeakIndex, mt.PeakIndex)
+	}
+}
+
+func TestBeamformValidation(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	if _, err := New(cfg).Beamform(nil, bufs); err == nil {
+		t.Error("nil provider must fail")
+	}
+	if _, err := New(cfg).Beamform(exactProvider(cfg), bufs[:3]); err == nil {
+		t.Error("wrong buffer count must fail")
+	}
+}
+
+func TestVolumeAccessors(t *testing.T) {
+	v := &Volume{
+		Vol:  scan.NewVolume(geom.Radians(10), geom.Radians(10), 0.01, 3, 4, 5),
+		Data: make([]float64, 3*4*5),
+	}
+	ix := scan.Index{Theta: 2, Phi: 1, Depth: 3}
+	v.Data[v.Vol.Linear(ix)] = 7
+	if v.At(ix) != 7 {
+		t.Error("At broken")
+	}
+	if line := v.Scanline(2, 1); len(line) != 5 || line[3] != 7 {
+		t.Errorf("Scanline = %v", line)
+	}
+	if lat := v.LateralProfile(1, 3); len(lat) != 3 || lat[2] != 7 {
+		t.Errorf("LateralProfile = %v", lat)
+	}
+	if sl := v.NappeSlice(3); len(sl) != 12 || sl[2*4+1] != 7 {
+		t.Errorf("NappeSlice wrong")
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	v1 := &Volume{Data: []float64{1, 2, 3}}
+	if s, err := Similarity(v1, v1); err != nil || math.Abs(s-1) > 1e-12 {
+		t.Errorf("self similarity = %v, %v", s, err)
+	}
+	v2 := &Volume{Data: []float64{2, 4, 6}}
+	if s, _ := Similarity(v1, v2); math.Abs(s-1) > 1e-12 {
+		t.Error("scaling must not change similarity")
+	}
+	if _, err := Similarity(v1, &Volume{Data: []float64{1}}); err == nil {
+		t.Error("size mismatch must fail")
+	}
+	if _, err := Similarity(v1, &Volume{Data: []float64{0, 0, 0}}); err == nil {
+		t.Error("zero energy must fail")
+	}
+}
+
+func TestPeakSignalRatio(t *testing.T) {
+	a := &Volume{Data: []float64{0, 10, 0}}
+	b := &Volume{Data: []float64{0, 10, 0}}
+	if r, err := PeakSignalRatio(a, b); err != nil || !math.IsInf(r, 1) {
+		t.Errorf("identical volumes ratio = %v, %v", r, err)
+	}
+	c := &Volume{Data: []float64{0, 9, 0}}
+	r, err := PeakSignalRatio(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 20 * math.Log10(10/math.Sqrt(1.0/3))
+	if math.Abs(r-want) > 1e-9 {
+		t.Errorf("ratio = %v, want %v", r, want)
+	}
+	if _, err := PeakSignalRatio(a, &Volume{Data: []float64{1}}); err == nil {
+		t.Error("size mismatch must fail")
+	}
+	zero := &Volume{Data: []float64{0, 0, 0}}
+	if _, err := PeakSignalRatio(zero, zero); err == nil {
+		t.Error("zero volume must fail")
+	}
+}
+
+func BenchmarkBeamformExact(b *testing.B) {
+	cfg, bufs, _ := psfSetup(b)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 21, 1, 100)
+	eng := New(cfg)
+	p := exactProvider(cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Beamform(p, bufs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

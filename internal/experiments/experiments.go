@@ -1,0 +1,352 @@
+// Package experiments implements the reproduction harness: one function per
+// table or figure of the paper (see DESIGN.md §4 for the index). Each
+// returns machine-checkable values plus a rendered report table so the CLI
+// tools, the benchmark harness and EXPERIMENTS.md all draw from the same
+// code.
+package experiments
+
+import (
+	"fmt"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/fixed"
+	"ultrabeam/internal/fulltable"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/tablefree"
+	"ultrabeam/internal/tablesteer"
+)
+
+// SpecsTable renders Table I with the derived quantities (experiment T1).
+func SpecsTable(s core.SystemSpec) *report.Table {
+	t := report.NewTable("Table I — system specifications", "parameter", "symbol", "value")
+	t.Addf("Speed of sound in tissue", "c", fmt.Sprintf("%.0f m/s", s.C))
+	t.Addf("Transducer center frequency", "fc", fmt.Sprintf("%.0f MHz", s.Fc/1e6))
+	t.Addf("Transducer bandwidth", "B", fmt.Sprintf("%.0f MHz", s.B/1e6))
+	t.Addf("Transducer matrix size", "ex×ey", fmt.Sprintf("%d×%d", s.ElemX, s.ElemY))
+	t.Addf("Wavelength", "λ", fmt.Sprintf("%.3f mm", s.Lambda()*1e3))
+	t.Addf("Transducer pitch", "", fmt.Sprintf("λ/%g", 1/s.PitchL))
+	t.Addf("Transducer matrix dimensions", "d", fmt.Sprintf("%.2f mm", s.Aperture()*1e3))
+	t.Addf("Imaging volume", "θ×φ×dp", fmt.Sprintf("%g°×%g°×%gλ", s.ThetaDeg, s.PhiDeg, s.DepthLambda))
+	t.Addf("Sampling frequency", "fs", fmt.Sprintf("%.0f MHz", s.Fs/1e6))
+	t.Addf("Focal points", "", fmt.Sprintf("%d×%d×%d", s.FocalTheta, s.FocalPhi, s.FocalDepth))
+	return t
+}
+
+// OrdersResult quantifies Algorithm 1 / Fig. 1 (experiment A1).
+type OrdersResult struct {
+	Points          int
+	NappeChanges    int // depth-slice changes in nappe order
+	ScanlineChanges int // depth-slice changes in scanline order
+}
+
+// SweepOrders measures the table-walk locality of the two sweep orders.
+func SweepOrders(s core.SystemSpec) OrdersResult {
+	v := s.Volume()
+	return OrdersResult{
+		Points:          v.Points(),
+		NappeChanges:    v.DepthLocality(scan.NappeOrder),
+		ScanlineChanges: v.DepthLocality(scan.ScanlineOrder),
+	}
+}
+
+// Table renders the result.
+func (r OrdersResult) Table() *report.Table {
+	t := report.NewTable("Algorithm 1 / Fig. 1 — sweep-order table-walk locality",
+		"order", "focal points", "depth-slice changes")
+	t.Addf("nappe-by-nappe", r.Points, r.NappeChanges)
+	t.Addf("scanline-by-scanline", r.Points, r.ScanlineChanges)
+	return t
+}
+
+// Fig2Result carries the square-root approximation data (experiment F2).
+type Fig2Result struct {
+	Segments int
+	Delta    float64 // configured bound, samples
+	MaxErr   float64 // observed max |error|, samples
+	Profile  report.Series
+}
+
+// Figure2 builds the PWL approximation at system scale and samples its
+// signed error profile (the red curve of Fig. 2b), n points.
+func Figure2(s core.SystemSpec, n int) Fig2Result {
+	p := s.NewTableFree()
+	alphas, errs := p.Approx.ErrorProfile(n)
+	return Fig2Result{
+		Segments: p.NumSegments(),
+		Delta:    p.Cfg.Delta,
+		MaxErr:   p.Approx.MaxObservedError(64),
+		Profile:  report.Series{Name: "sqrt_err_samples", X: alphas, Y: errs},
+	}
+}
+
+// TableFreeAccuracyResult carries experiment E1 (§VI-A ¶1).
+type TableFreeAccuracyResult struct {
+	Ideal delay.Stats // float PWL vs exact
+	Fixed delay.Stats // fixed-point datapath vs exact
+}
+
+// TableFreeAccuracy sweeps a subsampled volume at full aperture, comparing
+// both TABLEFREE datapaths against the exact reference. Strides control
+// cost; (4, 9) keeps the sweep near 2×10⁶ pairs at paper geometry.
+func TableFreeAccuracy(s core.SystemSpec, volStride, elemStride int) TableFreeAccuracyResult {
+	sub := s
+	sub.FocalTheta = clampDim(s.FocalTheta / volStride)
+	sub.FocalPhi = clampDim(s.FocalPhi / volStride)
+	sub.FocalDepth = clampDim(s.FocalDepth / volStride / 4)
+	ideal := sub.NewTableFree()
+	fixedP := sub.NewTableFree()
+	fixedP.UseFixed = true
+	e := sub.NewExact()
+	return TableFreeAccuracyResult{
+		Ideal: delay.Compare(ideal, e, elemStride),
+		Fixed: delay.Compare(fixedP, e, elemStride),
+	}
+}
+
+func clampDim(n int) int {
+	if n < 2 {
+		return 2
+	}
+	return n
+}
+
+// Table renders E1 against the paper's §VI-A numbers.
+func (r TableFreeAccuracyResult) Table() *report.Table {
+	return report.ComparisonTable("§VI-A — TABLEFREE accuracy", []report.Comparison{
+		{Metric: "ideal mean |err| (samples)", Paper: "≈0.204",
+			Measured: fmt.Sprintf("%.4f", r.Ideal.MeanAbs), Note: "two ±0.25 PWL terms"},
+		{Metric: "ideal max |err| (samples)", Paper: "0.5",
+			Measured: fmt.Sprintf("%.4f", r.Ideal.MaxAbs)},
+		{Metric: "fixed mean |index err|", Paper: "≈0.2489",
+			Measured: fmt.Sprintf("%.4f", r.Fixed.MeanAbsIndex)},
+		{Metric: "fixed max |index err|", Paper: "2",
+			Measured: fmt.Sprintf("%d", r.Fixed.MaxAbsIndex)},
+	})
+}
+
+// Fig3aResult summarizes the reference-table geometry (experiment F3a).
+type Fig3aResult struct {
+	Entries     int // stored (folded) entries
+	Pruned      int // rejected by directivity
+	Dots        [][3]int
+	StorageBits int
+}
+
+// Figure3a builds the reference table with directivity pruning and samples
+// the dot cloud of Fig. 3(a).
+func Figure3a(s core.SystemSpec, strideQ, strideD int) Fig3aResult {
+	ref, corr := tablesteer.Bits18Config()
+	tbl := tablesteer.BuildRefTable(tablesteer.Config{
+		Vol: s.Volume(), Arr: s.Array(), Conv: s.Converter(),
+		RefFmt: ref, CorrFmt: corr,
+		Directivity: tablesteer.DefaultDirectivity(),
+	})
+	return Fig3aResult{
+		Entries:     tbl.Entries(),
+		Pruned:      tbl.PrunedCount,
+		Dots:        tbl.Fig3aDots(strideQ, strideD),
+		StorageBits: tbl.StorageBits(),
+	}
+}
+
+// Figure3c returns the steering-correction plane (seconds) for the steering
+// direction closest to (thetaDeg, phiDeg) — the Fig. 3(c) surface — plus
+// the grid indices used.
+func Figure3c(s core.SystemSpec, thetaDeg, phiDeg float64) (plane []float64, it, ip int) {
+	p := s.NewTableSteer(18)
+	it = nearestIndex(p.Cfg.Vol.Theta, geom.Radians(thetaDeg))
+	ip = nearestIndex(p.Cfg.Vol.Phi, geom.Radians(phiDeg))
+	return p.CorrectionPlane(it, ip), it, ip
+}
+
+// Figure3d returns one compensated (steered) delay-table depth slice — the
+// Fig. 3(d) section — for the steering direction closest to (thetaDeg,
+// phiDeg) at depth index id.
+func Figure3d(s core.SystemSpec, thetaDeg, phiDeg float64, id int) []float64 {
+	p := s.NewTableSteer(18)
+	it := nearestIndex(p.Cfg.Vol.Theta, geom.Radians(thetaDeg))
+	ip := nearestIndex(p.Cfg.Vol.Phi, geom.Radians(phiDeg))
+	return p.SteeredSlice(it, ip, id)
+}
+
+func nearestIndex(g geom.Grid, x float64) int {
+	best, idx := -1.0, 0
+	for i := 0; i < g.N; i++ {
+		d := g.At(i) - x
+		if d < 0 {
+			d = -d
+		}
+		if best < 0 || d < best {
+			best, idx = d, i
+		}
+	}
+	return idx
+}
+
+// SteerAccuracyResult carries experiments E2 and E3 (§V-A bound, §VI-A ¶2).
+type SteerAccuracyResult struct {
+	Stats    tablesteer.ErrorStats
+	BoundSec float64 // Lagrange bound on the Taylor error
+	Fs       float64
+}
+
+// SteerAccuracy sweeps the steering error at the given strides and
+// evaluates the theoretical bound.
+func SteerAccuracy(s core.SystemSpec, opt tablesteer.SweepOptions) SteerAccuracyResult {
+	ref, corr := tablesteer.Bits18Config()
+	cfg := tablesteer.Config{
+		Vol: s.Volume(), Arr: s.Array(), Conv: s.Converter(),
+		RefFmt: ref, CorrFmt: corr,
+		Directivity: tablesteer.DefaultDirectivity(),
+	}
+	return SteerAccuracyResult{
+		Stats:    tablesteer.ErrorSweep(cfg, opt),
+		BoundSec: tablesteer.WorstTaylorBound(cfg, 1.0),
+		Fs:       s.Fs,
+	}
+}
+
+// Table renders E2/E3 against the paper.
+func (r SteerAccuracyResult) Table() *report.Table {
+	return report.ComparisonTable("§V-A/§VI-A — TABLESTEER steering accuracy", []report.Comparison{
+		{Metric: "theoretical bound", Paper: "≈6.7 µs (214 samples)",
+			Measured: fmt.Sprintf("%.2f µs (%.0f samples)", r.BoundSec*1e6, r.BoundSec*r.Fs),
+			Note:     "Lagrange remainder, far field"},
+		{Metric: "max |err|, unfiltered", Paper: "≤ bound",
+			Measured: fmt.Sprintf("%.2f µs (%.0f samples)", r.Stats.MaxAbsSecAll*1e6, r.Stats.MaxAllSamples(r.Fs))},
+		{Metric: "max |err|, directivity-filtered", Paper: "3.1 µs (99 samples)",
+			Measured: fmt.Sprintf("%.2f µs (%.0f samples)", r.Stats.MaxAbsSecAcc*1e6, r.Stats.MaxAcceptedSamples(r.Fs))},
+		{Metric: "mean |err| (accepted pairs)", Paper: "44.641 ns (≈1.4285 samples)",
+			Measured: fmt.Sprintf("%.2f ns (%.4f samples)", r.Stats.MeanAbsSecAcc*1e9, r.Stats.MeanAbsSecAcc*r.Fs)},
+	})
+}
+
+// FixedPointResult carries experiment E4 (§VI-A fixed-point Monte Carlo).
+type FixedPointResult struct {
+	N        int
+	Off13    float64 // 13-bit integers (paper: 33 %)
+	Off18    float64 // 18-bit u13.5/s13.4, Fig. 4 three-rounding datapath
+	Off18Cmb float64 // 18-bit with combined corrections (paper: <2 %)
+	Off14    float64 // 14-bit u13.1/s9.4
+}
+
+// FixedPoint runs the §VI-A Monte Carlo at the given sample count (the
+// paper uses 10×10⁶).
+func FixedPoint(n int, seed int64) FixedPointResult {
+	ref14, corr14 := tablesteer.Bits14Config()
+	return FixedPointResult{
+		N: n,
+		Off13: tablesteer.FixedPointMonteCarlo(n, fixed.U13p0,
+			fixed.Format{IntBits: 13, FracBits: 0, Signed: true}, seed).OffFraction(),
+		Off18:    tablesteer.FixedPointMonteCarlo(n, fixed.U13p5, fixed.S13p4, seed).OffFraction(),
+		Off18Cmb: tablesteer.FixedPointMonteCarloCombined(n, fixed.U13p5, fixed.S13p4, seed).OffFraction(),
+		Off14:    tablesteer.FixedPointMonteCarlo(n, ref14, corr14, seed).OffFraction(),
+	}
+}
+
+// Table renders E4.
+func (r FixedPointResult) Table() *report.Table {
+	pct := func(f float64) string { return fmt.Sprintf("%.2f%%", 100*f) }
+	return report.ComparisonTable(
+		fmt.Sprintf("§VI-A — fixed-point index error (Monte Carlo, n=%d)", r.N),
+		[]report.Comparison{
+			{Metric: "13-bit integers", Paper: "33%", Measured: pct(r.Off13)},
+			{Metric: "18-bit (13.5), 3 roundings", Paper: "<2%", Measured: pct(r.Off18),
+				Note: "Fig. 4 separate x/y adders"},
+			{Metric: "18-bit (13.5), combined corr", Paper: "<2%", Measured: pct(r.Off18Cmb)},
+			{Metric: "14-bit (u13.1/s9.4)", Paper: "—", Measured: pct(r.Off14)},
+		})
+}
+
+// StorageResult carries experiment E5 (§II-B/C and §V-B memory accounting).
+type StorageResult struct {
+	Naive        fulltable.Analytics
+	Plan         tablesteer.StoragePlan
+	Stream18GBs  float64
+	Stream14GBs  float64
+	MarginCycles int
+}
+
+// Storage computes the full memory story at system scale.
+func Storage(s core.SystemSpec) StorageResult {
+	p18 := s.NewTableSteer(18)
+	p14 := s.NewTableSteer(14)
+	arch18 := tablesteer.PaperArch(18)
+	arch14 := tablesteer.PaperArch(14)
+	st18 := p18.Stream(arch18, 960)
+	st14 := p14.Stream(arch14, 960)
+	naive := fulltable.PaperAnalytics()
+	naive.Points = s.Points()
+	naive.Elements = s.Elements()
+	return StorageResult{
+		Naive:        naive,
+		Plan:         p18.Storage(arch18),
+		Stream18GBs:  st18.OffchipBandwidth() / 1e9,
+		Stream14GBs:  st14.OffchipBandwidth() / 1e9,
+		MarginCycles: st18.MarginCycles(),
+	}
+}
+
+// Table renders E5.
+func (r StorageResult) Table() *report.Table {
+	return report.ComparisonTable("§II/§V-B — storage and bandwidth", []report.Comparison{
+		{Metric: "naive table entries", Paper: "≈164×10⁹",
+			Measured: report.Eng(r.Naive.Entries())},
+		{Metric: "naive access rate @15 fps", Paper: "≈2.5×10¹² delays/s",
+			Measured: report.Eng(r.Naive.AccessesPerSecond()) + "/s"},
+		{Metric: "reference table entries", Paper: "2.5×10⁶",
+			Measured: report.Eng(float64(r.Plan.RefEntries))},
+		{Metric: "reference table storage", Paper: "45 Mb",
+			Measured: fmt.Sprintf("%.1f Mb", float64(r.Plan.RefBits)/1e6)},
+		{Metric: "correction coefficients", Paper: "832×10³",
+			Measured: report.Eng(float64(r.Plan.CorrEntries))},
+		{Metric: "correction storage", Paper: "14.3 Mb (binary)",
+			Measured: fmt.Sprintf("%.1f Mb", float64(r.Plan.CorrBits)/1e6)},
+		{Metric: "streamed on-chip total", Paper: "2.3 + 14.3 Mb",
+			Measured: fmt.Sprintf("%.1f Mb", float64(r.Plan.StreamedBits)/1e6)},
+		{Metric: "DRAM bandwidth, 18-bit", Paper: "≈5.3 GB/s",
+			Measured: fmt.Sprintf("%.1f GB/s", r.Stream18GBs)},
+		{Metric: "DRAM bandwidth, 14-bit", Paper: "≈4.1 GB/s",
+			Measured: fmt.Sprintf("%.1f GB/s", r.Stream14GBs)},
+		{Metric: "prefetch margin", Paper: "≈1k cycles",
+			Measured: fmt.Sprintf("%d cycles", r.MarginCycles)},
+	})
+}
+
+// ThroughputResult carries experiment E6 (§IV-B / §V-B / §VI-B laws).
+type ThroughputResult struct {
+	TFPeak float64 // TABLEFREE delays/s at 167 MHz × 10000 units
+	TFFps  float64 // frame rate via the 1 fps / 20 MHz rule
+	TSPeak float64 // TABLESTEER delays/s at 200 MHz
+	TSFps  float64
+}
+
+// Throughput evaluates both performance laws at system scale.
+func Throughput(s core.SystemSpec) ThroughputResult {
+	tf := tablefree.Throughput{ClockHz: 167e6, Units: s.Elements(),
+		CyclesPerPointOverhead: tablefree.PaperOverhead}
+	ts := tablesteer.PaperArch(18)
+	return ThroughputResult{
+		TFPeak: tf.PeakDelaysPerSecond(),
+		TFFps:  tf.FrameRate(s.Points()),
+		TSPeak: ts.DelaysPerSecond(),
+		TSFps:  ts.FrameRate(s.Points(), s.Elements()),
+	}
+}
+
+// Table renders E6.
+func (r ThroughputResult) Table() *report.Table {
+	return report.ComparisonTable("§IV-B/§V-B — throughput laws", []report.Comparison{
+		{Metric: "TABLEFREE peak", Paper: "1.67 Tdelays/s",
+			Measured: report.Eng(r.TFPeak) + "delays/s", Note: "10000 units @ 167 MHz"},
+		{Metric: "TABLEFREE frame rate", Paper: "7.8 fps",
+			Measured: fmt.Sprintf("%.1f fps", r.TFFps), Note: "1 fps per 20 MHz rule"},
+		{Metric: "TABLESTEER peak", Paper: "3.3 Tdelays/s",
+			Measured: report.Eng(r.TSPeak) + "delays/s", Note: "128×128 outputs @ 200 MHz"},
+		{Metric: "TABLESTEER frame rate", Paper: "19.7 fps",
+			Measured: fmt.Sprintf("%.1f fps", r.TSFps)},
+	})
+}

@@ -1,0 +1,262 @@
+// Package fixed implements binary fixed-point arithmetic with explicit
+// Q formats, the numeric substrate of both delay-generation datapaths in
+// the DATE'15 delay-table paper.
+//
+// A Format describes a two's-complement (or unsigned) word with IntBits
+// integer bits and FracBits fractional bits; the paper's reference delays
+// use unsigned Q13.5 ("13.5 unsigned format") and the steering corrections
+// signed Q13.4. Values are carried in int64 raw words scaled by 2^FracBits,
+// which comfortably covers every width used on the FPGA (≤ 32 bits).
+package fixed
+
+import (
+	"fmt"
+	"math"
+)
+
+// Format describes a fixed-point representation.
+//
+// The total word width is IntBits+FracBits plus one sign bit when Signed is
+// true, matching the hardware convention of the paper (e.g. "13.5 unsigned"
+// occupies 18 bits, "13.4 signed" also occupies 18 bits).
+type Format struct {
+	IntBits  int  // number of integer (magnitude) bits
+	FracBits int  // number of fractional bits
+	Signed   bool // true for two's-complement
+}
+
+// Common formats from the paper.
+var (
+	// U13p5 is the 18-bit unsigned reference-delay format of TABLESTEER-18b.
+	U13p5 = Format{IntBits: 13, FracBits: 5}
+	// S13p4 is the 18-bit signed correction-coefficient format of TABLESTEER-18b.
+	S13p4 = Format{IntBits: 13, FracBits: 4, Signed: true}
+	// U13p1 is the 14-bit unsigned reference-delay format of TABLESTEER-14b.
+	U13p1 = Format{IntBits: 13, FracBits: 1}
+	// S13p0 is the 14-bit signed correction-coefficient format of TABLESTEER-14b.
+	S13p0 = Format{IntBits: 13, FracBits: 0, Signed: true}
+	// U13p0 is the bare 13-bit echo-buffer index.
+	U13p0 = Format{IntBits: 13, FracBits: 0}
+)
+
+// Bits reports the total word width in bits, including the sign bit.
+func (f Format) Bits() int {
+	b := f.IntBits + f.FracBits
+	if f.Signed {
+		b++
+	}
+	return b
+}
+
+// String renders the format in the paper's "13.5"/"s13.4" notation.
+func (f Format) String() string {
+	if f.Signed {
+		return fmt.Sprintf("s%d.%d", f.IntBits, f.FracBits)
+	}
+	return fmt.Sprintf("u%d.%d", f.IntBits, f.FracBits)
+}
+
+// Resolution returns the weight of the least significant bit.
+func (f Format) Resolution() float64 { return math.Ldexp(1, -f.FracBits) }
+
+// MaxValue returns the largest representable value.
+func (f Format) MaxValue() float64 {
+	return math.Ldexp(1, f.IntBits) - f.Resolution()
+}
+
+// MinValue returns the smallest representable value (0 for unsigned).
+func (f Format) MinValue() float64 {
+	if !f.Signed {
+		return 0
+	}
+	return -math.Ldexp(1, f.IntBits)
+}
+
+// maxRaw / minRaw give the raw-word saturation bounds.
+func (f Format) maxRaw() int64 { return int64(1)<<uint(f.IntBits+f.FracBits) - 1 }
+
+func (f Format) minRaw() int64 {
+	if !f.Signed {
+		return 0
+	}
+	return -(int64(1) << uint(f.IntBits+f.FracBits))
+}
+
+// Valid reports whether the format fits the int64 carrier with headroom for
+// products and sums.
+func (f Format) Valid() bool {
+	return f.IntBits >= 0 && f.FracBits >= 0 && f.IntBits+f.FracBits > 0 && f.Bits() <= 48
+}
+
+// RoundMode selects how Quantize maps a real value onto the raw grid.
+type RoundMode int
+
+const (
+	// RoundNearest rounds to the nearest representable value, ties away
+	// from zero (the behaviour of an adder followed by +0.5 truncation,
+	// which is what the paper's rounding adders implement).
+	RoundNearest RoundMode = iota
+	// RoundTruncate drops the fractional remainder (floor toward -inf),
+	// the cost-free hardware option.
+	RoundTruncate
+	// RoundNearestEven rounds half to even (convergent rounding).
+	RoundNearestEven
+)
+
+func (m RoundMode) String() string {
+	switch m {
+	case RoundNearest:
+		return "nearest"
+	case RoundTruncate:
+		return "truncate"
+	case RoundNearestEven:
+		return "nearest-even"
+	}
+	return fmt.Sprintf("RoundMode(%d)", int(m))
+}
+
+// Value is a fixed-point number: a raw integer word interpreted under a
+// Format. The zero Value of a given format represents 0.
+type Value struct {
+	Raw int64
+	Fmt Format
+}
+
+// Quantize converts a float64 to the nearest representable Value, saturating
+// at the format bounds. It reports saturation through the second result so
+// datapath models can count overflow events.
+func Quantize(x float64, f Format, mode RoundMode) (Value, bool) {
+	scaled := math.Ldexp(x, f.FracBits)
+	var raw int64
+	switch mode {
+	case RoundTruncate:
+		raw = int64(math.Floor(scaled))
+	case RoundNearestEven:
+		raw = int64(math.RoundToEven(scaled))
+	default:
+		raw = int64(math.Round(scaled))
+	}
+	sat := false
+	if raw > f.maxRaw() {
+		raw, sat = f.maxRaw(), true
+	} else if raw < f.minRaw() {
+		raw, sat = f.minRaw(), true
+	}
+	return Value{Raw: raw, Fmt: f}, sat
+}
+
+// MustQuantize is Quantize for values known to be in range; it panics on
+// saturation, which in this codebase indicates a table-builder bug rather
+// than a runtime condition.
+func MustQuantize(x float64, f Format, mode RoundMode) Value {
+	v, sat := Quantize(x, f, mode)
+	if sat {
+		panic(fmt.Sprintf("fixed: %v saturates %v", x, f))
+	}
+	return v
+}
+
+// Float converts the fixed-point value back to float64 exactly.
+func (v Value) Float() float64 { return math.Ldexp(float64(v.Raw), -v.Fmt.FracBits) }
+
+// String renders the value with its format, e.g. "103.53125 (u13.5)".
+func (v Value) String() string { return fmt.Sprintf("%g (%v)", v.Float(), v.Fmt) }
+
+// Add returns the exact sum of two values in the wider of the two formats
+// (integer part grows by one bit to avoid overflow). Fixed-point addition
+// aligns binary points by shifting the coarser operand left.
+func Add(a, b Value) Value {
+	frac := a.Fmt.FracBits
+	if b.Fmt.FracBits > frac {
+		frac = b.Fmt.FracBits
+	}
+	ia := a.Raw << uint(frac-a.Fmt.FracBits)
+	ib := b.Raw << uint(frac-b.Fmt.FracBits)
+	intBits := a.Fmt.IntBits
+	if b.Fmt.IntBits > intBits {
+		intBits = b.Fmt.IntBits
+	}
+	return Value{
+		Raw: ia + ib,
+		Fmt: Format{IntBits: intBits + 1, FracBits: frac, Signed: a.Fmt.Signed || b.Fmt.Signed},
+	}
+}
+
+// Mul returns the exact product; fractional bits add, integer bits add.
+func Mul(a, b Value) Value {
+	return Value{
+		Raw: a.Raw * b.Raw,
+		Fmt: Format{
+			IntBits:  a.Fmt.IntBits + b.Fmt.IntBits,
+			FracBits: a.Fmt.FracBits + b.Fmt.FracBits,
+			Signed:   a.Fmt.Signed || b.Fmt.Signed,
+		},
+	}
+}
+
+// Convert re-quantizes v into format f using the given rounding mode,
+// saturating at the bounds of f. It reports saturation.
+func Convert(v Value, f Format, mode RoundMode) (Value, bool) {
+	shift := f.FracBits - v.Fmt.FracBits
+	var raw int64
+	switch {
+	case shift >= 0:
+		raw = v.Raw << uint(shift)
+	default:
+		drop := uint(-shift)
+		switch mode {
+		case RoundTruncate:
+			raw = v.Raw >> drop
+		case RoundNearestEven:
+			raw = roundHalfEvenShift(v.Raw, drop)
+		default:
+			half := int64(1) << (drop - 1)
+			if v.Raw >= 0 {
+				raw = (v.Raw + half) >> drop
+			} else {
+				raw = -((-v.Raw + half) >> drop)
+			}
+		}
+	}
+	sat := false
+	if raw > f.maxRaw() {
+		raw, sat = f.maxRaw(), true
+	} else if raw < f.minRaw() {
+		raw, sat = f.minRaw(), true
+	}
+	return Value{Raw: raw, Fmt: f}, sat
+}
+
+// roundHalfEvenShift arithmetic-shifts right by n with round-half-to-even.
+func roundHalfEvenShift(x int64, n uint) int64 {
+	if n == 0 {
+		return x
+	}
+	q := x >> n
+	rem := x - q<<n // in [0, 2^n)
+	half := int64(1) << (n - 1)
+	switch {
+	case rem > half:
+		q++
+	case rem == half:
+		if q&1 != 0 {
+			q++
+		}
+	}
+	return q
+}
+
+// RoundToIndex collapses the value to an integer echo-buffer index using
+// round-to-nearest (ties away from zero), the operation performed by the
+// final rounding adders of the TABLESTEER block.
+func (v Value) RoundToIndex() int64 {
+	iv, _ := Convert(v, Format{IntBits: v.Fmt.IntBits + 1, FracBits: 0, Signed: v.Fmt.Signed}, RoundNearest)
+	return iv.Raw
+}
+
+// QuantError returns x − Float(Quantize(x)): the signed representation error
+// x suffers when stored in format f.
+func QuantError(x float64, f Format, mode RoundMode) float64 {
+	v, _ := Quantize(x, f, mode)
+	return x - v.Float()
+}

@@ -1,0 +1,240 @@
+// Package fpga models the FPGA resource and timing budget used for the
+// paper's Table II feasibility study: a device database (Virtex-7 and the
+// projected UltraScale part of §VI-B), a bit-width-driven primitive cost
+// model, and design composers for the TABLEFREE and TABLESTEER delay
+// generators.
+//
+// We have no synthesis tool in this environment (see DESIGN.md §3), so the
+// model is calibrated against the published utilization figures and kept
+// explicit: every constant that was fitted to Table II is named and
+// documented, and the *relationships* (which design is LUT-bound, how the
+// 14→18-bit delta scales, what fits on which device) all derive from the
+// same bit widths and replication counts the paper reports.
+package fpga
+
+import "math"
+
+// Device describes an FPGA part and its -2-speed-grade timing character.
+type Device struct {
+	Name   string
+	LUTs   int // 6-input LUTs
+	FFs    int // flip-flops
+	BRAM36 int // 36 kb block-RAM units
+	DSPs   int // DSP48 slices
+	// Critical-path characteristics (ns) for the two datapath styles.
+	LUTMultNs float64 // LUT-fabric 18×21 multiplier (TABLEFREE limiter)
+	AdderNs   float64 // wide carry-chain adder + routing (TABLESTEER limiter)
+}
+
+// Virtex7VX1140T2 returns the paper's target: Xilinx XC7VX1140T, speed
+// grade -2 — the largest Virtex-7, with 67.7 Mb of BRAM ("the largest
+// Xilinx Virtex 7 carry up to 68 Mb of Block RAMs").
+func Virtex7VX1140T2() Device {
+	return Device{
+		Name:   "XC7VX1140T-2",
+		LUTs:   712_000,
+		FFs:    1_424_000,
+		BRAM36: 1_880, // 67.7 Mb
+		DSPs:   3_360,
+		// Calibrated to the paper's achieved clocks: the LUT multiplier
+		// limits TABLEFREE to 167 MHz; the adder fan-out allows 200 MHz.
+		LUTMultNs: 6.0,
+		AdderNs:   5.0,
+	}
+}
+
+// VirtexUltraScale returns the §VI-B projection target ("3D-stacked Virtex
+// UltraScale chips feature twice the LUT count of the Virtex 7 family"),
+// modeled on the VU440 with a mild speed-up.
+func VirtexUltraScale() Device {
+	return Device{
+		Name:      "VU440",
+		LUTs:      1_424_000, // 2× Virtex-7, per the paper's projection
+		FFs:       2_848_000,
+		BRAM36:    2_520, // 88.6 Mb
+		DSPs:      2_880,
+		LUTMultNs: 5.2,
+		AdderNs:   4.4,
+	}
+}
+
+// BRAMBits returns the device block-RAM capacity in bits.
+func (d Device) BRAMBits() int { return d.BRAM36 * 36 * 1024 }
+
+// Utilization is a resource census for one design on one device.
+type Utilization struct {
+	LUTs     int
+	FFs      int
+	BRAM36   int
+	ClockHz  float64
+	OffchipB float64 // off-chip bandwidth, bytes/s (0 = none)
+}
+
+// Frac returns used/total clamped to [0, ∞); >1 means the design does not
+// fit.
+func frac(used, total int) float64 {
+	if total == 0 {
+		return math.Inf(1)
+	}
+	return float64(used) / float64(total)
+}
+
+// LUTFrac, FFFrac and BRAMFrac return utilization fractions on a device.
+func (u Utilization) LUTFrac(d Device) float64  { return frac(u.LUTs, d.LUTs) }
+func (u Utilization) FFFrac(d Device) float64   { return frac(u.FFs, d.FFs) }
+func (u Utilization) BRAMFrac(d Device) float64 { return frac(u.BRAM36, d.BRAM36) }
+
+// Fits reports whether every resource stays within the device.
+func (u Utilization) Fits(d Device) bool {
+	return u.LUTs <= d.LUTs && u.FFs <= d.FFs && u.BRAM36 <= d.BRAM36
+}
+
+// Primitive cost estimators. All counts are 6-input-LUT equivalents.
+
+// AdderLUTs estimates a W-bit carry-chain adder.
+func AdderLUTs(width int) int { return width }
+
+// ComparatorLUTs estimates a W-bit magnitude comparator (carry chain over
+// two bits per LUT).
+func ComparatorLUTs(width int) int { return (width + 1) / 2 }
+
+// MultiplierLUTs estimates an a×b LUT-fabric multiplier (partial-product
+// rows compressed in carry chains — ≈ a·b/2 LUTs, the standard fabric
+// estimate when DSP slices are exhausted).
+func MultiplierLUTs(a, b int) int { return a * b / 2 }
+
+// TruncMultiplierLUTs estimates a truncated a×b multiplier that keeps only
+// the upper output bits (the PWL datapath discards fine product LSBs):
+// dropping the low partial-product triangle saves ≈30 % of the array.
+func TruncMultiplierLUTs(a, b int) int { return a * b * 7 / 20 }
+
+// DistRAMLUTs estimates distributed-RAM storage: one LUT6 holds 64 bits.
+func DistRAMLUTs(bits int) int { return (bits + 63) / 64 }
+
+// BRAM36ForBits returns the block count for a bit footprint, with the
+// physical word width rounded up to 18 bits (Xilinx BRAM port granularity;
+// a 14-bit logical word still occupies an 18-bit physical word, which is
+// why Table II reports the same 25 % BRAM for both TABLESTEER variants).
+func BRAM36ForBits(logicalBits, logicalWidth int) int {
+	physWidth := 18
+	if logicalWidth > 18 {
+		physWidth = 36
+	}
+	words := (logicalBits + logicalWidth - 1) / logicalWidth
+	return (words*physWidth + 36*1024 - 1) / (36 * 1024)
+}
+
+// TableFreeUnit is the per-element delay unit of §IV (Fig. 2a).
+type TableFreeUnit struct {
+	Segments   int // PWL pieces (~70)
+	ArgWidth   int // squared-distance argument bits (25 at Table I scale)
+	SlopeWidth int // C1 coefficient bits
+	ValueWidth int // V0 coefficient bits
+	OutWidth   int // delay output bits (14: 13 integer + 1 guard)
+}
+
+// PaperTableFreeUnit returns the Table I-scale unit parameters.
+func PaperTableFreeUnit(segments int) TableFreeUnit {
+	return TableFreeUnit{Segments: segments, ArgWidth: 25, SlopeWidth: 24, ValueWidth: 19, OutWidth: 14}
+}
+
+// Calibration constants for the TABLEFREE unit, fitted so a full device
+// supports the paper's 42×42 channels at 23 % register use (Table II).
+const (
+	tableFreeCtrlLUTs = 70  // segment-tracker control + address decode
+	tableFreeUnitFFs  = 187 // pipeline registers across mult/add stages
+)
+
+// LUTs returns the unit's LUT cost: one truncated multiplier (slope ×
+// in-segment offset, product LSBs below the 2⁻⁶-sample grid discarded),
+// the two §IV-B adders, the two tracker comparators, and the coefficient
+// store in distributed RAM.
+func (u TableFreeUnit) LUTs() int {
+	coeffBits := u.Segments * (u.SlopeWidth + u.ValueWidth + u.ArgWidth)
+	return TruncMultiplierLUTs(u.SlopeWidth, u.ArgWidth-4) + // offset is ~4 bits narrower
+		2*AdderLUTs(u.ArgWidth) +
+		2*ComparatorLUTs(u.ArgWidth) +
+		DistRAMLUTs(coeffBits) +
+		tableFreeCtrlLUTs
+}
+
+// FFs returns the unit's register cost.
+func (u TableFreeUnit) FFs() int { return tableFreeUnitFFs }
+
+// TableFreeDesign is a device-filling TABLEFREE instantiation.
+type TableFreeDesign struct {
+	Unit     TableFreeUnit
+	Units    int // instantiated per-element units
+	Channels int // √Units per side (square apertures)
+}
+
+// FitTableFree packs as many delay units as the device's LUT budget allows
+// (the design is LUT-bound: it uses no BRAM at all) and reports the largest
+// square channel count ("a transducer with only 42×42 elements").
+func FitTableFree(d Device, unit TableFreeUnit, maxChannels int) TableFreeDesign {
+	per := unit.LUTs()
+	units := d.LUTs / per
+	side := int(math.Sqrt(float64(units)))
+	if side > maxChannels {
+		side = maxChannels
+	}
+	return TableFreeDesign{Unit: unit, Units: side * side, Channels: side}
+}
+
+// Utilization reports the design's census; the clock is multiplier-limited.
+func (t TableFreeDesign) Utilization(d Device) Utilization {
+	return Utilization{
+		LUTs:    t.Units * t.Unit.LUTs(),
+		FFs:     t.Units * t.Unit.FFs(),
+		BRAM36:  0,
+		ClockHz: 1e9 / d.LUTMultNs,
+	}
+}
+
+// TableSteerDesign is the §V-B TABLESTEER instantiation.
+type TableSteerDesign struct {
+	WordBits    int // 14 or 18
+	Blocks      int // 128
+	AddersPerBl int // 136
+	CorrBits    int // correction-table footprint (logical bits)
+	BufferBits  int // circular-buffer footprint (logical bits)
+	OffchipBps  float64
+}
+
+// Calibration constants for the TABLESTEER adder fan-out, fitted to the
+// Table II 14b/18b utilization pair (91 %/100 % LUTs, 25 %/30 % FFs): the
+// per-adder overhead beyond the raw carry chain (input selection, operand
+// staging, output rounding mux) plus per-block control and address
+// generation.
+const (
+	steerAdderOverheadLUTs = 22
+	steerBlockCtrlLUTs     = 122
+	steerAdderOverheadFFs  = 6
+)
+
+// LUTs returns the array-wide adder-fan-out cost.
+func (t TableSteerDesign) LUTs() int {
+	return t.Blocks * (t.AddersPerBl*(AdderLUTs(t.WordBits)+steerAdderOverheadLUTs) + steerBlockCtrlLUTs)
+}
+
+// FFs returns the pipeline-register cost.
+func (t TableSteerDesign) FFs() int {
+	return t.Blocks * t.AddersPerBl * (t.WordBits + steerAdderOverheadFFs)
+}
+
+// BRAM returns the block-RAM census: circular buffer plus on-chip
+// correction tables, both at 18-bit physical word granularity.
+func (t TableSteerDesign) BRAM() int {
+	return BRAM36ForBits(t.BufferBits, t.WordBits) + BRAM36ForBits(t.CorrBits, t.WordBits)
+}
+
+// Utilization reports the census; the clock is adder-limited.
+func (t TableSteerDesign) Utilization(d Device) Utilization {
+	return Utilization{
+		LUTs:     t.LUTs(),
+		FFs:      t.FFs(),
+		BRAM36:   t.BRAM(),
+		ClockHz:  1e9 / d.AdderNs,
+		OffchipB: t.OffchipBps,
+	}
+}

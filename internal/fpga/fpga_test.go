@@ -1,0 +1,175 @@
+package fpga
+
+import (
+	"math"
+	"testing"
+)
+
+func TestVirtex7Database(t *testing.T) {
+	d := Virtex7VX1140T2()
+	// "the largest Xilinx Virtex 7 carry up to 68 Mb of Block RAMs" (§V-B).
+	if mb := float64(d.BRAMBits()) / 1e6; mb < 66 || mb > 70 {
+		t.Errorf("Virtex-7 BRAM = %.1f Mb, want ≈68", mb)
+	}
+	if d.LUTs < 700_000 || d.LUTs > 720_000 {
+		t.Errorf("LUT count = %d", d.LUTs)
+	}
+}
+
+func TestUltraScaleProjection(t *testing.T) {
+	// §VI-B: UltraScale features "twice the LUT count of the Virtex 7".
+	v7, us := Virtex7VX1140T2(), VirtexUltraScale()
+	if us.LUTs != 2*v7.LUTs {
+		t.Errorf("UltraScale LUTs = %d, want 2×%d", us.LUTs, v7.LUTs)
+	}
+	if us.LUTMultNs >= v7.LUTMultNs {
+		t.Error("newer node should be at least as fast")
+	}
+}
+
+func TestPrimitiveEstimates(t *testing.T) {
+	if AdderLUTs(18) != 18 {
+		t.Error("adder cost")
+	}
+	if ComparatorLUTs(25) != 13 {
+		t.Error("comparator cost")
+	}
+	if MultiplierLUTs(24, 21) != 252 {
+		t.Error("multiplier cost")
+	}
+	if DistRAMLUTs(64) != 1 || DistRAMLUTs(65) != 2 || DistRAMLUTs(0) != 0 {
+		t.Error("distributed RAM cost")
+	}
+}
+
+func TestBRAM36ForBits(t *testing.T) {
+	// One 36kb block holds 2048 18-bit words.
+	if got := BRAM36ForBits(18*2048, 18); got != 1 {
+		t.Errorf("exactly one block = %d", got)
+	}
+	if got := BRAM36ForBits(18*2049, 18); got != 2 {
+		t.Errorf("one word over = %d blocks", got)
+	}
+	// 14-bit logical words still burn 18 physical bits per word.
+	w14 := BRAM36ForBits(14*2048, 14)
+	w18 := BRAM36ForBits(18*2048, 18)
+	if w14 != w18 {
+		t.Errorf("14-bit (%d) and 18-bit (%d) should use equal blocks per word count", w14, w18)
+	}
+}
+
+func TestTableFreeFitsPaperChannels(t *testing.T) {
+	// Table II: TABLEFREE fills the device at 42×42 supported channels,
+	// 100 % LUTs, 23 % registers, 0 BRAM, 167 MHz.
+	d := Virtex7VX1140T2()
+	unit := PaperTableFreeUnit(70)
+	des := FitTableFree(d, unit, 100)
+	if des.Channels < 40 || des.Channels > 44 {
+		t.Errorf("supported channels = %d×%d, paper says 42×42", des.Channels, des.Channels)
+	}
+	u := des.Utilization(d)
+	if f := u.LUTFrac(d); f < 0.9 || f > 1.0 {
+		t.Errorf("LUT utilization = %.2f, want ≈1.0", f)
+	}
+	if f := u.FFFrac(d); f < 0.18 || f > 0.28 {
+		t.Errorf("FF utilization = %.2f, paper says 0.23", f)
+	}
+	if u.BRAM36 != 0 {
+		t.Error("TABLEFREE uses no BRAM")
+	}
+	if mhz := u.ClockHz / 1e6; math.Abs(mhz-167) > 2 {
+		t.Errorf("clock = %.0f MHz, paper says 167", mhz)
+	}
+	if !u.Fits(d) {
+		t.Error("fitted design must fit")
+	}
+	t.Logf("TABLEFREE: %d×%d channels, LUT %.0f%%, FF %.0f%%, %.0f MHz",
+		des.Channels, des.Channels, 100*u.LUTFrac(d), 100*u.FFFrac(d), u.ClockHz/1e6)
+}
+
+func TestTableFreeUltraScaleProjection(t *testing.T) {
+	// §VI-B: with 2× LUTs, TABLEFREE should approach 100×100 support at
+	// 10–15 fps. 2× units ⇒ ≈59×59 channels; the paper's projection also
+	// assumes "additional tuning", so we check the direction and magnitude.
+	us := VirtexUltraScale()
+	unit := PaperTableFreeUnit(70)
+	des := FitTableFree(us, unit, 100)
+	v7 := FitTableFree(Virtex7VX1140T2(), unit, 100)
+	if des.Channels <= v7.Channels {
+		t.Error("UltraScale must support more channels")
+	}
+	if des.Channels < 55 {
+		t.Errorf("UltraScale channels = %d, expected ≥ 55", des.Channels)
+	}
+}
+
+func TestTableSteerMatchesTableII(t *testing.T) {
+	// Table II: TABLESTEER-18b 100 % LUTs / 30 % FFs / 25 % BRAM @ 200 MHz;
+	// TABLESTEER-14b 91 % / 25 % / 25 % @ 200 MHz.
+	d := Virtex7VX1140T2()
+	mk := func(bits int) TableSteerDesign {
+		return TableSteerDesign{
+			WordBits: bits, Blocks: 128, AddersPerBl: 136,
+			CorrBits:   832_000 * bits,
+			BufferBits: 128 * bits * 1024,
+			OffchipBps: []float64{14: 4.2e9, 18: 5.4e9}[bits],
+		}
+	}
+	d18 := mk(18)
+	u18 := d18.Utilization(d)
+	if f := u18.LUTFrac(d); f < 0.93 || f > 1.02 {
+		t.Errorf("18b LUT utilization = %.3f, paper says 1.00", f)
+	}
+	if f := u18.FFFrac(d); f < 0.26 || f > 0.34 {
+		t.Errorf("18b FF utilization = %.3f, paper says 0.30", f)
+	}
+	if f := u18.BRAMFrac(d); f < 0.22 || f > 0.29 {
+		t.Errorf("18b BRAM utilization = %.3f, paper says 0.25", f)
+	}
+	if mhz := u18.ClockHz / 1e6; math.Abs(mhz-200) > 1 {
+		t.Errorf("18b clock = %.0f MHz", mhz)
+	}
+	d14 := mk(14)
+	u14 := d14.Utilization(d)
+	if f := u14.LUTFrac(d); f < 0.85 || f > 0.95 {
+		t.Errorf("14b LUT utilization = %.3f, paper says 0.91", f)
+	}
+	if f := u14.FFFrac(d); f < 0.21 || f > 0.29 {
+		t.Errorf("14b FF utilization = %.3f, paper says 0.25", f)
+	}
+	if u14.BRAM36 != u18.BRAM36 {
+		t.Errorf("both variants should use equal BRAM (18-bit ports): %d vs %d",
+			u14.BRAM36, u18.BRAM36)
+	}
+	// The 18b point fills the chip; 14b leaves ≈9 % slack (Table II).
+	if u14.LUTs >= u18.LUTs {
+		t.Error("14b must use fewer LUTs than 18b")
+	}
+	t.Logf("TABLESTEER: 18b LUT %.0f%% FF %.0f%% BRAM %.0f%%; 14b LUT %.0f%% FF %.0f%% BRAM %.0f%%",
+		100*u18.LUTFrac(d), 100*u18.FFFrac(d), 100*u18.BRAMFrac(d),
+		100*u14.LUTFrac(d), 100*u14.FFFrac(d), 100*u14.BRAMFrac(d))
+}
+
+func TestFitsDetectsOverflow(t *testing.T) {
+	d := Device{LUTs: 100, FFs: 100, BRAM36: 1}
+	if (Utilization{LUTs: 101}).Fits(d) {
+		t.Error("LUT overflow must not fit")
+	}
+	if !(Utilization{LUTs: 100, FFs: 100, BRAM36: 1}).Fits(d) {
+		t.Error("exact fit must fit")
+	}
+	if !math.IsInf((Utilization{LUTs: 1}).LUTFrac(Device{}), 1) {
+		t.Error("zero-capacity device should report infinite utilization")
+	}
+}
+
+func TestOnChipFullTableAlternative(t *testing.T) {
+	// §V-B: the whole 45 Mb reference table could live on chip "at a steep
+	// BRAM cost" — verify it fits the 68 Mb Virtex-7 only without much else.
+	d := Virtex7VX1140T2()
+	full := BRAM36ForBits(45e6, 18) + BRAM36ForBits(15e6, 18)
+	fracUsed := float64(full) / float64(d.BRAM36)
+	if fracUsed < 0.8 || fracUsed > 1.0 {
+		t.Errorf("full-table BRAM fraction = %.2f, expected ≈0.9", fracUsed)
+	}
+}

@@ -1,0 +1,198 @@
+// Package memmodel models the on-chip/off-chip memory system of the
+// TABLESTEER architecture (§V-B of the paper): FPGA block-RAM banks, the
+// staggered placement of delay samples across banks that lets all banks be
+// read in parallel, and the read-only circular-buffer streaming of the
+// reference delay table from external DRAM ("the on-FPGA delay table could
+// be a cache of a complete delay table residing off-chip").
+package memmodel
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BankSpec describes one BRAM bank configuration.
+type BankSpec struct {
+	WordBits int // data width per line (18 in the paper's design point)
+	Lines    int // addressable lines (1k in the paper's design point)
+}
+
+// Bits returns the bank capacity in bits.
+func (b BankSpec) Bits() int { return b.WordBits * b.Lines }
+
+// String renders e.g. "18b×1024".
+func (b BankSpec) String() string { return fmt.Sprintf("%db×%d", b.WordBits, b.Lines) }
+
+// BankArray is a set of identical BRAM banks with single-port-per-cycle
+// read semantics: one read per bank per cycle, so parallel access patterns
+// must not collide on a bank.
+type BankArray struct {
+	Spec  BankSpec
+	Banks int
+}
+
+// TotalBits returns the aggregate capacity (2.3 Mb for the paper's 128
+// banks of 18b×1k).
+func (a BankArray) TotalBits() int { return a.Banks * a.Spec.Bits() }
+
+// ReadsPerCycle is the aggregate read throughput in words per cycle.
+func (a BankArray) ReadsPerCycle() int { return a.Banks }
+
+// Layout maps a delay-table address (depth slice, offset within slice) to a
+// bank and line.
+type Layout int
+
+const (
+	// ChunkedLayout stores consecutive depth slices in the same bank:
+	// bank = (d / slicesPerBank). Parallel readers of consecutive nappes
+	// collide on a bank.
+	ChunkedLayout Layout = iota
+	// StaggeredLayout spreads consecutive depth slices round-robin across
+	// banks: bank = d mod Banks, "so that a beamformer trying to fetch
+	// delay samples for consecutive nappes can retrieve them from the 128
+	// BRAMs in parallel" (§V-B).
+	StaggeredLayout
+)
+
+func (l Layout) String() string {
+	switch l {
+	case ChunkedLayout:
+		return "chunked"
+	case StaggeredLayout:
+		return "staggered"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// Placement resolves table addresses to physical banks.
+type Placement struct {
+	Arr    BankArray
+	Layout Layout
+	Depths int // depth slices resident at once
+}
+
+// Bank returns the bank holding depth slice d.
+func (p Placement) Bank(d int) int {
+	if p.Arr.Banks == 0 {
+		return 0
+	}
+	switch p.Layout {
+	case StaggeredLayout:
+		return d % p.Arr.Banks
+	default:
+		per := (p.Depths + p.Arr.Banks - 1) / p.Arr.Banks
+		if per == 0 {
+			per = 1
+		}
+		return (d / per) % p.Arr.Banks
+	}
+}
+
+// Conflicts counts bank collisions when the given depth slices are read in
+// the same cycle (e.g. 128 parallel readers each consuming a different
+// consecutive nappe). Zero conflicts means full parallel bandwidth.
+func (p Placement) Conflicts(depths []int) int {
+	used := make(map[int]int)
+	for _, d := range depths {
+		used[p.Bank(d)]++
+	}
+	conflicts := 0
+	for _, n := range used {
+		if n > 1 {
+			conflicts += n - 1
+		}
+	}
+	return conflicts
+}
+
+// StreamConfig models the read-only circular-buffer refill of the on-chip
+// slice of the delay table from DRAM, nappe by nappe.
+type StreamConfig struct {
+	TableWords     int     // total off-chip reference-table entries
+	WordBits       int     // bits per entry (14 or 18)
+	BufferWords    int     // on-chip circular-buffer capacity in entries
+	WordsPerNappe  int     // entries consumed per nappe (one per stored element)
+	CyclesPerNappe int     // cycles the beamformer spends per nappe
+	ClockHz        float64 // system clock
+	RefillsPerSec  float64 // how many times per second the full table streams in (insonifications/s)
+}
+
+// OffchipBandwidth returns the required DRAM read bandwidth in bytes/s:
+// the full table is fetched RefillsPerSec times per second (§V-B computes
+// 960 insonifications/s × 45 Mb ≈ 5.3 GB/s).
+func (s StreamConfig) OffchipBandwidth() float64 {
+	return float64(s.TableWords) * float64(s.WordBits) / 8 * s.RefillsPerSec
+}
+
+// BufferBits returns the circular buffer footprint in bits.
+func (s StreamConfig) BufferBits() int { return s.BufferWords * s.WordBits }
+
+// Validate checks that the streaming plan is self-consistent.
+func (s StreamConfig) Validate() error {
+	switch {
+	case s.TableWords <= 0 || s.WordBits <= 0 || s.BufferWords <= 0:
+		return errors.New("memmodel: non-positive stream geometry")
+	case s.WordsPerNappe <= 0 || s.CyclesPerNappe <= 0 || s.ClockHz <= 0:
+		return errors.New("memmodel: non-positive consumption parameters")
+	case s.BufferWords < s.WordsPerNappe:
+		return errors.New("memmodel: buffer smaller than one nappe slice")
+	}
+	return nil
+}
+
+// MarginCycles returns the refill slack: with the buffer holding
+// BufferWords/WordsPerNappe nappes, the prefetcher has (nappes−1)×
+// CyclesPerNappe cycles to load a nappe before the consumer wraps around
+// (the paper quotes "an ample margin of 1k cycles of latency").
+func (s StreamConfig) MarginCycles() int {
+	nappes := s.BufferWords / s.WordsPerNappe
+	if nappes < 1 {
+		return 0
+	}
+	return (nappes - 1) * s.CyclesPerNappe
+}
+
+// RequiredFillRate returns the sustained DRAM word rate (words/s) that
+// keeps the buffer from underflowing while the beamformer consumes one
+// nappe slice per CyclesPerNappe.
+func (s StreamConfig) RequiredFillRate() float64 {
+	return float64(s.WordsPerNappe) * s.ClockHz / float64(s.CyclesPerNappe)
+}
+
+// SimulateStream runs a cycle-accurate producer/consumer simulation over
+// the given number of nappes: the consumer drains WordsPerNappe entries
+// every CyclesPerNappe cycles while the producer inserts fillPerCycle
+// entries per cycle (capped by free space). It returns the number of
+// consumer stall cycles (cycles the consumer had to wait for data).
+func (s StreamConfig) SimulateStream(nappes int, fillPerCycle float64) (stallCycles int) {
+	if err := s.Validate(); err != nil {
+		return nappes * s.CyclesPerNappe // everything stalls
+	}
+	level := float64(min(s.BufferWords, s.WordsPerNappe)) // prefill one slice
+	fill := func() {
+		level += fillPerCycle
+		if level > float64(s.BufferWords) {
+			level = float64(s.BufferWords)
+		}
+	}
+	perCycle := float64(s.WordsPerNappe) / float64(s.CyclesPerNappe)
+	for n := 0; n < nappes; n++ {
+		for c := 0; c < s.CyclesPerNappe; c++ {
+			if level < perCycle {
+				stallCycles++
+				fill()
+				c-- // retry this consumption cycle
+				if stallCycles > 100*nappes*s.CyclesPerNappe {
+					return stallCycles // hopeless underflow; bail out
+				}
+				continue
+			}
+			level -= perCycle
+			fill()
+		}
+	}
+	return stallCycles
+}
+
+// BandwidthGBs converts bytes/s to decimal GB/s for report rows.
+func BandwidthGBs(bytesPerSec float64) float64 { return bytesPerSec / 1e9 }

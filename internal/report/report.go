@@ -1,0 +1,163 @@
+// Package report renders experiment results: aligned ASCII tables for
+// terminal output, CSV series for figure data, and paper-vs-measured
+// comparison rows used by EXPERIMENTS.md and the benchmark harness.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a titled grid of string cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; short rows are padded with empty cells.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted cells: each argument is rendered with %v.
+func (t *Table) Addf(cells ...interface{}) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		row = append(row, fmt.Sprintf("%v", c))
+	}
+	t.Add(row...)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if n := utf8.RuneCountInString(cell); i < len(widths) && n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if pad := widths[i] - utf8.RuneCountInString(cell); pad > 0 && i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		b.WriteString("\n")
+	}
+	line(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2) + "\n")
+	for _, row := range t.Rows {
+		line(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
+
+// Series is one named (x, y) data series — the unit of figure output.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// WriteCSV emits one or more series sharing an X axis as CSV with a header
+// row. All series must be the same length as the first.
+func WriteCSV(w io.Writer, series ...Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("report: no series")
+	}
+	n := len(series[0].X)
+	header := []string{"x"}
+	for _, s := range series {
+		if len(s.X) != n || len(s.Y) != n {
+			return fmt.Errorf("report: series %q length mismatch", s.Name)
+		}
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		cells := []string{fmt.Sprintf("%g", series[0].X[i])}
+		for _, s := range series {
+			cells = append(cells, fmt.Sprintf("%g", s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(cells, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Comparison is one paper-vs-measured row.
+type Comparison struct {
+	Metric   string
+	Paper    string
+	Measured string
+	Note     string
+}
+
+// ComparisonTable renders comparisons under a title.
+func ComparisonTable(title string, rows []Comparison) *Table {
+	t := NewTable(title, "metric", "paper", "measured", "note")
+	for _, r := range rows {
+		t.Add(r.Metric, r.Paper, r.Measured, r.Note)
+	}
+	return t
+}
+
+// Pct formats a fraction as a percentage.
+func Pct(f float64) string { return fmt.Sprintf("%.0f%%", 100*f) }
+
+// Eng formats a value with an engineering suffix (k, M, G, T).
+func Eng(v float64) string {
+	abs := v
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1e12:
+		return fmt.Sprintf("%.2fT", v/1e12)
+	case abs >= 1e9:
+		return fmt.Sprintf("%.2fG", v/1e9)
+	case abs >= 1e6:
+		return fmt.Sprintf("%.2fM", v/1e6)
+	case abs >= 1e3:
+		return fmt.Sprintf("%.2fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}

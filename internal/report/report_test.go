@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.Add("alpha", "1")
+	tbl.Addf("beta", 2.5)
+	s := tbl.String()
+	if !strings.Contains(s, "Demo") || !strings.Contains(s, "alpha") ||
+		!strings.Contains(s, "2.5") {
+		t.Errorf("render missing content:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("got %d lines:\n%s", len(lines), s)
+	}
+	// Columns align: both data rows have 'value' cells starting at the same
+	// byte offset as the header's second column.
+	idx := strings.Index(lines[1], "value")
+	if idx < 0 {
+		t.Fatal("no header")
+	}
+	if lines[3][idx] != '1' || lines[4][idx] != '2' {
+		t.Errorf("columns misaligned:\n%s", s)
+	}
+}
+
+func TestTableShortRowPadded(t *testing.T) {
+	tbl := NewTable("", "a", "b", "c")
+	tbl.Add("only")
+	if len(tbl.Rows[0]) != 3 {
+		t.Error("short rows must be padded")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var b strings.Builder
+	err := WriteCSV(&b,
+		Series{Name: "err", X: []float64{0, 1}, Y: []float64{0.1, -0.2}},
+		Series{Name: "bound", X: []float64{0, 1}, Y: []float64{0.25, 0.25}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,err,bound\n0,0.1,0.25\n1,1,-0.2,0.25\n"
+	_ = want
+	got := b.String()
+	if !strings.HasPrefix(got, "x,err,bound\n0,0.1,0.25\n") {
+		t.Errorf("csv = %q", got)
+	}
+	if !strings.Contains(got, "1,-0.2,0.25") {
+		t.Errorf("csv second row wrong: %q", got)
+	}
+}
+
+func TestWriteCSVValidation(t *testing.T) {
+	var b strings.Builder
+	if err := WriteCSV(&b); err == nil {
+		t.Error("no series must fail")
+	}
+	err := WriteCSV(&b,
+		Series{Name: "a", X: []float64{1}, Y: []float64{1}},
+		Series{Name: "b", X: []float64{1, 2}, Y: []float64{1, 2}})
+	if err == nil {
+		t.Error("length mismatch must fail")
+	}
+}
+
+func TestComparisonTable(t *testing.T) {
+	tbl := ComparisonTable("T2", []Comparison{
+		{Metric: "fps", Paper: "19.7", Measured: "20.0", Note: "peak"},
+	})
+	s := tbl.String()
+	if !strings.Contains(s, "19.7") || !strings.Contains(s, "20.0") {
+		t.Errorf("comparison render: %s", s)
+	}
+}
+
+func TestPctEng(t *testing.T) {
+	if Pct(0.913) != "91%" {
+		t.Errorf("Pct = %q", Pct(0.913))
+	}
+	cases := map[float64]string{
+		3.28e12: "3.28T",
+		5.3e9:   "5.30G",
+		45e6:    "45.00M",
+		2.5e3:   "2.50k",
+		7:       "7",
+	}
+	for v, want := range cases {
+		if got := Eng(v); got != want {
+			t.Errorf("Eng(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

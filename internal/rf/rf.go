@@ -1,0 +1,193 @@
+// Package rf simulates the receive front end the paper's delay generators
+// serve: transmit pulse, point-scatterer phantoms, per-element echo
+// synthesis sampled at fs, and the per-element echo buffers the computed
+// delays index into. This is the substitution for probe hardware (see
+// DESIGN.md §3): echoes arrive at exactly the physical two-way propagation
+// times of Eq. 2, so beamforming through any delay provider exercises the
+// identical selection-index code path the FPGA datapaths feed.
+package rf
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/xdcr"
+)
+
+// Pulse is a Gaussian-enveloped sinusoid: the standard model of an
+// ultrasound transmit pulse with center frequency Fc and fractional
+// bandwidth set by the envelope sigma.
+type Pulse struct {
+	Fc    float64 // center frequency, Hz (4 MHz in Table I)
+	Sigma float64 // Gaussian envelope standard deviation, seconds
+}
+
+// NewPulse derives the envelope width from the -6 dB fractional bandwidth
+// (Table I: B = 4 MHz at fc = 4 MHz → 100 % fractional bandwidth).
+func NewPulse(fc, bandwidth float64) Pulse {
+	// For a Gaussian envelope, the -6 dB two-sided spectral width B relates
+	// to sigma as B = 2·sqrt(2·ln2)/(2π·sigma)·... using the standard
+	// result sigmaF = B / (2·sqrt(2·ln2)) and sigmaT = 1/(2π·sigmaF).
+	sigmaF := bandwidth / (2 * math.Sqrt(2*math.Ln2))
+	return Pulse{Fc: fc, Sigma: 1 / (2 * math.Pi * sigmaF)}
+}
+
+// At evaluates the pulse at time t (seconds, centered on 0).
+func (p Pulse) At(t float64) float64 {
+	return math.Exp(-t*t/(2*p.Sigma*p.Sigma)) * math.Cos(2*math.Pi*p.Fc*t)
+}
+
+// Duration returns the two-sided support used when synthesizing echoes
+// (±4σ keeps truncation below 0.034 % of peak).
+func (p Pulse) Duration() float64 { return 8 * p.Sigma }
+
+// Scatterer is one reflective point in the insonified volume.
+type Scatterer struct {
+	Pos  geom.Vec3
+	Refl float64 // reflectivity (echo amplitude scale)
+}
+
+// Phantom is a collection of scatterers.
+type Phantom struct {
+	Scatterers []Scatterer
+}
+
+// PointPhantom places a single unit scatterer — the PSF measurement target.
+func PointPhantom(pos geom.Vec3) Phantom {
+	return Phantom{Scatterers: []Scatterer{{Pos: pos, Refl: 1}}}
+}
+
+// GridPhantom places scatterers on the given positions with unit
+// reflectivity, for multi-target resolution studies.
+func GridPhantom(positions []geom.Vec3) Phantom {
+	p := Phantom{Scatterers: make([]Scatterer, len(positions))}
+	for i, pos := range positions {
+		p.Scatterers[i] = Scatterer{Pos: pos, Refl: 1}
+	}
+	return p
+}
+
+// SpecklePhantom scatters n weak random reflectors inside the box
+// [min, max], seeding reproducibly — a crude tissue-speckle model.
+func SpecklePhantom(n int, min, max geom.Vec3, seed int64) Phantom {
+	rng := rand.New(rand.NewSource(seed))
+	p := Phantom{Scatterers: make([]Scatterer, n)}
+	for i := range p.Scatterers {
+		p.Scatterers[i] = Scatterer{
+			Pos: geom.Vec3{
+				X: min.X + rng.Float64()*(max.X-min.X),
+				Y: min.Y + rng.Float64()*(max.Y-min.Y),
+				Z: min.Z + rng.Float64()*(max.Z-min.Z),
+			},
+			Refl: 0.05 + 0.1*rng.Float64(),
+		}
+	}
+	return p
+}
+
+// EchoBuffer holds one element's sampled echo signal; delay values index
+// into it ("the delay values are used as an index into an echo buffer
+// containing slightly more than 8000 samples", §V-B).
+type EchoBuffer struct {
+	Samples []float64
+}
+
+// At returns the sample at integer index i, zero outside the buffer —
+// matching the hardware behaviour of reading an out-of-window address.
+func (b EchoBuffer) At(i int) float64 {
+	if i < 0 || i >= len(b.Samples) {
+		return 0
+	}
+	return b.Samples[i]
+}
+
+// AtLinear returns the linearly interpolated value at a fractional index,
+// the float golden-model variant used for oversampled comparisons. Indices
+// outside [0, len-1] read as silence, like the integer path.
+func (b EchoBuffer) AtLinear(x float64) float64 {
+	if len(b.Samples) == 0 || x < 0 || x > float64(len(b.Samples)-1) {
+		return 0
+	}
+	i := int(math.Floor(x))
+	if i >= len(b.Samples)-1 {
+		return b.Samples[len(b.Samples)-1]
+	}
+	f := x - float64(i)
+	return b.Samples[i]*(1-f) + b.Samples[i+1]*f
+}
+
+// Config drives echo synthesis.
+type Config struct {
+	Arr        xdcr.Array
+	Conv       delay.Converter
+	Pulse      Pulse
+	Origin     geom.Vec3        // transmit reference O
+	BufSamples int              // echo buffer depth (≈8000 two-way at Table I)
+	Dir        xdcr.Directivity // receive directivity applied to echo amplitude
+	NoiseRMS   float64          // additive white noise level (0 = clean)
+	NoiseSeed  int64
+}
+
+// Synthesize builds the per-element echo buffers for a phantom: each
+// scatterer contributes a pulse centered at its exact two-way propagation
+// time (Eq. 2), weighted by reflectivity, element directivity and spherical
+// spreading. Buffers are indexed [ej][ei] row-major like xdcr.Array.
+func Synthesize(cfg Config, ph Phantom) ([]EchoBuffer, error) {
+	if cfg.BufSamples <= 0 {
+		return nil, fmt.Errorf("rf: buffer depth %d must be positive", cfg.BufSamples)
+	}
+	if cfg.Conv.Fs <= 0 || cfg.Conv.C <= 0 {
+		return nil, fmt.Errorf("rf: invalid converter %+v", cfg.Conv)
+	}
+	dir := cfg.Dir
+	if dir.MaxAngle == 0 {
+		dir = xdcr.OmniDirectivity()
+	}
+	n := cfg.Arr.Elements()
+	bufs := make([]EchoBuffer, n)
+	var rng *rand.Rand
+	if cfg.NoiseRMS > 0 {
+		rng = rand.New(rand.NewSource(cfg.NoiseSeed))
+	}
+	halfSupport := cfg.Pulse.Duration() / 2
+	dt := cfg.Conv.SamplePeriod()
+	for ej := 0; ej < cfg.Arr.NY; ej++ {
+		for ei := 0; ei < cfg.Arr.NX; ei++ {
+			buf := make([]float64, cfg.BufSamples)
+			pos := cfg.Arr.ElementPos(ei, ej)
+			for _, sc := range ph.Scatterers {
+				tp := delay.TwoWaySeconds(cfg.Origin, sc.Pos, pos, cfg.Conv.C)
+				w := sc.Refl * dir.Weight(pos, sc.Pos)
+				if w == 0 {
+					continue
+				}
+				// 1/r spreading on the receive leg (regularized near field).
+				r := sc.Pos.Dist(pos)
+				if r > 1e-3 {
+					w *= 1e-3 / r
+				}
+				lo := int(math.Floor((tp - halfSupport) / dt))
+				hi := int(math.Ceil((tp + halfSupport) / dt))
+				if lo < 0 {
+					lo = 0
+				}
+				if hi > cfg.BufSamples-1 {
+					hi = cfg.BufSamples - 1
+				}
+				for s := lo; s <= hi; s++ {
+					buf[s] += w * cfg.Pulse.At(float64(s)*dt-tp)
+				}
+			}
+			if rng != nil {
+				for s := range buf {
+					buf[s] += rng.NormFloat64() * cfg.NoiseRMS
+				}
+			}
+			bufs[cfg.Arr.Index(ei, ej)] = EchoBuffer{Samples: buf}
+		}
+	}
+	return bufs, nil
+}

@@ -1,0 +1,225 @@
+package rf
+
+import (
+	"math"
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/xdcr"
+)
+
+var conv = delay.Converter{C: 1540, Fs: 32e6}
+
+func testConfig() Config {
+	return Config{
+		Arr:        xdcr.NewArray(8, 8, 0.385e-3/2),
+		Conv:       conv,
+		Pulse:      NewPulse(4e6, 4e6),
+		BufSamples: 4096,
+	}
+}
+
+func TestPulsePeakAtZero(t *testing.T) {
+	p := NewPulse(4e6, 4e6)
+	if got := p.At(0); got != 1 {
+		t.Errorf("pulse peak = %v", got)
+	}
+	// Symmetric envelope: |p(t)| ≤ envelope, decaying away from 0.
+	if math.Abs(p.At(p.Sigma*3)) > math.Exp(-4) {
+		t.Error("envelope decay too slow")
+	}
+	if p.Duration() <= 0 {
+		t.Error("duration must be positive")
+	}
+}
+
+func TestPulseBandwidthSetsSigma(t *testing.T) {
+	wide := NewPulse(4e6, 8e6)
+	narrow := NewPulse(4e6, 1e6)
+	if wide.Sigma >= narrow.Sigma {
+		t.Error("wider bandwidth must mean shorter pulse")
+	}
+}
+
+func TestPhantomBuilders(t *testing.T) {
+	pt := PointPhantom(geom.Vec3{Z: 0.05})
+	if len(pt.Scatterers) != 1 || pt.Scatterers[0].Refl != 1 {
+		t.Error("point phantom")
+	}
+	grid := GridPhantom([]geom.Vec3{{Z: 0.01}, {Z: 0.02}, {Z: 0.03}})
+	if len(grid.Scatterers) != 3 {
+		t.Error("grid phantom")
+	}
+	sp := SpecklePhantom(100, geom.Vec3{X: -0.01, Z: 0.01}, geom.Vec3{X: 0.01, Z: 0.05}, 1)
+	if len(sp.Scatterers) != 100 {
+		t.Error("speckle phantom count")
+	}
+	for _, s := range sp.Scatterers {
+		if s.Pos.X < -0.01 || s.Pos.X > 0.01 || s.Pos.Z < 0.01 || s.Pos.Z > 0.05 {
+			t.Fatal("speckle scatterer outside box")
+		}
+		if s.Refl <= 0 {
+			t.Fatal("non-positive reflectivity")
+		}
+	}
+	again := SpecklePhantom(100, geom.Vec3{X: -0.01, Z: 0.01}, geom.Vec3{X: 0.01, Z: 0.05}, 1)
+	if again.Scatterers[42] != sp.Scatterers[42] {
+		t.Error("speckle phantom must be reproducible for a seed")
+	}
+}
+
+func TestEchoBufferAccess(t *testing.T) {
+	b := EchoBuffer{Samples: []float64{1, 2, 3}}
+	if b.At(-1) != 0 || b.At(3) != 0 {
+		t.Error("out-of-range reads must be 0")
+	}
+	if b.At(1) != 2 {
+		t.Error("in-range read")
+	}
+	if got := b.AtLinear(0.5); got != 1.5 {
+		t.Errorf("linear interp = %v", got)
+	}
+	if b.AtLinear(2.5) != 0 || b.AtLinear(-0.5) != 0 {
+		t.Error("linear interp out of range must be 0")
+	}
+}
+
+func TestSynthesizeEchoArrivalTime(t *testing.T) {
+	cfg := testConfig()
+	pos := geom.Vec3{Z: 0.02} // 20 mm straight ahead
+	bufs, err := Synthesize(cfg, PointPhantom(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bufs) != cfg.Arr.Elements() {
+		t.Fatalf("buffer count = %d", len(bufs))
+	}
+	// The echo on each element must peak at the exact two-way time.
+	for _, el := range [][2]int{{0, 0}, {3, 4}, {7, 7}} {
+		buf := bufs[cfg.Arr.Index(el[0], el[1])]
+		tp := delay.TwoWaySeconds(cfg.Origin, pos, cfg.Arr.ElementPos(el[0], el[1]), conv.C)
+		wantIdx := int(math.Round(tp * conv.Fs))
+		// Find envelope peak by scanning |signal| (carrier peaks may offset
+		// by a fraction of a cycle; allow ±4 samples = half a period).
+		best, bestI := 0.0, -1
+		for i, v := range buf.Samples {
+			if math.Abs(v) > best {
+				best, bestI = math.Abs(v), i
+			}
+		}
+		if d := bestI - wantIdx; d < -4 || d > 4 {
+			t.Errorf("element %v: echo peak at %d, want ≈%d", el, bestI, wantIdx)
+		}
+	}
+}
+
+func TestSynthesizeSuperposition(t *testing.T) {
+	// Two scatterers must superpose linearly.
+	cfg := testConfig()
+	a := geom.Vec3{Z: 0.015}
+	b := geom.Vec3{Z: 0.030}
+	bufA, err := Synthesize(cfg, PointPhantom(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := Synthesize(cfg, PointPhantom(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufAB, err := Synthesize(cfg, GridPhantom([]geom.Vec3{a, b}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bufAB[0].Samples {
+		want := bufA[0].Samples[i] + bufB[0].Samples[i]
+		if math.Abs(bufAB[0].Samples[i]-want) > 1e-12 {
+			t.Fatalf("superposition broken at sample %d", i)
+		}
+	}
+}
+
+func TestSynthesizeSpreadingLoss(t *testing.T) {
+	cfg := testConfig()
+	near, err := Synthesize(cfg, PointPhantom(geom.Vec3{Z: 0.01}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	far, err := Synthesize(cfg, PointPhantom(geom.Vec3{Z: 0.04}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	peak := func(b EchoBuffer) float64 {
+		m := 0.0
+		for _, v := range b.Samples {
+			if math.Abs(v) > m {
+				m = math.Abs(v)
+			}
+		}
+		return m
+	}
+	if peak(far[0]) >= peak(near[0]) {
+		t.Error("farther scatterer must produce weaker echo")
+	}
+}
+
+func TestSynthesizeDirectivityZeroesSteepEchoes(t *testing.T) {
+	cfg := testConfig()
+	cfg.Dir = xdcr.Directivity{MaxAngle: geom.Radians(20)}
+	// Scatterer far off axis: outside every element's 20° cone.
+	bufs, err := Synthesize(cfg, PointPhantom(geom.Vec3{X: 0.05, Z: 0.01}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bufs {
+		for _, v := range b.Samples {
+			if v != 0 {
+				t.Fatal("directivity-rejected echo should be silent")
+			}
+		}
+	}
+}
+
+func TestSynthesizeNoiseReproducible(t *testing.T) {
+	cfg := testConfig()
+	cfg.NoiseRMS = 0.01
+	cfg.NoiseSeed = 7
+	a, err := Synthesize(cfg, Phantom{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg, Phantom{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[5].Samples[100] != b[5].Samples[100] {
+		t.Error("noise must be reproducible for a seed")
+	}
+	if a[5].Samples[100] == 0 {
+		t.Error("noise should actually be injected")
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.BufSamples = 0
+	if _, err := Synthesize(cfg, Phantom{}); err == nil {
+		t.Error("zero buffer must fail")
+	}
+	cfg = testConfig()
+	cfg.Conv = delay.Converter{}
+	if _, err := Synthesize(cfg, Phantom{}); err == nil {
+		t.Error("invalid converter must fail")
+	}
+}
+
+func BenchmarkSynthesizePoint(b *testing.B) {
+	cfg := testConfig()
+	ph := PointPhantom(geom.Vec3{Z: 0.02})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Synthesize(cfg, ph); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

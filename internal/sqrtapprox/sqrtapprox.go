@@ -1,0 +1,258 @@
+// Package sqrtapprox implements the piecewise-linear square-root
+// approximation at the heart of the TABLEFREE delay generator (§IV, Fig. 2
+// of the paper): √α is replaced by c1·α + c0 with per-segment coefficients
+// chosen so the absolute error stays below a configurable δ (0.25 delay
+// samples in the paper, which reports ~70 segments for the Table I geometry).
+//
+// Segments are fitted with the equioscillation construction for a concave
+// function: on [a, b] the chord from (a, √a) to (b, √b) under-estimates √
+// by at most E = (√b−√a)²/(4(√a+√b)); raising the chord by E/2 yields the
+// best uniform linear approximation with max error E/2. The greedy builder
+// extends each segment to the largest b with E/2 = δ, which has the closed
+// form √b = √a + 4δ + 4√(δ(√a+δ)).
+//
+// The package also provides the incremental segment Tracker: because the
+// argument changes only slightly between consecutive focal points, the
+// hardware never searches for the right segment — it compares against the
+// current segment's bounds and steps by at most one per evaluation
+// (the "Ctrl" block with two ≥ comparators in Fig. 2a).
+package sqrtapprox
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ultrabeam/internal/fixed"
+)
+
+// Segment is one linear piece: √α ≈ C1·α + C0 for α ∈ [Lo, Hi).
+type Segment struct {
+	Lo, Hi float64
+	C1, C0 float64
+}
+
+// Approx is a complete piecewise-linear approximation of √ on [0, Max].
+type Approx struct {
+	Delta    float64 // guaranteed max |√α − eval(α)|
+	Max      float64 // upper end of the approximated domain
+	Segments []Segment
+}
+
+// New builds the approximation for arguments in [0, max] with error bound
+// delta. It panics on non-positive parameters (configuration bugs).
+func New(max, delta float64) *Approx {
+	if max <= 0 || delta <= 0 {
+		panic(fmt.Sprintf("sqrtapprox: invalid domain max=%v delta=%v", max, delta))
+	}
+	a := &Approx{Delta: delta, Max: max}
+	u := 0.0 // √ of current segment start
+	lo := 0.0
+	for lo < max {
+		v := u + 4*delta + 4*math.Sqrt(delta*(u+delta))
+		hi := v * v
+		if hi > max {
+			hi = max
+			v = math.Sqrt(max)
+		}
+		a.Segments = append(a.Segments, fitSegment(lo, hi, u, v))
+		lo, u = hi, v
+	}
+	return a
+}
+
+// fitSegment returns the equioscillating best linear fit of √ on [lo, hi].
+func fitSegment(lo, hi, sqrtLo, sqrtHi float64) Segment {
+	if hi <= lo {
+		panic("sqrtapprox: empty segment")
+	}
+	c1 := (sqrtHi - sqrtLo) / (hi - lo) // chord slope = 1/(√lo+√hi)
+	chordErr := (sqrtHi - sqrtLo) * (sqrtHi - sqrtLo) / (4 * (sqrtLo + sqrtHi))
+	// chord(α) = sqrtLo + c1(α−lo); raise by half the max gap.
+	c0 := sqrtLo - c1*lo + chordErr/2
+	return Segment{Lo: lo, Hi: hi, C1: c1, C0: c0}
+}
+
+// NumSegments returns the piece count (≈70 at the paper's operating point).
+func (a *Approx) NumSegments() int { return len(a.Segments) }
+
+// Find locates the segment containing α by binary search. Arguments outside
+// [0, Max] clamp to the first/last segment.
+func (a *Approx) Find(alpha float64) int {
+	if alpha <= 0 {
+		return 0
+	}
+	if alpha >= a.Max {
+		return len(a.Segments) - 1
+	}
+	return sort.Search(len(a.Segments), func(i int) bool { return a.Segments[i].Hi > alpha })
+}
+
+// Eval returns the piecewise-linear approximation of √alpha.
+func (a *Approx) Eval(alpha float64) float64 {
+	s := a.Segments[a.Find(alpha)]
+	return s.C1*alpha + s.C0
+}
+
+// MaxObservedError scans the domain with n probe points per segment and
+// returns the largest |√α − Eval(α)| — a verification aid for tests and for
+// the Fig. 2(b) error-profile experiment.
+func (a *Approx) MaxObservedError(perSegment int) float64 {
+	worst := 0.0
+	for _, s := range a.Segments {
+		for k := 0; k <= perSegment; k++ {
+			alpha := s.Lo + (s.Hi-s.Lo)*float64(k)/float64(perSegment)
+			if e := math.Abs(math.Sqrt(alpha) - (s.C1*alpha + s.C0)); e > worst {
+				worst = e
+			}
+		}
+	}
+	return worst
+}
+
+// ErrorProfile samples the signed approximation error at n uniformly spaced
+// arguments — the data series of Fig. 2(b).
+func (a *Approx) ErrorProfile(n int) (alphas, errs []float64) {
+	alphas = make([]float64, n)
+	errs = make([]float64, n)
+	for i := 0; i < n; i++ {
+		alpha := a.Max * float64(i) / float64(n-1)
+		alphas[i] = alpha
+		errs[i] = (a.Eval(alpha)) - math.Sqrt(alpha)
+	}
+	return alphas, errs
+}
+
+// FixedConfig selects the fixed-point formats of the hardware datapath:
+// the argument register, the slope and intercept LUT entries, and the
+// output accumulator. The defaults (DefaultFixedConfig) model the 18-bit
+// FPGA datapath the paper synthesizes.
+type FixedConfig struct {
+	ArgFrac    int // fractional bits kept on the argument α
+	SlopeFrac  int // fractional bits of the C1 LUT entries
+	OffsetFrac int // fractional bits of the C0 LUT entries
+	OutFrac    int // fractional bits of the multiply-accumulate result
+}
+
+// DefaultFixedConfig mirrors the paper's datapath: α is an integer number of
+// squared sample units (it is a sum of squared integer sample offsets, so no
+// fractional bits exist to keep), C1 needs many fractional bits because the
+// slope spans (0, 0.5], and the output keeps 6 fractional bits before the
+// final rounding to a selection index.
+func DefaultFixedConfig() FixedConfig {
+	return FixedConfig{ArgFrac: 0, SlopeFrac: 24, OffsetFrac: 6, OutFrac: 6}
+}
+
+// FixedApprox is the quantized-datapath version of Approx: coefficients are
+// stored in fixed point and evaluation uses integer multiply/add, modelling
+// the Fig. 2(a) circuit (one multiplier, one adder, two coefficient LUTs).
+//
+// The hardware evaluates relative to the segment start — √α ≈ C1·(α−Lo) +
+// V0 with V0 the line value at Lo — so the multiplier operand is the short
+// in-segment offset (≤ 21 bits at the paper geometry) rather than the full
+// 25-bit absolute argument, which both narrows the multiplier and keeps the
+// slope-quantization error from being amplified by the absolute argument.
+type FixedApprox struct {
+	Base *Approx
+	Cfg  FixedConfig
+	lo   []int64 // segment start, scaled by 2^ArgFrac
+	c1   []int64 // slope words, scaled by 2^SlopeFrac
+	v0   []int64 // line value at segment start, scaled by 2^OffsetFrac
+}
+
+// NewFixed quantizes an Approx into a hardware datapath model.
+func NewFixed(a *Approx, cfg FixedConfig) *FixedApprox {
+	n := len(a.Segments)
+	f := &FixedApprox{Base: a, Cfg: cfg,
+		lo: make([]int64, n), c1: make([]int64, n), v0: make([]int64, n)}
+	for i, s := range a.Segments {
+		f.lo[i] = int64(math.Round(math.Ldexp(s.Lo, cfg.ArgFrac)))
+		f.c1[i] = int64(math.Round(math.Ldexp(s.C1, cfg.SlopeFrac)))
+		f.v0[i] = int64(math.Round(math.Ldexp(s.C1*s.Lo+s.C0, cfg.OffsetFrac)))
+	}
+	return f
+}
+
+// EvalSeg evaluates segment seg at argument alpha through the fixed-point
+// datapath and returns the result as float (scaled back from OutFrac).
+func (f *FixedApprox) EvalSeg(seg int, alpha float64) float64 {
+	argRaw := int64(math.Round(math.Ldexp(alpha, f.Cfg.ArgFrac)))
+	dRaw := argRaw - f.lo[seg] // in-segment offset; may be slightly negative at clamp
+	// Multiplier: (argFrac + slopeFrac) fractional bits on the product.
+	prod := dRaw * f.c1[seg]
+	prodFrac := f.Cfg.ArgFrac + f.Cfg.SlopeFrac
+	// Align product and offset to OutFrac with round-to-nearest shifts.
+	p := shiftRound(prod, prodFrac-f.Cfg.OutFrac)
+	o := shiftRound(f.v0[seg], f.Cfg.OffsetFrac-f.Cfg.OutFrac)
+	return math.Ldexp(float64(p+o), -f.Cfg.OutFrac)
+}
+
+// Eval finds the segment (binary search — functionally identical to what
+// the incremental Tracker converges to) and evaluates the fixed datapath.
+func (f *FixedApprox) Eval(alpha float64) float64 {
+	return f.EvalSeg(f.Base.Find(alpha), alpha)
+}
+
+// shiftRound shifts right by n (rounding to nearest, ties away from zero)
+// or left by −n.
+func shiftRound(x int64, n int) int64 {
+	if n <= 0 {
+		return x << uint(-n)
+	}
+	half := int64(1) << uint(n-1)
+	if x >= 0 {
+		return (x + half) >> uint(n)
+	}
+	return -((-x + half) >> uint(n))
+}
+
+// LUTBits returns the total coefficient-storage footprint in bits, assuming
+// each C1 entry needs slopeBits and each C0 entry offsetBits — the quantity
+// that becomes distributed-RAM LUT cost in the FPGA model.
+func (f *FixedApprox) LUTBits(slopeBits, offsetBits int) int {
+	return len(f.c1) * (slopeBits + offsetBits)
+}
+
+// Tracker is the incremental segment-selection state machine of Fig. 2(a):
+// it remembers the current segment and, on each new argument, steps up or
+// down segment-by-segment until the argument is inside the bounds. Steps
+// records the total number of boundary crossings, the quantity that costs
+// extra cycles when a sweep jumps discontinuously (e.g. at scanline
+// restarts).
+type Tracker struct {
+	A       *Approx
+	Cur     int
+	Steps   int // cumulative segment steps
+	MaxJump int // largest single-transition step count observed
+}
+
+// NewTracker starts a tracker at segment 0.
+func NewTracker(a *Approx) *Tracker { return &Tracker{A: a} }
+
+// Seek advances the tracker to the segment containing alpha and returns the
+// segment index. The cost (number of single-segment steps) is accumulated.
+func (t *Tracker) Seek(alpha float64) int {
+	jump := 0
+	for t.Cur < len(t.A.Segments)-1 && alpha >= t.A.Segments[t.Cur].Hi {
+		t.Cur++
+		jump++
+	}
+	for t.Cur > 0 && alpha < t.A.Segments[t.Cur].Lo {
+		t.Cur--
+		jump++
+	}
+	t.Steps += jump
+	if jump > t.MaxJump {
+		t.MaxJump = jump
+	}
+	return t.Cur
+}
+
+// Reset returns the tracker to segment 0 without clearing statistics.
+func (t *Tracker) Reset() { t.Cur = 0 }
+
+// SlopeFormat reports a fixed.Format able to hold every slope with the
+// given fractional bits; slopes lie in (0, 0.5] so no integer bits needed.
+func SlopeFormat(fracBits int) fixed.Format {
+	return fixed.Format{IntBits: 0, FracBits: fracBits}
+}

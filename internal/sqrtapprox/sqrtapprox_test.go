@@ -1,0 +1,295 @@
+package sqrtapprox
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// paperDomain is the squared one-way distance range of the Table I geometry
+// in sample units: the farthest |S−D| is ≈4400 samples one-way.
+const (
+	paperMaxSqrt = 4400.0
+	paperDomain  = paperMaxSqrt * paperMaxSqrt
+	paperDelta   = 0.25
+)
+
+func paperApprox() *Approx { return New(paperDomain, paperDelta) }
+
+func TestSegmentsTileDomain(t *testing.T) {
+	a := paperApprox()
+	if a.Segments[0].Lo != 0 {
+		t.Error("first segment must start at 0")
+	}
+	for i := 1; i < len(a.Segments); i++ {
+		if a.Segments[i].Lo != a.Segments[i-1].Hi {
+			t.Fatalf("gap between segments %d and %d", i-1, i)
+		}
+	}
+	last := a.Segments[len(a.Segments)-1]
+	if last.Hi != paperDomain {
+		t.Errorf("last segment ends at %v, want %v", last.Hi, paperDomain)
+	}
+}
+
+func TestErrorBoundHolds(t *testing.T) {
+	a := paperApprox()
+	if e := a.MaxObservedError(200); e > a.Delta*(1+1e-9) {
+		t.Errorf("max error %v exceeds δ=%v", e, a.Delta)
+	}
+}
+
+func TestSegmentCountMatchesPaper(t *testing.T) {
+	// The paper reports ~70 segments for δ = ±0.25 delay samples (§IV-B).
+	a := paperApprox()
+	n := a.NumSegments()
+	if n < 60 || n > 80 {
+		t.Errorf("segment count %d outside the paper's ~70 band", n)
+	}
+	t.Logf("segments = %d (paper: ~70)", n)
+}
+
+func TestSegmentCountScalesWithDelta(t *testing.T) {
+	// N ≈ √max / (2√δ): quartering δ must roughly double the segment count.
+	n1 := New(paperDomain, 0.25).NumSegments()
+	n2 := New(paperDomain, 0.0625).NumSegments()
+	ratio := float64(n2) / float64(n1)
+	if ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("δ/4 changed segments by ×%.2f, want ≈2", ratio)
+	}
+}
+
+func TestEquioscillation(t *testing.T) {
+	// Interior segments must err by +δ at both endpoints and ≈ −δ at the
+	// tangency point — the signature of the best uniform fit.
+	a := paperApprox()
+	s := a.Segments[10]
+	for _, alpha := range []float64{s.Lo, s.Hi} {
+		e := (s.C1*alpha + s.C0) - math.Sqrt(alpha)
+		if math.Abs(e-a.Delta) > 1e-9 {
+			t.Errorf("endpoint error %v, want +δ=%v", e, a.Delta)
+		}
+	}
+	// Minimum at the tangency α* = ((√lo+√hi)/2)².
+	star := (math.Sqrt(s.Lo) + math.Sqrt(s.Hi)) / 2
+	e := (s.C1*star*star + s.C0) - star
+	if math.Abs(e+a.Delta) > 1e-9 {
+		t.Errorf("tangency error %v, want −δ=%v", e, -a.Delta)
+	}
+}
+
+func TestFindBinarySearch(t *testing.T) {
+	a := paperApprox()
+	for i, s := range a.Segments {
+		mid := (s.Lo + s.Hi) / 2
+		if got := a.Find(mid); got != i {
+			t.Fatalf("Find(%v) = %d, want %d", mid, got, i)
+		}
+		if got := a.Find(s.Lo); got != i {
+			t.Fatalf("Find(lo of %d) = %d", i, got)
+		}
+	}
+	if a.Find(-5) != 0 {
+		t.Error("negative arguments clamp to segment 0")
+	}
+	if a.Find(2*paperDomain) != a.NumSegments()-1 {
+		t.Error("overflow arguments clamp to last segment")
+	}
+}
+
+func TestEvalProperty(t *testing.T) {
+	a := paperApprox()
+	f := func(raw uint32) bool {
+		alpha := float64(raw) / math.MaxUint32 * paperDomain
+		return math.Abs(a.Eval(alpha)-math.Sqrt(alpha)) <= a.Delta*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorProfileShape(t *testing.T) {
+	a := paperApprox()
+	alphas, errs := a.ErrorProfile(5000)
+	if len(alphas) != 5000 || len(errs) != 5000 {
+		t.Fatal("bad profile size")
+	}
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for _, e := range errs {
+		if e < minE {
+			minE = e
+		}
+		if e > maxE {
+			maxE = e
+		}
+	}
+	// Fig. 2(b): error oscillates between −δ and +δ.
+	if maxE > a.Delta*(1+1e-9) || minE < -a.Delta*(1+1e-9) {
+		t.Errorf("profile range [%v, %v] outside ±δ", minE, maxE)
+	}
+	if maxE < a.Delta*0.9 || minE > -a.Delta*0.9 {
+		t.Errorf("profile range [%v, %v] suspiciously far from ±δ", minE, maxE)
+	}
+}
+
+func TestNewPanicsOnBadParams(t *testing.T) {
+	for _, bad := range [][2]float64{{0, 0.25}, {100, 0}, {-1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v, %v) should panic", bad[0], bad[1])
+				}
+			}()
+			New(bad[0], bad[1])
+		}()
+	}
+}
+
+func TestFixedApproxCloseToFloat(t *testing.T) {
+	a := paperApprox()
+	f := NewFixed(a, DefaultFixedConfig())
+	worst := 0.0
+	for alpha := 0.0; alpha <= paperDomain; alpha += paperDomain / 3000 {
+		d := math.Abs(f.Eval(alpha) - a.Eval(alpha))
+		if d > worst {
+			worst = d
+		}
+	}
+	// Fixed-point effects add only fractions of an output LSB (2^-6).
+	if worst > 0.05 {
+		t.Errorf("fixed-point deviates from float PWL by %v samples", worst)
+	}
+}
+
+func TestFixedApproxTotalError(t *testing.T) {
+	// Against true sqrt, the fixed datapath stays within δ plus fixed-point
+	// slack — the paper's TABLEFREE per-sqrt error story.
+	a := paperApprox()
+	f := NewFixed(a, DefaultFixedConfig())
+	worst := 0.0
+	for alpha := 0.0; alpha <= paperDomain; alpha += paperDomain / 5000 {
+		d := math.Abs(f.Eval(alpha) - math.Sqrt(alpha))
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > paperDelta+0.05 {
+		t.Errorf("fixed-point total error %v exceeds δ+slack", worst)
+	}
+}
+
+func TestLUTBits(t *testing.T) {
+	a := paperApprox()
+	f := NewFixed(a, DefaultFixedConfig())
+	if got := f.LUTBits(25, 19); got != a.NumSegments()*(25+19) {
+		t.Errorf("LUTBits = %d", got)
+	}
+}
+
+func TestTrackerConvergesLikeFind(t *testing.T) {
+	a := paperApprox()
+	tr := NewTracker(a)
+	// Arbitrary jump pattern: tracker must always land on Find's answer.
+	for _, alpha := range []float64{0, 10, 1e6, 5e6, 4e6, 1e7, 2e3, paperDomain, 0} {
+		if got, want := tr.Seek(alpha), a.Find(alpha); got != want {
+			t.Fatalf("Seek(%v) = %d, want %d", alpha, got, want)
+		}
+	}
+}
+
+func TestTrackerGradualSweepIsCheap(t *testing.T) {
+	// §IV-B: transitions across segments are gradual during a sweep, so the
+	// tracker steps at most one segment per evaluation. The physical sweep
+	// advances the *distance* (√α) smoothly — sub-sample increments between
+	// consecutive focal points — and every segment is ≥ 4δ = 1 sample wide
+	// in √α, so a du ≤ 1 sweep can cross at most one boundary per step.
+	a := paperApprox()
+	tr := NewTracker(a)
+	for u := 0.0; u <= paperMaxSqrt; u += 0.5 {
+		tr.Seek(u * u)
+		if tr.MaxJump > 1 {
+			t.Fatalf("gradual sweep needed a %d-segment jump at distance %v", tr.MaxJump, u)
+		}
+	}
+	if tr.Steps != a.NumSegments()-1 {
+		t.Errorf("sweep steps = %d, want exactly %d boundary crossings", tr.Steps, a.NumSegments()-1)
+	}
+}
+
+func TestTrackerDepthStepJumpBounded(t *testing.T) {
+	// Between consecutive nappes the on-axis distance jumps one depth step
+	// (λ/2 = 4 samples at Table I). Near the probe, where segments are ~1
+	// sample wide in √α, that costs a handful of tracker steps — bounded,
+	// never a full re-search.
+	a := paperApprox()
+	tr := NewTracker(a)
+	for u := 0.0; u <= paperMaxSqrt; u += 4 {
+		tr.Seek(u * u)
+	}
+	if tr.MaxJump > 4 {
+		t.Errorf("depth-step sweep max jump = %d, want ≤ 4", tr.MaxJump)
+	}
+}
+
+func TestTrackerJumpCost(t *testing.T) {
+	a := paperApprox()
+	tr := NewTracker(a)
+	tr.Seek(paperDomain) // jump to the top
+	if tr.MaxJump != a.NumSegments()-1 {
+		t.Errorf("full jump cost %d, want %d", tr.MaxJump, a.NumSegments()-1)
+	}
+	tr.Reset()
+	if tr.Cur != 0 {
+		t.Error("Reset must return to segment 0")
+	}
+	if tr.Steps == 0 {
+		t.Error("Reset must retain statistics")
+	}
+}
+
+func TestSlopeFormatHoldsAllSlopes(t *testing.T) {
+	a := paperApprox()
+	f := SlopeFormat(24)
+	for _, s := range a.Segments {
+		if s.C1 > f.MaxValue() || s.C1 <= 0 {
+			t.Fatalf("slope %v outside %v", s.C1, f)
+		}
+	}
+}
+
+func TestShiftRound(t *testing.T) {
+	tests := []struct {
+		x    int64
+		n    int
+		want int64
+	}{
+		{12, 2, 3}, {13, 2, 3}, {14, 2, 4}, {-14, 2, -4}, {3, -2, 12}, {5, 0, 5},
+	}
+	for _, tt := range tests {
+		if got := shiftRound(tt.x, tt.n); got != tt.want {
+			t.Errorf("shiftRound(%d,%d) = %d, want %d", tt.x, tt.n, got, tt.want)
+		}
+	}
+}
+
+func BenchmarkEvalFloat(b *testing.B) {
+	a := paperApprox()
+	for i := 0; i < b.N; i++ {
+		a.Eval(float64(i%int(paperDomain)) + 0.5)
+	}
+}
+
+func BenchmarkEvalFixed(b *testing.B) {
+	f := NewFixed(paperApprox(), DefaultFixedConfig())
+	for i := 0; i < b.N; i++ {
+		f.Eval(float64(i % int(paperDomain)))
+	}
+}
+
+func BenchmarkTrackerSeek(b *testing.B) {
+	a := paperApprox()
+	tr := NewTracker(a)
+	for i := 0; i < b.N; i++ {
+		tr.Seek(float64(i%int(paperDomain)) * 1.0)
+	}
+}

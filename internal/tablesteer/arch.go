@@ -1,0 +1,140 @@
+package tablesteer
+
+import (
+	"fmt"
+
+	"ultrabeam/internal/memmodel"
+)
+
+// BlockSpec describes one Fig. 4 delay-computation block: a BRAM bank
+// surrounded by a two-stage adder fan-out. The paper's design point reads
+// one reference sample per cycle and applies "all permutations of 8 xD and
+// 16 yD corrections", i.e. 8 first-stage adders and 16×8 = 128 second-stage
+// adders (136 total), the 128 outputs also performing rounding to integer.
+//
+// Note: the x-part of Eq. 7 depends on both θ and φ (xD·cosφ·sinθ), so the
+// exact behavioural output is ref + xcorr(xD,θ,φ) + ycorr(yD,φ); the
+// 8+16×8 structural split is the paper's resource census for the adder
+// fan-out and we model costs with it while computing values exactly.
+type BlockSpec struct {
+	Stage1Adders    int // first-stage correction adders (8)
+	Stage2Adders    int // second-stage correction adders (128)
+	RoundingOutputs int // outputs that also round to integer (128)
+	OutputsPerCycle int // steered delay samples per clock (128)
+	Bank            memmodel.BankSpec
+}
+
+// PaperBlock returns the §V-B design point for the given word width.
+func PaperBlock(wordBits int) BlockSpec {
+	return BlockSpec{
+		Stage1Adders:    8,
+		Stage2Adders:    128,
+		RoundingOutputs: 128,
+		OutputsPerCycle: 128,
+		Bank:            memmodel.BankSpec{WordBits: wordBits, Lines: 1024},
+	}
+}
+
+// Adders returns the total adder count per block (136 in the paper).
+func (b BlockSpec) Adders() int { return b.Stage1Adders + b.Stage2Adders }
+
+// Arch is the full TABLESTEER delay generator array: Blocks replicas of the
+// block feeding the beamformer, clocked at ClockHz.
+type Arch struct {
+	Block   BlockSpec
+	Blocks  int     // 128 in the paper
+	ClockHz float64 // 200 MHz on the Virtex-7 -2 target
+}
+
+// PaperArch returns the §V-B array: 128 blocks at 200 MHz.
+func PaperArch(wordBits int) Arch {
+	return Arch{Block: PaperBlock(wordBits), Blocks: 128, ClockHz: 200e6}
+}
+
+// DelaysPerSecond returns the peak steered-delay throughput: Blocks ×
+// OutputsPerCycle × ClockHz ("a peak throughput of 3.3 Tdelays/s at 200
+// MHz, meeting specifications").
+func (a Arch) DelaysPerSecond() float64 {
+	return float64(a.Blocks) * float64(a.Block.OutputsPerCycle) * a.ClockHz
+}
+
+// FrameRate returns volumes per second for a frame needing points×elements
+// delay values (every element contributes to every focal point).
+func (a Arch) FrameRate(points, elements int) float64 {
+	perFrame := float64(points) * float64(elements)
+	if perFrame == 0 {
+		return 0
+	}
+	return a.DelaysPerSecond() / perFrame
+}
+
+// TotalAdders returns the array-wide adder count (the dominant LUT cost).
+func (a Arch) TotalAdders() int { return a.Blocks * a.Block.Adders() }
+
+// OnChipBufferBits returns the circular-buffer BRAM footprint (2.3 Mb).
+func (a Arch) OnChipBufferBits() int { return a.Blocks * a.Block.Bank.Bits() }
+
+// String summarizes the array.
+func (a Arch) String() string {
+	return fmt.Sprintf("%d blocks × %d outputs @ %.0f MHz = %.2f Tdelays/s",
+		a.Blocks, a.Block.OutputsPerCycle, a.ClockHz/1e6, a.DelaysPerSecond()/1e12)
+}
+
+// StoragePlan aggregates the §V-B memory accounting for a configuration.
+type StoragePlan struct {
+	RefEntries     int // folded reference-table entries (2.5×10⁶)
+	RefBits        int // full reference table (45 Mb @ 18 bit)
+	CorrEntries    int // correction coefficients (832×10³)
+	CorrBits       int // correction storage (≈15 Mb @ 18 bit)
+	OnChipFullBits int // ref + corr fully on chip
+	StreamedBits   int // circular buffer + corr when streaming from DRAM
+}
+
+// Storage computes the plan for a provider and architecture.
+func (p *Provider) Storage(a Arch) StoragePlan {
+	ref := p.Ref.StorageBits()
+	corr := p.Corr.StorageBits()
+	return StoragePlan{
+		RefEntries:     p.Ref.Entries(),
+		RefBits:        ref,
+		CorrEntries:    p.Corr.Entries(),
+		CorrBits:       corr,
+		OnChipFullBits: ref + corr,
+		StreamedBits:   a.OnChipBufferBits() + corr,
+	}
+}
+
+// Stream builds the DRAM streaming configuration for this provider under
+// the given architecture and insonification rate (§V-B example: 64
+// insonifications per volume at 15 Hz → 960 refills/s). Every
+// insonification walks all depth slices of the table once, so the consumer
+// dwells ClockHz/(refills × depths) cycles on each nappe slice.
+func (p *Provider) Stream(a Arch, refillsPerSec float64) memmodel.StreamConfig {
+	cycles := 1
+	if refillsPerSec > 0 && p.Ref.Depths > 0 {
+		if c := int(a.ClockHz / (refillsPerSec * float64(p.Ref.Depths))); c > 1 {
+			cycles = c
+		}
+	}
+	return memmodel.StreamConfig{
+		TableWords:     p.Ref.Entries(),
+		WordBits:       p.Cfg.RefFmt.Bits(),
+		BufferWords:    a.OnChipBufferBits() / p.Cfg.RefFmt.Bits(),
+		WordsPerNappe:  p.Ref.QX * p.Ref.QY,
+		CyclesPerNappe: cycles,
+		ClockHz:        a.ClockHz,
+		RefillsPerSec:  refillsPerSec,
+	}
+}
+
+// NaiveTableEntries returns the §II-B baseline: the delay-value count of a
+// fully precomputed table (points × elements ≈ 164×10⁹ at Table I scale).
+func NaiveTableEntries(points, elements int) float64 {
+	return float64(points) * float64(elements)
+}
+
+// NaiveBandwidth returns the §II-C access-bandwidth requirement in delay
+// values per second: the full table once per frame (≈2.5×10¹² at 15 fps).
+func NaiveBandwidth(points, elements int, fps float64) float64 {
+	return NaiveTableEntries(points, elements) * fps
+}

@@ -1,0 +1,158 @@
+package tablesteer
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperBlockCensus(t *testing.T) {
+	// §V-B: "This requires 8 + 16×8 = 136 adders per block, of which 128
+	// must also perform rounding to integer."
+	b := PaperBlock(18)
+	if b.Adders() != 136 {
+		t.Errorf("adders per block = %d, want 136", b.Adders())
+	}
+	if b.RoundingOutputs != 128 || b.OutputsPerCycle != 128 {
+		t.Errorf("outputs = %d/%d, want 128/128", b.RoundingOutputs, b.OutputsPerCycle)
+	}
+	if b.Bank.WordBits != 18 || b.Bank.Lines != 1024 {
+		t.Errorf("bank = %v", b.Bank)
+	}
+}
+
+func TestPaperArchThroughput(t *testing.T) {
+	// §V-B: "128 blocks like this, each producing 128 steered delay samples
+	// per clock, can reach a peak throughput of 3.3 Tdelays/s at 200 MHz".
+	a := PaperArch(18)
+	tds := a.DelaysPerSecond() / 1e12
+	if tds < 3.2 || tds > 3.4 {
+		t.Errorf("throughput = %.2f Tdelays/s, paper says ≈3.3", tds)
+	}
+	// Table II: 19.7 fps for the full 100×100 aperture.
+	fps := a.FrameRate(128*128*1000, 100*100)
+	if fps < 19 || fps > 21 {
+		t.Errorf("frame rate = %.1f fps, paper says 19.7", fps)
+	}
+	if a.TotalAdders() != 128*136 {
+		t.Errorf("total adders = %d", a.TotalAdders())
+	}
+	if a.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestFrameRateDegenerate(t *testing.T) {
+	a := PaperArch(18)
+	if a.FrameRate(0, 100) != 0 {
+		t.Error("zero points must give zero rate")
+	}
+}
+
+func TestOnChipBufferMatchesPaper(t *testing.T) {
+	// §V-B: 128 banks of 18b×1k = 2.3 Mb circular buffer.
+	a := PaperArch(18)
+	mb := float64(a.OnChipBufferBits()) / 1e6
+	if mb < 2.2 || mb > 2.4 {
+		t.Errorf("buffer = %.2f Mb, want ≈2.3", mb)
+	}
+}
+
+func TestStoragePlanPaperScale(t *testing.T) {
+	p := New(paperConfig())
+	plan := p.Storage(PaperArch(18))
+	if plan.RefEntries != 2_500_000 {
+		t.Errorf("ref entries = %d", plan.RefEntries)
+	}
+	if mb := float64(plan.RefBits) / 1e6; math.Abs(mb-45) > 0.01 {
+		t.Errorf("ref bits = %.2f Mb, want 45", mb)
+	}
+	if plan.CorrEntries != 832_000 {
+		t.Errorf("corr entries = %d", plan.CorrEntries)
+	}
+	// Full on-chip: 45 + ~15 Mb ≈ 60 Mb, "within the capabilities of
+	// high-end FPGAs" (Virtex-7 carries up to 68 Mb of BRAM).
+	if mb := float64(plan.OnChipFullBits) / 1e6; mb < 59 || mb > 61 {
+		t.Errorf("full on-chip = %.1f Mb", mb)
+	}
+	// Streamed: 2.3 + ~15 Mb ≈ 17.3 Mb ("reduced from 45 Mb plus 14.3 Mb to
+	// 2.3 Mb plus 14.3 Mb").
+	if mb := float64(plan.StreamedBits) / 1e6; mb < 16.5 || mb > 18.0 {
+		t.Errorf("streamed on-chip = %.1f Mb", mb)
+	}
+}
+
+func TestStreamPaperBandwidth(t *testing.T) {
+	// §V-B: 960 insonifications/s ⇒ about 5.3 GB/s for the 18-bit table,
+	// Table II: 4.1 GB/s for the 14-bit variant.
+	p := New(paperConfig())
+	a := PaperArch(18)
+	s := p.Stream(a, 960)
+	if err := s.Validate(); err != nil {
+		t.Fatalf("stream config invalid: %v", err)
+	}
+	gbs := s.OffchipBandwidth() / 1e9
+	if gbs < 5.0 || gbs > 5.8 {
+		t.Errorf("18-bit bandwidth = %.2f GB/s, paper ≈5.3", gbs)
+	}
+	cfg14 := paperConfig()
+	cfg14.RefFmt, cfg14.CorrFmt = Bits14Config()
+	p14 := New(cfg14)
+	s14 := p14.Stream(PaperArch(14), 960)
+	gbs14 := s14.OffchipBandwidth() / 1e9
+	if gbs14 < 3.9 || gbs14 > 4.5 {
+		t.Errorf("14-bit bandwidth = %.2f GB/s, paper ≈4.1", gbs14)
+	}
+}
+
+func TestStreamMarginAmple(t *testing.T) {
+	// §V-B: "an ample margin of 1k cycles of latency to fetch new data".
+	p := New(paperConfig())
+	s := p.Stream(PaperArch(18), 960)
+	if m := s.MarginCycles(); m < 1000 {
+		t.Errorf("prefetch margin = %d cycles, paper promises ≥1k", m)
+	}
+	// The required fill rate equals the off-chip bandwidth in words/s.
+	fillWords := s.RequiredFillRate()
+	bwWords := s.OffchipBandwidth() / float64(s.WordBits) * 8
+	if math.Abs(fillWords-bwWords)/bwWords > 0.02 {
+		t.Errorf("fill rate %.3g words/s inconsistent with bandwidth %.3g words/s",
+			fillWords, bwWords)
+	}
+}
+
+func TestStreamSimulationNoStallsAtRatedBandwidth(t *testing.T) {
+	p := New(paperConfig())
+	s := p.Stream(PaperArch(18), 960)
+	perCycle := s.RequiredFillRate() / s.ClockHz
+	if stalls := s.SimulateStream(500, perCycle*1.05); stalls != 0 {
+		t.Errorf("rated-bandwidth stream stalled %d cycles", stalls)
+	}
+}
+
+func TestNaiveBaselinePaperScale(t *testing.T) {
+	// §II-B: "the theoretical number of delay values to be calculated is
+	// about 164×10⁹"; §II-C: "about 2.5×10¹² delay values/s ... at 15
+	// frames/s".
+	entries := NaiveTableEntries(128*128*1000, 100*100)
+	if entries < 163e9 || entries > 165e9 {
+		t.Errorf("naive table = %.3g values, paper says ≈164e9", entries)
+	}
+	bw := NaiveBandwidth(128*128*1000, 100*100, 15)
+	if bw < 2.4e12 || bw > 2.6e12 {
+		t.Errorf("naive bandwidth = %.3g values/s, paper says ≈2.5e12", bw)
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// TABLESTEER replaces the 164e9-value naive table with 3.332e6 stored
+	// values: a ~49000× compression. This is the headline of the paper.
+	p := New(paperConfig())
+	naive := NaiveTableEntries(128*128*1000, 100*100)
+	stored := float64(p.Ref.Entries() + p.Corr.Entries())
+	ratio := naive / stored
+	if ratio < 40_000 || ratio > 60_000 {
+		t.Errorf("compression ratio = %.0f×, expected ≈49000×", ratio)
+	}
+	t.Logf("delay-table compression: %.3g values → %.3g values (%.0f×)",
+		naive, stored, ratio)
+}

@@ -1,0 +1,103 @@
+package tablesteer
+
+import (
+	"fmt"
+
+	"ultrabeam/internal/geom"
+)
+
+// MultiOrigin implements the §V extension the paper sketches for synthetic
+// aperture imaging: "Techniques like synthetic aperture imaging rely on
+// repositioning O at every insonification; they can be supported by way of
+// multiple precalculated delay tables, at extra hardware cost." One
+// reference table is built per emission origin (origins must lie on the z
+// axis so the 4× symmetry folding stays valid); the correction tables are
+// origin-independent (they only encode the receive-side steering plane) and
+// are shared.
+type MultiOrigin struct {
+	Cfg     Config
+	Origins []float64 // z offsets of the emission references
+	Tables  []*RefTable
+	Corr    *CorrTables
+	active  int
+}
+
+// NewMultiOrigin builds one folded reference table per origin. It returns
+// an error for an empty origin list.
+func NewMultiOrigin(cfg Config, originZ []float64) (*MultiOrigin, error) {
+	if len(originZ) == 0 {
+		return nil, fmt.Errorf("tablesteer: no origins")
+	}
+	if !cfg.RefFmt.Valid() || !cfg.CorrFmt.Valid() {
+		cfg.RefFmt, cfg.CorrFmt = Bits18Config()
+	}
+	m := &MultiOrigin{Cfg: cfg, Origins: originZ, Corr: BuildCorrTables(cfg)}
+	for _, z := range originZ {
+		c := cfg
+		c.OriginZ = z
+		m.Tables = append(m.Tables, BuildRefTable(c))
+	}
+	return m, nil
+}
+
+// SelectOrigin switches the active insonification (as the hardware would
+// between shots). Out-of-range indices are an error.
+func (m *MultiOrigin) SelectOrigin(i int) error {
+	if i < 0 || i >= len(m.Tables) {
+		return fmt.Errorf("tablesteer: origin %d of %d", i, len(m.Tables))
+	}
+	m.active = i
+	return nil
+}
+
+// ActiveOrigin returns the selected origin index.
+func (m *MultiOrigin) ActiveOrigin() int { return m.active }
+
+// Name implements delay.Provider.
+func (m *MultiOrigin) Name() string {
+	return fmt.Sprintf("tablesteer-multiorigin-%d", len(m.Tables))
+}
+
+// DelaySamples implements delay.Provider for the active origin, float path.
+func (m *MultiOrigin) DelaySamples(it, ip, id, ei, ej int) float64 {
+	qx := foldIndex(ei, m.Cfg.Arr.NX)
+	qy := foldIndex(ej, m.Cfg.Arr.NY)
+	return m.Tables[m.active].At(qx, qy, id) + m.Corr.X(ei, it, ip) + m.Corr.Y(ej, ip)
+}
+
+// StorageBits returns the total footprint: N reference tables plus the
+// shared corrections — the "extra hardware cost" of §V quantified.
+func (m *MultiOrigin) StorageBits() int {
+	bits := m.Corr.StorageBits()
+	for _, t := range m.Tables {
+		bits += t.StorageBits()
+	}
+	return bits
+}
+
+// OffchipBandwidth scales the single-table stream by the origin count: each
+// insonification fetches its own table once.
+func (m *MultiOrigin) OffchipBandwidth(a Arch, refillsPerSec float64) float64 {
+	if len(m.Tables) == 0 {
+		return 0
+	}
+	per := memStreamBandwidth(m.Tables[0], m.Cfg, a, refillsPerSec)
+	return per // each refill uses exactly one table: rate unchanged, capacity ×N
+}
+
+// memStreamBandwidth is the single-table §V-B bandwidth at the given rate.
+func memStreamBandwidth(t *RefTable, cfg Config, a Arch, refillsPerSec float64) float64 {
+	return float64(t.Entries()) * float64(cfg.RefFmt.Bits()) / 8 * refillsPerSec
+}
+
+// VirtualSource returns the origin z offset that emulates a virtual source
+// behind the transducer ("the excitation profile is such that the overall
+// acoustic wave seems to have been emitted by a 'virtual source' behind the
+// transducer", §II): negative depths place the source behind the z = 0
+// aperture plane.
+func VirtualSource(depthBehind float64) geom.Vec3 {
+	if depthBehind < 0 {
+		depthBehind = -depthBehind
+	}
+	return geom.Vec3{Z: -depthBehind}
+}

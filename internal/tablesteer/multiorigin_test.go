@@ -1,0 +1,131 @@
+package tablesteer
+
+import (
+	"math"
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+)
+
+func TestMultiOriginMatchesExactPerOrigin(t *testing.T) {
+	cfg := smallConfig()
+	origins := []float64{0, -0.005, -0.010} // center + two virtual sources
+	m, err := NewMultiOrigin(cfg, origins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	itC, ipC := cfg.Vol.Theta.N/2, cfg.Vol.Phi.N/2 // unsteered: no Taylor error
+	for oi, z := range origins {
+		if err := m.SelectOrigin(oi); err != nil {
+			t.Fatal(err)
+		}
+		e := delay.NewExact(cfg.Vol, cfg.Arr, geom.Vec3{Z: z}, cfg.Conv)
+		for _, el := range [][2]int{{0, 0}, {9, 4}, {15, 15}} {
+			got := m.DelaySamples(itC, ipC, 20, el[0], el[1])
+			want := e.DelaySamples(itC, ipC, 20, el[0], el[1])
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("origin %d element %v: %v vs %v", oi, el, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiOriginStorageScalesWithOrigins(t *testing.T) {
+	cfg := smallConfig()
+	one, err := NewMultiOrigin(cfg, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := NewMultiOrigin(cfg, []float64{0, -0.002, -0.004, -0.006})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrections are shared; only the reference tables multiply.
+	refBits := one.Tables[0].StorageBits()
+	if got, want := four.StorageBits()-one.StorageBits(), 3*refBits; got != want {
+		t.Errorf("extra storage = %d bits, want %d (3 more ref tables)", got, want)
+	}
+	// §V: "an off-chip repository of delay tables may be needed" — the
+	// single-refill bandwidth is unchanged, capacity grows N×.
+	bw1 := one.OffchipBandwidth(PaperArch(18), 960)
+	bw4 := four.OffchipBandwidth(PaperArch(18), 960)
+	if bw1 != bw4 {
+		t.Errorf("per-insonification bandwidth should not scale: %v vs %v", bw1, bw4)
+	}
+}
+
+func TestMultiOriginSelectValidation(t *testing.T) {
+	m, err := NewMultiOrigin(smallConfig(), []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SelectOrigin(1); err == nil {
+		t.Error("out-of-range origin must fail")
+	}
+	if err := m.SelectOrigin(-1); err == nil {
+		t.Error("negative origin must fail")
+	}
+	if m.ActiveOrigin() != 0 {
+		t.Error("failed select must not change the active origin")
+	}
+	if m.Name() != "tablesteer-multiorigin-1" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestNewMultiOriginEmpty(t *testing.T) {
+	if _, err := NewMultiOrigin(smallConfig(), nil); err == nil {
+		t.Error("empty origin list must fail")
+	}
+}
+
+func TestNewMultiOriginDefaultsFormats(t *testing.T) {
+	cfg := smallConfig()
+	var zero Config
+	zero.Vol, zero.Arr, zero.Conv = cfg.Vol, cfg.Arr, cfg.Conv
+	m, err := NewMultiOrigin(zero, []float64{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cfg.RefFmt.Bits() != 18 {
+		t.Error("zero formats should default to 18-bit")
+	}
+}
+
+func TestVirtualSource(t *testing.T) {
+	v := VirtualSource(0.01)
+	if v.Z != -0.01 {
+		t.Errorf("virtual source z = %v", v.Z)
+	}
+	if VirtualSource(-0.02).Z != -0.02 {
+		t.Error("magnitude semantics")
+	}
+}
+
+func TestMultiOriginSteeredError(t *testing.T) {
+	// Steered delays from a displaced origin still follow the Taylor
+	// correction within the §V-A bound (the transmit leg is exact in the
+	// reference table; only the receive steering is approximated).
+	cfg := smallConfig()
+	m, err := NewMultiOrigin(cfg, []float64{-0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := delay.NewExact(cfg.Vol, cfg.Arr, geom.Vec3{Z: -0.004}, cfg.Conv)
+	worst := 0.0
+	for it := 0; it < cfg.Vol.Theta.N; it += 4 {
+		for id := 0; id < cfg.Vol.Depth.N; id += 8 {
+			for _, el := range [][2]int{{0, 0}, {15, 15}} {
+				d := math.Abs(m.DelaySamples(it, 3, id, el[0], el[1]) -
+					e.DelaySamples(it, 3, id, el[0], el[1]))
+				if d > worst {
+					worst = d
+				}
+			}
+		}
+	}
+	if worst > 215 {
+		t.Errorf("multi-origin steering error %v samples exceeds bound", worst)
+	}
+}

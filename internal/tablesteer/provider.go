@@ -1,0 +1,195 @@
+package tablesteer
+
+import (
+	"fmt"
+	"math"
+
+	"ultrabeam/internal/fixed"
+)
+
+// CorrTables holds the precomputed steering corrections of Eq. (7), in
+// sample units: the x part −xD·cosφ·sinθ indexed (element column, folded φ,
+// θ) and the y part −yD·sinφ indexed (element row, φ). At Table I scale the
+// counts are 100×64×128 + 100×128 = 832×10³, the paper's §V-B total.
+type CorrTables struct {
+	NX, NTheta, NPhi int
+	NY               int
+	PhiFolded        int // distinct cosφ values (φ grid is symmetric)
+	Fmt              fixed.Format
+
+	xvals    []float64 // [ei][pf][it]
+	xraws    []int64
+	yvals    []float64 // [ej][ip]
+	yraws    []int64
+	SatCount int
+}
+
+// phiFold maps φ index ip onto the folded cosφ index (cos is even in φ).
+func phiFold(ip, nPhi int) int {
+	if m := nPhi - 1 - ip; m < ip {
+		return m
+	}
+	return ip
+}
+
+// phiFoldedDim returns the folded φ axis length (64 for 128).
+func phiFoldedDim(nPhi int) int { return (nPhi + 1) / 2 }
+
+// BuildCorrTables constructs the correction tables for cfg.
+func BuildCorrTables(cfg Config) *CorrTables {
+	pf := phiFoldedDim(cfg.Vol.Phi.N)
+	c := &CorrTables{
+		NX: cfg.Arr.NX, NY: cfg.Arr.NY,
+		NTheta: cfg.Vol.Theta.N, NPhi: cfg.Vol.Phi.N, PhiFolded: pf,
+		Fmt:   cfg.CorrFmt,
+		xvals: make([]float64, cfg.Arr.NX*pf*cfg.Vol.Theta.N),
+		xraws: make([]int64, cfg.Arr.NX*pf*cfg.Vol.Theta.N),
+		yvals: make([]float64, cfg.Arr.NY*cfg.Vol.Phi.N),
+		yraws: make([]int64, cfg.Arr.NY*cfg.Vol.Phi.N),
+	}
+	toSamples := cfg.Conv.Fs / cfg.Conv.C
+	for ei := 0; ei < cfg.Arr.NX; ei++ {
+		xd := cfg.Arr.ElementX(ei) * toSamples
+		for p := 0; p < pf; p++ {
+			cphi := math.Cos(cfg.Vol.Phi.At(p)) // |cosφ| same on both halves
+			for it := 0; it < cfg.Vol.Theta.N; it++ {
+				v := -xd * cphi * math.Sin(cfg.Vol.Theta.At(it))
+				idx := (ei*pf+p)*cfg.Vol.Theta.N + it
+				c.xvals[idx] = v
+				q, sat := fixed.Quantize(v, cfg.CorrFmt, fixed.RoundNearest)
+				c.xraws[idx] = q.Raw
+				if sat {
+					c.SatCount++
+				}
+			}
+		}
+	}
+	for ej := 0; ej < cfg.Arr.NY; ej++ {
+		yd := cfg.Arr.ElementY(ej) * toSamples
+		for ip := 0; ip < cfg.Vol.Phi.N; ip++ {
+			v := -yd * math.Sin(cfg.Vol.Phi.At(ip))
+			idx := ej*cfg.Vol.Phi.N + ip
+			c.yvals[idx] = v
+			q, sat := fixed.Quantize(v, cfg.CorrFmt, fixed.RoundNearest)
+			c.yraws[idx] = q.Raw
+			if sat {
+				c.SatCount++
+			}
+		}
+	}
+	return c
+}
+
+// Entries returns the total stored coefficient count (§V-B: 832×10³).
+func (c *CorrTables) Entries() int {
+	return c.NX*c.PhiFolded*c.NTheta + c.NY*c.NPhi
+}
+
+// StorageBits returns the coefficient footprint (≈15.0 Mb at 18-bit scale;
+// the paper quotes 14.3 Mb using binary mega-bits).
+func (c *CorrTables) StorageBits() int { return c.Entries() * c.Fmt.Bits() }
+
+// X returns the float x correction (samples) for element column ei at
+// steering (it, ip).
+func (c *CorrTables) X(ei, it, ip int) float64 {
+	return c.xvals[(ei*c.PhiFolded+phiFold(ip, c.NPhi))*c.NTheta+it]
+}
+
+// Y returns the float y correction for element row ej at elevation ip.
+func (c *CorrTables) Y(ej, ip int) float64 { return c.yvals[ej*c.NPhi+ip] }
+
+// XRaw and YRaw return the fixed-point correction words.
+func (c *CorrTables) XRaw(ei, it, ip int) int64 {
+	return c.xraws[(ei*c.PhiFolded+phiFold(ip, c.NPhi))*c.NTheta+it]
+}
+
+func (c *CorrTables) YRaw(ej, ip int) int64 { return c.yraws[ej*c.NPhi+ip] }
+
+// Provider generates delays through the TABLESTEER architecture: reference
+// table plus tilted-plane correction (Eq. 7). It implements delay.Provider.
+// UseFixed selects the fixed-point datapath (table words + integer adders,
+// the Fig. 4 block behaviour); the float path isolates the algorithmic
+// (Taylor) error.
+type Provider struct {
+	Cfg      Config
+	Ref      *RefTable
+	Corr     *CorrTables
+	UseFixed bool
+}
+
+// New builds the provider, eagerly constructing both tables. Formats
+// default to the 18-bit design point when left zero.
+func New(cfg Config) *Provider {
+	if !cfg.RefFmt.Valid() || !cfg.CorrFmt.Valid() {
+		cfg.RefFmt, cfg.CorrFmt = Bits18Config()
+	}
+	return &Provider{Cfg: cfg, Ref: BuildRefTable(cfg), Corr: BuildCorrTables(cfg)}
+}
+
+// Name implements delay.Provider.
+func (p *Provider) Name() string {
+	if p.UseFixed {
+		return fmt.Sprintf("tablesteer-%db", p.Cfg.RefFmt.Bits())
+	}
+	return "tablesteer"
+}
+
+// DelaySamples implements delay.Provider: reference entry plus the two
+// corrections, in fractional sample units (the final rounding to an echo-
+// buffer index is delay.Index, as in the hardware's rounding adders).
+func (p *Provider) DelaySamples(it, ip, id, ei, ej int) float64 {
+	qx := foldIndex(ei, p.Cfg.Arr.NX)
+	qy := foldIndex(ej, p.Cfg.Arr.NY)
+	if p.UseFixed {
+		ref := p.Ref.RawAt(qx, qy, id)                         // frac = RefFmt.FracBits
+		xc, yc := p.Corr.XRaw(ei, it, ip), p.Corr.YRaw(ej, ip) // frac = CorrFmt.FracBits
+		sum, frac := alignedSum(ref, xc+yc, p.Cfg.RefFmt.FracBits, p.Cfg.CorrFmt.FracBits)
+		return math.Ldexp(float64(sum), -frac)
+	}
+	return p.Ref.At(qx, qy, id) + p.Corr.X(ei, it, ip) + p.Corr.Y(ej, ip)
+}
+
+// alignedSum adds a reference word (refFrac fractional bits) and a combined
+// correction word (corrFrac fractional bits) at the finer of the two grids,
+// exactly as the Fig. 4 rounding adders align their binary points. It
+// returns the raw sum and its fractional-bit count.
+func alignedSum(refRaw, corrRaw int64, refFrac, corrFrac int) (sum int64, frac int) {
+	frac = refFrac
+	if corrFrac > frac {
+		frac = corrFrac
+	}
+	return refRaw<<uint(frac-refFrac) + corrRaw<<uint(frac-corrFrac), frac
+}
+
+// StorageBits returns the combined table footprint (ref + corrections).
+func (p *Provider) StorageBits() int { return p.Ref.StorageBits() + p.Corr.StorageBits() }
+
+// SteeredSlice materializes the Fig. 3(d)-style compensated delay table for
+// one steering direction (it, ip): the per-quadrant-element delay at depth d
+// after applying the plane correction, for the positive-quadrant elements.
+// Row-major [qy][qx] at the given depth.
+func (p *Provider) SteeredSlice(it, ip, id int) []float64 {
+	out := make([]float64, p.Ref.QX*p.Ref.QY)
+	for jy := 0; jy < p.Ref.QY; jy++ {
+		ej := foldSource(jy, p.Cfg.Arr.NY)
+		for jx := 0; jx < p.Ref.QX; jx++ {
+			ei := foldSource(jx, p.Cfg.Arr.NX)
+			out[jy*p.Ref.QX+jx] = p.DelaySamples(it, ip, id, ei, ej)
+		}
+	}
+	return out
+}
+
+// CorrectionPlane materializes the Fig. 3(c) data: the steering correction
+// in seconds over the full aperture for steering direction (it, ip).
+// Row-major [ej][ei].
+func (p *Provider) CorrectionPlane(it, ip int) []float64 {
+	out := make([]float64, p.Cfg.Arr.NX*p.Cfg.Arr.NY)
+	for ej := 0; ej < p.Cfg.Arr.NY; ej++ {
+		for ei := 0; ei < p.Cfg.Arr.NX; ei++ {
+			samples := p.Corr.X(ei, it, ip) + p.Corr.Y(ej, ip)
+			out[ej*p.Cfg.Arr.NX+ei] = p.Cfg.Conv.SamplesToSeconds(samples)
+		}
+	}
+	return out
+}

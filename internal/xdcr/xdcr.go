@@ -1,0 +1,183 @@
+// Package xdcr models the matrix transducer of the target system (Table I of
+// the paper): a 100×100 grid of vibrating elements at λ/2 pitch, centered on
+// the origin of the z = 0 plane, together with element directivity and
+// receive apodization — the two mechanisms the paper invokes to prune delay
+// tables (§V-A) and to filter worst-case steering errors (§VI-A).
+package xdcr
+
+import (
+	"fmt"
+	"math"
+
+	"ultrabeam/internal/geom"
+)
+
+// Array describes a matrix transducer.
+type Array struct {
+	NX, NY int     // element counts along x and y
+	Pitch  float64 // element spacing in meters (λ/2 in the paper)
+}
+
+// NewArray returns an NX×NY matrix array with the given pitch. It panics on
+// non-positive dimensions, which indicate a configuration bug.
+func NewArray(nx, ny int, pitch float64) Array {
+	if nx <= 0 || ny <= 0 || pitch <= 0 {
+		panic(fmt.Sprintf("xdcr: invalid array %dx%d pitch %v", nx, ny, pitch))
+	}
+	return Array{NX: nx, NY: ny, Pitch: pitch}
+}
+
+// Elements returns the total element count.
+func (a Array) Elements() int { return a.NX * a.NY }
+
+// Width and Height return the aperture extent in meters.
+func (a Array) Width() float64  { return float64(a.NX-1) * a.Pitch }
+func (a Array) Height() float64 { return float64(a.NY-1) * a.Pitch }
+
+// ElementX returns the x coordinate of element column i ∈ [0, NX); the array
+// is centered so columns are symmetric about x = 0.
+func (a Array) ElementX(i int) float64 {
+	return (float64(i) - float64(a.NX-1)/2) * a.Pitch
+}
+
+// ElementY returns the y coordinate of element row j ∈ [0, NY).
+func (a Array) ElementY(j int) float64 {
+	return (float64(j) - float64(a.NY-1)/2) * a.Pitch
+}
+
+// ElementPos returns the 3-D position of element (i, j); all elements sit in
+// the z = 0 plane.
+func (a Array) ElementPos(i, j int) geom.Vec3 {
+	return geom.Vec3{X: a.ElementX(i), Y: a.ElementY(j), Z: 0}
+}
+
+// Index linearizes (i, j) row-major; Elem inverts it.
+func (a Array) Index(i, j int) int { return j*a.NX + i }
+
+// Elem returns the (column, row) pair of linear element index d.
+func (a Array) Elem(d int) (i, j int) { return d % a.NX, d / a.NX }
+
+// Directivity models the limited acceptance angle of a transducer element.
+// The paper prunes delay-table entries for points "steeply off-axis" that an
+// element "cannot insonify" (§V-A, Fig. 3a); we model acceptance as a hard
+// cone of half-angle MaxAngle around the element normal (the +z axis),
+// optionally weighted inside the cone by cos^Exponent of the off-axis angle
+// (the standard soft piston-element roll-off).
+type Directivity struct {
+	MaxAngle float64 // acceptance half-angle in radians; ≥ π/2 disables pruning
+	Exponent float64 // soft cosine weighting exponent (0 = flat inside cone)
+}
+
+// OmniDirectivity accepts every direction with unit weight.
+func OmniDirectivity() Directivity { return Directivity{MaxAngle: math.Pi} }
+
+// Accepts reports whether an element at pos can receive from scatterer s:
+// the off-axis angle of (s − pos) must be inside the acceptance cone.
+func (d Directivity) Accepts(pos, s geom.Vec3) bool {
+	return d.offAxis(pos, s) <= d.MaxAngle
+}
+
+// Weight returns the receive sensitivity for the element→point direction,
+// zero outside the acceptance cone.
+func (d Directivity) Weight(pos, s geom.Vec3) float64 {
+	ang := d.offAxis(pos, s)
+	if ang > d.MaxAngle {
+		return 0
+	}
+	if d.Exponent == 0 {
+		return 1
+	}
+	return math.Pow(math.Cos(ang), d.Exponent)
+}
+
+func (d Directivity) offAxis(pos, s geom.Vec3) float64 {
+	v := s.Sub(pos)
+	n := v.Norm()
+	if n == 0 {
+		return 0
+	}
+	cos := v.Z / n
+	if cos < -1 {
+		cos = -1
+	} else if cos > 1 {
+		cos = 1
+	}
+	return math.Acos(cos)
+}
+
+// Window identifies an apodization window shape applied across the receive
+// aperture (w(S) in Eq. 1 of the paper; see Thomenius [8]).
+type Window int
+
+const (
+	Rect Window = iota // uniform weighting
+	Hann
+	Hamming
+	Blackman
+	Tukey25 // Tukey with 25% taper
+)
+
+func (w Window) String() string {
+	switch w {
+	case Rect:
+		return "rect"
+	case Hann:
+		return "hann"
+	case Hamming:
+		return "hamming"
+	case Blackman:
+		return "blackman"
+	case Tukey25:
+		return "tukey25"
+	}
+	return fmt.Sprintf("Window(%d)", int(w))
+}
+
+// Coeff evaluates the window at tap i of n (i ∈ [0, n)). A single-tap window
+// is 1 by convention.
+func (w Window) Coeff(i, n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	x := float64(i) / float64(n-1) // ∈ [0, 1]
+	switch w {
+	case Hann:
+		return 0.5 - 0.5*math.Cos(2*math.Pi*x)
+	case Hamming:
+		return 0.54 - 0.46*math.Cos(2*math.Pi*x)
+	case Blackman:
+		return 0.42 - 0.5*math.Cos(2*math.Pi*x) + 0.08*math.Cos(4*math.Pi*x)
+	case Tukey25:
+		const a = 0.25
+		switch {
+		case x < a/2:
+			return 0.5 * (1 + math.Cos(2*math.Pi/a*(x-a/2)))
+		case x > 1-a/2:
+			return 0.5 * (1 + math.Cos(2*math.Pi/a*(x-1+a/2)))
+		default:
+			return 1
+		}
+	default:
+		return 1
+	}
+}
+
+// Apodization2D builds the separable 2-D receive apodization for an array:
+// out[j*nx+i] = w(i, nx) · w(j, ny).
+func Apodization2D(w Window, nx, ny int) []float64 {
+	wx := make([]float64, nx)
+	for i := range wx {
+		wx[i] = w.Coeff(i, nx)
+	}
+	wy := make([]float64, ny)
+	for j := range wy {
+		wy[j] = w.Coeff(j, ny)
+	}
+	out := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			out[j*nx+i] = wx[i] * wy[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+// Package ultrabeam reproduces "Tackling the Bottleneck of Delay Tables in
+// 3D Ultrasound Imaging" (Ibrahim et al., DATE 2015): two delay-generation
+// architectures for realtime 3-D receive beamforming — TABLEFREE, which
+// computes every delay on the fly with a piecewise-linear square root, and
+// TABLESTEER, which steers a compact reference delay table with precomputed
+// tilted-plane corrections — together with the substrates they need (exact
+// delay law, fixed-point arithmetic, transducer and volume geometry, RF
+// echo simulation, delay-and-sum beamforming, BRAM/DRAM streaming, and an
+// FPGA resource model that regenerates the paper's Table II).
+//
+// Start from a SystemSpec:
+//
+//	spec := ultrabeam.PaperSpec()          // Table I configuration
+//	exact := spec.NewExact()               // float64 golden model
+//	tf := spec.NewTableFree()              // §IV architecture
+//	ts := spec.NewTableSteer(18)           // §V architecture, 18-bit
+//	d := ts.DelaySamples(it, ip, id, ei, ej)
+//
+// The cmd/ tools regenerate every table and figure; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for paper-vs-measured results.
+package ultrabeam
+
+import (
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+)
+
+// SystemSpec is the Table I system description; see core.SystemSpec.
+type SystemSpec = core.SystemSpec
+
+// Provider generates two-way beamforming delays in sample units.
+type Provider = delay.Provider
+
+// Converter maps between seconds, meters and echo-sample units.
+type Converter = delay.Converter
+
+// PaperSpec returns the exact Table I configuration of the paper.
+func PaperSpec() SystemSpec { return core.PaperSpec() }
+
+// ReducedSpec returns a laptop-scale configuration with identical physics.
+func ReducedSpec() SystemSpec { return core.ReducedSpec() }
