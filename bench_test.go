@@ -10,12 +10,17 @@ package ultrabeam_test
 import (
 	"testing"
 
+	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
 	"ultrabeam/internal/experiments"
 	"ultrabeam/internal/fpga"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
 	"ultrabeam/internal/tablefree"
 	"ultrabeam/internal/tablesteer"
+	"ultrabeam/internal/xdcr"
 )
 
 // BenchmarkTable1_Specs regenerates Table I (system specification).
@@ -163,6 +168,76 @@ func BenchmarkImageQuality_PSF(b *testing.B) {
 	b.ReportMetric(r.Similarity["tablesteer-18b"], "similarity-tablesteer")
 }
 
+// BenchmarkBeamform_Scalar and BenchmarkBeamform_Block contrast the two
+// engine datapaths on the full ReducedSpec pipeline (ISSUE 1 acceptance:
+// block ≥ 2× scalar). Both report delays/s — the paper's figure of merit —
+// as a custom metric so the reproduction log records the speedup.
+
+func BenchmarkBeamform_Scalar(b *testing.B) {
+	runBeamformPath(b, beamform.ScalarPath)
+}
+
+func BenchmarkBeamform_Block(b *testing.B) {
+	runBeamformPath(b, beamform.BlockPath)
+}
+
+func runBeamformPath(b *testing.B, path beamform.Path) {
+	s := core.ReducedSpec()
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.02}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := s.NewBeamformer(xdcr.Hann, scan.NappeOrder)
+	eng.Cfg.Path = path
+	p := s.NewExact()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Beamform(p, bufs); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	delays := s.DelaysPerFrame() * float64(b.N)
+	b.ReportMetric(delays/b.Elapsed().Seconds(), "delays/s")
+}
+
+// BenchmarkFillNappe measures the raw bulk-generation rate of each native
+// BlockProvider against its ScalarAdapter-wrapped self.
+
+func BenchmarkFillNappe(b *testing.B) {
+	s := core.ReducedSpec()
+	tf := s.NewTableFree()
+	tf.UseFixed = true
+	ts := s.NewTableSteer(18)
+	ts.UseFixed = true
+	for _, p := range []delay.Provider{s.NewExact(), tf, ts} {
+		layout := delay.Layout{NTheta: s.FocalTheta, NPhi: s.FocalPhi, NX: s.ElemX, NY: s.ElemY}
+		for _, bench := range []struct {
+			name string
+			bp   delay.BlockProvider
+		}{
+			{p.Name() + "/block", delay.AsBlock(p, layout)},
+			{p.Name() + "/scalar", &delay.ScalarAdapter{P: p, L: layout}},
+		} {
+			b.Run(bench.name, func(b *testing.B) {
+				dst := make([]float64, layout.BlockLen())
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					bench.bp.FillNappe(i%s.FocalDepth, dst)
+				}
+				b.StopTimer()
+				rate := float64(layout.BlockLen()) * float64(b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "delays/s")
+			})
+		}
+	}
+}
+
 // Raw datapath microbenchmarks: the per-delay cost of each provider.
 
 func BenchmarkProviderExact(b *testing.B) {
@@ -194,9 +269,14 @@ func runProvider(b *testing.B, s core.SystemSpec, p delay.Provider) {
 	}
 }
 
-// Compile-time interface checks for every provider implementation.
+// Compile-time interface checks for every provider implementation: all
+// three architectures implement both the scalar and the block interface.
 var (
-	_ delay.Provider = (*delay.Exact)(nil)
-	_ delay.Provider = (*tablefree.Provider)(nil)
-	_ delay.Provider = (*tablesteer.Provider)(nil)
+	_ delay.Provider      = (*delay.Exact)(nil)
+	_ delay.Provider      = (*tablefree.Provider)(nil)
+	_ delay.Provider      = (*tablesteer.Provider)(nil)
+	_ delay.BlockProvider = (*delay.Exact)(nil)
+	_ delay.BlockProvider = (*tablefree.Provider)(nil)
+	_ delay.BlockProvider = (*tablesteer.Provider)(nil)
+	_ delay.BlockProvider = (*delay.ScalarAdapter)(nil)
 )

@@ -5,10 +5,12 @@
 // Usage:
 //
 //	beamsim [-provider exact|tablefree|tablesteer] [-phantom point|grid|speckle]
-//	        [-depth 0.02] [-out image.pgm] [-compare]
+//	        [-depth 0.02] [-out image.pgm] [-compare] [-path block|scalar]
 //
 // -compare beamforms through all three providers and reports similarity,
-// the §II-A image-quality experiment.
+// the §II-A image-quality experiment. -path selects the engine datapath:
+// the default streaming block path (nappe-granular FillNappe) or the scalar
+// per-voxel×element reference; both image identically.
 package main
 
 import (
@@ -32,6 +34,7 @@ func main() {
 	depth := flag.Float64("depth", 0.02, "target depth in meters")
 	out := flag.String("out", "", "write a B-mode PGM slice to this path")
 	compare := flag.Bool("compare", false, "beamform with all providers and compare")
+	path := flag.String("path", "block", "delay datapath: block|scalar")
 	flag.Parse()
 
 	spec := core.ReducedSpec()
@@ -46,6 +49,7 @@ func main() {
 	}, ph)
 	check(err)
 	eng := spec.NewBeamformer(xdcr.Hann, scan.NappeOrder)
+	eng.Cfg.Path = parsePath(*path)
 
 	if *compare {
 		runCompare(spec, eng, bufs)
@@ -80,6 +84,15 @@ func buildPhantom(kind string, depth float64) rf.Phantom {
 	default:
 		return rf.PointPhantom(geom.Vec3{Z: depth})
 	}
+}
+
+func parsePath(name string) beamform.Path {
+	p, err := beamform.ParsePath(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beamsim:", err)
+		os.Exit(2)
+	}
+	return p
 }
 
 func selectProvider(spec core.SystemSpec, name string) delay.Provider {

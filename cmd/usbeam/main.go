@@ -18,10 +18,13 @@
 //	storage     §II / §V-B storage and bandwidth accounting
 //	throughput  §IV-B / §V-B performance laws
 //	bound       §V-A Lagrange bound on the steering error
+//	block       B1 block-vs-scalar delay-generation rates (always reduced scale)
+//	quality     §II-A image-quality experiment (-path block|scalar)
 //	all         every text experiment in sequence
 //
 // Global flags: -reduced runs on the laptop-scale spec; -exhaustive uses
-// stride-1 sweeps (minutes at paper scale).
+// stride-1 sweeps (minutes at paper scale); -path selects the beamformer's
+// delay datapath where one is used.
 package main
 
 import (
@@ -30,6 +33,7 @@ import (
 	"os"
 	"strconv"
 
+	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/experiments"
 	"ultrabeam/internal/report"
@@ -51,6 +55,7 @@ func main() {
 	phi := fs.Float64("phi", 10, "steering elevation in degrees (figure3c/3d)")
 	depth := fs.Int("depth", 500, "depth index (figure3d)")
 	n := fs.Int("n", 2_000_000, "Monte Carlo samples (fixedpoint)")
+	path := fs.String("path", "block", "beamformer delay datapath: block|scalar")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -108,6 +113,20 @@ func main() {
 			StrideTheta: 16, StridePhi: 16, StrideDepth: 16, StrideElem: 12, Parallel: true})
 		fmt.Printf("Lagrange bound: %.2f µs = %.0f samples (paper: 6.7 µs / 214)\n",
 			r.BoundSec*1e6, r.BoundSec*spec.Fs)
+	case "block":
+		// Scalar sweeps at paper scale take minutes; B1 always runs reduced.
+		err = experiments.BlockPath(core.ReducedSpec()).Table().Render(os.Stdout)
+	case "quality":
+		q := core.ReducedSpec()
+		q.FocalTheta, q.FocalPhi, q.FocalDepth = 21, 1, 120
+		q.PhiDeg = 0
+		q.DepthLambda = 80
+		var r experiments.ImageQualityResult
+		r, err = experiments.ImageQualityPath(q, 0.02, parsePath(*path))
+		if err == nil {
+			fmt.Printf("engine datapath: %s\n", parsePath(*path))
+			err = r.Table().Render(os.Stdout)
+		}
 	case "all":
 		err = runAll(spec, opt)
 	default:
@@ -137,6 +156,15 @@ func runAll(spec core.SystemSpec, opt tablesteer.SweepOptions) error {
 		fmt.Println()
 	}
 	return nil
+}
+
+func parsePath(name string) beamform.Path {
+	p, err := beamform.ParsePath(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usbeam:", err)
+		os.Exit(2)
+	}
+	return p
 }
 
 func clampDepth(d int, spec core.SystemSpec) int {
@@ -217,7 +245,7 @@ func writeGrid(path string, grid []float64, width int) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
-             fixedpoint storage throughput bound all
+             fixedpoint storage throughput bound block quality all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
-       -theta DEG -phi DEG -depth N -n SAMPLES`)
+       -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar`)
 }

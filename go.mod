@@ -1,0 +1,3 @@
+module ultrabeam
+
+go 1.24

@@ -8,6 +8,17 @@
 // accompanying metrics quantify the paper's §II-A claim that "image quality
 // will be the same regardless of how delays are obtained at runtime, so
 // long as delays are equally accurate".
+//
+// The engine runs one of two datapaths. The default BlockPath is the
+// software form of the paper's nappe-order streaming hardware: each worker
+// owns one reusable nappe delay buffer, asks the provider to fill it in
+// bulk (delay.BlockProvider.FillNappe — one call per depth slice instead of
+// one virtual call per voxel×element) and then walks the contiguous block
+// and the apodization table with a single linear cursor, exactly as the
+// Fig. 4 beamformer consumes a constant-depth table slice intensively
+// before moving deeper (§V-B). ScalarPath keeps the per-voxel×element
+// DelaySamples dispatch as the executable reference; both paths produce bit-
+// identical volumes, which the block-equivalence tests assert.
 package beamform
 
 import (
@@ -24,6 +35,41 @@ import (
 	"ultrabeam/internal/xdcr"
 )
 
+// Path selects the engine's delay-generation datapath.
+type Path int
+
+const (
+	// BlockPath streams delays nappe-at-a-time through per-worker reusable
+	// buffers via delay.BlockProvider (the default, and the fast path).
+	BlockPath Path = iota
+	// ScalarPath issues one delay.Provider.DelaySamples call per
+	// voxel×element — the reference datapath the block path is tested
+	// against, and the software analogue of random-access table lookup.
+	ScalarPath
+)
+
+func (p Path) String() string {
+	switch p {
+	case BlockPath:
+		return "block"
+	case ScalarPath:
+		return "scalar"
+	}
+	return fmt.Sprintf("Path(%d)", int(p))
+}
+
+// ParsePath parses a datapath name ("block" or "scalar") — the shared
+// parser behind the CLI -path flags.
+func ParsePath(name string) (Path, error) {
+	switch name {
+	case "block":
+		return BlockPath, nil
+	case "scalar":
+		return ScalarPath, nil
+	}
+	return BlockPath, fmt.Errorf("beamform: unknown path %q (want block|scalar)", name)
+}
+
 // Config assembles a beamforming engine.
 type Config struct {
 	Vol     scan.Volume
@@ -32,6 +78,7 @@ type Config struct {
 	Window  xdcr.Window // receive apodization (w in Eq. 1)
 	Order   scan.Order  // sweep order (nappe or scanline)
 	Workers int         // parallel workers; 0 = GOMAXPROCS
+	Path    Path        // delay datapath (zero value = BlockPath)
 }
 
 // Engine is a reusable beamformer for one geometry.
@@ -87,25 +134,52 @@ func (v *Volume) NappeSlice(id int) []float64 {
 
 // Beamform runs Eq. 1 over the whole volume using delays from p and echoes
 // from bufs (indexed like xdcr.Array). Delays are rounded to integer
-// selection indices exactly as the hardware's rounding adders do.
+// selection indices exactly as the hardware's rounding adders do. The
+// configured Path selects the delay datapath; both produce bit-identical
+// volumes.
 func (e *Engine) Beamform(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, error) {
-	if len(bufs) != e.Cfg.Arr.Elements() {
-		return nil, fmt.Errorf("beamform: %d echo buffers for %d elements",
-			len(bufs), e.Cfg.Arr.Elements())
+	if e.Cfg.Path == ScalarPath {
+		return e.BeamformScalar(p, bufs)
 	}
-	if p == nil {
-		return nil, errors.New("beamform: nil delay provider")
+	return e.BeamformBlock(p, bufs)
+}
+
+// BeamformBlock runs the streaming nappe pipeline: every worker owns one
+// reusable nappe delay buffer, fills it with a single BlockProvider call per
+// depth slice (plain Providers are lifted via delay.ScalarAdapter) and
+// accumulates Eq. 1 by walking the contiguous block. No allocation and no
+// interface dispatch happen in the inner loops.
+func (e *Engine) BeamformBlock(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, error) {
+	out, workers, err := e.prepare(p, bufs)
+	if err != nil {
+		return nil, err
 	}
-	out := &Volume{Vol: e.Cfg.Vol, Data: make([]float64, e.Cfg.Vol.Points())}
-	workers := e.Cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	layout := delay.Layout{
+		NTheta: e.Cfg.Vol.Theta.N, NPhi: e.Cfg.Vol.Phi.N,
+		NX: e.Cfg.Arr.NX, NY: e.Cfg.Arr.NY,
 	}
-	if workers > e.Cfg.Vol.Depth.N {
-		workers = e.Cfg.Vol.Depth.N
+	bp := delay.AsBlock(p, layout)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			block := make([]float64, layout.BlockLen()) // reused across nappes
+			for id := w; id < e.Cfg.Vol.Depth.N; id += workers {
+				bp.FillNappe(id, block)
+				e.accumulateNappe(block, bufs, id, out)
+			}
+		}(w)
 	}
-	if workers < 1 {
-		workers = 1
+	wg.Wait()
+	return out, nil
+}
+
+// BeamformScalar runs the per-voxel×element reference datapath.
+func (e *Engine) BeamformScalar(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, error) {
+	out, workers, err := e.prepare(p, bufs)
+	if err != nil {
+		return nil, err
 	}
 	// Depth slices are independent; parallelize across them regardless of
 	// the logical sweep order (the order affects hardware table walking,
@@ -123,6 +197,54 @@ func (e *Engine) Beamform(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, erro
 	}
 	wg.Wait()
 	return out, nil
+}
+
+// prepare validates the inputs and sizes the output volume and worker pool.
+func (e *Engine) prepare(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, int, error) {
+	if len(bufs) != e.Cfg.Arr.Elements() {
+		return nil, 0, fmt.Errorf("beamform: %d echo buffers for %d elements",
+			len(bufs), e.Cfg.Arr.Elements())
+	}
+	if p == nil {
+		return nil, 0, errors.New("beamform: nil delay provider")
+	}
+	out := &Volume{Vol: e.Cfg.Vol, Data: make([]float64, e.Cfg.Vol.Points())}
+	workers := e.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > e.Cfg.Vol.Depth.N {
+		workers = e.Cfg.Vol.Depth.N
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return out, workers, nil
+}
+
+// accumulateNappe sums Eq. 1 for one depth slice from a filled nappe block:
+// the delay block, the apodization table and the echo-buffer array all share
+// the ej·NX+ei element order, so one linear cursor drives all three. The
+// element accumulation order matches beamformNappe exactly, keeping the two
+// paths bit-identical.
+func (e *Engine) accumulateNappe(block []float64, bufs []rf.EchoBuffer, id int, out *Volume) {
+	nE := len(e.apod)
+	k := 0
+	for it := 0; it < e.Cfg.Vol.Theta.N; it++ {
+		base := out.Vol.Linear(scan.Index{Theta: it, Phi: 0, Depth: id})
+		for ip := 0; ip < e.Cfg.Vol.Phi.N; ip++ {
+			voxel := block[k : k+nE]
+			acc := 0.0
+			for d, w := range e.apod {
+				if w == 0 {
+					continue
+				}
+				acc += w * bufs[d].At(delay.Index(voxel[d]))
+			}
+			out.Data[base+ip] = acc
+			k += nE
+		}
+	}
 }
 
 func (e *Engine) beamformNappe(p delay.Provider, bufs []rf.EchoBuffer, id int, out *Volume) {

@@ -155,6 +155,99 @@ func TestOrderInvariance(t *testing.T) {
 	}
 }
 
+func TestPathInvariance(t *testing.T) {
+	// The block streaming pipeline must reproduce the scalar reference path
+	// bit for bit, for every provider architecture (the engine-level form of
+	// the FillNappe bit-identity contract).
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 40)
+	providers := map[string]delay.Provider{
+		"exact": exactProvider(cfg),
+		"tablefree": tablefree.New(tablefree.Config{
+			Vol: cfg.Vol, Arr: cfg.Arr, Conv: conv}),
+		"tablesteer": tablesteer.New(tablesteer.Config{
+			Vol: cfg.Vol, Arr: cfg.Arr, Conv: conv}),
+	}
+	tfFixed := tablefree.New(tablefree.Config{Vol: cfg.Vol, Arr: cfg.Arr, Conv: conv})
+	tfFixed.UseFixed = true
+	providers["tablefree-fixed"] = tfFixed
+	tsFixed := tablesteer.New(tablesteer.Config{Vol: cfg.Vol, Arr: cfg.Arr, Conv: conv})
+	tsFixed.UseFixed = true
+	providers["tablesteer-fixed"] = tsFixed
+	eng := New(cfg)
+	for name, p := range providers {
+		scalar, err := eng.BeamformScalar(p, bufs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		block, err := eng.BeamformBlock(p, bufs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range scalar.Data {
+			if scalar.Data[i] != block.Data[i] {
+				t.Fatalf("%s: paths disagree at %d: scalar %v, block %v",
+					name, i, scalar.Data[i], block.Data[i])
+			}
+		}
+	}
+}
+
+func TestPathConfigSelectsDatapath(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 7, 1, 30)
+	if BlockPath.String() != "block" || ScalarPath.String() != "scalar" {
+		t.Error("path names")
+	}
+	blockCfg := cfg
+	blockCfg.Path = BlockPath
+	scalarCfg := cfg
+	scalarCfg.Path = ScalarPath
+	a, err := New(blockCfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(scalarCfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("configured paths disagree at %d", i)
+		}
+	}
+}
+
+func TestBlockPathScalarAdapterFallback(t *testing.T) {
+	// A provider that implements only the scalar interface must still run on
+	// the block path, through delay.ScalarAdapter, with identical output.
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 7, 1, 30)
+	eng := New(cfg)
+	wrapped := scalarOnly{exactProvider(cfg)}
+	adapted, err := eng.BeamformBlock(wrapped, bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	native, err := eng.BeamformBlock(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range native.Data {
+		if native.Data[i] != adapted.Data[i] {
+			t.Fatalf("adapter fallback diverges at %d", i)
+		}
+	}
+}
+
+// scalarOnly hides the BlockProvider implementation of the wrapped provider.
+type scalarOnly struct{ p delay.Provider }
+
+func (s scalarOnly) Name() string { return s.p.Name() }
+func (s scalarOnly) DelaySamples(it, ip, id, ei, ej int) float64 {
+	return s.p.DelaySamples(it, ip, id, ei, ej)
+}
+
 func TestWorkerCountInvariance(t *testing.T) {
 	cfg, bufs, _ := psfSetup(t)
 	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 11, 1, 60)

@@ -1,0 +1,158 @@
+// Block-granular delay generation: the nappe-at-a-time counterpart of the
+// scalar Provider interface. The paper's two architectures both exploit the
+// Algorithm 1 nappe sweep — all (θ, φ, element) delays of one depth slice
+// are produced together, amortizing per-voxel work across the aperture and
+// per-nappe work across the whole steering plane. BlockProvider is the
+// software form of that datapath: one FillNappe call materializes a full
+// θ×φ×element delay plane into a caller-owned contiguous buffer, removing
+// the per-delay virtual dispatch that makes the scalar path the software
+// analogue of the random-access table problem (§II-B).
+package delay
+
+import (
+	"fmt"
+
+	"ultrabeam/internal/geom"
+)
+
+// Layout describes the stride order of a nappe delay block: θ outermost,
+// then φ, then element row ej, then element column ei fastest. The element
+// plane of one voxel is therefore contiguous and indexed exactly like
+// xdcr.Array.Index (ej·NX + ei), so the beamformer walks a nappe block and
+// its apodization table with the same linear cursor.
+type Layout struct {
+	NTheta, NPhi int // steering grid of the nappe
+	NX, NY       int // element counts along x and y
+}
+
+// BlockLen returns the element count of one nappe block.
+func (l Layout) BlockLen() int { return l.NTheta * l.NPhi * l.NX * l.NY }
+
+// VoxelStride returns the per-voxel element-plane length (NX·NY).
+func (l Layout) VoxelStride() int { return l.NX * l.NY }
+
+// Index linearizes (it, ip, ei, ej) into a nappe block.
+func (l Layout) Index(it, ip, ei, ej int) int {
+	return ((it*l.NPhi+ip)*l.NY+ej)*l.NX + ei
+}
+
+// Valid reports whether every dimension is positive.
+func (l Layout) Valid() bool {
+	return l.NTheta > 0 && l.NPhi > 0 && l.NX > 0 && l.NY > 0
+}
+
+// String renders the block geometry.
+func (l Layout) String() string {
+	return fmt.Sprintf("%d×%dθφ × %d×%d elements", l.NTheta, l.NPhi, l.NX, l.NY)
+}
+
+// BlockProvider generates delays one depth nappe at a time. FillNappe must
+// produce values bit-identical to DelaySamples — the block path changes the
+// schedule of the computation, never its arithmetic — so the scalar method
+// remains the executable specification and the equivalence tests hold both
+// implementations to it.
+//
+// FillNappe must be safe for concurrent use by multiple goroutines with
+// distinct dst buffers: the streaming beamformer calls it from every worker.
+type BlockProvider interface {
+	Provider
+	// Layout reports the block geometry this provider fills.
+	Layout() Layout
+	// FillNappe writes the delays of depth nappe id into dst following
+	// Layout. dst must hold at least Layout().BlockLen() values.
+	FillNappe(id int, dst []float64)
+}
+
+// AsBlock returns p as a BlockProvider filling blocks of layout want: p
+// itself when it already implements the interface for that geometry, or a
+// ScalarAdapter otherwise — so any plain Provider works on the block path
+// unchanged, it just pays the per-delay dispatch the native fills avoid.
+func AsBlock(p Provider, want Layout) BlockProvider {
+	if bp, ok := p.(BlockProvider); ok && bp.Layout() == want {
+		return bp
+	}
+	return &ScalarAdapter{P: p, L: want}
+}
+
+// ScalarAdapter lifts a scalar Provider onto the block interface by calling
+// DelaySamples once per block slot in layout order.
+type ScalarAdapter struct {
+	P Provider
+	L Layout
+}
+
+// Name implements Provider, forwarding to the wrapped provider.
+func (a *ScalarAdapter) Name() string { return a.P.Name() }
+
+// DelaySamples implements Provider, forwarding to the wrapped provider.
+func (a *ScalarAdapter) DelaySamples(it, ip, id, ei, ej int) float64 {
+	return a.P.DelaySamples(it, ip, id, ei, ej)
+}
+
+// Layout implements BlockProvider.
+func (a *ScalarAdapter) Layout() Layout { return a.L }
+
+// FillNappe implements BlockProvider with one scalar call per slot.
+func (a *ScalarAdapter) FillNappe(id int, dst []float64) {
+	k := 0
+	for it := 0; it < a.L.NTheta; it++ {
+		for ip := 0; ip < a.L.NPhi; ip++ {
+			for ej := 0; ej < a.L.NY; ej++ {
+				for ei := 0; ei < a.L.NX; ei++ {
+					dst[k] = a.P.DelaySamples(it, ip, id, ei, ej)
+					k++
+				}
+			}
+		}
+	}
+}
+
+// Layout implements BlockProvider for the exact reference.
+func (e *Exact) Layout() Layout {
+	return Layout{NTheta: e.Vol.Theta.N, NPhi: e.Vol.Phi.N, NX: e.Arr.NX, NY: e.Arr.NY}
+}
+
+// FillNappe implements BlockProvider: the focal point and its transmit leg
+// |S−O| are computed once per voxel and reused across the whole element
+// plane (the per-element work drops from two square roots to one), with the
+// remaining arithmetic ordered exactly as DelaySamples orders it.
+func (e *Exact) FillNappe(id int, dst []float64) {
+	l := e.Layout()
+	elems := make([]geom.Vec3, l.NX*l.NY)
+	for ej := 0; ej < l.NY; ej++ {
+		for ei := 0; ei < l.NX; ei++ {
+			elems[ej*l.NX+ei] = e.Arr.ElementPos(ei, ej)
+		}
+	}
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			s := e.Vol.FocalPoint(it, ip, id)
+			tx := s.Dist(e.Origin)
+			for _, d := range elems {
+				dst[k] = e.Conv.SecondsToSamples((tx + s.Dist(d)) / e.Conv.C)
+				k++
+			}
+		}
+	}
+}
+
+// CompareBlock sweeps the full volume and aperture nappe-by-nappe through
+// the block path of both providers and accumulates the same statistics as
+// Compare with strideE = 1 — the bulk form the §VI-A accuracy sweeps use
+// when the whole element plane is wanted anyway.
+func CompareBlock(p Provider, e *Exact) Stats {
+	layout := e.Layout()
+	bp := AsBlock(p, layout)
+	approx := make([]float64, layout.BlockLen())
+	exact := make([]float64, layout.BlockLen())
+	var st Stats
+	for id := 0; id < e.Vol.Depth.N; id++ {
+		bp.FillNappe(id, approx)
+		e.FillNappe(id, exact)
+		for k := range exact {
+			st.Add(approx[k], exact[k])
+		}
+	}
+	return st
+}

@@ -1,0 +1,140 @@
+package delay
+
+import (
+	"testing"
+
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+func TestLayoutIndexing(t *testing.T) {
+	l := Layout{NTheta: 3, NPhi: 4, NX: 5, NY: 2}
+	if !l.Valid() {
+		t.Fatal("layout should be valid")
+	}
+	if l.BlockLen() != 3*4*5*2 {
+		t.Errorf("BlockLen = %d", l.BlockLen())
+	}
+	if l.VoxelStride() != 10 {
+		t.Errorf("VoxelStride = %d", l.VoxelStride())
+	}
+	// Index must enumerate [0, BlockLen) exactly once in layout order.
+	seen := make([]bool, l.BlockLen())
+	want := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			for ej := 0; ej < l.NY; ej++ {
+				for ei := 0; ei < l.NX; ei++ {
+					got := l.Index(it, ip, ei, ej)
+					if got != want {
+						t.Fatalf("Index(%d,%d,%d,%d) = %d, want %d", it, ip, ei, ej, got, want)
+					}
+					seen[got] = true
+					want++
+				}
+			}
+		}
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("slot %d never indexed", i)
+		}
+	}
+	if (Layout{}).Valid() {
+		t.Error("zero layout must be invalid")
+	}
+}
+
+func TestExactFillNappeBitIdentical(t *testing.T) {
+	e, _, _ := smallSetup()
+	l := e.Layout()
+	dst := make([]float64, l.BlockLen())
+	for _, id := range []int{0, e.Vol.Depth.N / 2, e.Vol.Depth.N - 1} {
+		e.FillNappe(id, dst)
+		for it := 0; it < l.NTheta; it++ {
+			for ip := 0; ip < l.NPhi; ip++ {
+				for ej := 0; ej < l.NY; ej++ {
+					for ei := 0; ei < l.NX; ei++ {
+						want := e.DelaySamples(it, ip, id, ei, ej)
+						got := dst[l.Index(it, ip, ei, ej)]
+						if got != want {
+							t.Fatalf("id=%d (%d,%d,%d,%d): block %v != scalar %v",
+								id, it, ip, ei, ej, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestScalarAdapterMatchesNativeFill(t *testing.T) {
+	e, _, _ := smallSetup()
+	l := e.Layout()
+	adapter := &ScalarAdapter{P: e, L: l}
+	if adapter.Name() != e.Name() {
+		t.Errorf("adapter name = %q", adapter.Name())
+	}
+	if adapter.DelaySamples(1, 2, 3, 4, 5) != e.DelaySamples(1, 2, 3, 4, 5) {
+		t.Error("adapter scalar path must forward")
+	}
+	native := make([]float64, l.BlockLen())
+	adapted := make([]float64, l.BlockLen())
+	e.FillNappe(7, native)
+	adapter.FillNappe(7, adapted)
+	for i := range native {
+		if native[i] != adapted[i] {
+			t.Fatalf("slot %d: native %v != adapter %v", i, native[i], adapted[i])
+		}
+	}
+}
+
+func TestAsBlockSelectsNativeOrAdapter(t *testing.T) {
+	e, _, _ := smallSetup()
+	l := e.Layout()
+	if bp := AsBlock(e, l); bp != BlockProvider(e) {
+		t.Error("matching layout must return the native provider")
+	}
+	other := l
+	other.NTheta++
+	bp := AsBlock(e, other)
+	if _, ok := bp.(*ScalarAdapter); !ok {
+		t.Errorf("mismatched layout must wrap in ScalarAdapter, got %T", bp)
+	}
+	if bp.Layout() != other {
+		t.Error("adapter must report the requested layout")
+	}
+}
+
+func TestCompareBlockMatchesCompare(t *testing.T) {
+	v := scan.NewVolume(geom.Radians(40), geom.Radians(40), 0.05, 5, 5, 8)
+	a := xdcr.NewArray(6, 6, 0.385e-3/2)
+	e := NewExact(v, a, geom.Vec3{}, conv)
+	// A second exact provider displaced slightly in origin gives nonzero
+	// but deterministic errors for the statistics comparison.
+	p := NewExact(v, a, geom.Vec3{Z: 0.5e-3}, conv)
+	// Reference: the pre-block scalar sweep (Compare with strideE = 1 now
+	// routes through CompareBlock, so accumulate it independently here).
+	var scalar Stats
+	v.Walk(scan.NappeOrder, func(ix scan.Index) {
+		for ej := 0; ej < a.NY; ej++ {
+			for ei := 0; ei < a.NX; ei++ {
+				scalar.Add(p.DelaySamples(ix.Theta, ix.Phi, ix.Depth, ei, ej),
+					e.DelaySamples(ix.Theta, ix.Phi, ix.Depth, ei, ej))
+			}
+		}
+	})
+	block := CompareBlock(p, e)
+	if viaCompare := Compare(p, e, 1); viaCompare != block {
+		t.Errorf("Compare(strideE=1) must route through the block path")
+	}
+	if scalar.N != block.N || scalar.MeanAbs != block.MeanAbs ||
+		scalar.MaxAbs != block.MaxAbs || scalar.MaxAbsIndex != block.MaxAbsIndex ||
+		scalar.OffIndexCount != block.OffIndexCount {
+		t.Errorf("block stats diverge:\n scalar %v\n block  %v", scalar.String(), block.String())
+	}
+	if block.MaxAbs == 0 {
+		t.Error("displaced origin should produce nonzero error")
+	}
+}

@@ -3,6 +3,16 @@
 // and echo-buffer sample units, and the Provider interface implemented by
 // the exact reference, TABLEFREE and TABLESTEER delay generators.
 //
+// Delays are produced at two granularities. Provider.DelaySamples is the
+// scalar law — one (voxel, element) pair per call — and stays the executable
+// specification. BlockProvider.FillNappe is the bulk form: one call fills
+// the contiguous θ×φ×element delay block of a whole depth nappe, mirroring
+// the paper's Algorithm 1 nappe sweep in which both hardware architectures
+// amortize per-voxel work (transmit leg, reference-table slice) across the
+// aperture. The streaming beamformer consumes nappe blocks; ScalarAdapter
+// lifts any plain Provider onto the block interface unchanged. Block fills
+// are bit-identical to the scalar law by contract.
+//
 // One "sample" is 1/fs (31.25 ns at the Table I sampling rate of 32 MHz);
 // the delay value used by the beamformer is the sample index into each
 // element's echo buffer, so all accuracy figures in the paper — and here —
@@ -199,10 +209,13 @@ func (st *Stats) String() string {
 
 // Compare sweeps a subsampled volume/aperture and accumulates provider-vs-
 // exact statistics. strideE subsamples elements, the volume is walked as
-// given (callers pass a pre-subsampled volume for coarse sweeps).
+// given (callers pass a pre-subsampled volume for coarse sweeps). Full-
+// aperture sweeps (strideE ≤ 1) run through the block path — both sides are
+// generated nappe-at-a-time via FillNappe — which visits the exact same
+// pairs in the exact same order, so the statistics are unchanged.
 func Compare(p Provider, e *Exact, strideE int) Stats {
-	if strideE < 1 {
-		strideE = 1
+	if strideE <= 1 {
+		return CompareBlock(p, e)
 	}
 	var st Stats
 	e.Vol.Walk(scan.NappeOrder, func(ix scan.Index) {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/fpga"
 	"ultrabeam/internal/tablesteer"
@@ -257,6 +258,54 @@ func TestImageQualityQ1(t *testing.T) {
 	}
 	if !strings.Contains(r.Table().String(), "similarity") {
 		t.Error("table rendering")
+	}
+}
+
+func TestBlockPathB1(t *testing.T) {
+	// Tiny spec: B1's point is the rate contrast, but the test asserts only
+	// the invariants (counts, bit-identity, rendering) — wall-clock ratios
+	// are asserted by BenchmarkBeamform_* where timing is controlled.
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 9, 12
+	r := BlockPath(s)
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Delays != s.Points()*s.Elements() {
+			t.Errorf("%s delays = %d, want %d", row.Provider, row.Delays, s.Points()*s.Elements())
+		}
+		if row.MaxAbsDiff != 0 {
+			t.Errorf("%s block path diverges: max |diff| = %g", row.Provider, row.MaxAbsDiff)
+		}
+		if row.ScalarPerSec <= 0 || row.BlockPerSec <= 0 {
+			t.Errorf("%s rates must be positive: %+v", row.Provider, row)
+		}
+	}
+	if s := r.Table().String(); !strings.Contains(s, "speedup") {
+		t.Error("table rendering")
+	}
+}
+
+func TestImageQualityPathInvariance(t *testing.T) {
+	s := core.ReducedSpec()
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 15, 1, 80
+	s.PhiDeg = 0
+	s.DepthLambda = 80
+	s.ElemX, s.ElemY = 12, 12
+	blk, err := ImageQualityPath(s, 0.02, beamform.BlockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scl, err := ImageQualityPath(s, 0.02, beamform.ScalarPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, sim := range blk.Similarity {
+		if scl.Similarity[name] != sim {
+			t.Errorf("%s: block similarity %v != scalar %v", name, sim, scl.Similarity[name])
+		}
 	}
 }
 

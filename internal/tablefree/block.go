@@ -1,0 +1,68 @@
+package tablefree
+
+import "ultrabeam/internal/delay"
+
+// Layout implements delay.BlockProvider.
+func (p *Provider) Layout() delay.Layout {
+	return delay.Layout{
+		NTheta: p.Cfg.Vol.Theta.N, NPhi: p.Cfg.Vol.Phi.N,
+		NX: p.Cfg.Arr.NX, NY: p.Cfg.Arr.NY,
+	}
+}
+
+// FillNappe implements delay.BlockProvider with the §IV-B geometry
+// decomposition applied at block granularity: per voxel, the transmit leg
+// √|S−O|² is approximated once and shared by the whole element plane (in
+// hardware it is "computed only once and then distributed to all the
+// element-specific units"), the squared x terms are computed once per
+// transducer column and the squared y/z terms once per row, and the receive
+// square roots are evaluated as one batch through the incremental segment
+// cursor instead of a binary search per element. Results are bit-identical
+// to DelaySamples: the argument association order and the PWL evaluation are
+// unchanged, only their schedule is.
+func (p *Provider) FillNappe(id int, dst []float64) {
+	l := p.Layout()
+	nE := l.VoxelStride()
+	xt2 := make([]float64, l.NX) // per-column (Sx−xD)², refreshed per voxel
+	args := make([]float64, nE)  // batched receive √ arguments of one voxel
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			s := p.focalSamples(it, ip, id)
+			dx := s.X - p.originS.X
+			dy := s.Y - p.originS.Y
+			dz := s.Z - p.originS.Z
+			argTx := dx*dx + dy*dy + dz*dz
+			var tx float64
+			if p.UseFixed {
+				tx = p.FixedDP.Eval(argTx)
+			} else {
+				tx = p.Approx.Eval(argTx)
+			}
+			zz := s.Z * s.Z
+			for ei := 0; ei < l.NX; ei++ {
+				xt := s.X - p.elemX[ei]
+				xt2[ei] = xt * xt
+			}
+			j := 0
+			for ej := 0; ej < l.NY; ej++ {
+				yt := s.Y - p.elemY[ej]
+				yt2 := yt * yt
+				for ei := 0; ei < l.NX; ei++ {
+					args[j] = xt2[ei] + yt2 + zz
+					j++
+				}
+			}
+			out := dst[k : k+nE]
+			if p.UseFixed {
+				p.FixedDP.EvalSlice(out, args)
+			} else {
+				p.Approx.EvalSlice(out, args)
+			}
+			for i := range out {
+				out[i] = tx + out[i]
+			}
+			k += nE
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package tablesteer
+
+import (
+	"math"
+
+	"ultrabeam/internal/delay"
+)
+
+// Layout implements delay.BlockProvider.
+func (p *Provider) Layout() delay.Layout {
+	return delay.Layout{
+		NTheta: p.Cfg.Vol.Theta.N, NPhi: p.Cfg.Vol.Phi.N,
+		NX: p.Cfg.Arr.NX, NY: p.Cfg.Arr.NY,
+	}
+}
+
+// FillNappe implements delay.BlockProvider, mirroring the Fig. 4 datapath at
+// block granularity: the folded reference slice of depth nappe id is
+// unfolded to the full aperture exactly once per nappe (the slice the DRAM
+// streamer keeps on chip, §V-B) and then every steering direction is
+// produced by broadcast-adding the separable corrections — the x table row
+// for (θ, φ) across element columns and the y table column for φ across
+// element rows. Per delay that leaves two additions, against two table
+// folds and three indexed lookups on the scalar path. Results are
+// bit-identical to DelaySamples: the float path keeps the (ref + x) + y
+// association, and the fixed path pre-aligns the raw words to the common
+// binary point with the same shifts as alignedSum before one integer add
+// chain per element.
+func (p *Provider) FillNappe(id int, dst []float64) {
+	l := p.Layout()
+	nx, ny := l.NX, l.NY
+	if p.UseFixed {
+		p.fillNappeFixed(id, dst, l)
+		return
+	}
+	// Unfold the reference slice to full-aperture order once per nappe.
+	refRow := make([]float64, nx*ny)
+	for ej := 0; ej < ny; ej++ {
+		qy := foldIndex(ej, ny)
+		for ei := 0; ei < nx; ei++ {
+			refRow[ej*nx+ei] = p.Ref.At(foldIndex(ei, nx), qy, id)
+		}
+	}
+	xrow := make([]float64, nx)
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			for ei := 0; ei < nx; ei++ {
+				xrow[ei] = p.Corr.X(ei, it, ip)
+			}
+			for ej := 0; ej < ny; ej++ {
+				yc := p.Corr.Y(ej, ip)
+				row := refRow[ej*nx : (ej+1)*nx]
+				for ei, ref := range row {
+					dst[k] = ref + xrow[ei] + yc
+					k++
+				}
+			}
+		}
+	}
+}
+
+// fillNappeFixed is the integer-datapath nappe fill: reference and
+// correction words are shifted to the finer of the two fractional grids up
+// front (exactly the alignedSum alignment), summed with plain int64 adds,
+// and scaled back by the common power of two — an exact operation, so the
+// result matches the scalar fixed path bit for bit.
+func (p *Provider) fillNappeFixed(id int, dst []float64, l delay.Layout) {
+	nx, ny := l.NX, l.NY
+	frac := p.Cfg.RefFmt.FracBits
+	if p.Cfg.CorrFmt.FracBits > frac {
+		frac = p.Cfg.CorrFmt.FracBits
+	}
+	refShift := uint(frac - p.Cfg.RefFmt.FracBits)
+	corrShift := uint(frac - p.Cfg.CorrFmt.FracBits)
+	scale := math.Ldexp(1, -frac)
+	refRow := make([]int64, nx*ny)
+	for ej := 0; ej < ny; ej++ {
+		qy := foldIndex(ej, ny)
+		for ei := 0; ei < nx; ei++ {
+			refRow[ej*nx+ei] = p.Ref.RawAt(foldIndex(ei, nx), qy, id) << refShift
+		}
+	}
+	xrow := make([]int64, nx)
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			for ei := 0; ei < nx; ei++ {
+				xrow[ei] = p.Corr.XRaw(ei, it, ip) << corrShift
+			}
+			for ej := 0; ej < ny; ej++ {
+				yc := p.Corr.YRaw(ej, ip) << corrShift
+				row := refRow[ej*nx : (ej+1)*nx]
+				for ei, ref := range row {
+					dst[k] = float64(ref+xrow[ei]+yc) * scale
+					k++
+				}
+			}
+		}
+	}
+}

@@ -16,6 +16,11 @@
 //	ts := spec.NewTableSteer(18)           // §V architecture, 18-bit
 //	d := ts.DelaySamples(it, ip, id, ei, ej)
 //
+// Every provider also implements the block-granular BlockProvider
+// interface: FillNappe materializes all θ×φ×element delays of one depth
+// nappe into a contiguous buffer in a single call, the bulk datapath the
+// streaming beamformer and the paper's nappe-order hardware both consume.
+//
 // The cmd/ tools regenerate every table and figure; see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for paper-vs-measured results.
 package ultrabeam
@@ -30,6 +35,16 @@ type SystemSpec = core.SystemSpec
 
 // Provider generates two-way beamforming delays in sample units.
 type Provider = delay.Provider
+
+// BlockProvider generates delays one depth nappe at a time into a
+// caller-owned contiguous buffer; see delay.BlockProvider.
+type BlockProvider = delay.BlockProvider
+
+// Layout describes the stride order of a nappe delay block.
+type Layout = delay.Layout
+
+// ScalarAdapter lifts a scalar Provider onto the block interface.
+type ScalarAdapter = delay.ScalarAdapter
 
 // Converter maps between seconds, meters and echo-sample units.
 type Converter = delay.Converter
