@@ -6,21 +6,29 @@
 //
 //	beamsim [-provider exact|tablefree|tablesteer] [-phantom point|grid|speckle]
 //	        [-depth 0.02] [-out image.pgm] [-compare] [-path block|scalar]
+//	        [-frames N] [-cache-budget BYTES]
 //
 // -compare beamforms through all three providers and reports similarity,
 // the §II-A image-quality experiment. -path selects the engine datapath:
 // the default streaming block path (nappe-granular FillNappe) or the scalar
 // per-voxel×element reference; both image identically.
+//
+// -frames > 1 beamforms a static cine through a persistent Session and
+// reports sustained frames/s. -cache-budget bounds the nappe-block delay
+// cache that amortizes generation across frames: 0 disables caching,
+// negative means unlimited (full residency, the default).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
 	"ultrabeam/internal/dsp"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
@@ -35,6 +43,8 @@ func main() {
 	out := flag.String("out", "", "write a B-mode PGM slice to this path")
 	compare := flag.Bool("compare", false, "beamform with all providers and compare")
 	path := flag.String("path", "block", "delay datapath: block|scalar")
+	frames := flag.Int("frames", 1, "cine frames to beamform through one session")
+	cacheBudget := flag.Int64("cache-budget", -1, "delay-cache bytes (0 = uncached, <0 = full residency)")
 	flag.Parse()
 
 	spec := core.ReducedSpec()
@@ -52,13 +62,26 @@ func main() {
 	eng.Cfg.Path = parsePath(*path)
 
 	if *compare {
+		if *frames > 1 {
+			fmt.Fprintln(os.Stderr, "beamsim: -compare is a single-frame experiment; drop -frames")
+			os.Exit(2)
+		}
 		runCompare(spec, eng, bufs)
 		return
 	}
 
 	p := selectProvider(spec, *provider)
-	vol, err := eng.Beamform(p, bufs)
-	check(err)
+	var vol *beamform.Volume
+	if *frames > 1 {
+		if eng.Cfg.Path != beamform.BlockPath {
+			fmt.Fprintln(os.Stderr, "beamsim: -frames > 1 always streams the block datapath; drop -path", *path)
+			os.Exit(2)
+		}
+		vol = runCine(spec, p, bufs, *frames, *cacheBudget)
+	} else {
+		vol, err = eng.Beamform(p, bufs)
+		check(err)
+	}
 	m, err := beamform.MeasurePSF(vol, spec.Converter(), spec.Fc)
 	check(err)
 	fmt.Printf("provider %s: peak at θ-index %d, depth %.2f mm; axial FWHM %.2f mm, lateral FWHM %.2f°\n",
@@ -84,6 +107,38 @@ func buildPhantom(kind string, depth float64) rf.Phantom {
 	default:
 		return rf.PointPhantom(geom.Vec3{Z: depth})
 	}
+}
+
+// runCine beamforms a static cine through one persistent session (cached
+// unless budget is 0 — the cine always streams the block datapath) and
+// reports sustained frames/s plus cache effectiveness. It returns the last
+// beamformed frame for the usual PSF report and -out image.
+func runCine(spec core.SystemSpec, p delay.Provider, bufs []rf.EchoBuffer, frames int, budget int64) *beamform.Volume {
+	var (
+		sess  *beamform.Session
+		cache *delaycache.Cache
+		err   error
+	)
+	if budget == 0 {
+		sess, err = spec.NewBeamformer(xdcr.Hann, scan.NappeOrder).NewSession(p)
+	} else {
+		sess, cache, err = spec.NewCachedSession(xdcr.Hann, p, budget)
+	}
+	check(err)
+	defer sess.Close()
+	out := &beamform.Volume{Vol: spec.Volume(), Data: make([]float64, spec.Points())}
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		check(sess.BeamformInto(out, bufs))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d frames in %v: %.2f frames/s (%d workers, provider %s)\n",
+		frames, elapsed.Round(time.Millisecond),
+		float64(frames)/elapsed.Seconds(), sess.Workers(), p.Name())
+	if cache != nil {
+		fmt.Println("delay cache:", cache.Stats())
+	}
+	return out
 }
 
 func parsePath(name string) beamform.Path {

@@ -20,11 +20,14 @@
 //	bound       §V-A Lagrange bound on the steering error
 //	block       B1 block-vs-scalar delay-generation rates (always reduced scale)
 //	quality     §II-A image-quality experiment (-path block|scalar)
+//	cache       B2 frames/s vs delay-cache budget sweep (-frames N; always reduced scale)
+//	bench       machine-readable pipeline perf record (-json writes BENCH_pipeline.json)
 //	all         every text experiment in sequence
 //
 // Global flags: -reduced runs on the laptop-scale spec; -exhaustive uses
 // stride-1 sweeps (minutes at paper scale); -path selects the beamformer's
-// delay datapath where one is used.
+// delay datapath where one is used; -frames sets the cine length for the
+// multi-frame experiments.
 package main
 
 import (
@@ -56,6 +59,8 @@ func main() {
 	depth := fs.Int("depth", 500, "depth index (figure3d)")
 	n := fs.Int("n", 2_000_000, "Monte Carlo samples (fixedpoint)")
 	path := fs.String("path", "block", "beamformer delay datapath: block|scalar")
+	frames := fs.Int("frames", 8, "cine length for cache/bench experiments")
+	jsonOut := fs.Bool("json", false, "bench: write a JSON record instead of a table")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -126,6 +131,37 @@ func main() {
 		if err == nil {
 			fmt.Printf("engine datapath: %s\n", parsePath(*path))
 			err = r.Table().Render(os.Stdout)
+		}
+	case "cache":
+		// Full-table residency at paper scale is ~1.3 GB/nappe; B2 always
+		// runs reduced, like B1.
+		var r experiments.FrameCacheResult
+		r, err = experiments.FrameCache(core.ReducedSpec(), *frames)
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
+	case "bench":
+		var rec experiments.BenchRecord
+		rec, err = experiments.Bench(core.ReducedSpec(), *frames)
+		if err == nil {
+			if *jsonOut {
+				dst := *out
+				if dst == "" {
+					dst = "BENCH_pipeline.json"
+				}
+				var f *os.File
+				var done func()
+				f, done, err = openOut(dst)
+				if err == nil {
+					err = rec.WriteJSON(f)
+					done()
+				}
+				if err == nil {
+					fmt.Println("bench record written to", dst)
+				}
+			} else {
+				err = rec.Table().Render(os.Stdout)
+			}
 		}
 	case "all":
 		err = runAll(spec, opt)
@@ -245,7 +281,9 @@ func writeGrid(path string, grid []float64, width int) error {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
-             fixedpoint storage throughput bound block quality all
+             fixedpoint storage throughput bound block quality cache
+             bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
-       -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar`)
+       -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
+       -frames N -json`)
 }

@@ -5,6 +5,9 @@ import (
 	"testing"
 
 	"ultrabeam"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/memmodel"
+	"ultrabeam/internal/rf"
 )
 
 func TestFacadeSpecs(t *testing.T) {
@@ -48,5 +51,59 @@ func TestFacadeConverter(t *testing.T) {
 	cv := ultrabeam.Converter{C: 1540, Fs: 32e6}
 	if got := cv.MetersToSamples(0.385e-3); math.Abs(got-8) > 1e-9 {
 		t.Errorf("λ = %v samples, want 8", got)
+	}
+}
+
+func TestFacadeSessionAndCache(t *testing.T) {
+	spec := ultrabeam.ReducedSpec()
+	spec.ElemX, spec.ElemY = 8, 8
+	spec.FocalTheta, spec.FocalPhi, spec.FocalDepth = 9, 3, 10
+	spec.DepthLambda = 60
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
+		BufSamples: spec.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * spec.Depth()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess *ultrabeam.Session
+	var cache *ultrabeam.DelayCache
+	sess, cache, err = spec.NewCachedSession(ultrabeam.Hann, spec.NewExact(), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	frames := make([][]ultrabeam.EchoBuffer, 3)
+	for i := range frames {
+		frames[i] = bufs
+	}
+	vols, err := sess.BeamformFrames(frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f := 1; f < len(vols); f++ {
+		for i := range vols[0].Data {
+			if vols[0].Data[i] != vols[f].Data[i] {
+				t.Fatalf("static cine frame %d differs at %d", f, i)
+			}
+		}
+	}
+	var st ultrabeam.CacheStats = cache.Stats()
+	if !cache.FullResidency() || st.Hits == 0 {
+		t.Errorf("cache did not amortize: %v", st)
+	}
+}
+
+func TestFacadeBudgetFromBanks(t *testing.T) {
+	banks := ultrabeam.BankArray{
+		Spec:  memmodel.BankSpec{WordBits: 18, Lines: 1024},
+		Banks: 128,
+	}
+	if got := ultrabeam.BudgetFromBanks(banks); got != 128*1024*8 {
+		t.Errorf("BudgetFromBanks = %d", got)
+	}
+	// The paper's sweep-order and window selectors are facade-visible.
+	if ultrabeam.Hann == ultrabeam.Rect || ultrabeam.NappeOrder == ultrabeam.ScanlineOrder {
+		t.Error("facade constants collapsed")
 	}
 }

@@ -85,11 +85,25 @@ type Config struct {
 type Engine struct {
 	Cfg  Config
 	apod []float64
+	// Zero-weight elements (window edges) contribute nothing to Eq. 1;
+	// activeIdx/activeW pack the surviving element indices and weights so
+	// the block accumulation loop carries no per-element branch. The packed
+	// order stays ascending in element index, so the sum order — and the
+	// floating-point result — is identical to walking apod with a skip.
+	activeIdx []int32
+	activeW   []float64
 }
 
 // New builds an engine, precomputing the separable apodization.
 func New(cfg Config) *Engine {
-	return &Engine{Cfg: cfg, apod: xdcr.Apodization2D(cfg.Window, cfg.Arr.NX, cfg.Arr.NY)}
+	e := &Engine{Cfg: cfg, apod: xdcr.Apodization2D(cfg.Window, cfg.Arr.NX, cfg.Arr.NY)}
+	for d, w := range e.apod {
+		if w != 0 {
+			e.activeIdx = append(e.activeIdx, int32(d))
+			e.activeW = append(e.activeW, w)
+		}
+	}
+	return e
 }
 
 // Volume is a beamformed output volume, linearly indexed per scan.Volume.
@@ -148,31 +162,17 @@ func (e *Engine) Beamform(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, erro
 // reusable nappe delay buffer, fills it with a single BlockProvider call per
 // depth slice (plain Providers are lifted via delay.ScalarAdapter) and
 // accumulates Eq. 1 by walking the contiguous block. No allocation and no
-// interface dispatch happen in the inner loops.
+// interface dispatch happen in the inner loops. It is the single-frame form
+// of Session: a throwaway session beamforms one frame and shuts down. Cine
+// callers should hold a Session instead and amortize the pool (and any
+// delay cache) across frames.
 func (e *Engine) BeamformBlock(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, error) {
-	out, workers, err := e.prepare(p, bufs)
+	s, err := e.NewSession(p)
 	if err != nil {
 		return nil, err
 	}
-	layout := delay.Layout{
-		NTheta: e.Cfg.Vol.Theta.N, NPhi: e.Cfg.Vol.Phi.N,
-		NX: e.Cfg.Arr.NX, NY: e.Cfg.Arr.NY,
-	}
-	bp := delay.AsBlock(p, layout)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			block := make([]float64, layout.BlockLen()) // reused across nappes
-			for id := w; id < e.Cfg.Vol.Depth.N; id += workers {
-				bp.FillNappe(id, block)
-				e.accumulateNappe(block, bufs, id, out)
-			}
-		}(w)
-	}
-	wg.Wait()
-	return out, nil
+	defer s.Close()
+	return s.Beamform(bufs)
 }
 
 // BeamformScalar runs the per-voxel×element reference datapath.
@@ -209,6 +209,12 @@ func (e *Engine) prepare(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, int, 
 		return nil, 0, errors.New("beamform: nil delay provider")
 	}
 	out := &Volume{Vol: e.Cfg.Vol, Data: make([]float64, e.Cfg.Vol.Points())}
+	return out, e.workerCount(), nil
+}
+
+// workerCount resolves Config.Workers: GOMAXPROCS by default, clamped to
+// the depth-slice count (the unit of parallel work).
+func (e *Engine) workerCount() int {
 	workers := e.Cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -219,7 +225,7 @@ func (e *Engine) prepare(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, int, 
 	if workers < 1 {
 		workers = 1
 	}
-	return out, workers, nil
+	return workers
 }
 
 // accumulateNappe sums Eq. 1 for one depth slice from a filled nappe block:
@@ -235,11 +241,9 @@ func (e *Engine) accumulateNappe(block []float64, bufs []rf.EchoBuffer, id int, 
 		for ip := 0; ip < e.Cfg.Vol.Phi.N; ip++ {
 			voxel := block[k : k+nE]
 			acc := 0.0
-			for d, w := range e.apod {
-				if w == 0 {
-					continue
-				}
-				acc += w * bufs[d].At(delay.Index(voxel[d]))
+			w := e.activeW[:len(e.activeIdx)] // hoists the bounds check
+			for j, d := range e.activeIdx {
+				acc += w[j] * bufs[d].At(delay.Index(voxel[d]))
 			}
 			out.Data[base+ip] = acc
 			k += nE
@@ -307,7 +311,7 @@ func MeasurePSF(v *Volume, conv delay.Converter, f0 float64) (PSFMetrics, error)
 		return m, errors.New("beamform: degenerate depth grid")
 	}
 	spatialF0 := 2 * f0 / conv.C * step // cycles per depth sample
-	env := line
+	var env []float64
 	if spatialF0 > 0 && spatialF0 < 0.5 {
 		iq, err := dsp.Demodulate(line, spatialF0, 1, math.Min(spatialF0, 0.45), 31)
 		if err != nil {

@@ -329,6 +329,23 @@ func TestBeamformValidation(t *testing.T) {
 	}
 }
 
+func TestParsePath(t *testing.T) {
+	for name, want := range map[string]Path{"block": BlockPath, "scalar": ScalarPath} {
+		got, err := ParsePath(name)
+		if err != nil || got != want {
+			t.Errorf("ParsePath(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "Block", "nappe", "block "} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) must fail", bad)
+		}
+	}
+	if Path(99).String() == "" {
+		t.Error("unknown Path must still render")
+	}
+}
+
 func TestVolumeAccessors(t *testing.T) {
 	v := &Volume{
 		Vol:  scan.NewVolume(geom.Radians(10), geom.Radians(10), 0.01, 3, 4, 5),
@@ -347,6 +364,30 @@ func TestVolumeAccessors(t *testing.T) {
 	}
 	if sl := v.NappeSlice(3); len(sl) != 12 || sl[2*4+1] != 7 {
 		t.Errorf("NappeSlice wrong")
+	}
+	// Accessors must return the full fiber, not just the marked point: fill
+	// the grid with a linear ramp and check every extracted sample.
+	for i := range v.Data {
+		v.Data[i] = float64(i)
+	}
+	at := func(it, ip, id int) float64 {
+		return v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
+	}
+	for id, got := range v.Scanline(2, 1) {
+		if got != at(2, 1, id) {
+			t.Errorf("Scanline[%d] = %v, want %v", id, got, at(2, 1, id))
+		}
+	}
+	for it, got := range v.LateralProfile(1, 3) {
+		if got != at(it, 1, 3) {
+			t.Errorf("LateralProfile[%d] = %v, want %v", it, got, at(it, 1, 3))
+		}
+	}
+	for i, got := range v.NappeSlice(3) {
+		it, ip := i/4, i%4
+		if got != at(it, ip, 3) {
+			t.Errorf("NappeSlice[%d] = %v, want %v", i, got, at(it, ip, 3))
+		}
 	}
 }
 

@@ -1,0 +1,205 @@
+// Session: the persistent multi-frame form of the engine. PR 1 made one
+// frame fast (block datapath); a cine sequence calls the beamformer once
+// per frame, and delays depend only on geometry — so the per-frame setup
+// (worker spawn, nappe buffers, output volume) and, with a caching
+// provider, delay generation itself are all amortizable across frames.
+// Session keeps a worker pool and per-worker nappe buffers alive between
+// frames, and its steady-state BeamformInto performs no allocation at all:
+// frame dispatch is a token send per worker on prebuilt channels.
+package beamform
+
+import (
+	"errors"
+	"fmt"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/rf"
+)
+
+// NappeSource is the optional fast path a caching BlockProvider can offer:
+// Nappe returns a retained read-only delay block for nappe id, or nil when
+// the nappe is not resident. When the session's provider implements it
+// (delaycache.Cache does), resident nappes are consumed in place — no
+// generation, no copy — and only non-resident nappes run FillNappe into the
+// worker's own buffer.
+type NappeSource interface {
+	Nappe(id int) []float64
+}
+
+// Session is a reusable multi-frame beamformer: one geometry, one delay
+// provider, a persistent worker pool. Frames are beamformed by Beamform /
+// BeamformInto / BeamformFrames / Stream; Close releases the workers.
+// A Session must not be used concurrently — one frame is in flight at a
+// time (the parallelism is inside the frame).
+type Session struct {
+	eng     *Engine
+	bp      delay.BlockProvider
+	src     NappeSource // non-nil when bp retains blocks
+	layout  delay.Layout
+	workers int
+
+	start []chan struct{} // per-worker frame triggers
+	done  chan struct{}   // workers report frame completion
+
+	// Per-frame shared state, published before the start tokens and
+	// therefore visible to workers via the channel happens-before edge.
+	frameBufs []rf.EchoBuffer
+	frameOut  *Volume
+
+	frames int64
+	closed bool
+}
+
+// NewSession builds a session running the engine's block datapath over p
+// (plain Providers are lifted via delay.AsBlock, caching providers are
+// detected through NappeSource) and spawns the worker pool. Callers own the
+// session lifecycle: Close it when the cine sequence ends.
+func (e *Engine) NewSession(p delay.Provider) (*Session, error) {
+	if p == nil {
+		return nil, errors.New("beamform: nil delay provider")
+	}
+	layout := delay.Layout{
+		NTheta: e.Cfg.Vol.Theta.N, NPhi: e.Cfg.Vol.Phi.N,
+		NX: e.Cfg.Arr.NX, NY: e.Cfg.Arr.NY,
+	}
+	if !layout.Valid() {
+		return nil, fmt.Errorf("beamform: invalid nappe layout %v", layout)
+	}
+	bp := delay.AsBlock(p, layout)
+	s := &Session{
+		eng: e, bp: bp, layout: layout,
+		workers: e.workerCount(),
+		done:    make(chan struct{}),
+	}
+	if src, ok := bp.(NappeSource); ok {
+		s.src = src
+	}
+	s.start = make([]chan struct{}, s.workers)
+	for w := 0; w < s.workers; w++ {
+		s.start[w] = make(chan struct{}, 1)
+		go s.worker(w)
+	}
+	return s, nil
+}
+
+// worker is the persistent per-worker loop: it owns one reusable nappe
+// delay buffer for the life of the session and beamforms depth slices
+// w, w+workers, ... of each frame. Resident nappes from a NappeSource are
+// accumulated in place; everything else fills the worker's buffer.
+func (s *Session) worker(w int) {
+	buf := make([]float64, s.layout.BlockLen())
+	for range s.start[w] {
+		bufs, out := s.frameBufs, s.frameOut
+		for id := w; id < s.eng.Cfg.Vol.Depth.N; id += s.workers {
+			blk := buf
+			if s.src != nil {
+				if resident := s.src.Nappe(id); resident != nil {
+					blk = resident
+				} else {
+					s.bp.FillNappe(id, buf)
+				}
+			} else {
+				s.bp.FillNappe(id, buf)
+			}
+			s.eng.accumulateNappe(blk, bufs, id, out)
+		}
+		s.done <- struct{}{}
+	}
+}
+
+// Workers returns the pool size (fixed at session creation).
+func (s *Session) Workers() int { return s.workers }
+
+// Frames returns how many frames the session has beamformed.
+func (s *Session) Frames() int64 { return s.frames }
+
+// Provider returns the block provider the session consumes (the cache
+// wrapper when one is installed).
+func (s *Session) Provider() delay.BlockProvider { return s.bp }
+
+// BeamformInto beamforms one frame from bufs into dst, reusing dst.Data in
+// place. This is the allocation-free steady state: after the first frame
+// (which may warm a cache) no allocation occurs on this path. dst must
+// carry the session's volume grid.
+func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
+	if s.closed {
+		return errors.New("beamform: session is closed")
+	}
+	if dst == nil || len(dst.Data) != s.eng.Cfg.Vol.Points() {
+		return fmt.Errorf("beamform: destination volume needs %d points", s.eng.Cfg.Vol.Points())
+	}
+	if dst.Vol != s.eng.Cfg.Vol {
+		return fmt.Errorf("beamform: destination grid %v is not the session grid %v",
+			dst.Vol, s.eng.Cfg.Vol)
+	}
+	if len(bufs) != s.eng.Cfg.Arr.Elements() {
+		return fmt.Errorf("beamform: %d echo buffers for %d elements",
+			len(bufs), s.eng.Cfg.Arr.Elements())
+	}
+	s.frameBufs, s.frameOut = bufs, dst
+	for w := 0; w < s.workers; w++ {
+		s.start[w] <- struct{}{}
+	}
+	for w := 0; w < s.workers; w++ {
+		<-s.done
+	}
+	s.frameBufs, s.frameOut = nil, nil
+	s.frames++
+	return nil
+}
+
+// Beamform beamforms one frame into a freshly allocated volume.
+func (s *Session) Beamform(bufs []rf.EchoBuffer) (*Volume, error) {
+	out := &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
+	if err := s.BeamformInto(out, bufs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BeamformFrames beamforms a cine sequence, one output volume per frame.
+// Frame 0 warms any cache in the provider chain; later frames reuse it.
+func (s *Session) BeamformFrames(frames [][]rf.EchoBuffer) ([]*Volume, error) {
+	out := make([]*Volume, len(frames))
+	for i, bufs := range frames {
+		v, err := s.Beamform(bufs)
+		if err != nil {
+			return nil, fmt.Errorf("frame %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Stream beamforms n frames through one reused output volume: src produces
+// the echo buffers of each frame, sink consumes the beamformed volume
+// before the next frame overwrites it. This is the constant-memory serving
+// shape — per-frame cost is one src call, one beamform, one sink call.
+func (s *Session) Stream(n int, src func(frame int) ([]rf.EchoBuffer, error), sink func(frame int, v *Volume) error) error {
+	out := &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
+	for i := 0; i < n; i++ {
+		bufs, err := src(i)
+		if err != nil {
+			return fmt.Errorf("frame %d source: %w", i, err)
+		}
+		if err := s.BeamformInto(out, bufs); err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		if err := sink(i, out); err != nil {
+			return fmt.Errorf("frame %d sink: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close stops the worker pool. The session is unusable afterwards; Close is
+// idempotent.
+func (s *Session) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for _, ch := range s.start {
+		close(ch)
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/scan"
 	"ultrabeam/internal/tablefree"
@@ -158,6 +159,38 @@ func (s SystemSpec) NewBeamformer(w xdcr.Window, order scan.Order) *beamform.Eng
 		Vol: s.Volume(), Arr: s.Array(), Conv: s.Converter(),
 		Window: w, Order: order,
 	})
+}
+
+// NewSession returns a persistent multi-frame beamforming session over p:
+// the worker pool and per-worker nappe buffers live across frames. Close it
+// when the cine sequence ends.
+func (s SystemSpec) NewSession(w xdcr.Window, p delay.Provider) (*beamform.Session, error) {
+	return s.NewBeamformer(w, scan.NappeOrder).NewSession(p)
+}
+
+// NewCachedSession returns a session whose delay generation is amortized
+// across frames through a delaycache.Cache with the given byte budget
+// (negative = unlimited / full residency; see delaycache.BudgetFromBanks
+// for the paper's BRAM-derived design point). Frame 0 warms the cache;
+// later frames skip generation for every resident nappe. The cache is
+// returned alongside the session for Stats inspection.
+func (s SystemSpec) NewCachedSession(w xdcr.Window, p delay.Provider, budgetBytes int64) (*beamform.Session, *delaycache.Cache, error) {
+	if p == nil {
+		return nil, nil, fmt.Errorf("core: nil delay provider")
+	}
+	vol := s.Volume()
+	layout := delay.Layout{NTheta: vol.Theta.N, NPhi: vol.Phi.N, NX: s.ElemX, NY: s.ElemY}
+	cache, err := delaycache.New(delaycache.Config{
+		Provider: delay.AsBlock(p, layout), Depths: vol.Depth.N, BudgetBytes: budgetBytes,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sess, err := s.NewBeamformer(w, scan.NappeOrder).NewSession(cache)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, cache, nil
 }
 
 // String summarizes the specification (the Table I row set).

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
 	"ultrabeam/internal/scan"
 	"ultrabeam/internal/xdcr"
 )
@@ -118,5 +120,76 @@ func TestNewBeamformer(t *testing.T) {
 func TestSpecString(t *testing.T) {
 	if PaperSpec().String() == "" {
 		t.Error("empty spec description")
+	}
+}
+
+func TestNewCachedSessionBitIdentity(t *testing.T) {
+	// A cached cine through the facade constructors must be bit-identical to
+	// the scalar reference on every frame, at full and partial residency —
+	// the core-level member of the TestPathInvariance family.
+	s := ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 3, 10
+	s.DepthLambda = 60
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := s.NewBeamformer(xdcr.Hann, scan.NappeOrder)
+	ref, err := eng.BeamformScalar(s.NewExact(), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockBytes := int64(s.FocalTheta*s.FocalPhi*s.Elements()) * 8
+	for name, budget := range map[string]int64{
+		"full": -1, "half": blockBytes * int64(s.FocalDepth) / 2, "none": 0,
+	} {
+		sess, cache, err := s.NewCachedSession(xdcr.Hann, s.NewExact(), budget)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for frame := 0; frame < 3; frame++ {
+			vol, err := sess.Beamform(bufs)
+			if err != nil {
+				t.Fatalf("%s frame %d: %v", name, frame, err)
+			}
+			for i := range ref.Data {
+				if ref.Data[i] != vol.Data[i] {
+					t.Fatalf("%s frame %d: differs from scalar reference at %d",
+						name, frame, i)
+				}
+			}
+		}
+		st := cache.Stats()
+		if name == "full" {
+			if !cache.FullResidency() {
+				t.Error("unlimited budget must reach full residency")
+			}
+			if st.Hits != int64(2*s.FocalDepth) {
+				t.Errorf("full residency hits = %d, want %d", st.Hits, 2*s.FocalDepth)
+			}
+		}
+		sess.Close()
+	}
+	if _, _, err := s.NewCachedSession(xdcr.Hann, nil, -1); err == nil {
+		t.Error("nil provider must fail")
+	}
+}
+
+func TestNewSession(t *testing.T) {
+	s := ReducedSpec()
+	sess, err := s.NewSession(xdcr.Hann, s.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Workers() < 1 {
+		t.Error("session has no workers")
+	}
+	if _, err := s.NewSession(xdcr.Hann, nil); err == nil {
+		t.Error("nil provider must fail")
 	}
 }

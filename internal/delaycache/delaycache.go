@@ -1,0 +1,211 @@
+// Package delaycache retains filled nappe delay blocks across frames under
+// a configurable byte budget — the software form of the paper's §V-B
+// observation that "the on-FPGA delay table could be a cache of a complete
+// delay table residing off-chip". Delays depend only on geometry, so in a
+// cine sequence every frame would regenerate identical nappe blocks; the
+// cache pays generation once and serves every later frame from memory.
+//
+// Residency is deterministic: with budget for k of the volume's Depth.N
+// blocks, nappes 0..k-1 are retained and deeper nappes always regenerate.
+// The resident set is a pure function of geometry and budget — never of
+// access order — so concurrent multi-worker frames are reproducible, and
+// the retained prefix mirrors the §V-B circular-buffer window that keeps
+// the shallowest not-yet-consumed slices on chip. Blocks fill lazily on
+// first access (frame 1 warms the cache) and are bit-identical to the
+// wrapped provider's FillNappe output by construction: the cache stores
+// exactly what the provider produced and never recomputes.
+package delaycache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/memmodel"
+)
+
+// delayBytes is the storage cost of one cached delay value (float64).
+const delayBytes = 8
+
+// Config assembles a Cache.
+type Config struct {
+	// Provider is the wrapped block generator; its Layout fixes the block
+	// geometry.
+	Provider delay.BlockProvider
+	// Depths is the number of depth nappes (valid FillNappe ids are
+	// 0..Depths-1), normally Volume.Depth.N.
+	Depths int
+	// BudgetBytes caps resident storage. Negative means unlimited (full
+	// residency); zero retains nothing (every fill is a miss).
+	BudgetBytes int64
+}
+
+// Cache is a delay.BlockProvider that retains filled nappe blocks under a
+// byte budget. It is safe for concurrent use: distinct nappes fill
+// independently and a block is generated exactly once (sync.Once per
+// block), with later readers served the retained data.
+type Cache struct {
+	inner  delay.BlockProvider
+	layout delay.Layout
+	depths int
+	budget int64
+	blocks []block // len = resident block count; index = nappe id
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	fills  atomic.Int64
+}
+
+type block struct {
+	once sync.Once
+	data []float64
+}
+
+// New builds a cache over cfg.Provider. The resident block count is
+// min(Depths, BudgetBytes/BlockBytes); see the package comment for the
+// partial-residency policy.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Provider == nil {
+		return nil, errors.New("delaycache: nil provider")
+	}
+	l := cfg.Provider.Layout()
+	if !l.Valid() {
+		return nil, fmt.Errorf("delaycache: invalid layout %v", l)
+	}
+	if cfg.Depths <= 0 {
+		return nil, fmt.Errorf("delaycache: non-positive depth count %d", cfg.Depths)
+	}
+	c := &Cache{inner: cfg.Provider, layout: l, depths: cfg.Depths, budget: cfg.BudgetBytes}
+	resident := cfg.Depths
+	if cfg.BudgetBytes >= 0 {
+		resident = int(cfg.BudgetBytes / c.BlockBytes())
+		if resident > cfg.Depths {
+			resident = cfg.Depths
+		}
+	}
+	c.blocks = make([]block, resident)
+	return c, nil
+}
+
+// BudgetFromBanks translates a BRAM bank array into a cache budget holding
+// the same number of delay words the banks hold at their native width — the
+// paper's design point (128 banks × 1k lines = 128k resident delays) mapped
+// onto float64 storage. One line is one delay word, so the budget is
+// Words() × 8 bytes.
+func BudgetFromBanks(a memmodel.BankArray) int64 {
+	return int64(a.Words()) * delayBytes
+}
+
+// BlockBytes returns the storage cost of one resident nappe block.
+func (c *Cache) BlockBytes() int64 { return int64(c.layout.BlockLen()) * delayBytes }
+
+// ResidentBlocks returns how many nappes the budget retains (k of Depths).
+func (c *Cache) ResidentBlocks() int { return len(c.blocks) }
+
+// FullResidency reports whether every nappe of the volume is retained.
+func (c *Cache) FullResidency() bool { return len(c.blocks) == c.depths }
+
+// Name implements delay.Provider.
+func (c *Cache) Name() string { return "cached(" + c.inner.Name() + ")" }
+
+// DelaySamples implements delay.Provider by forwarding to the wrapped
+// provider — the scalar path stays the executable specification and is not
+// cached.
+func (c *Cache) DelaySamples(it, ip, id, ei, ej int) float64 {
+	return c.inner.DelaySamples(it, ip, id, ei, ej)
+}
+
+// Layout implements delay.BlockProvider.
+func (c *Cache) Layout() delay.Layout { return c.layout }
+
+// FillNappe implements delay.BlockProvider: resident nappes are copied from
+// the retained block (filling it on first access), non-resident nappes
+// delegate to the wrapped provider. Values are bit-identical to an uncached
+// fill in both cases.
+func (c *Cache) FillNappe(id int, dst []float64) {
+	if blk := c.Nappe(id); blk != nil {
+		copy(dst, blk)
+		return
+	}
+	c.misses.Add(1)
+	c.inner.FillNappe(id, dst)
+}
+
+// Nappe returns the retained block of nappe id, generating it on first
+// access, or nil when id is outside the resident set. Callers must treat
+// the returned slice as read-only; consuming it directly (as the beamform
+// session does) skips both generation and the copy FillNappe would pay.
+func (c *Cache) Nappe(id int) []float64 {
+	if id < 0 || id >= len(c.blocks) {
+		return nil
+	}
+	b := &c.blocks[id]
+	filled := false
+	b.once.Do(func() {
+		data := make([]float64, c.layout.BlockLen())
+		c.inner.FillNappe(id, data)
+		b.data = data
+		filled = true
+	})
+	if filled {
+		c.misses.Add(1)
+		c.fills.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return b.data
+}
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	Hits   int64 // block requests served from retained memory
+	Misses int64 // block requests that ran the generator
+	Fills  int64 // misses that populated a resident block (≤ ResidentBlocks)
+
+	ResidentBlocks int   // blocks the budget retains
+	TotalBlocks    int   // Depths — blocks a full table would need
+	BlockBytes     int64 // bytes per block
+	BytesResident  int64 // bytes actually filled so far
+	BudgetBytes    int64 // configured budget (<0 = unlimited)
+}
+
+// HitRate returns Hits/(Hits+Misses), 0 when nothing was requested.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String renders the snapshot for logs and CLI reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d/%d blocks resident (%.1f MB), %d hits / %d misses (%.1f%% hit rate)",
+		s.ResidentBlocks, s.TotalBlocks, float64(s.BytesResident)/1e6,
+		s.Hits, s.Misses, 100*s.HitRate())
+}
+
+// Stats returns a consistent-enough snapshot of the counters (each counter
+// is individually atomic; the set is not a transaction).
+func (c *Cache) Stats() Stats {
+	fills := c.fills.Load()
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Fills:          fills,
+		ResidentBlocks: len(c.blocks),
+		TotalBlocks:    c.depths,
+		BlockBytes:     c.BlockBytes(),
+		BytesResident:  fills * c.BlockBytes(),
+		BudgetBytes:    c.budget,
+	}
+}
+
+// Warm fills every resident block eagerly (frame 0 of a cine does this
+// implicitly; Warm lets benchmarks separate warm-up from steady state).
+func (c *Cache) Warm() {
+	for id := range c.blocks {
+		c.Nappe(id)
+	}
+}

@@ -1,0 +1,241 @@
+package delaycache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/memmodel"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+// countingProvider wraps a BlockProvider and counts FillNappe invocations.
+type countingProvider struct {
+	delay.BlockProvider
+	calls atomic.Int64
+}
+
+func (c *countingProvider) FillNappe(id int, dst []float64) {
+	c.calls.Add(1)
+	c.BlockProvider.FillNappe(id, dst)
+}
+
+func testExact(t *testing.T) (*delay.Exact, int) {
+	t.Helper()
+	vol := scan.NewVolume(geom.Radians(40), geom.Radians(20), 0.03, 5, 3, 8)
+	arr := xdcr.NewArray(4, 4, 0.2e-3)
+	return delay.NewExact(vol, arr, geom.Vec3{}, delay.Converter{C: 1540, Fs: 32e6}), vol.Depth.N
+}
+
+func TestCacheValidation(t *testing.T) {
+	e, depths := testExact(t)
+	if _, err := New(Config{Provider: nil, Depths: depths}); err == nil {
+		t.Error("nil provider must fail")
+	}
+	if _, err := New(Config{Provider: e, Depths: 0}); err == nil {
+		t.Error("zero depths must fail")
+	}
+	if _, err := New(Config{Provider: e, Depths: depths, BudgetBytes: -1}); err != nil {
+		t.Errorf("unlimited budget: %v", err)
+	}
+}
+
+func TestResidencyPolicy(t *testing.T) {
+	e, depths := testExact(t)
+	blockBytes := int64(e.Layout().BlockLen()) * 8
+	cases := []struct {
+		budget   int64
+		resident int
+	}{
+		{-1, depths},                               // unlimited → full
+		{blockBytes * int64(depths), depths},       // exactly full
+		{blockBytes*int64(depths) - 1, depths - 1}, // one byte short drops a block
+		{blockBytes * 3, 3},                        // partial prefix
+		{blockBytes - 1, 0},                        // under one block retains nothing
+		{0, 0},
+	}
+	for _, c := range cases {
+		cache, err := New(Config{Provider: e, Depths: depths, BudgetBytes: c.budget})
+		if err != nil {
+			t.Fatalf("budget %d: %v", c.budget, err)
+		}
+		if got := cache.ResidentBlocks(); got != c.resident {
+			t.Errorf("budget %d: resident = %d, want %d", c.budget, got, c.resident)
+		}
+		if full := cache.FullResidency(); full != (c.resident == depths) {
+			t.Errorf("budget %d: FullResidency = %v", c.budget, full)
+		}
+	}
+}
+
+func TestCacheBitIdentity(t *testing.T) {
+	// Cached fills — resident (copied), resident (direct Nappe) and
+	// non-resident (delegated) — must all be bit-identical to the wrapped
+	// provider, across repeated frames.
+	e, depths := testExact(t)
+	blockBytes := int64(e.Layout().BlockLen()) * 8
+	cache, err := New(Config{Provider: e, Depths: depths, BudgetBytes: blockBytes * int64(depths/2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, e.Layout().BlockLen())
+	got := make([]float64, e.Layout().BlockLen())
+	for frame := 0; frame < 3; frame++ {
+		for id := 0; id < depths; id++ {
+			e.FillNappe(id, want)
+			cache.FillNappe(id, got)
+			for k := range want {
+				if want[k] != got[k] {
+					t.Fatalf("frame %d nappe %d slot %d: cache %v, direct %v",
+						frame, id, k, got[k], want[k])
+				}
+			}
+			if blk := cache.Nappe(id); blk != nil {
+				for k := range want {
+					if want[k] != blk[k] {
+						t.Fatalf("nappe %d slot %d: retained %v, direct %v", id, k, blk[k], want[k])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCacheScalarPathForwards(t *testing.T) {
+	e, depths := testExact(t)
+	cache, err := New(Config{Provider: e, Depths: depths, BudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := cache.DelaySamples(1, 2, 3, 0, 1), e.DelaySamples(1, 2, 3, 0, 1); got != want {
+		t.Errorf("DelaySamples = %v, want %v", got, want)
+	}
+	if cache.Name() != "cached(exact)" {
+		t.Errorf("Name = %q", cache.Name())
+	}
+	if cache.Layout() != e.Layout() {
+		t.Errorf("Layout = %v", cache.Layout())
+	}
+}
+
+func TestCacheStatsAndSingleFill(t *testing.T) {
+	e, depths := testExact(t)
+	counting := &countingProvider{BlockProvider: e}
+	blockBytes := int64(e.Layout().BlockLen()) * 8
+	resident := 3
+	cache, err := New(Config{Provider: counting, Depths: depths,
+		BudgetBytes: blockBytes * int64(resident)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, e.Layout().BlockLen())
+	frames := 4
+	for frame := 0; frame < frames; frame++ {
+		for id := 0; id < depths; id++ {
+			cache.FillNappe(id, dst)
+		}
+	}
+	st := cache.Stats()
+	// Resident nappes generate once ever; the rest generate every frame.
+	wantCalls := int64(resident + (depths-resident)*frames)
+	if counting.calls.Load() != wantCalls {
+		t.Errorf("generator ran %d times, want %d", counting.calls.Load(), wantCalls)
+	}
+	if st.Fills != int64(resident) {
+		t.Errorf("Fills = %d, want %d", st.Fills, resident)
+	}
+	if st.Hits != int64(resident*(frames-1)) {
+		t.Errorf("Hits = %d, want %d", st.Hits, resident*(frames-1))
+	}
+	if st.Misses != wantCalls {
+		t.Errorf("Misses = %d, want %d", st.Misses, wantCalls)
+	}
+	if st.BytesResident != int64(resident)*blockBytes {
+		t.Errorf("BytesResident = %d", st.BytesResident)
+	}
+	wantRate := float64(st.Hits) / float64(st.Hits+st.Misses)
+	if st.HitRate() != wantRate {
+		t.Errorf("HitRate = %v, want %v", st.HitRate(), wantRate)
+	}
+	if st.String() == "" {
+		t.Error("Stats.String empty")
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	// Many goroutines hammering the same nappes: the generator must run at
+	// most once per resident block and every reader must see full data
+	// (run under -race in CI).
+	e, depths := testExact(t)
+	counting := &countingProvider{BlockProvider: e}
+	cache, err := New(Config{Provider: counting, Depths: depths, BudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, e.Layout().BlockLen())
+	e.FillNappe(0, want)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := make([]float64, e.Layout().BlockLen())
+			for rep := 0; rep < 20; rep++ {
+				for id := 0; id < depths; id++ {
+					cache.FillNappe(id, dst)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if counting.calls.Load() != int64(depths) {
+		t.Errorf("generator ran %d times for %d resident blocks", counting.calls.Load(), depths)
+	}
+	got := cache.Nappe(0)
+	for k := range want {
+		if got[k] != want[k] {
+			t.Fatalf("slot %d: %v != %v", k, got[k], want[k])
+		}
+	}
+}
+
+func TestWarm(t *testing.T) {
+	e, depths := testExact(t)
+	counting := &countingProvider{BlockProvider: e}
+	cache, err := New(Config{Provider: counting, Depths: depths, BudgetBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.Warm()
+	if counting.calls.Load() != int64(depths) {
+		t.Errorf("Warm ran generator %d times, want %d", counting.calls.Load(), depths)
+	}
+	st := cache.Stats()
+	if st.Fills != int64(depths) || st.Hits != 0 {
+		t.Errorf("after Warm: %+v", st)
+	}
+	cache.Warm() // idempotent: all hits now
+	if got := cache.Stats().Hits; got != int64(depths) {
+		t.Errorf("second Warm hits = %d, want %d", got, depths)
+	}
+}
+
+func TestBudgetFromBanks(t *testing.T) {
+	banks := memmodel.BankArray{Spec: memmodel.BankSpec{WordBits: 18, Lines: 1024}, Banks: 128}
+	// 128 banks × 1k lines = 128k resident delay words → ×8 bytes each.
+	if got, want := BudgetFromBanks(banks), int64(128*1024*8); got != want {
+		t.Errorf("BudgetFromBanks = %d, want %d", got, want)
+	}
+	if banks.Words() != 128*1024 {
+		t.Errorf("Words = %d", banks.Words())
+	}
+	if banks.Bytes() != int64(banks.TotalBits())/8 {
+		t.Errorf("Bytes = %d", banks.Bytes())
+	}
+}
+
+// Cache must satisfy the block interface and the session's fast path.
+var _ delay.BlockProvider = (*Cache)(nil)

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -316,5 +318,74 @@ func TestPaperTableIIRowLookup(t *testing.T) {
 	r, ok := PaperTableIIRow("TABLEFREE")
 	if !ok || r.FrameRate != 7.8 {
 		t.Error("paper row lookup")
+	}
+}
+
+func TestFrameCacheSweep(t *testing.T) {
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 5, 12
+	s.DepthLambda = 60
+	r, err := FrameCache(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("got %d rows: %+v", len(r.Rows), r.Rows)
+	}
+	if r.Rows[0].Label != "uncached" || r.Rows[0].Speedup != 1 {
+		t.Errorf("baseline row: %+v", r.Rows[0])
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.Label != "full table" || last.Resident != last.Total {
+		t.Errorf("full-residency row: %+v", last)
+	}
+	// 3 frames over a fully resident table: 1 warm sweep of misses, then
+	// hits only → hit rate 2/3.
+	if last.HitRate < 0.6 || last.HitRate > 0.7 {
+		t.Errorf("full-table hit rate = %v, want ≈2/3", last.HitRate)
+	}
+	for _, row := range r.Rows {
+		if row.FramesPerSec <= 0 {
+			t.Errorf("%s: frames/s = %v", row.Label, row.FramesPerSec)
+		}
+		if row.Resident > row.Total {
+			t.Errorf("%s: resident %d > total %d", row.Label, row.Resident, row.Total)
+		}
+	}
+	if out := r.Table().String(); !strings.Contains(out, "frames/s") {
+		t.Error("B2 table rendering")
+	}
+	if _, err := FrameCache(s, 1); err == nil {
+		t.Error("single-frame sweep must fail (nothing to amortize)")
+	}
+}
+
+func TestBenchRecordJSON(t *testing.T) {
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 5, 12
+	s.DepthLambda = 60
+	rec, err := Bench(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.BlockDelaysPerSec <= 0 || rec.ScalarDelaysPerSec <= 0 ||
+		rec.UncachedFramesPerSec <= 0 || rec.CachedFramesPerSec <= 0 {
+		t.Fatalf("bench record has empty metrics: %+v", rec)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round BenchRecord
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if round != rec {
+		t.Errorf("JSON round trip mutated the record:\n%+v\n%+v", round, rec)
+	}
+	if out := rec.Table().String(); !strings.Contains(out, "frames/s") {
+		t.Error("bench table rendering")
 	}
 }

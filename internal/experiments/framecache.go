@@ -1,0 +1,253 @@
+// Experiment B2: frames/s versus delay-cache budget — the software form of
+// the §V-B BRAM-as-cache trade-off. A cine sequence beamforms the same
+// geometry every frame, so a budgeted delaycache turns delay generation
+// into a one-time warm-up cost; sweeping the budget from nothing to full
+// residency traces the Fig. 4 curve's software analogue: how much on-chip
+// (here: resident) delay storage buys how much sustained frame rate.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/memmodel"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+// PaperBanks returns the §V-B on-chip design point: 128 BRAM banks of
+// 18b×1k lines (2.3 Mb, 128k resident delay words).
+func PaperBanks() memmodel.BankArray {
+	return memmodel.BankArray{Spec: memmodel.BankSpec{WordBits: 18, Lines: 1024}, Banks: 128}
+}
+
+// FrameCacheRow is one budget point of experiment B2.
+type FrameCacheRow struct {
+	Label        string
+	BudgetBytes  int64 // <0 = unlimited
+	Resident     int   // nappe blocks retained
+	Total        int   // nappe blocks in the full table
+	HitRate      float64
+	FramesPerSec float64
+	Speedup      float64 // vs the uncached session baseline
+}
+
+// FrameCacheResult carries experiment B2.
+type FrameCacheResult struct {
+	Frames     int
+	Workers    int
+	BlockBytes int64
+	Rows       []FrameCacheRow
+}
+
+// budgetPoint names one cache budget of a sweep; bytes < 0 is unlimited
+// and the special fraction values are resolved against the full table size.
+type budgetPoint struct {
+	label    string
+	fraction float64 // of the full table; <0 means use bytes as-is
+	bytes    int64
+}
+
+// FrameCache beamforms a static point-phantom cine of the given length
+// through sessions with increasing cache budgets and measures sustained
+// frames/s (warm-up frame included — the honest amortized rate). The spec
+// should be laptop scale; TABLEFREE with the fixed datapath is used
+// throughout — the compute-bound §IV architecture whose generation cost
+// the cache amortizes hardest.
+func FrameCache(s core.SystemSpec, frames int) (FrameCacheResult, error) {
+	return frameCacheSweep(s, frames, []budgetPoint{
+		{label: "bram §V-B", fraction: -1, bytes: delaycache.BudgetFromBanks(PaperBanks())},
+		{label: "1/4 table", fraction: 0.25},
+		{label: "1/2 table", fraction: 0.5},
+		{label: "full table", fraction: -1, bytes: -1},
+	})
+}
+
+func frameCacheSweep(s core.SystemSpec, frames int, budgets []budgetPoint) (FrameCacheResult, error) {
+	res := FrameCacheResult{Frames: frames}
+	if frames < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 frames to amortize, got %d", frames)
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	eng := s.NewBeamformer(xdcr.Hann, scan.NappeOrder)
+	newProvider := func() delay.Provider {
+		p := s.NewTableFree()
+		p.UseFixed = true
+		return p
+	}
+
+	// Uncached baseline: persistent session, no cache.
+	base, err := eng.NewSession(newProvider())
+	if err != nil {
+		return res, err
+	}
+	res.Workers = base.Workers()
+	baseFPS, err := sessionFPS(base, bufs, frames)
+	base.Close()
+	if err != nil {
+		return res, err
+	}
+	// One source of truth for block sizing: a probe cache over the same
+	// provider/layout the sweep will build.
+	probe, err := delaycache.New(delaycache.Config{
+		Provider: delay.AsBlock(newProvider(), delay.Layout{
+			NTheta: s.FocalTheta, NPhi: s.FocalPhi, NX: s.ElemX, NY: s.ElemY,
+		}), Depths: s.FocalDepth, BudgetBytes: 0,
+	})
+	if err != nil {
+		return res, err
+	}
+	res.BlockBytes = probe.BlockBytes()
+	full := res.BlockBytes * int64(s.FocalDepth)
+	res.Rows = append(res.Rows, FrameCacheRow{
+		Label: "uncached", Total: s.FocalDepth, FramesPerSec: baseFPS, Speedup: 1,
+	})
+
+	for _, b := range budgets {
+		bytes := b.bytes
+		if b.fraction >= 0 {
+			bytes = int64(b.fraction * float64(full))
+		}
+		sess, cache, err := s.NewCachedSession(xdcr.Hann, newProvider(), bytes)
+		if err != nil {
+			return res, err
+		}
+		fps, err := sessionFPS(sess, bufs, frames)
+		sess.Close()
+		if err != nil {
+			return res, err
+		}
+		st := cache.Stats()
+		res.Rows = append(res.Rows, FrameCacheRow{
+			Label: b.label, BudgetBytes: bytes,
+			Resident: st.ResidentBlocks, Total: st.TotalBlocks,
+			HitRate: st.HitRate(), FramesPerSec: fps, Speedup: fps / baseFPS,
+		})
+	}
+	return res, nil
+}
+
+// sessionFPS beamforms the same echo snapshot `frames` times through one
+// reused output volume and returns frames per second.
+func sessionFPS(sess *beamform.Session, bufs []rf.EchoBuffer, frames int) (float64, error) {
+	start := time.Now()
+	err := sess.Stream(frames,
+		func(int) ([]rf.EchoBuffer, error) { return bufs, nil },
+		func(int, *beamform.Volume) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return float64(frames) / time.Since(start).Seconds(), nil
+}
+
+// Table renders B2.
+func (r FrameCacheResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B2 — frames/s vs delay-cache budget (%d frames, %d workers, %s/block)",
+			r.Frames, r.Workers, report.Eng(float64(r.BlockBytes))+"B"),
+		"budget", "bytes", "resident", "hit rate", "frames/s", "speedup")
+	for _, row := range r.Rows {
+		bytes := "—"
+		if row.Label != "uncached" {
+			if row.BudgetBytes < 0 {
+				bytes = "unlimited"
+			} else {
+				bytes = report.Eng(float64(row.BudgetBytes)) + "B"
+			}
+		}
+		t.Add(row.Label, bytes,
+			fmt.Sprintf("%d/%d", row.Resident, row.Total),
+			report.Pct(row.HitRate),
+			fmt.Sprintf("%.2f", row.FramesPerSec),
+			fmt.Sprintf("%.2f×", row.Speedup))
+	}
+	return t
+}
+
+// BenchRecord is the machine-readable perf snapshot `usbeam bench -json`
+// writes to BENCH_pipeline.json: the delays/s and frames/s trajectory of
+// the software pipeline, one record per PR, so regressions are diffable.
+type BenchRecord struct {
+	Spec           string  `json:"spec"`
+	GeneratedAtUTC string  `json:"generated_at_utc"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	Frames         int     `json:"frames"`
+	DelaysPerFrame float64 `json:"delays_per_frame"`
+
+	// Raw generation rates (exact provider, single goroutine).
+	ScalarDelaysPerSec float64 `json:"scalar_delays_per_sec"`
+	BlockDelaysPerSec  float64 `json:"block_delays_per_sec"`
+
+	// Sustained multi-frame pipeline rates.
+	UncachedFramesPerSec float64 `json:"uncached_frames_per_sec"`
+	CachedFramesPerSec   float64 `json:"cached_frames_per_sec"`
+	CacheSpeedup         float64 `json:"cache_speedup"`
+}
+
+// Bench measures the pipeline perf record on spec (laptop scale expected).
+func Bench(s core.SystemSpec, frames int) (BenchRecord, error) {
+	rec := BenchRecord{
+		Spec:           s.String(),
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Frames:         frames,
+		DelaysPerFrame: s.DelaysPerFrame(),
+	}
+	gen := measureBlockPath(s, s.NewExact())
+	rec.ScalarDelaysPerSec = gen.ScalarPerSec
+	rec.BlockDelaysPerSec = gen.BlockPerSec
+
+	// Only the endpoints of the B2 curve go in the record; skip the
+	// intermediate budget sessions FrameCache would also measure.
+	fc, err := frameCacheSweep(s, frames, []budgetPoint{
+		{label: "full table", fraction: -1, bytes: -1},
+	})
+	if err != nil {
+		return rec, err
+	}
+	for _, row := range fc.Rows {
+		switch row.Label {
+		case "uncached":
+			rec.UncachedFramesPerSec = row.FramesPerSec
+		case "full table":
+			rec.CachedFramesPerSec = row.FramesPerSec
+			rec.CacheSpeedup = row.Speedup
+		}
+	}
+	return rec, nil
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r BenchRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the bench record for terminal use.
+func (r BenchRecord) Table() *report.Table {
+	t := report.NewTable("pipeline bench — "+r.Spec, "metric", "value")
+	t.Add("delays/frame", report.Eng(r.DelaysPerFrame))
+	t.Add("scalar generation", report.Eng(r.ScalarDelaysPerSec)+"/s")
+	t.Add("block generation", report.Eng(r.BlockDelaysPerSec)+"/s")
+	t.Add("uncached frames/s", fmt.Sprintf("%.2f", r.UncachedFramesPerSec))
+	t.Add("cached frames/s", fmt.Sprintf("%.2f", r.CachedFramesPerSec))
+	t.Add("cache speedup", fmt.Sprintf("%.2f×", r.CacheSpeedup))
+	return t
+}

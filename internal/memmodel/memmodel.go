@@ -35,6 +35,15 @@ type BankArray struct {
 // banks of 18b×1k).
 func (a BankArray) TotalBits() int { return a.Banks * a.Spec.Bits() }
 
+// Words returns the number of delay words the array holds — one word per
+// line per bank (128k at the paper's design point). This is the quantity a
+// software cache mirrors when it uses the BRAM array as its budget
+// reference: same resident delay count, whatever the storage width.
+func (a BankArray) Words() int { return a.Banks * a.Spec.Lines }
+
+// Bytes returns the aggregate capacity in bytes (TotalBits/8).
+func (a BankArray) Bytes() int64 { return int64(a.TotalBits()) / 8 }
+
 // ReadsPerCycle is the aggregate read throughput in words per cycle.
 func (a BankArray) ReadsPerCycle() int { return a.Banks }
 

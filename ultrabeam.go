@@ -21,13 +21,29 @@
 // nappe into a contiguous buffer in a single call, the bulk datapath the
 // streaming beamformer and the paper's nappe-order hardware both consume.
 //
+// Multi-frame imaging goes through a Session — a persistent worker pool
+// whose steady-state BeamformInto is allocation-free — optionally fed by a
+// budgeted DelayCache that retains filled nappe blocks across frames (the
+// §V-B BRAM-as-cache design point in software):
+//
+//	sess, cache, err := spec.NewCachedSession(ultrabeam.Hann, tf, -1)
+//	defer sess.Close()
+//	vols, err := sess.BeamformFrames(frames)
+//	fmt.Println(cache.Stats()) // hits, misses, resident bytes
+//
 // The cmd/ tools regenerate every table and figure; see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for paper-vs-measured results.
 package ultrabeam
 
 import (
+	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/memmodel"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
 )
 
 // SystemSpec is the Table I system description; see core.SystemSpec.
@@ -48,6 +64,55 @@ type ScalarAdapter = delay.ScalarAdapter
 
 // Converter maps between seconds, meters and echo-sample units.
 type Converter = delay.Converter
+
+// Engine is the single-frame delay-and-sum beamformer; see beamform.Engine.
+type Engine = beamform.Engine
+
+// Volume is a beamformed output volume; see beamform.Volume.
+type Volume = beamform.Volume
+
+// Session is a persistent multi-frame beamformer: worker pool and nappe
+// buffers live across frames, BeamformInto is allocation-free in steady
+// state, and a caching provider amortizes delay generation across the cine
+// sequence. Build one with SystemSpec.NewSession / NewCachedSession.
+type Session = beamform.Session
+
+// DelayCache retains filled nappe delay blocks across frames under a byte
+// budget — the §V-B "on-FPGA table as a cache" design point in software.
+type DelayCache = delaycache.Cache
+
+// CacheStats snapshots delay-cache effectiveness (hits, misses, residency).
+type CacheStats = delaycache.Stats
+
+// EchoBuffer holds one element's sampled receive signal; see rf.EchoBuffer.
+type EchoBuffer = rf.EchoBuffer
+
+// Window selects the receive apodization; see xdcr.Window.
+type Window = xdcr.Window
+
+// Rect and Hann are the built-in apodization windows.
+const (
+	Rect = xdcr.Rect
+	Hann = xdcr.Hann
+)
+
+// Order selects the Algorithm 1 sweep order; see scan.Order.
+type Order = scan.Order
+
+// ScanlineOrder and NappeOrder are the two Algorithm 1 sweep flavours.
+const (
+	ScanlineOrder = scan.ScanlineOrder
+	NappeOrder    = scan.NappeOrder
+)
+
+// BankArray models a BRAM bank set; see memmodel.BankArray. Feed it to
+// BudgetFromBanks to derive a delay-cache budget from the paper's on-chip
+// capacity.
+type BankArray = memmodel.BankArray
+
+// BudgetFromBanks translates BRAM capacity into a delay-cache byte budget
+// holding the same number of resident delay words.
+func BudgetFromBanks(a BankArray) int64 { return delaycache.BudgetFromBanks(a) }
 
 // PaperSpec returns the exact Table I configuration of the paper.
 func PaperSpec() SystemSpec { return core.PaperSpec() }
