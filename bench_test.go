@@ -271,15 +271,21 @@ func runProvider(b *testing.B, s core.SystemSpec, p delay.Provider) {
 }
 
 // Compile-time interface checks for every provider implementation: all
-// three architectures implement both the scalar and the block interface.
+// three architectures implement the scalar, block and narrow-block
+// interfaces (the ScalarAdapter lifts any Provider onto both block forms).
 var (
-	_ delay.Provider      = (*delay.Exact)(nil)
-	_ delay.Provider      = (*tablefree.Provider)(nil)
-	_ delay.Provider      = (*tablesteer.Provider)(nil)
-	_ delay.BlockProvider = (*delay.Exact)(nil)
-	_ delay.BlockProvider = (*tablefree.Provider)(nil)
-	_ delay.BlockProvider = (*tablesteer.Provider)(nil)
-	_ delay.BlockProvider = (*delay.ScalarAdapter)(nil)
+	_ delay.Provider        = (*delay.Exact)(nil)
+	_ delay.Provider        = (*tablefree.Provider)(nil)
+	_ delay.Provider        = (*tablesteer.Provider)(nil)
+	_ delay.BlockProvider   = (*delay.Exact)(nil)
+	_ delay.BlockProvider   = (*tablefree.Provider)(nil)
+	_ delay.BlockProvider   = (*tablesteer.Provider)(nil)
+	_ delay.BlockProvider   = (*delay.ScalarAdapter)(nil)
+	_ delay.BlockProvider16 = (*delay.Exact)(nil)
+	_ delay.BlockProvider16 = (*tablefree.Provider)(nil)
+	_ delay.BlockProvider16 = (*tablesteer.Provider)(nil)
+	_ delay.BlockProvider16 = (*delay.ScalarAdapter)(nil)
+	_ delay.BlockProvider16 = (*delaycache.Cache)(nil)
 )
 
 // Multi-frame session benchmarks (ISSUE 2): one iteration = one frame
@@ -350,6 +356,65 @@ func runSessionFrames(b *testing.B, s core.SystemSpec, p delay.Provider, cached 
 	b.StopTimer()
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 	b.ReportMetric(s.DelaysPerFrame()*float64(b.N)/b.Elapsed().Seconds(), "delays/s")
+}
+
+// BenchmarkKernelPrecision contrasts the three session datapaths on the
+// steady-state cine regime (tablefree-fixed, full cache residency): the
+// PR-2 wide baseline (float64 blocks + float64 echo), the narrow-delay
+// golden path (int16 blocks + float64 echo, bit-identical), and the narrow
+// kernel (int16 blocks + flattened float32 echo, 4-way unrolled). The
+// ISSUE 3 acceptance criterion is float32 ≥ 1.5× the wide frames/s.
+func BenchmarkKernelPrecision(b *testing.B) {
+	s := core.ReducedSpec()
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.02}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		prec beamform.Precision
+		wide bool
+	}{
+		{"wide", beamform.PrecisionWide, true},
+		{"float64", beamform.PrecisionFloat64, false},
+		{"float32", beamform.PrecisionFloat32, false},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			p := s.NewTableFree()
+			p.UseFixed = true
+			cache, err := delaycache.New(delaycache.Config{
+				Provider: p, Depths: s.FocalDepth, BudgetBytes: -1, Wide: tc.wide,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cache.Warm()
+			eng := s.NewBeamformer(xdcr.Hann, scan.NappeOrder)
+			eng.Cfg.Precision = tc.prec
+			sess, err := eng.NewSession(cache)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sess.Close()
+			out := &beamform.Volume{Vol: s.Volume(), Data: make([]float64, s.Points())}
+			if err := sess.BeamformInto(out, bufs); err != nil { // steady state
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sess.BeamformInto(out, bufs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+			b.ReportMetric(s.DelaysPerFrame()*float64(b.N)/b.Elapsed().Seconds(), "delays/s")
+		})
+	}
 }
 
 // BenchmarkDelayCacheFillNappe isolates the cache's copy-serve path against

@@ -6,12 +6,17 @@
 //
 //	beamsim [-provider exact|tablefree|tablesteer] [-phantom point|grid|speckle]
 //	        [-depth 0.02] [-out image.pgm] [-compare] [-path block|scalar]
-//	        [-frames N] [-cache-budget BYTES]
+//	        [-precision float64|float32|wide] [-frames N] [-cache-budget BYTES]
 //
 // -compare beamforms through all three providers and reports similarity,
 // the §II-A image-quality experiment. -path selects the engine datapath:
 // the default streaming block path (nappe-granular FillNappe) or the scalar
 // per-voxel×element reference; both image identically.
+//
+// -precision selects the session kernel width: float64 (int16 delay blocks,
+// float64 echo — bit-identical golden model, the default), float32 (int16
+// delay blocks, float32 echo through the unrolled kernel), or wide (the
+// pre-narrowing float64 A/B datapath, which pairs with a float64 cache).
 //
 // -frames > 1 beamforms a static cine through a persistent Session and
 // reports sustained frames/s. -cache-budget bounds the nappe-block delay
@@ -28,7 +33,6 @@ import (
 	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
-	"ultrabeam/internal/delaycache"
 	"ultrabeam/internal/dsp"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
@@ -43,6 +47,7 @@ func main() {
 	out := flag.String("out", "", "write a B-mode PGM slice to this path")
 	compare := flag.Bool("compare", false, "beamform with all providers and compare")
 	path := flag.String("path", "block", "delay datapath: block|scalar")
+	precision := flag.String("precision", "float64", "session kernel width: float64|float32|wide")
 	frames := flag.Int("frames", 1, "cine frames to beamform through one session")
 	cacheBudget := flag.Int64("cache-budget", -1, "delay-cache bytes (0 = uncached, <0 = full residency)")
 	flag.Parse()
@@ -60,6 +65,7 @@ func main() {
 	check(err)
 	eng := spec.NewBeamformer(xdcr.Hann, scan.NappeOrder)
 	eng.Cfg.Path = parsePath(*path)
+	eng.Cfg.Precision = parsePrecision(*precision)
 
 	if *compare {
 		if *frames > 1 {
@@ -77,7 +83,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "beamsim: -frames > 1 always streams the block datapath; drop -path", *path)
 			os.Exit(2)
 		}
-		vol = runCine(spec, p, bufs, *frames, *cacheBudget)
+		vol = runCine(spec, p, bufs, *frames, *cacheBudget, eng.Cfg.Precision)
 	} else {
 		vol, err = eng.Beamform(p, bufs)
 		check(err)
@@ -111,19 +117,16 @@ func buildPhantom(kind string, depth float64) rf.Phantom {
 
 // runCine beamforms a static cine through one persistent session (cached
 // unless budget is 0 — the cine always streams the block datapath) and
-// reports sustained frames/s plus cache effectiveness. It returns the last
-// beamformed frame for the usual PSF report and -out image.
-func runCine(spec core.SystemSpec, p delay.Provider, bufs []rf.EchoBuffer, frames int, budget int64) *beamform.Volume {
-	var (
-		sess  *beamform.Session
-		cache *delaycache.Cache
-		err   error
-	)
-	if budget == 0 {
-		sess, err = spec.NewBeamformer(xdcr.Hann, scan.NappeOrder).NewSession(p)
-	} else {
-		sess, cache, err = spec.NewCachedSession(xdcr.Hann, p, budget)
-	}
+// reports sustained frames/s plus cache effectiveness. A wide-precision
+// cine gets the matching float64 cache so residency still serves it. It
+// returns the last beamformed frame for the usual PSF report and -out
+// image.
+func runCine(spec core.SystemSpec, p delay.Provider, bufs []rf.EchoBuffer, frames int, budget int64, prec beamform.Precision) *beamform.Volume {
+	sess, cache, err := spec.NewSessionConfig(core.SessionConfig{
+		Window: xdcr.Hann, Precision: prec,
+		Cached: budget != 0, CacheBudget: budget,
+		WideCache: prec == beamform.PrecisionWide,
+	}, p)
 	check(err)
 	defer sess.Close()
 	out := &beamform.Volume{Vol: spec.Volume(), Data: make([]float64, spec.Points())}
@@ -143,6 +146,15 @@ func runCine(spec core.SystemSpec, p delay.Provider, bufs []rf.EchoBuffer, frame
 
 func parsePath(name string) beamform.Path {
 	p, err := beamform.ParsePath(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "beamsim:", err)
+		os.Exit(2)
+	}
+	return p
+}
+
+func parsePrecision(name string) beamform.Precision {
+	p, err := beamform.ParsePrecision(name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "beamsim:", err)
 		os.Exit(2)

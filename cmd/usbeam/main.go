@@ -21,19 +21,25 @@
 //	block       B1 block-vs-scalar delay-generation rates (always reduced scale)
 //	quality     §II-A image-quality experiment (-path block|scalar)
 //	cache       B2 frames/s vs delay-cache budget sweep (-frames N; always reduced scale)
-//	bench       machine-readable pipeline perf record (-json writes BENCH_pipeline.json)
+//	datapath    B3 precision/bandwidth sweep: wide vs int16×f64 vs int16×f32 (always reduced scale)
+//	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json)
 //	all         every text experiment in sequence
 //
 // Global flags: -reduced runs on the laptop-scale spec; -exhaustive uses
 // stride-1 sweeps (minutes at paper scale); -path selects the beamformer's
 // delay datapath where one is used; -frames sets the cine length for the
-// multi-frame experiments.
+// multi-frame experiments. -cpuprofile/-memprofile write pprof profiles of
+// the selected experiment, so kernel iterations need no ad-hoc
+// instrumentation.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"ultrabeam/internal/beamform"
@@ -60,7 +66,9 @@ func main() {
 	n := fs.Int("n", 2_000_000, "Monte Carlo samples (fixedpoint)")
 	path := fs.String("path", "block", "beamformer delay datapath: block|scalar")
 	frames := fs.Int("frames", 8, "cine length for cache/bench experiments")
-	jsonOut := fs.Bool("json", false, "bench: write a JSON record instead of a table")
+	jsonOut := fs.Bool("json", false, "bench: write JSON records instead of tables")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
+	memprofile := fs.String("memprofile", "", "write a heap profile after the experiment to this path")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
 	}
@@ -74,8 +82,12 @@ func main() {
 		opt = tablesteer.SweepOptions{StrideTheta: 1, StridePhi: 1, StrideDepth: 1,
 			StrideElem: 1, Parallel: true}
 	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usbeam:", err)
+		os.Exit(1)
+	}
 
-	var err error
 	switch cmd {
 	case "specs":
 		err = experiments.SpecsTable(spec).Render(os.Stdout)
@@ -140,39 +152,110 @@ func main() {
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
-	case "bench":
-		var rec experiments.BenchRecord
-		rec, err = experiments.Bench(core.ReducedSpec(), *frames)
+	case "datapath":
+		// B3 runs reduced like B1/B2: the sweep holds full cache residency
+		// per precision, which paper scale cannot materialize.
+		var r experiments.DatapathResult
+		r, err = experiments.Datapath(core.ReducedSpec(), *frames)
 		if err == nil {
-			if *jsonOut {
-				dst := *out
-				if dst == "" {
-					dst = "BENCH_pipeline.json"
-				}
-				var f *os.File
-				var done func()
-				f, done, err = openOut(dst)
-				if err == nil {
-					err = rec.WriteJSON(f)
-					done()
-				}
-				if err == nil {
-					fmt.Println("bench record written to", dst)
-				}
-			} else {
-				err = rec.Table().Render(os.Stdout)
-			}
+			err = r.Table().Render(os.Stdout)
 		}
+	case "bench":
+		err = runBench(core.ReducedSpec(), *frames, *jsonOut, *out)
 	case "all":
 		err = runAll(spec, opt)
 	default:
 		usage()
 		os.Exit(2)
 	}
+	stopProfiles()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "usbeam:", err)
 		os.Exit(1)
 	}
+}
+
+// runBench measures both per-PR perf records: the pipeline record
+// (BENCH_pipeline.json) and the wide-vs-narrow kernel record
+// (BENCH_datapath.json). -out overrides only the pipeline path.
+func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error {
+	rec, err := experiments.Bench(spec, frames)
+	if err != nil {
+		return err
+	}
+	dp, err := experiments.BenchDatapath(spec, frames)
+	if err != nil {
+		return err
+	}
+	if !jsonOut {
+		if err := rec.Table().Render(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+		return dp.Table().Render(os.Stdout)
+	}
+	dst := out
+	if dst == "" {
+		dst = "BENCH_pipeline.json"
+	}
+	if err := writeJSONFile(dst, rec.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Println("bench record written to", dst)
+	if err := writeJSONFile("BENCH_datapath.json", dp.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Println("datapath record written to BENCH_datapath.json")
+	return nil
+}
+
+func writeJSONFile(path string, write func(io.Writer) error) error {
+	f, done, err := openOut(path)
+	if err != nil {
+		return err
+	}
+	defer done()
+	return write(f)
+}
+
+// startProfiles starts a CPU profile and/or arms a heap-profile write; the
+// returned stop function flushes both (call it before exiting).
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	stop := func() {}
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		stop = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintln(os.Stderr, "usbeam: cpu profile written to", cpuPath)
+		}
+	}
+	if memPath == "" {
+		return stop, nil
+	}
+	cpuStop := stop
+	return func() {
+		cpuStop()
+		f, err := os.Create(memPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "usbeam:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize final live-heap state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "usbeam:", err)
+			return
+		}
+		fmt.Fprintln(os.Stderr, "usbeam: heap profile written to", memPath)
+	}, nil
 }
 
 func runAll(spec core.SystemSpec, opt tablesteer.SweepOptions) error {
@@ -282,8 +365,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             bench all
+             datapath bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
-       -frames N -json`)
+       -frames N -json -cpuprofile FILE -memprofile FILE`)
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ultrabeam"
+	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/memmodel"
 	"ultrabeam/internal/rf"
@@ -105,5 +106,72 @@ func TestFacadeBudgetFromBanks(t *testing.T) {
 	// The paper's sweep-order and window selectors are facade-visible.
 	if ultrabeam.Hann == ultrabeam.Rect || ultrabeam.NappeOrder == ultrabeam.ScanlineOrder {
 		t.Error("facade constants collapsed")
+	}
+}
+
+func TestFacadeNarrowDatapath(t *testing.T) {
+	spec := ultrabeam.ReducedSpec()
+	spec.ElemX, spec.ElemY = 8, 8
+	spec.FocalTheta, spec.FocalPhi, spec.FocalDepth = 9, 3, 10
+	spec.DepthLambda = 60
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
+		BufSamples: spec.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * spec.Depth()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every provider fills narrow blocks through the facade type.
+	var bp ultrabeam.BlockProvider16 = spec.NewExact()
+	blk := make(ultrabeam.Block16, bp.Layout().BlockLen())
+	bp.FillNappe16(0, blk)
+	if len(bufs[0].Samples) > ultrabeam.MaxEchoWindow {
+		t.Fatal("reduced-scale window must fit the int16 index range")
+	}
+	// The three precisions beamform through SessionConfig; float64 and
+	// wide are bit-identical, float32 sits above the 60 dB gate.
+	var golden *ultrabeam.Volume
+	for _, prec := range []ultrabeam.Precision{
+		ultrabeam.PrecisionFloat64, ultrabeam.PrecisionWide, ultrabeam.PrecisionFloat32,
+	} {
+		sess, cache, err := spec.NewSessionConfig(ultrabeam.SessionConfig{
+			Window: ultrabeam.Hann, Precision: prec,
+			Cached: true, CacheBudget: -1,
+			WideCache: prec == ultrabeam.PrecisionWide,
+		}, spec.NewTableFree())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol, err := sess.Beamform(bufs)
+		sess.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cache == nil || cache.Stats().Fills == 0 {
+			t.Fatalf("%v: cache not exercised", prec)
+		}
+		switch prec {
+		case ultrabeam.PrecisionFloat64:
+			golden = vol
+		case ultrabeam.PrecisionWide:
+			for i := range golden.Data {
+				if golden.Data[i] != vol.Data[i] {
+					t.Fatalf("wide differs from golden at %d", i)
+				}
+			}
+		case ultrabeam.PrecisionFloat32:
+			psnr, err := beamform.PeakSignalRatio(golden, vol)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if psnr < 60 {
+				t.Errorf("float32 PSNR = %.1f dB through the facade", psnr)
+			}
+		}
+	}
+	// Narrow echo buffers exist at the facade too.
+	var nb ultrabeam.EchoBuffer32 = bufs[0].Narrow()
+	if nb.At(0) != float32(bufs[0].At(0)) {
+		t.Error("EchoBuffer32 narrow conversion")
 	}
 }

@@ -70,6 +70,59 @@ func ParsePath(name string) (Path, error) {
 	return BlockPath, fmt.Errorf("beamform: unknown path %q (want block|scalar)", name)
 }
 
+// Precision selects the width of the session datapath: how delay blocks
+// are stored and which accumulate kernel consumes the echo samples. The
+// delay words themselves are exact at every precision — quantizing a
+// fractional delay to its int16 selection index is the rounding the
+// beamformer performs anyway (delay.Index16) — so PrecisionFloat64 is
+// bit-identical to the scalar reference; only PrecisionFloat32 trades
+// precision (float32 echo samples and accumulation), and the tests gate
+// that trade at ≥ 60 dB PSNR against the float64 golden volume.
+type Precision int
+
+const (
+	// PrecisionFloat64 (the default) runs int16 delay blocks against
+	// float64 echo buffers with float64 accumulation: the golden model,
+	// bit-identical to the scalar reference at a quarter of the delay
+	// bandwidth.
+	PrecisionFloat64 Precision = iota
+	// PrecisionFloat32 runs int16 delay blocks against float32 echo
+	// samples with float32 4-way accumulation — the paper's design-point
+	// widths (14-bit indices, 18-bit samples) rounded up to machine types,
+	// and the fastest kernel.
+	PrecisionFloat32
+	// PrecisionWide runs the pre-narrowing datapath end to end: float64
+	// delay blocks and float64 echo accumulation. Kept as the A/B baseline
+	// the narrow kernels are benchmarked against.
+	PrecisionWide
+)
+
+func (p Precision) String() string {
+	switch p {
+	case PrecisionFloat64:
+		return "float64"
+	case PrecisionFloat32:
+		return "float32"
+	case PrecisionWide:
+		return "wide"
+	}
+	return fmt.Sprintf("Precision(%d)", int(p))
+}
+
+// ParsePrecision parses a precision name ("float64", "float32" or "wide")
+// — the shared parser behind the CLI -precision flags.
+func ParsePrecision(name string) (Precision, error) {
+	switch name {
+	case "float64", "f64":
+		return PrecisionFloat64, nil
+	case "float32", "f32", "narrow":
+		return PrecisionFloat32, nil
+	case "wide":
+		return PrecisionWide, nil
+	}
+	return PrecisionFloat64, fmt.Errorf("beamform: unknown precision %q (want float64|float32|wide)", name)
+}
+
 // Config assembles a beamforming engine.
 type Config struct {
 	Vol     scan.Volume
@@ -79,6 +132,9 @@ type Config struct {
 	Order   scan.Order  // sweep order (nappe or scanline)
 	Workers int         // parallel workers; 0 = GOMAXPROCS
 	Path    Path        // delay datapath (zero value = BlockPath)
+	// Precision selects the session kernel width (zero value =
+	// PrecisionFloat64, the bit-identical golden model).
+	Precision Precision
 }
 
 // Engine is a reusable beamformer for one geometry.
@@ -92,6 +148,7 @@ type Engine struct {
 	// floating-point result — is identical to walking apod with a skip.
 	activeIdx []int32
 	activeW   []float64
+	activeW32 []float32 // activeW rounded once for the float32 kernel
 }
 
 // New builds an engine, precomputing the separable apodization.
@@ -101,6 +158,7 @@ func New(cfg Config) *Engine {
 		if w != 0 {
 			e.activeIdx = append(e.activeIdx, int32(d))
 			e.activeW = append(e.activeW, w)
+			e.activeW32 = append(e.activeW32, float32(w))
 		}
 	}
 	return e
@@ -115,35 +173,65 @@ type Volume struct {
 // At returns the beamformed sample at a grid index.
 func (v *Volume) At(ix scan.Index) float64 { return v.Data[v.Vol.Linear(ix)] }
 
+// ensureLen returns dst resized to n values, reusing its backing array
+// when capacity allows — the shared buffer policy of the *Into accessors.
+func ensureLen(dst []float64, n int) []float64 {
+	if cap(dst) >= n {
+		return dst[:n]
+	}
+	return make([]float64, n)
+}
+
+// ScanlineInto extracts the depth profile along line of sight (it, ip)
+// into dst, reusing its storage when it has capacity; it returns the
+// filled slice. Analysis loops call this once per line with one buffer
+// instead of allocating per call.
+func (v *Volume) ScanlineInto(dst []float64, it, ip int) []float64 {
+	dst = ensureLen(dst, v.Vol.Depth.N)
+	for id := 0; id < v.Vol.Depth.N; id++ {
+		dst[id] = v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
+	}
+	return dst
+}
+
 // Scanline extracts the depth profile along line of sight (it, ip).
 func (v *Volume) Scanline(it, ip int) []float64 {
-	out := make([]float64, v.Vol.Depth.N)
-	for id := 0; id < v.Vol.Depth.N; id++ {
-		out[id] = v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
+	return v.ScanlineInto(nil, it, ip)
+}
+
+// LateralProfileInto extracts the θ profile at fixed (ip, id) into dst,
+// reusing its storage when it has capacity; it returns the filled slice.
+func (v *Volume) LateralProfileInto(dst []float64, ip, id int) []float64 {
+	dst = ensureLen(dst, v.Vol.Theta.N)
+	for it := 0; it < v.Vol.Theta.N; it++ {
+		dst[it] = v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
 	}
-	return out
+	return dst
 }
 
 // LateralProfile extracts the θ profile at fixed (ip, id).
 func (v *Volume) LateralProfile(ip, id int) []float64 {
-	out := make([]float64, v.Vol.Theta.N)
+	return v.LateralProfileInto(nil, ip, id)
+}
+
+// NappeSliceInto extracts the (θ × φ) slice at depth id, row-major in φ,
+// into dst, reusing its storage when it has capacity; it returns the
+// filled slice.
+func (v *Volume) NappeSliceInto(dst []float64, id int) []float64 {
+	dst = ensureLen(dst, v.Vol.Theta.N*v.Vol.Phi.N)
+	i := 0
 	for it := 0; it < v.Vol.Theta.N; it++ {
-		out[it] = v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
+		for ip := 0; ip < v.Vol.Phi.N; ip++ {
+			dst[i] = v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
+			i++
+		}
 	}
-	return out
+	return dst
 }
 
 // NappeSlice extracts the (θ × φ) slice at depth id, row-major in φ.
 func (v *Volume) NappeSlice(id int) []float64 {
-	out := make([]float64, v.Vol.Theta.N*v.Vol.Phi.N)
-	i := 0
-	for it := 0; it < v.Vol.Theta.N; it++ {
-		for ip := 0; ip < v.Vol.Phi.N; ip++ {
-			out[i] = v.At(scan.Index{Theta: it, Phi: ip, Depth: id})
-			i++
-		}
-	}
-	return out
+	return v.NappeSliceInto(nil, id)
 }
 
 // Beamform runs Eq. 1 over the whole volume using delays from p and echoes

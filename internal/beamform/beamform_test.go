@@ -445,3 +445,56 @@ func BenchmarkBeamformExact(b *testing.B) {
 		}
 	}
 }
+
+func TestVolumeIntoAccessorsReuseBuffers(t *testing.T) {
+	v := &Volume{
+		Vol:  scan.NewVolume(geom.Radians(10), geom.Radians(10), 0.01, 3, 4, 5),
+		Data: make([]float64, 3*4*5),
+	}
+	for i := range v.Data {
+		v.Data[i] = float64(i)
+	}
+	// Into variants must match the allocating accessors and reuse a caller
+	// buffer of sufficient capacity in place.
+	buf := make([]float64, 0, 64)
+	line := v.ScanlineInto(buf, 2, 1)
+	if &line[0] != &buf[:1][0] {
+		t.Error("ScanlineInto must reuse the caller buffer")
+	}
+	for id, got := range line {
+		if want := v.At(scan.Index{Theta: 2, Phi: 1, Depth: id}); got != want {
+			t.Errorf("ScanlineInto[%d] = %v, want %v", id, got, want)
+		}
+	}
+	lat := v.LateralProfileInto(line, 1, 3) // reuse again, different length
+	if len(lat) != 3 {
+		t.Fatalf("LateralProfileInto len = %d", len(lat))
+	}
+	for it, got := range lat {
+		if want := v.At(scan.Index{Theta: it, Phi: 1, Depth: 3}); got != want {
+			t.Errorf("LateralProfileInto[%d] = %v, want %v", it, got, want)
+		}
+	}
+	sl := v.NappeSliceInto(nil, 3) // nil dst allocates, like the plain form
+	for i, got := range sl {
+		if want := v.At(scan.Index{Theta: i / 4, Phi: i % 4, Depth: 3}); got != want {
+			t.Errorf("NappeSliceInto[%d] = %v, want %v", i, got, want)
+		}
+	}
+	// Undersized buffers grow rather than panic.
+	small := make([]float64, 1)
+	if got := v.NappeSliceInto(small, 3); len(got) != 12 {
+		t.Errorf("undersized NappeSliceInto len = %d", len(got))
+	}
+	// The analysis-loop shape the variants exist for: repeated extraction
+	// through one buffer must not allocate.
+	buf = make([]float64, v.Vol.Depth.N)
+	avg := testing.AllocsPerRun(20, func() {
+		for it := 0; it < v.Vol.Theta.N; it++ {
+			buf = v.ScanlineInto(buf, it, 1)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("ScanlineInto loop allocates %.1f objects/run, want 0", avg)
+	}
+}

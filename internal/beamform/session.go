@@ -6,25 +6,50 @@
 // Session keeps a worker pool and per-worker nappe buffers alive between
 // frames, and its steady-state BeamformInto performs no allocation at all:
 // frame dispatch is a token send per worker on prebuilt channels.
+//
+// The session's hot datapath is narrow (PR 3): workers fill and consume
+// delay.Block16 selection indices — 2 bytes per delay instead of 8 — which
+// is exact for any echo window within delay.MaxEchoWindow (every Table I
+// scale window; see Precision). Frames whose buffers exceed that window
+// fall back to the float64 block datapath automatically, so correctness
+// never depends on the geometry. PrecisionFloat32 additionally flattens
+// the echo buffers to a guarded float32 plane (rebuilt in parallel each
+// frame by a convert phase) and accumulates through the unrolled branchless
+// kernel.
 package beamform
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"ultrabeam/internal/delay"
 	"ultrabeam/internal/rf"
 )
 
-// NappeSource is the optional fast path a caching BlockProvider can offer:
-// Nappe returns a retained read-only delay block for nappe id, or nil when
-// the nappe is not resident. When the session's provider implements it
-// (delaycache.Cache does), resident nappes are consumed in place — no
-// generation, no copy — and only non-resident nappes run FillNappe into the
-// worker's own buffer.
+// NappeSource is the optional fast path a caching BlockProvider can offer
+// on the wide datapath: Nappe returns a retained read-only float64 block
+// for nappe id, or nil when the nappe is not resident.
 type NappeSource interface {
 	Nappe(id int) []float64
 }
+
+// NappeSource16 is the narrow form of NappeSource: Nappe16 returns a
+// retained read-only quantized block for nappe id, or nil when the nappe
+// is not resident. When the session's provider implements it
+// (delaycache.Cache does), resident nappes are consumed in place — no
+// generation, no copy, 2 bytes per delay.
+type NappeSource16 interface {
+	Nappe16(id int) delay.Block16
+}
+
+// sessionJob tells the worker pool what a dispatched token means.
+type sessionJob int
+
+const (
+	jobAccumulate sessionJob = iota // beamform the frame's depth slices
+	jobConvert                      // flatten echo buffers to float32
+)
 
 // Session is a reusable multi-frame beamformer: one geometry, one delay
 // provider, a persistent worker pool. Frames are beamformed by Beamform /
@@ -34,17 +59,31 @@ type NappeSource interface {
 type Session struct {
 	eng     *Engine
 	bp      delay.BlockProvider
-	src     NappeSource // non-nil when bp retains blocks
+	src     NappeSource   // non-nil when bp retains float64 blocks
+	src16   NappeSource16 // non-nil when bp retains narrow blocks
 	layout  delay.Layout
 	workers int
 
 	start []chan struct{} // per-worker frame triggers
-	done  chan struct{}   // workers report frame completion
+	done  chan struct{}   // workers report job completion
 
 	// Per-frame shared state, published before the start tokens and
 	// therefore visible to workers via the channel happens-before edge.
+	job       sessionJob
 	frameBufs []rf.EchoBuffer
 	frameOut  *Volume
+	narrow    bool // int16 delay blocks are exact for this frame's window
+	useFlat   bool // accumulate through the float32 kernel this frame
+
+	// Flattened float32 echo plane: one guarded row of flatWin+1 samples
+	// per element, guard slot permanently zero (the branchless kernel's
+	// out-of-window target). Rebuilt by the convert job, reused across
+	// frames of the same window length. flatOff caches each active
+	// element's row offset so the kernel replaces a multiply per gather
+	// with a sequential table load.
+	flat    []float32
+	flatWin int
+	flatOff []int32
 
 	frames int64
 	closed bool
@@ -52,8 +91,8 @@ type Session struct {
 
 // NewSession builds a session running the engine's block datapath over p
 // (plain Providers are lifted via delay.AsBlock, caching providers are
-// detected through NappeSource) and spawns the worker pool. Callers own the
-// session lifecycle: Close it when the cine sequence ends.
+// detected through NappeSource/NappeSource16) and spawns the worker pool.
+// Callers own the session lifecycle: Close it when the cine sequence ends.
 func (e *Engine) NewSession(p delay.Provider) (*Session, error) {
 	if p == nil {
 		return nil, errors.New("beamform: nil delay provider")
@@ -74,6 +113,9 @@ func (e *Engine) NewSession(p delay.Provider) (*Session, error) {
 	if src, ok := bp.(NappeSource); ok {
 		s.src = src
 	}
+	if src, ok := bp.(NappeSource16); ok {
+		s.src16 = src
+	}
 	s.start = make([]chan struct{}, s.workers)
 	for w := 0; w < s.workers; w++ {
 		s.start[w] = make(chan struct{}, 1)
@@ -82,28 +124,95 @@ func (e *Engine) NewSession(p delay.Provider) (*Session, error) {
 	return s, nil
 }
 
-// worker is the persistent per-worker loop: it owns one reusable nappe
-// delay buffer for the life of the session and beamforms depth slices
-// w, w+workers, ... of each frame. Resident nappes from a NappeSource are
-// accumulated in place; everything else fills the worker's buffer.
+// worker is the persistent per-worker loop: it owns one reusable narrow
+// nappe buffer and one float64 scratch for the life of the session, and
+// serves whichever job each frame dispatches — flattening its stripe of
+// echo buffers, or beamforming depth slices w, w+workers, ... of the frame.
 func (s *Session) worker(w int) {
-	buf := make([]float64, s.layout.BlockLen())
+	scratch := make([]float64, s.layout.BlockLen())
+	buf16 := make(delay.Block16, s.layout.BlockLen())
 	for range s.start[w] {
-		bufs, out := s.frameBufs, s.frameOut
-		for id := w; id < s.eng.Cfg.Vol.Depth.N; id += s.workers {
-			blk := buf
+		switch s.job {
+		case jobConvert:
+			s.convertStripe(w)
+		default:
+			s.accumulateStripe(w, buf16, scratch)
+		}
+		s.done <- struct{}{}
+	}
+}
+
+// convertStripe flattens echo buffers w, w+workers, ... of the frame into
+// the session's guarded float32 plane.
+func (s *Session) convertStripe(w int) {
+	stride := s.flatWin + 1
+	for d := w; d < len(s.frameBufs); d += s.workers {
+		row := s.flat[d*stride : d*stride+s.flatWin]
+		for i, v := range s.frameBufs[d].Samples {
+			row[i] = float32(v)
+		}
+	}
+}
+
+// accumulateStripe beamforms depth slices w, w+workers, ... of the frame:
+// obtain a narrow (or, on fallback, wide) delay block for each nappe —
+// resident blocks from a NappeSource are consumed in place — and run the
+// precision-selected kernel.
+func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64) {
+	bufs, out := s.frameBufs, s.frameOut
+	for id := w; id < s.eng.Cfg.Vol.Depth.N; id += s.workers {
+		if !s.narrow {
+			// Wide fallback: float64 blocks end to end (PrecisionWide, or
+			// an echo window beyond delay.MaxEchoWindow).
+			blk := scratch
 			if s.src != nil {
 				if resident := s.src.Nappe(id); resident != nil {
 					blk = resident
 				} else {
-					s.bp.FillNappe(id, buf)
+					s.bp.FillNappe(id, scratch)
 				}
 			} else {
-				s.bp.FillNappe(id, buf)
+				s.bp.FillNappe(id, scratch)
 			}
 			s.eng.accumulateNappe(blk, bufs, id, out)
+			continue
 		}
-		s.done <- struct{}{}
+		blk := buf16
+		resident := false
+		if s.src16 != nil {
+			if r := s.src16.Nappe16(id); r != nil {
+				blk, resident = r, true
+			}
+		}
+		if !resident && s.src != nil {
+			// Wide-retaining provider on the narrow path: quantize the
+			// resident block — exact — instead of regenerating. (delaycache
+			// in Wide A/B mode performs the same quantization inside
+			// FillNappe16, so it is covered by the Fill16 call below.)
+			if r := s.src.Nappe(id); r != nil {
+				delay.QuantizeNappe(buf16, r)
+				resident = true
+			}
+		}
+		if !resident {
+			delay.Fill16(s.bp, id, buf16, scratch)
+		}
+		if s.useFlat {
+			s.eng.accumulateNappe16Narrow(blk, s.flat, s.flatOff, s.flatWin, id, out)
+		} else {
+			s.eng.accumulateNappe16(blk, bufs, id, out)
+		}
+	}
+}
+
+// dispatch runs one job across the worker pool and waits for completion.
+func (s *Session) dispatch(job sessionJob) {
+	s.job = job
+	for w := 0; w < s.workers; w++ {
+		s.start[w] <- struct{}{}
+	}
+	for w := 0; w < s.workers; w++ {
+		<-s.done
 	}
 }
 
@@ -117,10 +226,30 @@ func (s *Session) Frames() int64 { return s.frames }
 // wrapper when one is installed).
 func (s *Session) Provider() delay.BlockProvider { return s.bp }
 
+// frameShape classifies the frame's echo buffers: whether int16 selection
+// indices are exact for every window, and whether the windows are uniform
+// (the float32 flattening needs one stride).
+func frameShape(bufs []rf.EchoBuffer) (narrowOK, uniform bool, win int) {
+	narrowOK, uniform, win = true, true, 0
+	for i, b := range bufs {
+		n := len(b.Samples)
+		if n > delay.MaxEchoWindow {
+			narrowOK = false
+		}
+		if i == 0 {
+			win = n
+		} else if n != win {
+			uniform = false
+		}
+	}
+	return narrowOK, uniform, win
+}
+
 // BeamformInto beamforms one frame from bufs into dst, reusing dst.Data in
 // place. This is the allocation-free steady state: after the first frame
-// (which may warm a cache) no allocation occurs on this path. dst must
-// carry the session's volume grid.
+// (which may warm a cache, and on the float32 path sizes the flattened
+// echo plane) no allocation occurs on this path. dst must carry the
+// session's volume grid.
 func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
 	if s.closed {
 		return errors.New("beamform: session is closed")
@@ -136,13 +265,23 @@ func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
 		return fmt.Errorf("beamform: %d echo buffers for %d elements",
 			len(bufs), s.eng.Cfg.Arr.Elements())
 	}
+	narrowOK, uniform, win := frameShape(bufs)
+	s.narrow = narrowOK && s.eng.Cfg.Precision != PrecisionWide
+	s.useFlat = s.narrow && uniform && s.eng.Cfg.Precision == PrecisionFloat32 &&
+		len(bufs)*(win+1) <= math.MaxInt32 // row offsets are int32
 	s.frameBufs, s.frameOut = bufs, dst
-	for w := 0; w < s.workers; w++ {
-		s.start[w] <- struct{}{}
+	if s.useFlat {
+		if need := len(bufs) * (win + 1); len(s.flat) != need || s.flatWin != win {
+			s.flat = make([]float32, need) // guard slots zero, never written
+			s.flatWin = win
+			s.flatOff = make([]int32, len(s.eng.activeIdx))
+			for j, d := range s.eng.activeIdx {
+				s.flatOff[j] = d * int32(win+1)
+			}
+		}
+		s.dispatch(jobConvert)
 	}
-	for w := 0; w < s.workers; w++ {
-		<-s.done
-	}
+	s.dispatch(jobAccumulate)
 	s.frameBufs, s.frameOut = nil, nil
 	s.frames++
 	return nil

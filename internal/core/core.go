@@ -175,18 +175,47 @@ func (s SystemSpec) NewSession(w xdcr.Window, p delay.Provider) (*beamform.Sessi
 // later frames skip generation for every resident nappe. The cache is
 // returned alongside the session for Stats inspection.
 func (s SystemSpec) NewCachedSession(w xdcr.Window, p delay.Provider, budgetBytes int64) (*beamform.Session, *delaycache.Cache, error) {
+	return s.NewSessionConfig(SessionConfig{
+		Window: w, Cached: true, CacheBudget: budgetBytes,
+	}, p)
+}
+
+// SessionConfig selects the datapath of a session built by
+// NewSessionConfig: kernel precision, and an optional nappe-block delay
+// cache (narrow int16 storage by default; WideCache restores the float64
+// A/B representation, which PrecisionWide consumes from residency).
+type SessionConfig struct {
+	Window      xdcr.Window
+	Precision   beamform.Precision
+	Cached      bool
+	CacheBudget int64 // as delaycache.Config.BudgetBytes; ignored unless Cached
+	WideCache   bool  // float64 block storage (pair with PrecisionWide)
+}
+
+// NewSessionConfig builds a session with an explicit datapath
+// configuration. The returned cache is nil when cfg.Cached is false.
+func (s SystemSpec) NewSessionConfig(cfg SessionConfig, p delay.Provider) (*beamform.Session, *delaycache.Cache, error) {
 	if p == nil {
 		return nil, nil, fmt.Errorf("core: nil delay provider")
 	}
-	vol := s.Volume()
-	layout := delay.Layout{NTheta: vol.Theta.N, NPhi: vol.Phi.N, NX: s.ElemX, NY: s.ElemY}
-	cache, err := delaycache.New(delaycache.Config{
-		Provider: delay.AsBlock(p, layout), Depths: vol.Depth.N, BudgetBytes: budgetBytes,
-	})
-	if err != nil {
-		return nil, nil, err
+	eng := s.NewBeamformer(cfg.Window, scan.NappeOrder)
+	eng.Cfg.Precision = cfg.Precision
+	var cache *delaycache.Cache
+	prov := p
+	if cfg.Cached {
+		vol := s.Volume()
+		layout := delay.Layout{NTheta: vol.Theta.N, NPhi: vol.Phi.N, NX: s.ElemX, NY: s.ElemY}
+		var err error
+		cache, err = delaycache.New(delaycache.Config{
+			Provider: delay.AsBlock(p, layout), Depths: vol.Depth.N,
+			BudgetBytes: cfg.CacheBudget, Wide: cfg.WideCache,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		prov = cache
 	}
-	sess, err := s.NewBeamformer(w, scan.NappeOrder).NewSession(cache)
+	sess, err := eng.NewSession(prov)
 	if err != nil {
 		return nil, nil, err
 	}

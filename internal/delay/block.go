@@ -112,11 +112,9 @@ func (e *Exact) Layout() Layout {
 	return Layout{NTheta: e.Vol.Theta.N, NPhi: e.Vol.Phi.N, NX: e.Arr.NX, NY: e.Arr.NY}
 }
 
-// FillNappe implements BlockProvider: the focal point and its transmit leg
-// |S−O| are computed once per voxel and reused across the whole element
-// plane (the per-element work drops from two square roots to one), with the
-// remaining arithmetic ordered exactly as DelaySamples orders it.
-func (e *Exact) FillNappe(id int, dst []float64) {
+// elementGrid materializes the element positions in block order (ej·NX+ei),
+// the per-nappe hoist both fill flavours share.
+func (e *Exact) elementGrid() []geom.Vec3 {
 	l := e.Layout()
 	elems := make([]geom.Vec3, l.NX*l.NY)
 	for ej := 0; ej < l.NY; ej++ {
@@ -124,6 +122,16 @@ func (e *Exact) FillNappe(id int, dst []float64) {
 			elems[ej*l.NX+ei] = e.Arr.ElementPos(ei, ej)
 		}
 	}
+	return elems
+}
+
+// FillNappe implements BlockProvider: the focal point and its transmit leg
+// |S−O| are computed once per voxel and reused across the whole element
+// plane (the per-element work drops from two square roots to one), with the
+// remaining arithmetic ordered exactly as DelaySamples orders it.
+func (e *Exact) FillNappe(id int, dst []float64) {
+	l := e.Layout()
+	elems := e.elementGrid()
 	k := 0
 	for it := 0; it < l.NTheta; it++ {
 		for ip := 0; ip < l.NPhi; ip++ {

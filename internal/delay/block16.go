@@ -1,0 +1,112 @@
+// Narrow delay blocks: the int16 form of the nappe datapath. The paper's
+// delay words are small — 14-bit selection indices into an echo window of
+// "slightly more than 8000 samples" (§V-B) — yet a float64 block spends
+// 8 bytes per delay, 4× the bandwidth and cache residency the hardware
+// design point assumes. Block16 stores the *integer selection index* the
+// beamformer actually consumes, in 2 bytes per delay. Quantization is
+// exact: the beamformer rounds every fractional delay through Index before
+// touching an echo buffer, and for any echo window of at most MaxEchoWindow
+// samples the saturated int16 index selects the identical sample (indices
+// beyond the window read as silence on both paths), so the narrow datapath
+// is bit-identical to the float64 reference by construction — not within a
+// tolerance.
+package delay
+
+import "math"
+
+// MaxEchoWindow is the largest echo-buffer length for which int16 selection
+// indices are exact: saturation at math.MaxInt16 must itself land outside
+// the window so a saturated index reads silence, exactly like the wide
+// index it stands for. Table I windows are ~8.5k samples — a quarter of
+// this bound — matching the paper's 13/14-bit index budget.
+const MaxEchoWindow = math.MaxInt16
+
+// Block16 is a nappe delay block of quantized selection indices, laid out
+// exactly like the float64 block of the same Layout (θ, φ, element row,
+// element column). At 2 bytes per delay it carries the same information the
+// beamformer uses at a quarter of the float64 footprint.
+type Block16 []int16
+
+// Index16 rounds a fractional delay to its int16 echo-buffer selection
+// index, saturating out-of-range values. For windows of at most
+// MaxEchoWindow samples the saturated extremes are out-of-window on both
+// paths, so Index16 and Index select the same echo sample always.
+func Index16(samples float64) int16 {
+	r := math.Round(samples)
+	if !(r < math.MaxInt16) {
+		return math.MaxInt16
+	}
+	if r < math.MinInt16 {
+		return math.MinInt16
+	}
+	return int16(r)
+}
+
+// QuantizeNappe converts a filled float64 nappe block into its Block16 form
+// slot for slot. dst must hold at least len(src) values.
+func QuantizeNappe(dst Block16, src []float64) {
+	dst = dst[:len(src)]
+	for i, v := range src {
+		dst[i] = Index16(v)
+	}
+}
+
+// BlockProvider16 is a BlockProvider that can also fill the quantized form
+// natively — without materializing a float64 block first. FillNappe16 must
+// produce exactly Index16 of the values FillNappe would produce (the
+// equivalence tests hold every implementation to it), and like FillNappe it
+// must be safe for concurrent use with distinct dst buffers.
+type BlockProvider16 interface {
+	BlockProvider
+	// FillNappe16 writes the quantized delays of depth nappe id into dst
+	// following Layout. dst must hold at least Layout().BlockLen() values.
+	FillNappe16(id int, dst Block16)
+}
+
+// Fill16 fills dst with the quantized block of nappe id through the
+// cheapest available path: natively when bp implements BlockProvider16,
+// otherwise via a float64 fill into scratch followed by quantization.
+// scratch may be nil only when bp is native.
+func Fill16(bp BlockProvider, id int, dst Block16, scratch []float64) {
+	if n, ok := bp.(BlockProvider16); ok {
+		n.FillNappe16(id, dst)
+		return
+	}
+	bp.FillNappe(id, scratch)
+	QuantizeNappe(dst, scratch[:bp.Layout().BlockLen()])
+}
+
+// FillNappe16 implements BlockProvider16 for the exact reference: the same
+// per-voxel transmit-leg hoist as FillNappe with the quantization fused
+// into the element loop, so no float64 block is ever materialized.
+func (e *Exact) FillNappe16(id int, dst Block16) {
+	l := e.Layout()
+	elems := e.elementGrid()
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			s := e.Vol.FocalPoint(it, ip, id)
+			tx := s.Dist(e.Origin)
+			for _, d := range elems {
+				dst[k] = Index16(e.Conv.SecondsToSamples((tx + s.Dist(d)) / e.Conv.C))
+				k++
+			}
+		}
+	}
+}
+
+// FillNappe16 implements BlockProvider16 with one scalar call per slot,
+// quantizing each delay as it is produced.
+func (a *ScalarAdapter) FillNappe16(id int, dst Block16) {
+	k := 0
+	for it := 0; it < a.L.NTheta; it++ {
+		for ip := 0; ip < a.L.NPhi; ip++ {
+			for ej := 0; ej < a.L.NY; ej++ {
+				for ei := 0; ei < a.L.NX; ei++ {
+					dst[k] = Index16(a.P.DelaySamples(it, ip, id, ei, ej))
+					k++
+				}
+			}
+		}
+	}
+}

@@ -5,6 +5,14 @@
 // cine sequence every frame would regenerate identical nappe blocks; the
 // cache pays generation once and serves every later frame from memory.
 //
+// Blocks are stored narrow by default: delay.Block16 selection indices at
+// 2 bytes per delay — the same information the beamformer consumes, at a
+// quarter of the float64 footprint, mirroring the paper's point that delay
+// words are 14-bit quantities (§V-B). Narrowing is exact (delay.Index16),
+// and it means a fixed byte budget retains 4× the nappe blocks the float64
+// representation held. Config.Wide restores float64 storage for A/B
+// comparisons against the wide datapath.
+//
 // Residency is deterministic: with budget for k of the volume's Depth.N
 // blocks, nappes 0..k-1 are retained and deeper nappes always regenerate.
 // The resident set is a pure function of geometry and budget — never of
@@ -12,8 +20,8 @@
 // the retained prefix mirrors the §V-B circular-buffer window that keeps
 // the shallowest not-yet-consumed slices on chip. Blocks fill lazily on
 // first access (frame 1 warms the cache) and are bit-identical to the
-// wrapped provider's FillNappe output by construction: the cache stores
-// exactly what the provider produced and never recomputes.
+// wrapped provider's fills by construction: the cache stores exactly what
+// the provider produced and never recomputes.
 package delaycache
 
 import (
@@ -26,32 +34,51 @@ import (
 	"ultrabeam/internal/memmodel"
 )
 
-// delayBytes is the storage cost of one cached delay value (float64).
-const delayBytes = 8
+// Per-delay storage cost of the two block representations.
+const (
+	narrowDelayBytes = 2 // delay.Block16 selection index
+	wideDelayBytes   = 8 // float64 fractional delay
+)
 
 // Config assembles a Cache.
 type Config struct {
 	// Provider is the wrapped block generator; its Layout fixes the block
-	// geometry.
+	// geometry. Providers implementing delay.BlockProvider16 fill narrow
+	// blocks natively; plain BlockProviders are quantized through a pooled
+	// float64 scratch.
 	Provider delay.BlockProvider
-	// Depths is the number of depth nappes (valid FillNappe ids are
+	// Depths is the number of depth nappes (valid fill ids are
 	// 0..Depths-1), normally Volume.Depth.N.
 	Depths int
 	// BudgetBytes caps resident storage. Negative means unlimited (full
 	// residency); zero retains nothing (every fill is a miss).
 	BudgetBytes int64
+	// Wide selects float64 block storage — the pre-narrowing datapath,
+	// kept for A/B benchmarks. A wide cache serves Nappe/FillNappe from
+	// residency and quantizes FillNappe16 per call (Nappe16 reports
+	// nothing resident: there is no int16 slice to share); a narrow cache
+	// serves Nappe16/FillNappe16 from residency and delegates the float64
+	// accessors to the provider (the golden path is never served from
+	// quantized storage).
+	Wide bool
 }
 
-// Cache is a delay.BlockProvider that retains filled nappe blocks under a
+// Cache is a delay.BlockProvider16 that retains filled nappe blocks under a
 // byte budget. It is safe for concurrent use: distinct nappes fill
 // independently and a block is generated exactly once (sync.Once per
 // block), with later readers served the retained data.
 type Cache struct {
-	inner  delay.BlockProvider
-	layout delay.Layout
-	depths int
-	budget int64
-	blocks []block // len = resident block count; index = nappe id
+	inner   delay.BlockProvider
+	inner16 delay.BlockProvider16 // non-nil when inner fills narrow blocks natively
+	layout  delay.Layout
+	depths  int
+	budget  int64
+	wide    bool
+	blocks  []block // len = resident block count; index = nappe id
+
+	// scratch pools float64 buffers for quantizing fills of providers
+	// without a native narrow path (and for wide-cache narrow reads).
+	scratch sync.Pool
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -60,7 +87,8 @@ type Cache struct {
 
 type block struct {
 	once sync.Once
-	data []float64
+	n16  delay.Block16 // narrow cache storage
+	wide []float64     // wide cache storage
 }
 
 // New builds a cache over cfg.Provider. The resident block count is
@@ -77,7 +105,12 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Depths <= 0 {
 		return nil, fmt.Errorf("delaycache: non-positive depth count %d", cfg.Depths)
 	}
-	c := &Cache{inner: cfg.Provider, layout: l, depths: cfg.Depths, budget: cfg.BudgetBytes}
+	c := &Cache{inner: cfg.Provider, layout: l, depths: cfg.Depths,
+		budget: cfg.BudgetBytes, wide: cfg.Wide}
+	if n, ok := cfg.Provider.(delay.BlockProvider16); ok {
+		c.inner16 = n
+	}
+	c.scratch.New = func() any { s := make([]float64, l.BlockLen()); return &s }
 	resident := cfg.Depths
 	if cfg.BudgetBytes >= 0 {
 		resident = int(cfg.BudgetBytes / c.BlockBytes())
@@ -89,23 +122,35 @@ func New(cfg Config) (*Cache, error) {
 	return c, nil
 }
 
-// BudgetFromBanks translates a BRAM bank array into a cache budget holding
-// the same number of delay words the banks hold at their native width — the
-// paper's design point (128 banks × 1k lines = 128k resident delays) mapped
-// onto float64 storage. One line is one delay word, so the budget is
-// Words() × 8 bytes.
+// BudgetFromBanks translates a BRAM bank array into a cache budget: the
+// byte budget at which the float64-era cache retained exactly the §V-B
+// resident word count (128 banks × 1k lines = 128k delays × 8 bytes). The
+// design-point bytes are held fixed across representations, so narrowing
+// the blocks to 2-byte words makes the same budget cover 4× the nappe
+// blocks — the coverage win the paper's 14-bit delay words buy.
 func BudgetFromBanks(a memmodel.BankArray) int64 {
-	return int64(a.Words()) * delayBytes
+	return int64(a.Words()) * wideDelayBytes
+}
+
+// DelayBytes returns the storage cost of one cached delay value.
+func (c *Cache) DelayBytes() int64 {
+	if c.wide {
+		return wideDelayBytes
+	}
+	return narrowDelayBytes
 }
 
 // BlockBytes returns the storage cost of one resident nappe block.
-func (c *Cache) BlockBytes() int64 { return int64(c.layout.BlockLen()) * delayBytes }
+func (c *Cache) BlockBytes() int64 { return int64(c.layout.BlockLen()) * c.DelayBytes() }
 
 // ResidentBlocks returns how many nappes the budget retains (k of Depths).
 func (c *Cache) ResidentBlocks() int { return len(c.blocks) }
 
 // FullResidency reports whether every nappe of the volume is retained.
 func (c *Cache) FullResidency() bool { return len(c.blocks) == c.depths }
+
+// Wide reports whether the cache stores float64 blocks (A/B mode).
+func (c *Cache) Wide() bool { return c.wide }
 
 // Name implements delay.Provider.
 func (c *Cache) Name() string { return "cached(" + c.inner.Name() + ")" }
@@ -120,33 +165,73 @@ func (c *Cache) DelaySamples(it, ip, id, ei, ej int) float64 {
 // Layout implements delay.BlockProvider.
 func (c *Cache) Layout() delay.Layout { return c.layout }
 
-// FillNappe implements delay.BlockProvider: resident nappes are copied from
-// the retained block (filling it on first access), non-resident nappes
-// delegate to the wrapped provider. Values are bit-identical to an uncached
-// fill in both cases.
+// FillNappe implements delay.BlockProvider. A wide cache serves resident
+// nappes from the retained float64 block (filling it on first access); a
+// narrow cache always delegates to the wrapped provider — quantized storage
+// can not reproduce fractional delays, and the float64 path stays golden.
 func (c *Cache) FillNappe(id int, dst []float64) {
-	if blk := c.Nappe(id); blk != nil {
-		copy(dst, blk)
-		return
+	if c.wide {
+		if blk := c.Nappe(id); blk != nil {
+			copy(dst, blk)
+			return
+		}
 	}
 	c.misses.Add(1)
 	c.inner.FillNappe(id, dst)
 }
 
-// Nappe returns the retained block of nappe id, generating it on first
-// access, or nil when id is outside the resident set. Callers must treat
-// the returned slice as read-only; consuming it directly (as the beamform
-// session does) skips both generation and the copy FillNappe would pay.
-func (c *Cache) Nappe(id int) []float64 {
+// FillNappe16 implements delay.BlockProvider16: resident nappes are served
+// from the retained block (filling it on first access) — copied on a
+// narrow cache, quantized per call on a wide one (exact either way) —
+// and non-resident nappes regenerate through the narrowest path the
+// provider offers. Values are bit-identical to an uncached quantized fill
+// in every case.
+func (c *Cache) FillNappe16(id int, dst delay.Block16) {
+	if c.wide {
+		if b := c.resident(id); b != nil {
+			delay.QuantizeNappe(dst, b.wide)
+			return
+		}
+	} else if blk := c.Nappe16(id); blk != nil {
+		copy(dst, blk)
+		return
+	}
+	c.misses.Add(1)
+	c.fill16(id, dst)
+}
+
+// fill16 regenerates the quantized block of nappe id through delay.Fill16,
+// borrowing a pooled scratch only when the provider lacks a native narrow
+// fill.
+func (c *Cache) fill16(id int, dst delay.Block16) {
+	if c.inner16 != nil {
+		c.inner16.FillNappe16(id, dst)
+		return
+	}
+	s := c.scratch.Get().(*[]float64)
+	delay.Fill16(c.inner, id, dst, *s)
+	c.scratch.Put(s)
+}
+
+// resident returns the filled block slot for nappe id, running the
+// generator under the slot's once on first access, or nil when id is
+// outside the resident set.
+func (c *Cache) resident(id int) *block {
 	if id < 0 || id >= len(c.blocks) {
 		return nil
 	}
 	b := &c.blocks[id]
 	filled := false
 	b.once.Do(func() {
-		data := make([]float64, c.layout.BlockLen())
-		c.inner.FillNappe(id, data)
-		b.data = data
+		if c.wide {
+			data := make([]float64, c.layout.BlockLen())
+			c.inner.FillNappe(id, data)
+			b.wide = data
+		} else {
+			data := make(delay.Block16, c.layout.BlockLen())
+			c.fill16(id, data)
+			b.n16 = data
+		}
 		filled = true
 	})
 	if filled {
@@ -155,7 +240,37 @@ func (c *Cache) Nappe(id int) []float64 {
 	} else {
 		c.hits.Add(1)
 	}
-	return b.data
+	return b
+}
+
+// Nappe returns the retained float64 block of nappe id on a wide cache,
+// generating it on first access, or nil when id is not resident or the
+// cache is narrow. Callers must treat the returned slice as read-only;
+// consuming it directly (as the beamform session does) skips both
+// generation and the copy FillNappe would pay.
+func (c *Cache) Nappe(id int) []float64 {
+	if !c.wide {
+		return nil
+	}
+	if b := c.resident(id); b != nil {
+		return b.wide
+	}
+	return nil
+}
+
+// Nappe16 returns the retained quantized block of nappe id, generating it
+// on first access, or nil when id is not resident or the cache is wide
+// (no retained int16 slice exists to share in A/B mode — wide residency
+// is served through FillNappe16's per-call quantization, or Nappe).
+// Callers must treat the returned slice as read-only.
+func (c *Cache) Nappe16(id int) delay.Block16 {
+	if c.wide {
+		return nil
+	}
+	if b := c.resident(id); b != nil {
+		return b.n16
+	}
+	return nil
 }
 
 // Stats is a point-in-time snapshot of cache effectiveness.
@@ -166,6 +281,7 @@ type Stats struct {
 
 	ResidentBlocks int   // blocks the budget retains
 	TotalBlocks    int   // Depths — blocks a full table would need
+	DelayBytes     int64 // bytes per cached delay word (2 narrow, 8 wide)
 	BlockBytes     int64 // bytes per block
 	BytesResident  int64 // bytes actually filled so far
 	BudgetBytes    int64 // configured budget (<0 = unlimited)
@@ -181,8 +297,8 @@ func (s Stats) HitRate() float64 {
 
 // String renders the snapshot for logs and CLI reports.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d/%d blocks resident (%.1f MB), %d hits / %d misses (%.1f%% hit rate)",
-		s.ResidentBlocks, s.TotalBlocks, float64(s.BytesResident)/1e6,
+	return fmt.Sprintf("%d/%d blocks resident (%.1f MB @ %dB/delay), %d hits / %d misses (%.1f%% hit rate)",
+		s.ResidentBlocks, s.TotalBlocks, float64(s.BytesResident)/1e6, s.DelayBytes,
 		s.Hits, s.Misses, 100*s.HitRate())
 }
 
@@ -196,6 +312,7 @@ func (c *Cache) Stats() Stats {
 		Fills:          fills,
 		ResidentBlocks: len(c.blocks),
 		TotalBlocks:    c.depths,
+		DelayBytes:     c.DelayBytes(),
 		BlockBytes:     c.BlockBytes(),
 		BytesResident:  fills * c.BlockBytes(),
 		BudgetBytes:    c.budget,
@@ -206,6 +323,6 @@ func (c *Cache) Stats() Stats {
 // implicitly; Warm lets benchmarks separate warm-up from steady state).
 func (c *Cache) Warm() {
 	for id := range c.blocks {
-		c.Nappe(id)
+		c.resident(id)
 	}
 }

@@ -1,0 +1,259 @@
+// Experiment B3: the precision/bandwidth sweep of the narrow datapath. The
+// paper's premise is that delay words are small — 14-bit indices into an
+// ~8000-sample echo window (§V-B) — so moving them as float64 spends 4× the
+// bytes the design point assumes. B3 beamforms the same steady-state cine
+// through the three session datapaths (wide float64 blocks, int16 blocks ×
+// float64 echo, int16 blocks × float32 echo through the unrolled kernel)
+// and reports frames/s, per-word storage, image fidelity against the wide
+// golden volume, and the §V-B-budget residency each representation buys.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/tablefree"
+	"ultrabeam/internal/xdcr"
+)
+
+// DatapathRow is one precision point of experiment B3.
+type DatapathRow struct {
+	Label        string
+	Precision    beamform.Precision
+	DelayBytes   int64   // bytes per resident delay word
+	EchoBytes    int     // bytes per echo sample the kernel consumes
+	FramesPerSec float64 // steady-state cine rate, full cache residency
+	Speedup      float64 // vs the wide (PR-2) datapath
+	PSNRdB       float64 // vs the wide golden volume (+Inf = bit-identical)
+	Similarity   float64
+}
+
+// DatapathResult carries experiment B3.
+type DatapathResult struct {
+	Frames  int
+	Workers int
+	Rows    []DatapathRow
+
+	// Residency of the §V-B BudgetFromBanks design point under each block
+	// representation: the coverage the 4× narrowing buys.
+	BankBudgetBytes      int64
+	ResidentBlocksWide   int
+	ResidentBlocksNarrow int
+	TotalBlocks          int
+}
+
+// datapathPoint describes one B3 configuration.
+type datapathPoint struct {
+	label     string
+	precision beamform.Precision
+	wideCache bool
+	echoBytes int
+}
+
+// Datapath measures experiment B3 on a static point-phantom cine:
+// tablefree-fixed delays (the compute-bound §IV architecture), a
+// full-residency delay cache (steady state — generation amortized, the
+// kernel is what remains), one session per precision. The spec should be
+// laptop scale.
+func Datapath(s core.SystemSpec, frames int) (DatapathResult, error) {
+	res := DatapathResult{Frames: frames}
+	if frames < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 frames to amortize, got %d", frames)
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	newProvider := func() *tablefree.Provider {
+		p := s.NewTableFree()
+		p.UseFixed = true
+		return p
+	}
+	points := []datapathPoint{
+		{label: "wide f64×f64", precision: beamform.PrecisionWide, wideCache: true, echoBytes: 8},
+		{label: "int16×f64", precision: beamform.PrecisionFloat64, echoBytes: 8},
+		{label: "int16×f32", precision: beamform.PrecisionFloat32, echoBytes: 4},
+	}
+	var golden *beamform.Volume
+	for _, pt := range points {
+		sess, cache, err := s.NewSessionConfig(core.SessionConfig{
+			Window: xdcr.Hann, Precision: pt.precision,
+			Cached: true, CacheBudget: -1, WideCache: pt.wideCache,
+		}, newProvider())
+		if err != nil {
+			return res, err
+		}
+		// B3 measures the kernels, not cache amortization (B2 owns that):
+		// warm the cache outside the timed frames so every precision runs
+		// pure steady state.
+		cache.Warm()
+		res.Workers = sess.Workers()
+		fps, err := sessionFPS(sess, bufs, frames)
+		if err != nil {
+			sess.Close()
+			return res, err
+		}
+		vol, err := sess.Beamform(bufs)
+		sess.Close()
+		if err != nil {
+			return res, err
+		}
+		row := DatapathRow{
+			Label: pt.label, Precision: pt.precision,
+			DelayBytes: cache.DelayBytes(), EchoBytes: pt.echoBytes,
+			FramesPerSec: fps,
+		}
+		if golden == nil {
+			golden = vol
+			row.Speedup, row.PSNRdB, row.Similarity = 1, math.Inf(1), 1
+		} else {
+			row.Speedup = fps / res.Rows[0].FramesPerSec
+			if row.PSNRdB, err = beamform.PeakSignalRatio(golden, vol); err != nil {
+				return res, err
+			}
+			if row.Similarity, err = beamform.Similarity(golden, vol); err != nil {
+				return res, err
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	// Coverage at the §V-B design point, per block representation (the
+	// provider is a native BlockProvider, so its Layout sizes the blocks).
+	res.BankBudgetBytes = delaycache.BudgetFromBanks(PaperBanks())
+	for _, wide := range []bool{true, false} {
+		probe, err := delaycache.New(delaycache.Config{
+			Provider: newProvider(),
+			Depths:   s.FocalDepth, BudgetBytes: res.BankBudgetBytes, Wide: wide,
+		})
+		if err != nil {
+			return res, err
+		}
+		if wide {
+			res.ResidentBlocksWide = probe.ResidentBlocks()
+		} else {
+			res.ResidentBlocksNarrow = probe.ResidentBlocks()
+		}
+	}
+	res.TotalBlocks = s.FocalDepth
+	return res, nil
+}
+
+// Table renders B3.
+func (r DatapathResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B3 — precision/bandwidth sweep (%d frames, %d workers; §V-B budget %sB: %d/%d wide vs %d/%d narrow blocks resident)",
+			r.Frames, r.Workers, report.Eng(float64(r.BankBudgetBytes)),
+			r.ResidentBlocksWide, r.TotalBlocks, r.ResidentBlocksNarrow, r.TotalBlocks),
+		"datapath", "B/delay", "B/echo", "frames/s", "speedup", "PSNR", "similarity")
+	for _, row := range r.Rows {
+		psnr := "∞ (bit-identical)"
+		if !math.IsInf(row.PSNRdB, 1) {
+			psnr = fmt.Sprintf("%.1f dB", row.PSNRdB)
+		}
+		t.Add(row.Label,
+			fmt.Sprintf("%d", row.DelayBytes),
+			fmt.Sprintf("%d", row.EchoBytes),
+			fmt.Sprintf("%.2f", row.FramesPerSec),
+			fmt.Sprintf("%.2f×", row.Speedup),
+			psnr,
+			fmt.Sprintf("%.6f", row.Similarity))
+	}
+	return t
+}
+
+// DatapathRecord is the machine-readable form `usbeam bench -json` writes
+// to BENCH_datapath.json: the wide-vs-narrow kernel comparison, one record
+// per PR, so the ISSUE 3 acceptance ratio (float32 ≥ 1.5× wide) is diffable.
+type DatapathRecord struct {
+	Spec           string `json:"spec"`
+	GeneratedAtUTC string `json:"generated_at_utc"`
+	GoMaxProcs     int    `json:"gomaxprocs"`
+	Frames         int    `json:"frames"`
+
+	// Steady-state frames/s per datapath (tablefree-fixed, full residency).
+	WideFramesPerSec    float64 `json:"wide_frames_per_sec"`
+	Float64FramesPerSec float64 `json:"float64_frames_per_sec"`
+	Float32FramesPerSec float64 `json:"float32_frames_per_sec"`
+
+	Float64SpeedupVsWide float64 `json:"float64_speedup_vs_wide"`
+	Float32SpeedupVsWide float64 `json:"float32_speedup_vs_wide"`
+
+	// Image fidelity of the float32 kernel against the wide golden volume.
+	Float32PSNRdB      float64 `json:"float32_psnr_db"`
+	Float32Similarity  float64 `json:"float32_similarity"`
+	DelayBytesWide     int64   `json:"delay_bytes_wide"`
+	DelayBytesNarrow   int64   `json:"delay_bytes_narrow"`
+	BankBudgetBytes    int64   `json:"bank_budget_bytes"`
+	ResidentWideAtBank int     `json:"resident_blocks_wide_at_bank_budget"`
+	ResidentNarrowAt   int     `json:"resident_blocks_narrow_at_bank_budget"`
+	TotalBlocks        int     `json:"total_blocks"`
+}
+
+// BenchDatapath measures the B3 sweep and packages it as the per-PR record.
+func BenchDatapath(s core.SystemSpec, frames int) (DatapathRecord, error) {
+	rec := DatapathRecord{
+		Spec:           s.String(),
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Frames:         frames,
+	}
+	r, err := Datapath(s, frames)
+	if err != nil {
+		return rec, err
+	}
+	for _, row := range r.Rows {
+		switch row.Precision {
+		case beamform.PrecisionWide:
+			rec.WideFramesPerSec = row.FramesPerSec
+			rec.DelayBytesWide = row.DelayBytes
+		case beamform.PrecisionFloat64:
+			rec.Float64FramesPerSec = row.FramesPerSec
+			rec.DelayBytesNarrow = row.DelayBytes
+		case beamform.PrecisionFloat32:
+			rec.Float32FramesPerSec = row.FramesPerSec
+			rec.Float32PSNRdB = row.PSNRdB
+			rec.Float32Similarity = row.Similarity
+		}
+	}
+	if rec.WideFramesPerSec > 0 {
+		rec.Float64SpeedupVsWide = rec.Float64FramesPerSec / rec.WideFramesPerSec
+		rec.Float32SpeedupVsWide = rec.Float32FramesPerSec / rec.WideFramesPerSec
+	}
+	rec.BankBudgetBytes = r.BankBudgetBytes
+	rec.ResidentWideAtBank = r.ResidentBlocksWide
+	rec.ResidentNarrowAt = r.ResidentBlocksNarrow
+	rec.TotalBlocks = r.TotalBlocks
+	return rec, nil
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r DatapathRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the datapath record for terminal use.
+func (r DatapathRecord) Table() *report.Table {
+	t := report.NewTable("datapath bench — "+r.Spec, "metric", "value")
+	t.Add("wide frames/s", fmt.Sprintf("%.2f", r.WideFramesPerSec))
+	t.Add("int16×f64 frames/s", fmt.Sprintf("%.2f (%.2f×)", r.Float64FramesPerSec, r.Float64SpeedupVsWide))
+	t.Add("int16×f32 frames/s", fmt.Sprintf("%.2f (%.2f×)", r.Float32FramesPerSec, r.Float32SpeedupVsWide))
+	t.Add("float32 PSNR", fmt.Sprintf("%.1f dB", r.Float32PSNRdB))
+	t.Add("§V-B budget residency", fmt.Sprintf("%d → %d of %d blocks (wide → narrow)",
+		r.ResidentWideAtBank, r.ResidentNarrowAt, r.TotalBlocks))
+	return t
+}

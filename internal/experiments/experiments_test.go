@@ -330,11 +330,21 @@ func TestFrameCacheSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 5 {
+	if len(r.Rows) != 6 {
 		t.Fatalf("got %d rows: %+v", len(r.Rows), r.Rows)
 	}
 	if r.Rows[0].Label != "uncached" || r.Rows[0].Speedup != 1 {
 		t.Errorf("baseline row: %+v", r.Rows[0])
+	}
+	// The A/B pair at the §V-B byte budget: same bytes, float64 blocks
+	// retain at most a quarter of the nappes the narrow blocks do (both
+	// saturate at full residency on this tiny volume).
+	if !r.Rows[1].Wide || r.Rows[2].Wide {
+		t.Errorf("rows 1/2 must be the wide/narrow §V-B pair: %+v %+v", r.Rows[1], r.Rows[2])
+	}
+	if r.Rows[1].Resident > r.Rows[2].Resident {
+		t.Errorf("wide budget row retains more blocks (%d) than narrow (%d)",
+			r.Rows[1].Resident, r.Rows[2].Resident)
 	}
 	last := r.Rows[len(r.Rows)-1]
 	if last.Label != "full table" || last.Resident != last.Total {
@@ -387,5 +397,65 @@ func TestBenchRecordJSON(t *testing.T) {
 	}
 	if out := rec.Table().String(); !strings.Contains(out, "frames/s") {
 		t.Error("bench table rendering")
+	}
+}
+
+func TestDatapathSweep(t *testing.T) {
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 5, 12
+	s.DepthLambda = 60
+	r, err := Datapath(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("got %d rows: %+v", len(r.Rows), r.Rows)
+	}
+	wide, f64, f32 := r.Rows[0], r.Rows[1], r.Rows[2]
+	if wide.DelayBytes != 8 || f64.DelayBytes != 2 || f32.DelayBytes != 2 {
+		t.Errorf("delay bytes: %d/%d/%d", wide.DelayBytes, f64.DelayBytes, f32.DelayBytes)
+	}
+	// Exact datapaths are bit-identical to the wide golden volume.
+	if !math.IsInf(wide.PSNRdB, 1) || !math.IsInf(f64.PSNRdB, 1) {
+		t.Errorf("exact rows must be bit-identical: %v / %v", wide.PSNRdB, f64.PSNRdB)
+	}
+	// The float32 kernel is gated at the acceptance threshold.
+	if f32.PSNRdB < 60 {
+		t.Errorf("float32 PSNR = %.1f dB, want ≥ 60", f32.PSNRdB)
+	}
+	if f32.Similarity < 0.999999 {
+		t.Errorf("float32 similarity = %v", f32.Similarity)
+	}
+	for _, row := range r.Rows {
+		if row.FramesPerSec <= 0 || row.Speedup <= 0 {
+			t.Errorf("degenerate row: %+v", row)
+		}
+	}
+	// §V-B budget coverage: narrow retains 4× the wide blocks (modulo the
+	// full-residency cap, which this tiny volume hits on both).
+	if r.ResidentBlocksNarrow < r.ResidentBlocksWide {
+		t.Errorf("narrow residency %d < wide %d", r.ResidentBlocksNarrow, r.ResidentBlocksWide)
+	}
+	if r.Table() == nil {
+		t.Error("nil table")
+	}
+
+	rec, err := BenchDatapath(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.WideFramesPerSec <= 0 || rec.Float32SpeedupVsWide <= 0 {
+		t.Errorf("degenerate record: %+v", rec)
+	}
+	if rec.Float32PSNRdB < 60 {
+		t.Errorf("record PSNR = %.1f", rec.Float32PSNRdB)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("float32_speedup_vs_wide")) {
+		t.Error("JSON record missing speedup field")
 	}
 }

@@ -35,6 +35,7 @@ func PaperBanks() memmodel.BankArray {
 type FrameCacheRow struct {
 	Label        string
 	BudgetBytes  int64 // <0 = unlimited
+	Wide         bool  // float64 block storage (the pre-narrowing A/B row)
 	Resident     int   // nappe blocks retained
 	Total        int   // nappe blocks in the full table
 	HitRate      float64
@@ -52,10 +53,13 @@ type FrameCacheResult struct {
 
 // budgetPoint names one cache budget of a sweep; bytes < 0 is unlimited
 // and the special fraction values are resolved against the full table size.
+// wide selects the float64 A/B cache (PrecisionWide session) — same bytes,
+// 4× fewer resident blocks — so the sweep shows the narrowed curve shift.
 type budgetPoint struct {
 	label    string
 	fraction float64 // of the full table; <0 means use bytes as-is
 	bytes    int64
+	wide     bool
 }
 
 // FrameCache beamforms a static point-phantom cine of the given length
@@ -65,8 +69,10 @@ type budgetPoint struct {
 // throughout — the compute-bound §IV architecture whose generation cost
 // the cache amortizes hardest.
 func FrameCache(s core.SystemSpec, frames int) (FrameCacheResult, error) {
+	bank := delaycache.BudgetFromBanks(PaperBanks())
 	return frameCacheSweep(s, frames, []budgetPoint{
-		{label: "bram §V-B", fraction: -1, bytes: delaycache.BudgetFromBanks(PaperBanks())},
+		{label: "bram §V-B f64", fraction: -1, bytes: bank, wide: true},
+		{label: "bram §V-B", fraction: -1, bytes: bank},
 		{label: "1/4 table", fraction: 0.25},
 		{label: "1/2 table", fraction: 0.5},
 		{label: "full table", fraction: -1, bytes: -1},
@@ -124,7 +130,17 @@ func frameCacheSweep(s core.SystemSpec, frames int, budgets []budgetPoint) (Fram
 		if b.fraction >= 0 {
 			bytes = int64(b.fraction * float64(full))
 		}
-		sess, cache, err := s.NewCachedSession(xdcr.Hann, newProvider(), bytes)
+		// The wide points are the A/B rows: float64 block storage consumed
+		// by the wide (PR-2) datapath — same byte budget, 4× fewer
+		// resident blocks.
+		prec := beamform.PrecisionFloat64
+		if b.wide {
+			prec = beamform.PrecisionWide
+		}
+		sess, cache, err := s.NewSessionConfig(core.SessionConfig{
+			Window: xdcr.Hann, Precision: prec,
+			Cached: true, CacheBudget: bytes, WideCache: b.wide,
+		}, newProvider())
 		if err != nil {
 			return res, err
 		}
@@ -135,7 +151,7 @@ func frameCacheSweep(s core.SystemSpec, frames int, budgets []budgetPoint) (Fram
 		}
 		st := cache.Stats()
 		res.Rows = append(res.Rows, FrameCacheRow{
-			Label: b.label, BudgetBytes: bytes,
+			Label: b.label, BudgetBytes: bytes, Wide: b.wide,
 			Resident: st.ResidentBlocks, Total: st.TotalBlocks,
 			HitRate: st.HitRate(), FramesPerSec: fps, Speedup: fps / baseFPS,
 		})

@@ -98,6 +98,30 @@ func (t *Table) DelaySamples(it, ip, id, ei, ej int) float64 {
 	return t.data[point*t.Arr.Elements()+t.Arr.Index(ei, ej)]
 }
 
+// Layout implements delay.BlockProvider.
+func (t *Table) Layout() delay.Layout {
+	return delay.Layout{NTheta: t.Vol.Theta.N, NPhi: t.Vol.Phi.N, NX: t.Arr.NX, NY: t.Arr.NY}
+}
+
+// nappe returns the contiguous slice of depth nappe id: the Build walk is
+// nappe-major with the element plane innermost in xdcr.Array.Index order,
+// which is exactly the delay.Layout block order — the materialized table IS
+// a sequence of nappe blocks, the random-access problem of §II-B laid bare.
+func (t *Table) nappe(id int) []float64 {
+	n := t.Layout().BlockLen()
+	return t.data[id*n : (id+1)*n]
+}
+
+// FillNappe implements delay.BlockProvider with a single contiguous copy.
+func (t *Table) FillNappe(id int, dst []float64) {
+	copy(dst, t.nappe(id))
+}
+
+// FillNappe16 implements delay.BlockProvider16, quantizing the stored slice.
+func (t *Table) FillNappe16(id int, dst delay.Block16) {
+	delay.QuantizeNappe(dst, t.nappe(id))
+}
+
 // Entries returns the materialized entry count.
 func (t *Table) Entries() int { return len(t.data) }
 

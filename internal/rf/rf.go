@@ -119,6 +119,43 @@ func (b EchoBuffer) AtLinear(x float64) float64 {
 	return b.Samples[i]*(1-f) + b.Samples[i+1]*f
 }
 
+// EchoBuffer32 is the float32 form of EchoBuffer: the narrow-datapath
+// representation of one element's echo signal. RF samples arrive from
+// ADCs as 12–16-bit integers, so float32 carries them losslessly at half
+// the float64 memory bandwidth; the float64 buffer stays the golden model
+// (the beamform Precision knob selects which one the kernel consumes).
+type EchoBuffer32 struct {
+	Samples []float32
+}
+
+// At returns the sample at integer index i, zero outside the buffer —
+// the same out-of-window semantics as EchoBuffer.At.
+func (b EchoBuffer32) At(i int) float32 {
+	if i < 0 || i >= len(b.Samples) {
+		return 0
+	}
+	return b.Samples[i]
+}
+
+// Narrow converts the buffer to its float32 form (one rounding per
+// sample — the only precision loss on the narrow echo path).
+func (b EchoBuffer) Narrow() EchoBuffer32 {
+	out := EchoBuffer32{Samples: make([]float32, len(b.Samples))}
+	for i, v := range b.Samples {
+		out.Samples[i] = float32(v)
+	}
+	return out
+}
+
+// NarrowAll converts a per-element buffer set to float32.
+func NarrowAll(bufs []EchoBuffer) []EchoBuffer32 {
+	out := make([]EchoBuffer32, len(bufs))
+	for i, b := range bufs {
+		out[i] = b.Narrow()
+	}
+	return out
+}
+
 // Config drives echo synthesis.
 type Config struct {
 	Arr        xdcr.Array

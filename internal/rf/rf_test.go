@@ -223,3 +223,56 @@ func BenchmarkSynthesizePoint(b *testing.B) {
 		}
 	}
 }
+
+func TestEchoBufferBoundaryIndices(t *testing.T) {
+	// The exact boundary semantics the int16 datapath's exactness proof
+	// leans on: index len-1 is the last real sample, len and -1 read as
+	// silence, and the empty buffer is silent everywhere.
+	b := EchoBuffer{Samples: []float64{1, 2, 3, 4}}
+	n := len(b.Samples)
+	if b.At(0) != 1 || b.At(n-1) != 4 {
+		t.Error("boundary in-window reads")
+	}
+	if b.At(n) != 0 || b.At(n+1) != 0 || b.At(-1) != 0 {
+		t.Error("boundary out-of-window reads must be 0")
+	}
+	empty := EchoBuffer{}
+	if empty.At(0) != 0 || empty.AtLinear(0) != 0 {
+		t.Error("empty buffer must read silence")
+	}
+	// AtLinear boundaries: exactly 0 and exactly len-1 are in range, just
+	// beyond either edge is silence, and the top cell clamps to the last
+	// sample rather than interpolating past it.
+	if b.AtLinear(0) != 1 || b.AtLinear(float64(n-1)) != 4 {
+		t.Error("AtLinear endpoint reads")
+	}
+	if b.AtLinear(float64(n-1)+1e-9) != 0 || b.AtLinear(-1e-9) != 0 {
+		t.Error("AtLinear just outside the window must be 0")
+	}
+	if got := b.AtLinear(float64(n-2) + 0.25); got != 3.25 {
+		t.Errorf("AtLinear top-cell interp = %v", got)
+	}
+}
+
+func TestEchoBuffer32MatchesWide(t *testing.T) {
+	b := EchoBuffer{Samples: []float64{0.5, -1.25, 3e-7, 8}}
+	nb := b.Narrow()
+	if len(nb.Samples) != len(b.Samples) {
+		t.Fatalf("Narrow length = %d", len(nb.Samples))
+	}
+	for i, v := range b.Samples {
+		if nb.Samples[i] != float32(v) {
+			t.Errorf("sample %d: %v != float32(%v)", i, nb.Samples[i], v)
+		}
+		if nb.At(i) != float32(b.At(i)) {
+			t.Errorf("At(%d) mismatch", i)
+		}
+	}
+	if nb.At(-1) != 0 || nb.At(len(nb.Samples)) != 0 {
+		t.Error("EchoBuffer32 out-of-window reads must be 0")
+	}
+	all := NarrowAll([]EchoBuffer{b, {Samples: []float64{9}}})
+	if len(all) != 2 || all[1].Samples[0] != 9 {
+		t.Errorf("NarrowAll = %+v", all)
+	}
+}

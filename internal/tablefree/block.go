@@ -21,10 +21,31 @@ func (p *Provider) Layout() delay.Layout {
 // to DelaySamples: the argument association order and the PWL evaluation are
 // unchanged, only their schedule is.
 func (p *Provider) FillNappe(id int, dst []float64) {
+	p.fillNappe(id, dst, nil)
+}
+
+// FillNappe16 implements delay.BlockProvider16: the identical §IV-B
+// decomposition and batched PWL evaluation, quantizing each voxel's element
+// plane as soon as it is produced so only one voxel of float64 values is
+// live at a time (the working set drops from a block to an element plane).
+func (p *Provider) FillNappe16(id int, dst delay.Block16) {
+	p.fillNappe(id, nil, dst)
+}
+
+// fillNappe is the shared nappe sweep: exactly one of dst (float64 block)
+// and dst16 (quantized block) is non-nil. The float64 arithmetic and its
+// association order are identical on both paths — dst16 merely fuses
+// delay.Index16 into the per-voxel emit loop — which keeps the quantized
+// fill exact with respect to the float fill.
+func (p *Provider) fillNappe(id int, dst []float64, dst16 delay.Block16) {
 	l := p.Layout()
 	nE := l.VoxelStride()
 	xt2 := make([]float64, l.NX) // per-column (Sx−xD)², refreshed per voxel
 	args := make([]float64, nE)  // batched receive √ arguments of one voxel
+	var voxel []float64          // per-voxel output plane on the quantized path
+	if dst16 != nil {
+		voxel = make([]float64, nE)
+	}
 	k := 0
 	for it := 0; it < l.NTheta; it++ {
 		for ip := 0; ip < l.NPhi; ip++ {
@@ -53,14 +74,23 @@ func (p *Provider) FillNappe(id int, dst []float64) {
 					j++
 				}
 			}
-			out := dst[k : k+nE]
+			out := voxel
+			if dst16 == nil {
+				out = dst[k : k+nE]
+			}
 			if p.UseFixed {
 				p.FixedDP.EvalSlice(out, args)
 			} else {
 				p.Approx.EvalSlice(out, args)
 			}
-			for i := range out {
-				out[i] = tx + out[i]
+			if dst16 != nil {
+				for i, rx := range out {
+					dst16[k+i] = delay.Index16(tx + rx)
+				}
+			} else {
+				for i := range out {
+					out[i] = tx + out[i]
+				}
 			}
 			k += nE
 		}

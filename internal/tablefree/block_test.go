@@ -53,3 +53,28 @@ func TestLayoutMatchesConfig(t *testing.T) {
 	}
 	var _ delay.BlockProvider = p
 }
+
+// TestFillNappe16BitIdentical holds the native quantized fill to
+// delay.QuantizeNappe over the float fill, slot for slot, on both datapaths.
+func TestFillNappe16BitIdentical(t *testing.T) {
+	for _, fixed := range []bool{false, true} {
+		p := blockSetup()
+		p.UseFixed = fixed
+		l := p.Layout()
+		wide := make([]float64, l.BlockLen())
+		want := make(delay.Block16, l.BlockLen())
+		got := make(delay.Block16, l.BlockLen())
+		for id := 0; id < p.Cfg.Vol.Depth.N; id++ {
+			p.FillNappe(id, wide)
+			delay.QuantizeNappe(want, wide)
+			p.FillNappe16(id, got)
+			for k := range want {
+				if got[k] != want[k] {
+					t.Fatalf("%s fixed=%v id=%d slot %d: native %d != quantized %d",
+						p.Name(), fixed, id, k, got[k], want[k])
+				}
+			}
+		}
+	}
+	var _ delay.BlockProvider16 = (*Provider)(nil)
+}

@@ -60,6 +60,81 @@ func (p *Provider) FillNappe(id int, dst []float64) {
 	}
 }
 
+// FillNappe16 implements delay.BlockProvider16: the same per-nappe unfold
+// and separable broadcast corrections as FillNappe, with delay.Index16
+// fused into the emit loop — the float64 sums (and on the fixed path the
+// aligned integer sums) are formed identically and quantized in place, so
+// no float64 block is materialized.
+func (p *Provider) FillNappe16(id int, dst delay.Block16) {
+	l := p.Layout()
+	nx, ny := l.NX, l.NY
+	if p.UseFixed {
+		p.fillNappeFixed16(id, dst, l)
+		return
+	}
+	refRow := make([]float64, nx*ny)
+	for ej := 0; ej < ny; ej++ {
+		qy := foldIndex(ej, ny)
+		for ei := 0; ei < nx; ei++ {
+			refRow[ej*nx+ei] = p.Ref.At(foldIndex(ei, nx), qy, id)
+		}
+	}
+	xrow := make([]float64, nx)
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			for ei := 0; ei < nx; ei++ {
+				xrow[ei] = p.Corr.X(ei, it, ip)
+			}
+			for ej := 0; ej < ny; ej++ {
+				yc := p.Corr.Y(ej, ip)
+				row := refRow[ej*nx : (ej+1)*nx]
+				for ei, ref := range row {
+					dst[k] = delay.Index16(ref + xrow[ei] + yc)
+					k++
+				}
+			}
+		}
+	}
+}
+
+// fillNappeFixed16 is the quantized integer-datapath fill, sharing the
+// alignedSum shifts with fillNappeFixed and quantizing each scaled word.
+func (p *Provider) fillNappeFixed16(id int, dst delay.Block16, l delay.Layout) {
+	nx, ny := l.NX, l.NY
+	frac := p.Cfg.RefFmt.FracBits
+	if p.Cfg.CorrFmt.FracBits > frac {
+		frac = p.Cfg.CorrFmt.FracBits
+	}
+	refShift := uint(frac - p.Cfg.RefFmt.FracBits)
+	corrShift := uint(frac - p.Cfg.CorrFmt.FracBits)
+	scale := math.Ldexp(1, -frac)
+	refRow := make([]int64, nx*ny)
+	for ej := 0; ej < ny; ej++ {
+		qy := foldIndex(ej, ny)
+		for ei := 0; ei < nx; ei++ {
+			refRow[ej*nx+ei] = p.Ref.RawAt(foldIndex(ei, nx), qy, id) << refShift
+		}
+	}
+	xrow := make([]int64, nx)
+	k := 0
+	for it := 0; it < l.NTheta; it++ {
+		for ip := 0; ip < l.NPhi; ip++ {
+			for ei := 0; ei < nx; ei++ {
+				xrow[ei] = p.Corr.XRaw(ei, it, ip) << corrShift
+			}
+			for ej := 0; ej < ny; ej++ {
+				yc := p.Corr.YRaw(ej, ip) << corrShift
+				row := refRow[ej*nx : (ej+1)*nx]
+				for ei, ref := range row {
+					dst[k] = delay.Index16(float64(ref+xrow[ei]+yc) * scale)
+					k++
+				}
+			}
+		}
+	}
+}
+
 // fillNappeFixed is the integer-datapath nappe fill: reference and
 // correction words are shifted to the finer of the two fractional grids up
 // front (exactly the alignedSum alignment), summed with plain int64 adds,

@@ -74,3 +74,42 @@ func TestBlockLayoutMatchesConfig(t *testing.T) {
 	}
 	var _ delay.BlockProvider = p
 }
+
+// TestFillNappe16BitIdentical holds the native quantized fill to
+// delay.QuantizeNappe over the float fill for the float and both
+// fixed-point datapaths (odd axes exercise the folding branches).
+func TestFillNappe16BitIdentical(t *testing.T) {
+	cases := []struct {
+		bits  int
+		fixed bool
+	}{{18, false}, {18, true}, {14, true}}
+	for _, tc := range cases {
+		p := blockSetup(tc.bits)
+		p.UseFixed = tc.fixed
+		odd := New(Config{
+			Vol:    p.Cfg.Vol,
+			Arr:    xdcr.NewArray(7, 5, 0.385e-3/2),
+			Conv:   p.Cfg.Conv,
+			RefFmt: p.Cfg.RefFmt, CorrFmt: p.Cfg.CorrFmt,
+		})
+		odd.UseFixed = tc.fixed
+		for _, prov := range []*Provider{p, odd} {
+			l := prov.Layout()
+			wide := make([]float64, l.BlockLen())
+			want := make(delay.Block16, l.BlockLen())
+			got := make(delay.Block16, l.BlockLen())
+			for id := 0; id < prov.Cfg.Vol.Depth.N; id++ {
+				prov.FillNappe(id, wide)
+				delay.QuantizeNappe(want, wide)
+				prov.FillNappe16(id, got)
+				for k := range want {
+					if got[k] != want[k] {
+						t.Fatalf("bits=%d fixed=%v id=%d slot %d: native %d != quantized %d",
+							tc.bits, tc.fixed, id, k, got[k], want[k])
+					}
+				}
+			}
+		}
+	}
+	var _ delay.BlockProvider16 = (*Provider)(nil)
+}

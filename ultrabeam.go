@@ -56,6 +56,19 @@ type Provider = delay.Provider
 // caller-owned contiguous buffer; see delay.BlockProvider.
 type BlockProvider = delay.BlockProvider
 
+// BlockProvider16 additionally fills quantized int16 delay blocks natively;
+// see delay.BlockProvider16. Every provider in this module implements it.
+type BlockProvider16 = delay.BlockProvider16
+
+// Block16 is a nappe delay block of int16 selection indices — the narrow
+// datapath representation, 2 bytes per delay, exact for echo windows within
+// MaxEchoWindow samples; see delay.Block16.
+type Block16 = delay.Block16
+
+// MaxEchoWindow is the largest echo-buffer length for which int16 selection
+// indices are exact; see delay.MaxEchoWindow.
+const MaxEchoWindow = delay.MaxEchoWindow
+
 // Layout describes the stride order of a nappe delay block.
 type Layout = delay.Layout
 
@@ -86,6 +99,27 @@ type CacheStats = delaycache.Stats
 
 // EchoBuffer holds one element's sampled receive signal; see rf.EchoBuffer.
 type EchoBuffer = rf.EchoBuffer
+
+// EchoBuffer32 is the float32 narrow-datapath echo buffer; see
+// rf.EchoBuffer32.
+type EchoBuffer32 = rf.EchoBuffer32
+
+// Precision selects the session kernel width; see beamform.Precision.
+type Precision = beamform.Precision
+
+// The session datapath precisions: PrecisionFloat64 is the bit-identical
+// golden model over int16 delay blocks (the default), PrecisionFloat32 the
+// narrow float32 kernel (PSNR-gated), PrecisionWide the pre-narrowing
+// float64 A/B baseline.
+const (
+	PrecisionFloat64 = beamform.PrecisionFloat64
+	PrecisionFloat32 = beamform.PrecisionFloat32
+	PrecisionWide    = beamform.PrecisionWide
+)
+
+// SessionConfig selects the datapath of a session built by
+// SystemSpec.NewSessionConfig; see core.SessionConfig.
+type SessionConfig = core.SessionConfig
 
 // Window selects the receive apodization; see xdcr.Window.
 type Window = xdcr.Window
