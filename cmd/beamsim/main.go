@@ -7,6 +7,7 @@
 //	beamsim [-provider exact|tablefree|tablesteer] [-phantom point|grid|speckle]
 //	        [-depth 0.02] [-out image.pgm] [-compare] [-path block|scalar]
 //	        [-precision float64|float32|wide] [-frames N] [-cache-budget BYTES]
+//	        [-transmits N]
 //
 // -compare beamforms through all three providers and reports similarity,
 // the §II-A image-quality experiment. -path selects the engine datapath:
@@ -22,6 +23,12 @@
 // reports sustained frames/s. -cache-budget bounds the nappe-block delay
 // cache that amortizes generation across frames: 0 disables caching,
 // negative means unlimited (full residency, the default).
+//
+// -transmits N compounds N steered diverging-wave insonifications per
+// frame (virtual sources behind the array): echoes are synthesized once
+// per transmit and the session coherently sums the N beamformations —
+// the delay cache is then keyed by (transmit, nappe) and its budget is
+// shared across the set.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
 	"ultrabeam/internal/dsp"
+	"ultrabeam/internal/experiments"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
 	"ultrabeam/internal/scan"
@@ -50,6 +58,7 @@ func main() {
 	precision := flag.String("precision", "float64", "session kernel width: float64|float32|wide")
 	frames := flag.Int("frames", 1, "cine frames to beamform through one session")
 	cacheBudget := flag.Int64("cache-budget", -1, "delay-cache bytes (0 = uncached, <0 = full residency)")
+	transmits := flag.Int("transmits", 1, "steered insonifications compounded per frame")
 	flag.Parse()
 
 	spec := core.ReducedSpec()
@@ -58,34 +67,48 @@ func main() {
 	spec.DepthLambda = 100 // 38.5 mm imaging depth
 
 	ph := buildPhantom(*phantom, *depth)
-	bufs, err := rf.Synthesize(rf.Config{
-		Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
-		BufSamples: spec.EchoBufferSamples(),
-	}, ph)
-	check(err)
 	eng := spec.NewBeamformer(xdcr.Hann, scan.NappeOrder)
 	eng.Cfg.Path = parsePath(*path)
 	eng.Cfg.Precision = parsePrecision(*precision)
 
+	// The default-origin echo set serves every mode except the compound
+	// cine, which synthesizes one set per transmit instead.
+	synthesize := func() []rf.EchoBuffer {
+		bufs, err := rf.Synthesize(rf.Config{
+			Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
+			BufSamples: spec.EchoBufferSamples(),
+		}, ph)
+		check(err)
+		return bufs
+	}
+
 	if *compare {
-		if *frames > 1 {
-			fmt.Fprintln(os.Stderr, "beamsim: -compare is a single-frame experiment; drop -frames")
+		if *frames > 1 || *transmits > 1 {
+			fmt.Fprintln(os.Stderr, "beamsim: -compare is a single-frame single-transmit experiment; drop -frames/-transmits")
 			os.Exit(2)
 		}
-		runCompare(spec, eng, bufs)
+		runCompare(spec, eng, synthesize())
 		return
 	}
 
 	p := selectProvider(spec, *provider)
 	var vol *beamform.Volume
-	if *frames > 1 {
+	switch {
+	case *transmits > 1:
+		if eng.Cfg.Path != beamform.BlockPath {
+			fmt.Fprintln(os.Stderr, "beamsim: -transmits always streams the block datapath; drop -path", *path)
+			os.Exit(2)
+		}
+		vol = runCompound(spec, p, ph, *transmits, *frames, *cacheBudget, eng.Cfg.Precision)
+	case *frames > 1:
 		if eng.Cfg.Path != beamform.BlockPath {
 			fmt.Fprintln(os.Stderr, "beamsim: -frames > 1 always streams the block datapath; drop -path", *path)
 			os.Exit(2)
 		}
-		vol = runCine(spec, p, bufs, *frames, *cacheBudget, eng.Cfg.Precision)
-	} else {
-		vol, err = eng.Beamform(p, bufs)
+		vol = runCine(spec, p, synthesize(), *frames, *cacheBudget, eng.Cfg.Precision)
+	default:
+		var err error
+		vol, err = eng.Beamform(p, synthesize())
 		check(err)
 	}
 	m, err := beamform.MeasurePSF(vol, spec.Converter(), spec.Fc)
@@ -137,6 +160,39 @@ func runCine(spec core.SystemSpec, p delay.Provider, bufs []rf.EchoBuffer, frame
 	elapsed := time.Since(start)
 	fmt.Printf("%d frames in %v: %.2f frames/s (%d workers, provider %s)\n",
 		frames, elapsed.Round(time.Millisecond),
+		float64(frames)/elapsed.Seconds(), sess.Workers(), p.Name())
+	if cache != nil {
+		fmt.Println("delay cache:", cache.Stats())
+	}
+	return out
+}
+
+// runCompound beamforms a compound cine: n steered diverging-wave
+// transmits per frame (virtual sources half an aperture behind the array,
+// laterally spread over half an aperture), echoes synthesized once per
+// transmit, one persistent session summing the insonifications coherently.
+// It reports sustained compound frames/s and cache effectiveness, and
+// returns the last compounded frame.
+func runCompound(spec core.SystemSpec, p delay.Provider, ph rf.Phantom, n, frames int, budget int64, prec beamform.Precision) *beamform.Volume {
+	txs := delay.SteeredTransmits(n, spec.Aperture()/2, spec.Aperture()/2)
+	txBufs, err := experiments.CompoundEchoes(spec, txs, ph)
+	check(err)
+	sess, cache, err := spec.NewSessionConfig(core.SessionConfig{
+		Window: xdcr.Hann, Precision: prec,
+		Cached: budget != 0, CacheBudget: budget,
+		WideCache: prec == beamform.PrecisionWide,
+		Transmits: txs,
+	}, p)
+	check(err)
+	defer sess.Close()
+	out := &beamform.Volume{Vol: spec.Volume(), Data: make([]float64, spec.Points())}
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		check(sess.BeamformCompoundInto(out, txBufs))
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%d compound frames (%d transmits each) in %v: %.2f frames/s (%d workers, provider %s)\n",
+		frames, n, elapsed.Round(time.Millisecond),
 		float64(frames)/elapsed.Seconds(), sess.Workers(), p.Name())
 	if cache != nil {
 		fmt.Println("delay cache:", cache.Stats())

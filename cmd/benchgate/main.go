@@ -1,0 +1,197 @@
+// Command benchgate compares a freshly measured bench JSON record against a
+// committed baseline and fails on perf regressions beyond a tolerance. It
+// is the CI teeth behind the BENCH_*.json acceptance records: the bench
+// jobs regenerate each record on the runner and benchgate rejects the build
+// when a gated rate fell more than -tol below the committed trajectory.
+//
+// Usage:
+//
+//	benchgate -baseline BENCH_pipeline.json -fresh fresh.json \
+//	          -fields uncached_frames_per_sec,cached_frames_per_sec [-tol 0.30] \
+//	          [-min float32_psnr_db=60]
+//
+// -fields names top-level JSON numbers (rates: higher is better) gated
+// RELATIVE to the baseline. The tolerance is generous by design — CI
+// runners are noisy and differ from the machines that committed the
+// baselines — so only collapses, not jitter, stop the build. -min names
+// field=value pairs gated against an ABSOLUTE floor in the fresh record
+// alone: the right shape for log-scale metrics like a PSNR, where "70% of
+// 186 dB" would still tolerate a near-total fidelity collapse. Exit
+// status: 0 pass, 1 regression, 2 usage.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON record")
+	fresh := flag.String("fresh", "", "freshly measured JSON record")
+	fields := flag.String("fields", "", "comma-separated top-level numeric fields gated relative to the baseline (higher is better)")
+	tol := flag.Float64("tol", 0.30, "allowed fractional regression before failing")
+	mins := flag.String("min", "", "comma-separated field=value absolute floors checked against the fresh record")
+	flag.Parse()
+	if *baseline == "" || *fresh == "" || (*fields == "" && *mins == "") {
+		flag.Usage()
+		os.Exit(2)
+	}
+	base, err := readRecord(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := readRecord(*fresh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	floors, err := parseFloors(*mins)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	var fieldList []string
+	if *fields != "" {
+		fieldList = strings.Split(*fields, ",")
+	}
+	lines, err := compare(base, cur, fieldList, *tol)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+	lines, err = checkFloors(cur, floors)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+// floor is one absolute -min gate.
+type floor struct {
+	field string
+	min   float64
+}
+
+// parseFloors parses the -min list ("a=1.5,b=60").
+func parseFloors(spec string) ([]floor, error) {
+	var out []floor
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad -min entry %q (want field=value)", part)
+		}
+		// strconv.ParseFloat rejects trailing garbage where Sscanf would
+		// silently accept a partial parse and weaken the gate.
+		min, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -min value in %q: %w", part, err)
+		}
+		out = append(out, floor{field: strings.TrimSpace(name), min: min})
+	}
+	return out, nil
+}
+
+// checkFloors gates fresh-record fields against absolute minimums.
+func checkFloors(fresh map[string]any, floors []floor) ([]string, error) {
+	var lines []string
+	var failed []string
+	for _, f := range floors {
+		v, err := number(fresh, f.field)
+		if err != nil {
+			return lines, fmt.Errorf("fresh %w", err)
+		}
+		status := "ok"
+		if v < f.min {
+			status = "BELOW FLOOR"
+			failed = append(failed, f.field)
+		}
+		lines = append(lines, fmt.Sprintf("%-36s fresh %12.3f  (absolute floor %.3f)  %s",
+			f.field, v, f.min, status))
+	}
+	if len(failed) > 0 {
+		return lines, fmt.Errorf("%d field(s) below absolute floor: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	return lines, nil
+}
+
+func readRecord(path string) (map[string]any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// compare checks each gated field of fresh against baseline·(1−tol) and
+// returns one report line per field plus an error naming every regressed
+// field. Fields missing from either record, non-numeric, or non-positive in
+// the baseline are errors too: a silently ungated field would turn the gate
+// into a no-op exactly when a record's schema drifts.
+func compare(baseline, fresh map[string]any, fields []string, tol float64) ([]string, error) {
+	var lines []string
+	var failed []string
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		b, err := number(baseline, f)
+		if err != nil {
+			return lines, fmt.Errorf("baseline %w", err)
+		}
+		c, err := number(fresh, f)
+		if err != nil {
+			return lines, fmt.Errorf("fresh %w", err)
+		}
+		if b <= 0 {
+			return lines, fmt.Errorf("baseline %s = %v is not a positive rate", f, b)
+		}
+		floor := b * (1 - tol)
+		ratio := c / b
+		status := "ok"
+		if c < floor {
+			status = "REGRESSED"
+			failed = append(failed, f)
+		}
+		lines = append(lines, fmt.Sprintf("%-36s baseline %12.3f  fresh %12.3f  (%.2f×, floor %.3f)  %s",
+			f, b, c, ratio, floor, status))
+	}
+	if len(failed) > 0 {
+		return lines, fmt.Errorf("%d field(s) regressed beyond %.0f%%: %s",
+			len(failed), tol*100, strings.Join(failed, ", "))
+	}
+	return lines, nil
+}
+
+// number extracts a top-level numeric field.
+func number(m map[string]any, field string) (float64, error) {
+	v, ok := m[field]
+	if !ok {
+		return 0, fmt.Errorf("record has no field %q", field)
+	}
+	n, ok := v.(float64)
+	if !ok {
+		return 0, fmt.Errorf("record field %q is %T, not a number", field, v)
+	}
+	return n, nil
+}

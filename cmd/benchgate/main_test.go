@@ -1,0 +1,98 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rec(v float64) map[string]any {
+	return map[string]any{"rate_a": v, "rate_b": 2 * v, "not_a_number": "x"}
+}
+
+func TestComparePassesWithinTolerance(t *testing.T) {
+	lines, err := compare(rec(10), rec(8), []string{"rate_a", "rate_b"}, 0.30)
+	if err != nil {
+		t.Fatalf("20%% drop within 30%% tolerance must pass: %v", err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("want 2 report lines, got %d", len(lines))
+	}
+	for _, l := range lines {
+		if !strings.Contains(l, "ok") {
+			t.Errorf("line not ok: %s", l)
+		}
+	}
+}
+
+func TestCompareFailsBeyondTolerance(t *testing.T) {
+	lines, err := compare(rec(10), rec(6), []string{"rate_a"}, 0.30)
+	if err == nil {
+		t.Fatal("40% drop must fail a 30% gate")
+	}
+	if !strings.Contains(err.Error(), "rate_a") {
+		t.Errorf("error must name the field: %v", err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "REGRESSED") {
+		t.Errorf("report must mark the regression: %v", lines)
+	}
+}
+
+func TestCompareImprovementAlwaysPasses(t *testing.T) {
+	if _, err := compare(rec(10), rec(100), []string{"rate_a", "rate_b"}, 0.30); err != nil {
+		t.Fatalf("improvements must pass: %v", err)
+	}
+}
+
+func TestCompareSchemaDriftIsAnError(t *testing.T) {
+	if _, err := compare(rec(10), rec(10), []string{"missing_field"}, 0.30); err == nil {
+		t.Error("missing field must fail, not silently pass")
+	}
+	if _, err := compare(rec(10), rec(10), []string{"not_a_number"}, 0.30); err == nil {
+		t.Error("non-numeric field must fail")
+	}
+	if _, err := compare(map[string]any{"rate_a": 0.0}, rec(10), []string{"rate_a"}, 0.30); err == nil {
+		t.Error("non-positive baseline must fail")
+	}
+}
+
+func TestFloorsAbsoluteGate(t *testing.T) {
+	floors, err := parseFloors("rate_a=8, rate_b=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(floors) != 2 || floors[0].min != 8 || floors[1].field != "rate_b" {
+		t.Fatalf("parsed %+v", floors)
+	}
+	if _, err := checkFloors(rec(10), floors); err != nil {
+		t.Fatalf("10 and 20 clear floors 8 and 5: %v", err)
+	}
+	lines, err := checkFloors(rec(3), floors) // rate_a=3 < 8, rate_b=6 > 5
+	if err == nil || !strings.Contains(err.Error(), "rate_a") {
+		t.Fatalf("3 must miss the 8 floor: %v", err)
+	}
+	if !strings.Contains(lines[0], "BELOW FLOOR") {
+		t.Errorf("report must mark the miss: %v", lines)
+	}
+	if _, err := checkFloors(rec(10), []floor{{field: "missing", min: 1}}); err == nil {
+		t.Error("missing floor field must fail, not silently pass")
+	}
+	if _, err := parseFloors("oops"); err == nil {
+		t.Error("malformed -min entry must fail")
+	}
+	// Partial parses must fail loudly, not silently weaken the floor.
+	for _, bad := range []string{"rate_a=6O", "rate_a=60dB", "rate_a="} {
+		if _, err := parseFloors(bad); err == nil {
+			t.Errorf("%q must fail, not partially parse", bad)
+		}
+	}
+}
+
+func TestCompareSkipsEmptyFieldNames(t *testing.T) {
+	lines, err := compare(rec(10), rec(10), []string{"rate_a", "", " rate_b "}, 0.30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("blank field entries must be skipped, got %d lines", len(lines))
+	}
+}

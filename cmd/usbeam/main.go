@@ -22,7 +22,8 @@
 //	quality     §II-A image-quality experiment (-path block|scalar)
 //	cache       B2 frames/s vs delay-cache budget sweep (-frames N; always reduced scale)
 //	datapath    B3 precision/bandwidth sweep: wide vs int16×f64 vs int16×f32 (always reduced scale)
-//	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json)
+//	compound    B4 multi-transmit compounding sweep: transmit count × cache budget (always reduced scale)
+//	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json)
 //	all         every text experiment in sequence
 //
 // Global flags: -reduced runs on the laptop-scale spec; -exhaustive uses
@@ -160,6 +161,14 @@ func main() {
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
+	case "compound":
+		// B4 runs reduced like B1–B3: the transmit sweep multiplies the
+		// working set by the transmit count, which paper scale cannot hold.
+		var r experiments.CompoundResult
+		r, err = experiments.Compound(core.ReducedSpec(), *frames)
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
 	case "bench":
 		err = runBench(core.ReducedSpec(), *frames, *jsonOut, *out)
 	case "all":
@@ -175,9 +184,10 @@ func main() {
 	}
 }
 
-// runBench measures both per-PR perf records: the pipeline record
-// (BENCH_pipeline.json) and the wide-vs-narrow kernel record
-// (BENCH_datapath.json). -out overrides only the pipeline path.
+// runBench measures the per-PR perf records: the pipeline record
+// (BENCH_pipeline.json), the wide-vs-narrow kernel record
+// (BENCH_datapath.json) and the multi-transmit compounding record
+// (BENCH_compound.json). -out overrides only the pipeline path.
 func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error {
 	rec, err := experiments.Bench(spec, frames)
 	if err != nil {
@@ -187,12 +197,18 @@ func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error 
 	if err != nil {
 		return err
 	}
+	cp, err := experiments.BenchCompound(spec, frames)
+	if err != nil {
+		return err
+	}
 	if !jsonOut {
-		if err := rec.Table().Render(os.Stdout); err != nil {
-			return err
+		for _, t := range []interface{ Render(io.Writer) error }{rec.Table(), dp.Table(), cp.Table()} {
+			if err := t.Render(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
 		}
-		fmt.Println()
-		return dp.Table().Render(os.Stdout)
+		return nil
 	}
 	dst := out
 	if dst == "" {
@@ -206,6 +222,10 @@ func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error 
 		return err
 	}
 	fmt.Println("datapath record written to BENCH_datapath.json")
+	if err := writeJSONFile("BENCH_compound.json", cp.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Println("compound record written to BENCH_compound.json")
 	return nil
 }
 
@@ -365,7 +385,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             datapath bench all
+             datapath compound bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
        -frames N -json -cpuprofile FILE -memprofile FILE`)

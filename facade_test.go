@@ -175,3 +175,106 @@ func TestFacadeNarrowDatapath(t *testing.T) {
 		t.Error("EchoBuffer32 narrow conversion")
 	}
 }
+
+// TestFacadeCompoundInvariance is the compounding correctness contract at
+// the facade: an N-transmit compounded volume equals the explicit sum of N
+// single-transmit volumes — bitwise at every Precision (the per-voxel
+// accumulation order is identical) — and holds at every cache budget, from
+// nothing resident through partial prefixes to full (transmit, nappe)
+// residency. The float32 compound additionally clears the ≥60 dB PSNR gate
+// against the float64 golden compound.
+func TestFacadeCompoundInvariance(t *testing.T) {
+	spec := ultrabeam.ReducedSpec()
+	spec.ElemX, spec.ElemY = 8, 8
+	spec.FocalTheta, spec.FocalPhi, spec.FocalDepth = 9, 3, 10
+	spec.DepthLambda = 60
+	txs := ultrabeam.SteeredTransmits(3, spec.Aperture()/2, spec.Aperture()/2)
+	txBufs := make([][]ultrabeam.EchoBuffer, len(txs))
+	for i, tx := range txs {
+		bufs, err := rf.Synthesize(rf.Config{
+			Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
+			Origin: tx.Origin, BufSamples: spec.EchoBufferSamples(),
+		}, rf.PointPhantom(geom.Vec3{Z: 0.6 * spec.Depth()}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txBufs[i] = bufs
+	}
+	blockBytes := int64(spec.FocalTheta*spec.FocalPhi*spec.ElemX*spec.ElemY) * 2
+	budgets := []struct {
+		name  string
+		bytes int64
+	}{
+		{"nothing resident", 0},
+		{"half the transmit set", blockBytes * int64(spec.FocalDepth*len(txs)) / 2},
+		{"full residency", -1},
+	}
+	var golden *ultrabeam.Volume
+	for _, prec := range []ultrabeam.Precision{
+		ultrabeam.PrecisionFloat64, ultrabeam.PrecisionWide, ultrabeam.PrecisionFloat32,
+	} {
+		wide := prec == ultrabeam.PrecisionWide
+		// The explicit per-transmit sum: one uncached single-transmit session
+		// per insonification, volumes summed in transmit order.
+		ref := &ultrabeam.Volume{Vol: spec.Volume(), Data: make([]float64, spec.Points())}
+		for ti, tx := range txs {
+			sess, _, err := spec.NewSessionConfig(ultrabeam.SessionConfig{
+				Window: ultrabeam.Hann, Precision: prec,
+				Transmits: []ultrabeam.Transmit{tx},
+			}, spec.NewTableFree())
+			if err != nil {
+				t.Fatal(err)
+			}
+			vol, err := sess.Beamform(txBufs[ti])
+			sess.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range vol.Data {
+				ref.Data[i] += v
+			}
+		}
+		for _, b := range budgets {
+			sess, cache, err := spec.NewSessionConfig(ultrabeam.SessionConfig{
+				Window: ultrabeam.Hann, Precision: prec,
+				Cached: true, CacheBudget: b.bytes, WideCache: wide,
+				Transmits: txs,
+			}, spec.NewTableFree())
+			if err != nil {
+				t.Fatal(err)
+			}
+			vol, err := sess.BeamformCompound(txBufs)
+			sess.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := cache.Stats(); st.Transmits != len(txs) {
+				t.Fatalf("%v %s: cache transmits = %d", prec, b.name, st.Transmits)
+			}
+			for i := range ref.Data {
+				if ref.Data[i] != vol.Data[i] {
+					t.Fatalf("%v %s: compound differs from explicit sum at %d: %v vs %v",
+						prec, b.name, i, vol.Data[i], ref.Data[i])
+				}
+			}
+		}
+		switch prec {
+		case ultrabeam.PrecisionFloat64:
+			golden = ref
+		case ultrabeam.PrecisionWide:
+			for i := range golden.Data {
+				if golden.Data[i] != ref.Data[i] {
+					t.Fatalf("wide compound differs from float64 golden at %d", i)
+				}
+			}
+		case ultrabeam.PrecisionFloat32:
+			psnr, err := beamform.PeakSignalRatio(golden, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if psnr < 60 {
+				t.Errorf("float32 compound PSNR = %.1f dB through the facade", psnr)
+			}
+		}
+	}
+}

@@ -263,6 +263,21 @@ func (e *Engine) BeamformBlock(p delay.Provider, bufs []rf.EchoBuffer) (*Volume,
 	return s.Beamform(bufs)
 }
 
+// BeamformCompound coherently compounds one multi-transmit frame through a
+// throwaway session: ps[t] generates the delays of transmit t and txBufs[t]
+// holds the echoes its insonification produced. The result is bit-identical
+// to beamforming each transmit separately and summing the volumes in
+// transmit order (the float64 compounding contract). Cine callers should
+// hold a Session built with NewSessionProviders instead.
+func (e *Engine) BeamformCompound(ps []delay.Provider, txBufs [][]rf.EchoBuffer) (*Volume, error) {
+	s, err := e.NewSessionProviders(ps)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	return s.BeamformCompound(txBufs)
+}
+
 // BeamformScalar runs the per-voxel×element reference datapath.
 func (e *Engine) BeamformScalar(p delay.Provider, bufs []rf.EchoBuffer) (*Volume, error) {
 	out, workers, err := e.prepare(p, bufs)
@@ -321,7 +336,14 @@ func (e *Engine) workerCount() int {
 // the ej·NX+ei element order, so one linear cursor drives all three. The
 // element accumulation order matches beamformNappe exactly, keeping the two
 // paths bit-identical.
-func (e *Engine) accumulateNappe(block []float64, bufs []rf.EchoBuffer, id int, out *Volume) {
+//
+// add selects the store mode: false overwrites the output voxel (the
+// single-transmit frame), true adds the slice's Eq. 1 sum onto whatever a
+// previous transmit left there — compounding N transmits in increasing
+// transmit order therefore produces exactly the sequential per-transmit sum
+// ((v₀+v₁)+v₂)…, which the compounding invariance tests assert bitwise.
+// The same contract holds for every kernel below.
+func (e *Engine) accumulateNappe(block []float64, bufs []rf.EchoBuffer, id int, out *Volume, add bool) {
 	nE := len(e.apod)
 	k := 0
 	for it := 0; it < e.Cfg.Vol.Theta.N; it++ {
@@ -333,7 +355,11 @@ func (e *Engine) accumulateNappe(block []float64, bufs []rf.EchoBuffer, id int, 
 			for j, d := range e.activeIdx {
 				acc += w[j] * bufs[d].At(delay.Index(voxel[d]))
 			}
-			out.Data[base+ip] = acc
+			if add {
+				out.Data[base+ip] += acc
+			} else {
+				out.Data[base+ip] = acc
+			}
 			k += nE
 		}
 	}

@@ -18,7 +18,7 @@ import (
 // within delay.MaxEchoWindow every int16 index selects the same sample the
 // float64 delay would have — so this kernel is bit-identical to the scalar
 // reference while reading a quarter of the delay bytes.
-func (e *Engine) accumulateNappe16(blk delay.Block16, bufs []rf.EchoBuffer, id int, out *Volume) {
+func (e *Engine) accumulateNappe16(blk delay.Block16, bufs []rf.EchoBuffer, id int, out *Volume, add bool) {
 	nE := len(e.apod)
 	k := 0
 	for it := 0; it < e.Cfg.Vol.Theta.N; it++ {
@@ -30,7 +30,11 @@ func (e *Engine) accumulateNappe16(blk delay.Block16, bufs []rf.EchoBuffer, id i
 			for j, d := range e.activeIdx {
 				acc += w[j] * bufs[d].At(int(voxel[d]))
 			}
-			out.Data[base+ip] = acc
+			if add {
+				out.Data[base+ip] += acc
+			} else {
+				out.Data[base+ip] = acc
+			}
 			k += nE
 		}
 	}
@@ -70,7 +74,7 @@ func (e *Engine) accumulateNappe16(blk delay.Block16, bufs []rf.EchoBuffer, id i
 // loop (and the wide kernels the session falls back to when the echo
 // window defeats flattening) keep every geometry correct regardless of
 // aperture size.
-func (e *Engine) accumulateNappe16Narrow(blk delay.Block16, flat []float32, rowOff []int32, win, id int, out *Volume) {
+func (e *Engine) accumulateNappe16Narrow(blk delay.Block16, flat []float32, rowOff []int32, win, id int, out *Volume, add bool) {
 	uw := uint(win)
 	nE := len(e.apod)
 	idxs := e.activeIdx
@@ -105,7 +109,11 @@ func (e *Engine) accumulateNappe16Narrow(blk delay.Block16, flat []float32, rowO
 			for ; j < nA; j++ { // scalar tail: active counts not divisible by 8
 				acc0 += w[j] * flat[int(ro[j])+int(min(uint(int(voxel[idxs[j]])), uw))]
 			}
-			out.Data[base+ip] = float64((acc0 + acc1) + (acc2 + acc3))
+			if add {
+				out.Data[base+ip] += float64((acc0 + acc1) + (acc2 + acc3))
+			} else {
+				out.Data[base+ip] = float64((acc0 + acc1) + (acc2 + acc3))
+			}
 			k += nE
 		}
 	}
@@ -115,7 +123,7 @@ func (e *Engine) accumulateNappe16Narrow(blk delay.Block16, flat []float32, rowO
 // kernel — one accumulator, same clamp — kept as the executable reference
 // the unrolled kernel is property-tested against (identical inputs, sums
 // differing only by float32 association).
-func (e *Engine) accumulateNappe16NarrowScalar(blk delay.Block16, flat []float32, rowOff []int32, win, id int, out *Volume) {
+func (e *Engine) accumulateNappe16NarrowScalar(blk delay.Block16, flat []float32, rowOff []int32, win, id int, out *Volume, add bool) {
 	uw := uint(win)
 	nE := len(e.apod)
 	idxs := e.activeIdx
@@ -130,7 +138,11 @@ func (e *Engine) accumulateNappe16NarrowScalar(blk delay.Block16, flat []float32
 				u := min(uint(int(voxel[d])), uw)
 				acc += w[j] * flat[int(rowOff[j])+int(u)]
 			}
-			out.Data[base+ip] = float64(acc)
+			if add {
+				out.Data[base+ip] += float64(acc)
+			} else {
+				out.Data[base+ip] = float64(acc)
+			}
 			k += nE
 		}
 	}

@@ -243,8 +243,8 @@ func TestUnrolledKernelMatchesScalarNarrow(t *testing.T) {
 	var peak float64
 	for id := 0; id < cfg.Vol.Depth.N; id++ {
 		p.FillNappe16(id, blk)
-		eng.accumulateNappe16Narrow(blk, flat, rowOff, win, id, unrolled)
-		eng.accumulateNappe16NarrowScalar(blk, flat, rowOff, win, id, scalar)
+		eng.accumulateNappe16Narrow(blk, flat, rowOff, win, id, unrolled, false)
+		eng.accumulateNappe16NarrowScalar(blk, flat, rowOff, win, id, scalar, false)
 	}
 	for i := range scalar.Data {
 		if v := math.Abs(scalar.Data[i]); v > peak {

@@ -16,6 +16,14 @@
 // the echo buffers to a guarded float32 plane (rebuilt in parallel each
 // frame by a convert phase) and accumulates through the unrolled branchless
 // kernel.
+//
+// Multi-transmit compounding (PR 4): a session built over N per-transmit
+// providers beamforms each depth slice once per transmit — the first
+// transmit stores, later transmits add — so one pass over the volume
+// coherently compounds N insonifications. The accumulation order per voxel
+// is transmit-major and identical to summing N single-transmit volumes in
+// transmit order, which keeps the compounded float64 frame bit-identical to
+// the explicit sequential sum (the compounding invariance contract).
 package beamform
 
 import (
@@ -36,9 +44,9 @@ type NappeSource interface {
 
 // NappeSource16 is the narrow form of NappeSource: Nappe16 returns a
 // retained read-only quantized block for nappe id, or nil when the nappe
-// is not resident. When the session's provider implements it
-// (delaycache.Cache does), resident nappes are consumed in place — no
-// generation, no copy, 2 bytes per delay.
+// is not resident. When a session provider implements it (delaycache.Cache
+// and its per-transmit views do), resident nappes are consumed in place —
+// no generation, no copy, 2 bytes per delay.
 type NappeSource16 interface {
 	Nappe16(id int) delay.Block16
 }
@@ -52,15 +60,17 @@ const (
 )
 
 // Session is a reusable multi-frame beamformer: one geometry, one delay
-// provider, a persistent worker pool. Frames are beamformed by Beamform /
-// BeamformInto / BeamformFrames / Stream; Close releases the workers.
-// A Session must not be used concurrently — one frame is in flight at a
-// time (the parallelism is inside the frame).
+// provider per transmit, a persistent worker pool. Single-insonification
+// frames are beamformed by Beamform / BeamformInto / BeamformFrames /
+// Stream; compound frames by BeamformCompound / BeamformCompoundInto /
+// StreamCompound; Close releases the workers. A Session must not be used
+// concurrently — one frame is in flight at a time (the parallelism is
+// inside the frame).
 type Session struct {
 	eng     *Engine
-	bp      delay.BlockProvider
-	src     NappeSource   // non-nil when bp retains float64 blocks
-	src16   NappeSource16 // non-nil when bp retains narrow blocks
+	bps     []delay.BlockProvider // one per transmit
+	srcs    []NappeSource         // per transmit; non-nil where blocks are retained wide
+	srcs16  []NappeSource16       // per transmit; non-nil where narrow blocks are retained
 	layout  delay.Layout
 	workers int
 
@@ -69,33 +79,49 @@ type Session struct {
 
 	// Per-frame shared state, published before the start tokens and
 	// therefore visible to workers via the channel happens-before edge.
-	job       sessionJob
-	frameBufs []rf.EchoBuffer
-	frameOut  *Volume
-	narrow    bool // int16 delay blocks are exact for this frame's window
-	useFlat   bool // accumulate through the float32 kernel this frame
+	job      sessionJob
+	frameTx  [][]rf.EchoBuffer // per-transmit echo sets of the frame in flight
+	frameOut *Volume
+	narrow   bool // int16 delay blocks are exact for this frame's windows
+	useFlat  bool // accumulate through the float32 kernel this frame
 
-	// Flattened float32 echo plane: one guarded row of flatWin+1 samples
-	// per element, guard slot permanently zero (the branchless kernel's
-	// out-of-window target). Rebuilt by the convert job, reused across
-	// frames of the same window length. flatOff caches each active
-	// element's row offset so the kernel replaces a multiply per gather
-	// with a sequential table load.
-	flat    []float32
-	flatWin int
-	flatOff []int32
+	// tx1 is the persistent single-transmit wrapper BeamformInto reuses so
+	// the steady-state frame stays allocation-free.
+	tx1 [1][]rf.EchoBuffer
+
+	// Flattened float32 echo planes: one guarded row of flatWin+1 samples
+	// per element, one plane per transmit (plane t starts at t·planeLen),
+	// guard slots permanently zero (the branchless kernel's out-of-window
+	// target). Rebuilt by the convert job, reused across frames of the same
+	// window length. flatOff caches each active element's row offset within
+	// a plane so the kernel replaces a multiply per gather with a sequential
+	// table load.
+	flat     []float32
+	flatWin  int
+	planeLen int
+	flatOff  []int32
 
 	frames int64
 	closed bool
 }
 
-// NewSession builds a session running the engine's block datapath over p
-// (plain Providers are lifted via delay.AsBlock, caching providers are
-// detected through NappeSource/NappeSource16) and spawns the worker pool.
-// Callers own the session lifecycle: Close it when the cine sequence ends.
+// NewSession builds a single-transmit session running the engine's block
+// datapath over p (plain Providers are lifted via delay.AsBlock, caching
+// providers are detected through NappeSource/NappeSource16) and spawns the
+// worker pool. Callers own the session lifecycle: Close it when the cine
+// sequence ends.
 func (e *Engine) NewSession(p delay.Provider) (*Session, error) {
-	if p == nil {
-		return nil, errors.New("beamform: nil delay provider")
+	return e.NewSessionProviders([]delay.Provider{p})
+}
+
+// NewSessionProviders builds a session over one delay provider per
+// transmit of a compounding set: ps[t] generates the delays of transmit t
+// (derive the set with delay.ForTransmits, or pass delaycache.Cache
+// per-transmit views to share one block budget across the set). A
+// single-entry list is the plain single-insonification session.
+func (e *Engine) NewSessionProviders(ps []delay.Provider) (*Session, error) {
+	if len(ps) == 0 {
+		return nil, errors.New("beamform: no delay providers")
 	}
 	layout := delay.Layout{
 		NTheta: e.Cfg.Vol.Theta.N, NPhi: e.Cfg.Vol.Phi.N,
@@ -104,17 +130,26 @@ func (e *Engine) NewSession(p delay.Provider) (*Session, error) {
 	if !layout.Valid() {
 		return nil, fmt.Errorf("beamform: invalid nappe layout %v", layout)
 	}
-	bp := delay.AsBlock(p, layout)
 	s := &Session{
-		eng: e, bp: bp, layout: layout,
+		eng: e, layout: layout,
+		bps:     make([]delay.BlockProvider, len(ps)),
+		srcs:    make([]NappeSource, len(ps)),
+		srcs16:  make([]NappeSource16, len(ps)),
 		workers: e.workerCount(),
 		done:    make(chan struct{}),
 	}
-	if src, ok := bp.(NappeSource); ok {
-		s.src = src
-	}
-	if src, ok := bp.(NappeSource16); ok {
-		s.src16 = src
+	for t, p := range ps {
+		if p == nil {
+			return nil, fmt.Errorf("beamform: nil delay provider for transmit %d", t)
+		}
+		bp := delay.AsBlock(p, layout)
+		s.bps[t] = bp
+		if src, ok := bp.(NappeSource); ok {
+			s.srcs[t] = src
+		}
+		if src, ok := bp.(NappeSource16); ok {
+			s.srcs16[t] = src
+		}
 	}
 	s.start = make([]chan struct{}, s.workers)
 	for w := 0; w < s.workers; w++ {
@@ -142,65 +177,76 @@ func (s *Session) worker(w int) {
 	}
 }
 
-// convertStripe flattens echo buffers w, w+workers, ... of the frame into
-// the session's guarded float32 plane.
+// convertStripe flattens echo buffers of the frame into the session's
+// guarded float32 planes, striping over the (transmit, element) rows.
 func (s *Session) convertStripe(w int) {
 	stride := s.flatWin + 1
-	for d := w; d < len(s.frameBufs); d += s.workers {
-		row := s.flat[d*stride : d*stride+s.flatWin]
-		for i, v := range s.frameBufs[d].Samples {
+	nElem := len(s.frameTx[0])
+	total := len(s.frameTx) * nElem
+	for r := w; r < total; r += s.workers {
+		t, d := r/nElem, r%nElem
+		base := t*s.planeLen + d*stride
+		row := s.flat[base : base+s.flatWin]
+		for i, v := range s.frameTx[t][d].Samples {
 			row[i] = float32(v)
 		}
 	}
 }
 
 // accumulateStripe beamforms depth slices w, w+workers, ... of the frame:
-// obtain a narrow (or, on fallback, wide) delay block for each nappe —
-// resident blocks from a NappeSource are consumed in place — and run the
-// precision-selected kernel.
+// for each slice, every transmit's delay block is obtained in turn — a
+// narrow (or, on fallback, wide) block, resident blocks from a NappeSource
+// consumed in place — and the precision-selected kernel runs with the
+// first transmit storing and later transmits adding, compounding the
+// insonifications coherently in transmit order.
 func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64) {
-	bufs, out := s.frameBufs, s.frameOut
+	out := s.frameOut
 	for id := w; id < s.eng.Cfg.Vol.Depth.N; id += s.workers {
-		if !s.narrow {
-			// Wide fallback: float64 blocks end to end (PrecisionWide, or
-			// an echo window beyond delay.MaxEchoWindow).
-			blk := scratch
-			if s.src != nil {
-				if resident := s.src.Nappe(id); resident != nil {
-					blk = resident
+		for t := range s.bps {
+			bufs := s.frameTx[t]
+			add := t > 0
+			if !s.narrow {
+				// Wide fallback: float64 blocks end to end (PrecisionWide, or
+				// an echo window beyond delay.MaxEchoWindow).
+				blk := scratch
+				if s.srcs[t] != nil {
+					if resident := s.srcs[t].Nappe(id); resident != nil {
+						blk = resident
+					} else {
+						s.bps[t].FillNappe(id, scratch)
+					}
 				} else {
-					s.bp.FillNappe(id, scratch)
+					s.bps[t].FillNappe(id, scratch)
 				}
+				s.eng.accumulateNappe(blk, bufs, id, out, add)
+				continue
+			}
+			blk := buf16
+			resident := false
+			if s.srcs16[t] != nil {
+				if r := s.srcs16[t].Nappe16(id); r != nil {
+					blk, resident = r, true
+				}
+			}
+			if !resident && s.srcs[t] != nil {
+				// Wide-retaining provider on the narrow path: quantize the
+				// resident block — exact — instead of regenerating. (delaycache
+				// in Wide A/B mode performs the same quantization inside
+				// FillNappe16, so it is covered by the Fill16 call below.)
+				if r := s.srcs[t].Nappe(id); r != nil {
+					delay.QuantizeNappe(buf16, r)
+					resident = true
+				}
+			}
+			if !resident {
+				delay.Fill16(s.bps[t], id, buf16, scratch)
+			}
+			if s.useFlat {
+				plane := s.flat[t*s.planeLen : (t+1)*s.planeLen]
+				s.eng.accumulateNappe16Narrow(blk, plane, s.flatOff, s.flatWin, id, out, add)
 			} else {
-				s.bp.FillNappe(id, scratch)
+				s.eng.accumulateNappe16(blk, bufs, id, out, add)
 			}
-			s.eng.accumulateNappe(blk, bufs, id, out)
-			continue
-		}
-		blk := buf16
-		resident := false
-		if s.src16 != nil {
-			if r := s.src16.Nappe16(id); r != nil {
-				blk, resident = r, true
-			}
-		}
-		if !resident && s.src != nil {
-			// Wide-retaining provider on the narrow path: quantize the
-			// resident block — exact — instead of regenerating. (delaycache
-			// in Wide A/B mode performs the same quantization inside
-			// FillNappe16, so it is covered by the Fill16 call below.)
-			if r := s.src.Nappe(id); r != nil {
-				delay.QuantizeNappe(buf16, r)
-				resident = true
-			}
-		}
-		if !resident {
-			delay.Fill16(s.bp, id, buf16, scratch)
-		}
-		if s.useFlat {
-			s.eng.accumulateNappe16Narrow(blk, s.flat, s.flatOff, s.flatWin, id, out)
-		} else {
-			s.eng.accumulateNappe16(blk, bufs, id, out)
 		}
 	}
 }
@@ -222,37 +268,49 @@ func (s *Session) Workers() int { return s.workers }
 // Frames returns how many frames the session has beamformed.
 func (s *Session) Frames() int64 { return s.frames }
 
-// Provider returns the block provider the session consumes (the cache
-// wrapper when one is installed).
-func (s *Session) Provider() delay.BlockProvider { return s.bp }
+// Transmits returns the per-frame insonification count (1 for a plain
+// session).
+func (s *Session) Transmits() int { return len(s.bps) }
 
-// frameShape classifies the frame's echo buffers: whether int16 selection
-// indices are exact for every window, and whether the windows are uniform
-// (the float32 flattening needs one stride).
-func frameShape(bufs []rf.EchoBuffer) (narrowOK, uniform bool, win int) {
+// Provider returns the block provider of transmit 0 (the cache view when
+// one is installed).
+func (s *Session) Provider() delay.BlockProvider { return s.bps[0] }
+
+// frameShape classifies the frame's echo buffers across every transmit:
+// whether int16 selection indices are exact for every window, and whether
+// the windows are uniform (the float32 flattening needs one stride).
+func frameShape(txBufs [][]rf.EchoBuffer) (narrowOK, uniform bool, win int) {
 	narrowOK, uniform, win = true, true, 0
-	for i, b := range bufs {
-		n := len(b.Samples)
-		if n > delay.MaxEchoWindow {
-			narrowOK = false
-		}
-		if i == 0 {
-			win = n
-		} else if n != win {
-			uniform = false
+	first := true
+	for _, bufs := range txBufs {
+		for _, b := range bufs {
+			n := len(b.Samples)
+			if n > delay.MaxEchoWindow {
+				narrowOK = false
+			}
+			if first {
+				win, first = n, false
+			} else if n != win {
+				uniform = false
+			}
 		}
 	}
 	return narrowOK, uniform, win
 }
 
-// BeamformInto beamforms one frame from bufs into dst, reusing dst.Data in
-// place. This is the allocation-free steady state: after the first frame
-// (which may warm a cache, and on the float32 path sizes the flattened
-// echo plane) no allocation occurs on this path. dst must carry the
-// session's volume grid.
-func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
+// BeamformCompoundInto beamforms one compound frame into dst, reusing
+// dst.Data in place: txBufs[t] holds the echo buffers recorded after
+// insonification t, and the output volume is the coherent sum of the
+// per-transmit beamformations in transmit order. With one transmit this is
+// exactly BeamformInto. The steady state performs no allocation (after the
+// first frame sizes any cache and, on the float32 path, the flattened echo
+// planes). dst must carry the session's volume grid.
+func (s *Session) BeamformCompoundInto(dst *Volume, txBufs [][]rf.EchoBuffer) error {
 	if s.closed {
 		return errors.New("beamform: session is closed")
+	}
+	if len(txBufs) != len(s.bps) {
+		return fmt.Errorf("beamform: %d echo sets for %d transmits", len(txBufs), len(s.bps))
 	}
 	if dst == nil || len(dst.Data) != s.eng.Cfg.Vol.Points() {
 		return fmt.Errorf("beamform: destination volume needs %d points", s.eng.Cfg.Vol.Points())
@@ -261,19 +319,23 @@ func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
 		return fmt.Errorf("beamform: destination grid %v is not the session grid %v",
 			dst.Vol, s.eng.Cfg.Vol)
 	}
-	if len(bufs) != s.eng.Cfg.Arr.Elements() {
-		return fmt.Errorf("beamform: %d echo buffers for %d elements",
-			len(bufs), s.eng.Cfg.Arr.Elements())
+	for t, bufs := range txBufs {
+		if len(bufs) != s.eng.Cfg.Arr.Elements() {
+			return fmt.Errorf("beamform: transmit %d has %d echo buffers for %d elements",
+				t, len(bufs), s.eng.Cfg.Arr.Elements())
+		}
 	}
-	narrowOK, uniform, win := frameShape(bufs)
+	narrowOK, uniform, win := frameShape(txBufs)
 	s.narrow = narrowOK && s.eng.Cfg.Precision != PrecisionWide
 	s.useFlat = s.narrow && uniform && s.eng.Cfg.Precision == PrecisionFloat32 &&
-		len(bufs)*(win+1) <= math.MaxInt32 // row offsets are int32
-	s.frameBufs, s.frameOut = bufs, dst
+		len(txBufs)*len(txBufs[0])*(win+1) <= math.MaxInt32 // row offsets are int32
+	s.frameTx, s.frameOut = txBufs, dst
 	if s.useFlat {
-		if need := len(bufs) * (win + 1); len(s.flat) != need || s.flatWin != win {
+		plane := len(txBufs[0]) * (win + 1)
+		if need := len(txBufs) * plane; len(s.flat) != need || s.flatWin != win {
 			s.flat = make([]float32, need) // guard slots zero, never written
 			s.flatWin = win
+			s.planeLen = plane
 			s.flatOff = make([]int32, len(s.eng.activeIdx))
 			for j, d := range s.eng.activeIdx {
 				s.flatOff[j] = d * int32(win+1)
@@ -282,9 +344,34 @@ func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
 		s.dispatch(jobConvert)
 	}
 	s.dispatch(jobAccumulate)
-	s.frameBufs, s.frameOut = nil, nil
+	s.frameTx, s.frameOut = nil, nil
 	s.frames++
 	return nil
+}
+
+// BeamformCompound beamforms one compound frame into a fresh volume.
+func (s *Session) BeamformCompound(txBufs [][]rf.EchoBuffer) (*Volume, error) {
+	out := &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
+	if err := s.BeamformCompoundInto(out, txBufs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BeamformInto beamforms one single-insonification frame from bufs into
+// dst, reusing dst.Data in place. This is the allocation-free steady state:
+// after the first frame (which may warm a cache, and on the float32 path
+// sizes the flattened echo plane) no allocation occurs on this path. dst
+// must carry the session's volume grid. It requires a single-transmit
+// session; compound sessions beamform via BeamformCompoundInto.
+func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
+	if len(s.bps) != 1 {
+		return fmt.Errorf("beamform: session compounds %d transmits; use BeamformCompoundInto", len(s.bps))
+	}
+	s.tx1[0] = bufs
+	err := s.BeamformCompoundInto(dst, s.tx1[:])
+	s.tx1[0] = nil
+	return err
 }
 
 // Beamform beamforms one frame into a freshly allocated volume.
@@ -322,6 +409,26 @@ func (s *Session) Stream(n int, src func(frame int) ([]rf.EchoBuffer, error), si
 			return fmt.Errorf("frame %d source: %w", i, err)
 		}
 		if err := s.BeamformInto(out, bufs); err != nil {
+			return fmt.Errorf("frame %d: %w", i, err)
+		}
+		if err := sink(i, out); err != nil {
+			return fmt.Errorf("frame %d sink: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// StreamCompound is Stream's compound form: src produces the per-transmit
+// echo sets of each frame, sink consumes the compounded volume before the
+// next frame overwrites it.
+func (s *Session) StreamCompound(n int, src func(frame int) ([][]rf.EchoBuffer, error), sink func(frame int, v *Volume) error) error {
+	out := &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
+	for i := 0; i < n; i++ {
+		txBufs, err := src(i)
+		if err != nil {
+			return fmt.Errorf("frame %d source: %w", i, err)
+		}
+		if err := s.BeamformCompoundInto(out, txBufs); err != nil {
 			return fmt.Errorf("frame %d: %w", i, err)
 		}
 		if err := sink(i, out); err != nil {

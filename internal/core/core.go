@@ -181,15 +181,21 @@ func (s SystemSpec) NewCachedSession(w xdcr.Window, p delay.Provider, budgetByte
 }
 
 // SessionConfig selects the datapath of a session built by
-// NewSessionConfig: kernel precision, and an optional nappe-block delay
-// cache (narrow int16 storage by default; WideCache restores the float64
-// A/B representation, which PrecisionWide consumes from residency).
+// NewSessionConfig: kernel precision, an optional nappe-block delay cache
+// (narrow int16 storage by default; WideCache restores the float64 A/B
+// representation, which PrecisionWide consumes from residency), and an
+// optional multi-transmit compounding set.
 type SessionConfig struct {
 	Window      xdcr.Window
 	Precision   beamform.Precision
 	Cached      bool
 	CacheBudget int64 // as delaycache.Config.BudgetBytes; ignored unless Cached
 	WideCache   bool  // float64 block storage (pair with PrecisionWide)
+	// Transmits lists the per-frame insonifications to compound: one delay
+	// provider is derived per entry (delay.ForTransmits) and, when Cached,
+	// one shared-budget cache keyed by (transmit, nappe) feeds them all.
+	// Empty means a single insonification using p's own emission origin.
+	Transmits []delay.Transmit
 }
 
 // NewSessionConfig builds a session with an explicit datapath
@@ -200,22 +206,34 @@ func (s SystemSpec) NewSessionConfig(cfg SessionConfig, p delay.Provider) (*beam
 	}
 	eng := s.NewBeamformer(cfg.Window, scan.NappeOrder)
 	eng.Cfg.Precision = cfg.Precision
+	provs := []delay.Provider{p}
+	if len(cfg.Transmits) > 0 {
+		var err error
+		if provs, err = delay.ForTransmits(p, cfg.Transmits); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+	}
 	var cache *delaycache.Cache
-	prov := p
 	if cfg.Cached {
 		vol := s.Volume()
 		layout := delay.Layout{NTheta: vol.Theta.N, NPhi: vol.Phi.N, NX: s.ElemX, NY: s.ElemY}
+		blocks := make([]delay.BlockProvider, len(provs))
+		for t, q := range provs {
+			blocks[t] = delay.AsBlock(q, layout)
+		}
 		var err error
 		cache, err = delaycache.New(delaycache.Config{
-			Provider: delay.AsBlock(p, layout), Depths: vol.Depth.N,
+			Providers: blocks, Depths: vol.Depth.N,
 			BudgetBytes: cfg.CacheBudget, Wide: cfg.WideCache,
 		})
 		if err != nil {
 			return nil, nil, err
 		}
-		prov = cache
+		for t := range provs {
+			provs[t] = cache.Transmit(t)
+		}
 	}
-	sess, err := eng.NewSession(prov)
+	sess, err := eng.NewSessionProviders(provs)
 	if err != nil {
 		return nil, nil, err
 	}

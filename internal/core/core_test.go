@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"ultrabeam/internal/delay"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
 	"ultrabeam/internal/scan"
@@ -192,4 +193,41 @@ func TestNewSession(t *testing.T) {
 	if _, err := s.NewSession(xdcr.Hann, nil); err == nil {
 		t.Error("nil provider must fail")
 	}
+}
+
+func TestNewSessionConfigTransmits(t *testing.T) {
+	s := ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 3, 10
+	s.DepthLambda = 60
+	txs := delay.SteeredTransmits(2, s.Aperture()/2, s.Aperture()/2)
+	sess, cache, err := s.NewSessionConfig(SessionConfig{
+		Window: xdcr.Hann, Cached: true, CacheBudget: -1, Transmits: txs,
+	}, s.NewTableFree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Transmits() != 2 {
+		t.Errorf("session transmits = %d", sess.Transmits())
+	}
+	if cache.Transmits() != 2 || cache.Stats().TotalBlocks != 2*s.FocalDepth {
+		t.Errorf("cache keyed wrong: %+v", cache.Stats())
+	}
+	// TABLESTEER cannot represent off-axis transmits: the derivation error
+	// must surface from NewSessionConfig, not at beamform time.
+	if _, _, err := s.NewSessionConfig(SessionConfig{
+		Window: xdcr.Hann, Transmits: txs,
+	}, s.NewTableSteer(18)); err == nil {
+		t.Error("off-axis transmit set through tablesteer must fail")
+	}
+	// On-axis sets are fine for every architecture.
+	axial := delay.AxialTransmits(2, -4e-3, 0)
+	sess2, _, err := s.NewSessionConfig(SessionConfig{
+		Window: xdcr.Hann, Transmits: axial,
+	}, s.NewTableSteer(18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess2.Close()
 }

@@ -22,6 +22,15 @@
 // first access (frame 1 warms the cache) and are bit-identical to the
 // wrapped provider's fills by construction: the cache stores exactly what
 // the provider produced and never recomputes.
+//
+// Multi-transmit compounding multiplies the working set by the transmit
+// count: each insonification has its own delay law, so blocks are keyed by
+// (transmit, nappe) and one byte budget is shared across the whole transmit
+// set (Config.Providers, one block generator per transmit). The residency
+// order interleaves transmits nappe-major — key id·N+t — so a partial
+// budget retains the shallowest nappes of every transmit rather than all
+// nappes of transmit 0: the depth prefix stays the §V-B circular-buffer
+// window, now N entries wide per depth.
 package delaycache
 
 import (
@@ -47,6 +56,12 @@ type Config struct {
 	// blocks natively; plain BlockProviders are quantized through a pooled
 	// float64 scratch.
 	Provider delay.BlockProvider
+	// Providers, when non-empty, supplies one block generator per transmit
+	// of a compounding set (overriding Provider): blocks are then keyed by
+	// (transmit, nappe) and the byte budget is shared across the set. All
+	// entries must share one Layout. A single-entry list is equivalent to
+	// Provider.
+	Providers []delay.BlockProvider
 	// Depths is the number of depth nappes (valid fill ids are
 	// 0..Depths-1), normally Volume.Depth.N.
 	Depths int
@@ -64,17 +79,19 @@ type Config struct {
 }
 
 // Cache is a delay.BlockProvider16 that retains filled nappe blocks under a
-// byte budget. It is safe for concurrent use: distinct nappes fill
+// byte budget. It is safe for concurrent use: distinct blocks fill
 // independently and a block is generated exactly once (sync.Once per
-// block), with later readers served the retained data.
+// block), with later readers served the retained data. The plain
+// BlockProvider methods address transmit 0; the *T methods and the
+// Transmit(t) views address the rest of a compounding set.
 type Cache struct {
-	inner   delay.BlockProvider
-	inner16 delay.BlockProvider16 // non-nil when inner fills narrow blocks natively
-	layout  delay.Layout
-	depths  int
-	budget  int64
-	wide    bool
-	blocks  []block // len = resident block count; index = nappe id
+	inners   []delay.BlockProvider   // one generator per transmit
+	inners16 []delay.BlockProvider16 // nil entries where no native narrow fill exists
+	layout   delay.Layout
+	depths   int
+	budget   int64
+	wide     bool
+	blocks   []block // len = resident block count; index = nappe id·transmits + transmit
 
 	// scratch pools float64 buffers for quantizing fills of providers
 	// without a native narrow path (and for wide-cache narrow reads).
@@ -91,31 +108,47 @@ type block struct {
 	wide []float64     // wide cache storage
 }
 
-// New builds a cache over cfg.Provider. The resident block count is
-// min(Depths, BudgetBytes/BlockBytes); see the package comment for the
-// partial-residency policy.
+// New builds a cache over cfg.Provider (or the cfg.Providers transmit set).
+// The resident block count is min(Depths·Transmits, BudgetBytes/BlockBytes);
+// see the package comment for the partial-residency policy.
 func New(cfg Config) (*Cache, error) {
-	if cfg.Provider == nil {
-		return nil, errors.New("delaycache: nil provider")
+	inners := cfg.Providers
+	if len(inners) == 0 {
+		if cfg.Provider == nil {
+			return nil, errors.New("delaycache: nil provider")
+		}
+		inners = []delay.BlockProvider{cfg.Provider}
 	}
-	l := cfg.Provider.Layout()
+	l := inners[0].Layout()
 	if !l.Valid() {
 		return nil, fmt.Errorf("delaycache: invalid layout %v", l)
+	}
+	for t, p := range inners {
+		if p == nil {
+			return nil, fmt.Errorf("delaycache: nil provider for transmit %d", t)
+		}
+		if p.Layout() != l {
+			return nil, fmt.Errorf("delaycache: transmit %d layout %v differs from %v",
+				t, p.Layout(), l)
+		}
 	}
 	if cfg.Depths <= 0 {
 		return nil, fmt.Errorf("delaycache: non-positive depth count %d", cfg.Depths)
 	}
-	c := &Cache{inner: cfg.Provider, layout: l, depths: cfg.Depths,
-		budget: cfg.BudgetBytes, wide: cfg.Wide}
-	if n, ok := cfg.Provider.(delay.BlockProvider16); ok {
-		c.inner16 = n
+	c := &Cache{inners: inners, inners16: make([]delay.BlockProvider16, len(inners)),
+		layout: l, depths: cfg.Depths, budget: cfg.BudgetBytes, wide: cfg.Wide}
+	for t, p := range inners {
+		if n, ok := p.(delay.BlockProvider16); ok {
+			c.inners16[t] = n
+		}
 	}
 	c.scratch.New = func() any { s := make([]float64, l.BlockLen()); return &s }
-	resident := cfg.Depths
+	total := cfg.Depths * len(inners)
+	resident := total
 	if cfg.BudgetBytes >= 0 {
 		resident = int(cfg.BudgetBytes / c.BlockBytes())
-		if resident > cfg.Depths {
-			resident = cfg.Depths
+		if resident > total {
+			resident = total
 		}
 	}
 	c.blocks = make([]block, resident)
@@ -143,93 +176,114 @@ func (c *Cache) DelayBytes() int64 {
 // BlockBytes returns the storage cost of one resident nappe block.
 func (c *Cache) BlockBytes() int64 { return int64(c.layout.BlockLen()) * c.DelayBytes() }
 
-// ResidentBlocks returns how many nappes the budget retains (k of Depths).
+// ResidentBlocks returns how many blocks the budget retains (k of
+// Depths·Transmits).
 func (c *Cache) ResidentBlocks() int { return len(c.blocks) }
 
-// FullResidency reports whether every nappe of the volume is retained.
-func (c *Cache) FullResidency() bool { return len(c.blocks) == c.depths }
+// FullResidency reports whether every (transmit, nappe) block is retained.
+func (c *Cache) FullResidency() bool { return len(c.blocks) == c.depths*len(c.inners) }
 
 // Wide reports whether the cache stores float64 blocks (A/B mode).
 func (c *Cache) Wide() bool { return c.wide }
 
+// Transmits returns the transmit-set size the cache serves (1 when built
+// from a single Provider).
+func (c *Cache) Transmits() int { return len(c.inners) }
+
 // Name implements delay.Provider.
-func (c *Cache) Name() string { return "cached(" + c.inner.Name() + ")" }
+func (c *Cache) Name() string { return "cached(" + c.inners[0].Name() + ")" }
 
 // DelaySamples implements delay.Provider by forwarding to the wrapped
-// provider — the scalar path stays the executable specification and is not
-// cached.
+// transmit-0 provider — the scalar path stays the executable specification
+// and is not cached.
 func (c *Cache) DelaySamples(it, ip, id, ei, ej int) float64 {
-	return c.inner.DelaySamples(it, ip, id, ei, ej)
+	return c.inners[0].DelaySamples(it, ip, id, ei, ej)
 }
 
 // Layout implements delay.BlockProvider.
 func (c *Cache) Layout() delay.Layout { return c.layout }
 
-// FillNappe implements delay.BlockProvider. A wide cache serves resident
-// nappes from the retained float64 block (filling it on first access); a
-// narrow cache always delegates to the wrapped provider — quantized storage
-// can not reproduce fractional delays, and the float64 path stays golden.
-func (c *Cache) FillNappe(id int, dst []float64) {
+// key linearizes a (transmit, nappe) pair into the interleaved residency
+// order: all transmits of nappe 0, then nappe 1, ... — so a partial budget
+// keeps the shallow depth prefix resident for the whole transmit set.
+func (c *Cache) key(t, id int) int { return id*len(c.inners) + t }
+
+// FillNappe implements delay.BlockProvider for transmit 0; see FillNappeT.
+func (c *Cache) FillNappe(id int, dst []float64) { c.FillNappeT(0, id, dst) }
+
+// FillNappeT fills the float64 block of (transmit t, nappe id). A wide
+// cache serves resident blocks from the retained float64 data (filling on
+// first access); a narrow cache always delegates to the wrapped provider —
+// quantized storage can not reproduce fractional delays, and the float64
+// path stays golden.
+func (c *Cache) FillNappeT(t, id int, dst []float64) {
 	if c.wide {
-		if blk := c.Nappe(id); blk != nil {
+		if blk := c.NappeT(t, id); blk != nil {
 			copy(dst, blk)
 			return
 		}
 	}
 	c.misses.Add(1)
-	c.inner.FillNappe(id, dst)
+	c.inners[t].FillNappe(id, dst)
 }
 
-// FillNappe16 implements delay.BlockProvider16: resident nappes are served
-// from the retained block (filling it on first access) — copied on a
-// narrow cache, quantized per call on a wide one (exact either way) —
-// and non-resident nappes regenerate through the narrowest path the
-// provider offers. Values are bit-identical to an uncached quantized fill
-// in every case.
-func (c *Cache) FillNappe16(id int, dst delay.Block16) {
+// FillNappe16 implements delay.BlockProvider16 for transmit 0; see
+// FillNappe16T.
+func (c *Cache) FillNappe16(id int, dst delay.Block16) { c.FillNappe16T(0, id, dst) }
+
+// FillNappe16T fills the quantized block of (transmit t, nappe id):
+// resident blocks are served from retained data (copied on a narrow cache,
+// quantized per call on a wide one — exact either way) and non-resident
+// blocks regenerate through the narrowest path the provider offers. Values
+// are bit-identical to an uncached quantized fill in every case.
+func (c *Cache) FillNappe16T(t, id int, dst delay.Block16) {
 	if c.wide {
-		if b := c.resident(id); b != nil {
+		if b := c.resident(t, id); b != nil {
 			delay.QuantizeNappe(dst, b.wide)
 			return
 		}
-	} else if blk := c.Nappe16(id); blk != nil {
+	} else if blk := c.Nappe16T(t, id); blk != nil {
 		copy(dst, blk)
 		return
 	}
 	c.misses.Add(1)
-	c.fill16(id, dst)
+	c.fill16(t, id, dst)
 }
 
-// fill16 regenerates the quantized block of nappe id through delay.Fill16,
+// fill16 regenerates the quantized block of (t, id) through delay.Fill16,
 // borrowing a pooled scratch only when the provider lacks a native narrow
 // fill.
-func (c *Cache) fill16(id int, dst delay.Block16) {
-	if c.inner16 != nil {
-		c.inner16.FillNappe16(id, dst)
+func (c *Cache) fill16(t, id int, dst delay.Block16) {
+	if n := c.inners16[t]; n != nil {
+		n.FillNappe16(id, dst)
 		return
 	}
 	s := c.scratch.Get().(*[]float64)
-	delay.Fill16(c.inner, id, dst, *s)
+	delay.Fill16(c.inners[t], id, dst, *s)
 	c.scratch.Put(s)
 }
 
-// resident returns the filled block slot for nappe id, running the
-// generator under the slot's once on first access, or nil when id is
-// outside the resident set.
-func (c *Cache) resident(id int) *block {
-	if id < 0 || id >= len(c.blocks) {
+// resident returns the filled block slot for (transmit t, nappe id),
+// running the generator under the slot's once on first access, or nil when
+// the key is outside the resident set.
+func (c *Cache) resident(t, id int) *block {
+	if t < 0 || t >= len(c.inners) || id < 0 || id >= c.depths {
 		return nil
 	}
-	b := &c.blocks[id]
+	key := c.key(t, id)
+	if key >= len(c.blocks) {
+		return nil
+	}
+	b := &c.blocks[key]
 	filled := false
 	b.once.Do(func() {
 		if c.wide {
 			data := make([]float64, c.layout.BlockLen())
-			c.inner.FillNappe(id, data)
+			c.inners[t].FillNappe(id, data)
 			b.wide = data
 		} else {
 			data := make(delay.Block16, c.layout.BlockLen())
-			c.fill16(id, data)
+			c.fill16(t, id, data)
 			b.n16 = data
 		}
 		filled = true
@@ -243,35 +297,86 @@ func (c *Cache) resident(id int) *block {
 	return b
 }
 
-// Nappe returns the retained float64 block of nappe id on a wide cache,
-// generating it on first access, or nil when id is not resident or the
-// cache is narrow. Callers must treat the returned slice as read-only;
-// consuming it directly (as the beamform session does) skips both
-// generation and the copy FillNappe would pay.
-func (c *Cache) Nappe(id int) []float64 {
+// Nappe returns the retained float64 block of nappe id for transmit 0; see
+// NappeT.
+func (c *Cache) Nappe(id int) []float64 { return c.NappeT(0, id) }
+
+// NappeT returns the retained float64 block of (transmit t, nappe id) on a
+// wide cache, generating it on first access, or nil when the block is not
+// resident or the cache is narrow. Callers must treat the returned slice as
+// read-only; consuming it directly (as the beamform session does) skips
+// both generation and the copy FillNappeT would pay.
+func (c *Cache) NappeT(t, id int) []float64 {
 	if !c.wide {
 		return nil
 	}
-	if b := c.resident(id); b != nil {
+	if b := c.resident(t, id); b != nil {
 		return b.wide
 	}
 	return nil
 }
 
-// Nappe16 returns the retained quantized block of nappe id, generating it
-// on first access, or nil when id is not resident or the cache is wide
-// (no retained int16 slice exists to share in A/B mode — wide residency
-// is served through FillNappe16's per-call quantization, or Nappe).
-// Callers must treat the returned slice as read-only.
-func (c *Cache) Nappe16(id int) delay.Block16 {
+// Nappe16 returns the retained quantized block of nappe id for transmit 0;
+// see Nappe16T.
+func (c *Cache) Nappe16(id int) delay.Block16 { return c.Nappe16T(0, id) }
+
+// Nappe16T returns the retained quantized block of (transmit t, nappe id),
+// generating it on first access, or nil when the block is not resident or
+// the cache is wide (no retained int16 slice exists to share in A/B mode —
+// wide residency is served through FillNappe16T's per-call quantization, or
+// NappeT). Callers must treat the returned slice as read-only.
+func (c *Cache) Nappe16T(t, id int) delay.Block16 {
 	if c.wide {
 		return nil
 	}
-	if b := c.resident(id); b != nil {
+	if b := c.resident(t, id); b != nil {
 		return b.n16
 	}
 	return nil
 }
+
+// TransmitView is the per-transmit face of a multi-transmit cache: a
+// delay.BlockProvider16 whose fills and resident-block accessors address
+// one transmit of the set. The beamform session consumes one view per
+// transmit, all backed by the same shared-budget block store.
+type TransmitView struct {
+	c *Cache
+	t int
+}
+
+// Transmit returns the view addressing transmit t. It panics on an
+// out-of-range index — transmit counts are fixed at construction, so a bad
+// index is a programming error, not a runtime condition.
+func (c *Cache) Transmit(t int) *TransmitView {
+	if t < 0 || t >= len(c.inners) {
+		panic(fmt.Sprintf("delaycache: transmit %d of %d", t, len(c.inners)))
+	}
+	return &TransmitView{c: c, t: t}
+}
+
+// Name implements delay.Provider.
+func (v *TransmitView) Name() string { return "cached(" + v.c.inners[v.t].Name() + ")" }
+
+// DelaySamples implements delay.Provider, forwarding to the view's wrapped
+// provider (uncached, like Cache.DelaySamples).
+func (v *TransmitView) DelaySamples(it, ip, id, ei, ej int) float64 {
+	return v.c.inners[v.t].DelaySamples(it, ip, id, ei, ej)
+}
+
+// Layout implements delay.BlockProvider.
+func (v *TransmitView) Layout() delay.Layout { return v.c.layout }
+
+// FillNappe implements delay.BlockProvider for the view's transmit.
+func (v *TransmitView) FillNappe(id int, dst []float64) { v.c.FillNappeT(v.t, id, dst) }
+
+// FillNappe16 implements delay.BlockProvider16 for the view's transmit.
+func (v *TransmitView) FillNappe16(id int, dst delay.Block16) { v.c.FillNappe16T(v.t, id, dst) }
+
+// Nappe exposes the retained float64 block (beamform.NappeSource).
+func (v *TransmitView) Nappe(id int) []float64 { return v.c.NappeT(v.t, id) }
+
+// Nappe16 exposes the retained quantized block (beamform.NappeSource16).
+func (v *TransmitView) Nappe16(id int) delay.Block16 { return v.c.Nappe16T(v.t, id) }
 
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
@@ -280,7 +385,8 @@ type Stats struct {
 	Fills  int64 // misses that populated a resident block (≤ ResidentBlocks)
 
 	ResidentBlocks int   // blocks the budget retains
-	TotalBlocks    int   // Depths — blocks a full table would need
+	TotalBlocks    int   // Depths·Transmits — blocks a full table would need
+	Transmits      int   // transmit-set size sharing the budget
 	DelayBytes     int64 // bytes per cached delay word (2 narrow, 8 wide)
 	BlockBytes     int64 // bytes per block
 	BytesResident  int64 // bytes actually filled so far
@@ -311,7 +417,8 @@ func (c *Cache) Stats() Stats {
 		Misses:         c.misses.Load(),
 		Fills:          fills,
 		ResidentBlocks: len(c.blocks),
-		TotalBlocks:    c.depths,
+		TotalBlocks:    c.depths * len(c.inners),
+		Transmits:      len(c.inners),
 		DelayBytes:     c.DelayBytes(),
 		BlockBytes:     c.BlockBytes(),
 		BytesResident:  fills * c.BlockBytes(),
@@ -322,7 +429,7 @@ func (c *Cache) Stats() Stats {
 // Warm fills every resident block eagerly (frame 0 of a cine does this
 // implicitly; Warm lets benchmarks separate warm-up from steady state).
 func (c *Cache) Warm() {
-	for id := range c.blocks {
-		c.resident(id)
+	for key := range c.blocks {
+		c.resident(key%len(c.inners), key/len(c.inners))
 	}
 }

@@ -1,0 +1,291 @@
+// Experiment B4: multi-transmit compounding versus delay-cache budget. The
+// paper's bottleneck analysis assumes one insonification per volume; real
+// 3-D systems compound N steered transmits per frame, which multiplies the
+// delay working set by N — each transmit has its own delay law, so the
+// (transmit, nappe) block space is N× the single-shot table and one byte
+// budget must now cover all of it. B4 sweeps transmit count × cache budget
+// on a steered diverging-wave set and reports sustained compound frames/s,
+// the residency/hit-rate shift, and the float32 kernel's fidelity against
+// the float64 compound golden volume.
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/xdcr"
+)
+
+// CompoundRow is one (transmit count, budget) point of experiment B4.
+type CompoundRow struct {
+	Transmits    int
+	Label        string // budget label
+	BudgetBytes  int64  // <0 = unlimited
+	Resident     int    // blocks retained of the (transmit, nappe) space
+	Total        int    // Depths × Transmits
+	HitRate      float64
+	FramesPerSec float64 // compound frames (N insonifications each) per second
+	RelSingleTx  float64 // frames/s relative to the 1-transmit row at this budget
+}
+
+// CompoundResult carries experiment B4.
+type CompoundResult struct {
+	Frames  int
+	Workers int
+
+	// The steered transmit-set geometry of the sweep.
+	DepthBehind float64
+	Span        float64
+
+	Rows []CompoundRow
+
+	// Fidelity of the float32 compound kernel against the float64 compound
+	// golden volume at the largest transmit count (full residency).
+	Float32PSNRdB       float64
+	Float32Transmits    int
+	Float32FramesPerSec float64
+}
+
+// CompoundTransmitCounts is the B4 sweep's transmit axis. The single-shot
+// row anchors the cost scaling; 2 and 4 are typical low-count compounding
+// regimes where frame rate must stay interactive.
+var CompoundTransmitCounts = []int{1, 2, 4}
+
+// CompoundEchoes synthesizes the per-transmit echo sets of a static
+// phantom: each insonification re-fires the same scatterers from its own
+// emission origin.
+func CompoundEchoes(s core.SystemSpec, txs []delay.Transmit, ph rf.Phantom) ([][]rf.EchoBuffer, error) {
+	out := make([][]rf.EchoBuffer, len(txs))
+	for t, tx := range txs {
+		bufs, err := rf.Synthesize(rf.Config{
+			Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+			Origin: tx.Origin, BufSamples: s.EchoBufferSamples(),
+		}, ph)
+		if err != nil {
+			return nil, err
+		}
+		out[t] = bufs
+	}
+	return out, nil
+}
+
+// Compound measures experiment B4 on spec (laptop scale expected):
+// TABLEFREE-fixed delays, a static point-phantom cine of the given length,
+// diverging-wave transmit sets steered from virtual sources half an
+// aperture behind the array, sessions at the §V-B bank budget and at full
+// residency for each transmit count.
+func Compound(s core.SystemSpec, frames int) (CompoundResult, error) {
+	res := CompoundResult{Frames: frames}
+	if frames < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 frames to amortize, got %d", frames)
+	}
+	res.DepthBehind = s.Aperture() / 2
+	res.Span = s.Aperture() / 2
+	ph := rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()})
+	newProvider := func() delay.Provider {
+		p := s.NewTableFree()
+		p.UseFixed = true
+		return p
+	}
+	budgets := []struct {
+		label string
+		bytes int64
+	}{
+		{label: "bram §V-B", bytes: delaycache.BudgetFromBanks(PaperBanks())},
+		{label: "full table", bytes: -1},
+	}
+	baseline := map[string]float64{} // budget label → 1-transmit frames/s
+	// txs/txBufs survive the loop: the last iteration's set (the largest
+	// count) feeds the fidelity section below without a second synthesis.
+	var txs []delay.Transmit
+	var txBufs [][]rf.EchoBuffer
+	for _, n := range CompoundTransmitCounts {
+		txs = delay.SteeredTransmits(n, res.DepthBehind, res.Span)
+		var err error
+		if txBufs, err = CompoundEchoes(s, txs, ph); err != nil {
+			return res, err
+		}
+		for _, b := range budgets {
+			sess, cache, err := s.NewSessionConfig(core.SessionConfig{
+				Window: xdcr.Hann, Precision: beamform.PrecisionFloat64,
+				Cached: true, CacheBudget: b.bytes, Transmits: txs,
+			}, newProvider())
+			if err != nil {
+				return res, err
+			}
+			res.Workers = sess.Workers()
+			fps, err := compoundFPS(sess, txBufs, frames)
+			sess.Close()
+			if err != nil {
+				return res, err
+			}
+			st := cache.Stats()
+			row := CompoundRow{
+				Transmits: n, Label: b.label, BudgetBytes: b.bytes,
+				Resident: st.ResidentBlocks, Total: st.TotalBlocks,
+				HitRate: st.HitRate(), FramesPerSec: fps,
+			}
+			if n == 1 {
+				baseline[b.label] = fps
+			}
+			if base := baseline[b.label]; base > 0 {
+				row.RelSingleTx = fps / base
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	// Float32 fidelity at the largest transmit count: the compound float32
+	// kernel against the float64 compound golden volume, reusing the last
+	// sweep iteration's transmit set and echo buffers.
+	nMax := CompoundTransmitCounts[len(CompoundTransmitCounts)-1]
+	var golden *beamform.Volume
+	for _, prec := range []beamform.Precision{beamform.PrecisionFloat64, beamform.PrecisionFloat32} {
+		sess, cache, err := s.NewSessionConfig(core.SessionConfig{
+			Window: xdcr.Hann, Precision: prec,
+			Cached: true, CacheBudget: -1, Transmits: txs,
+		}, newProvider())
+		if err != nil {
+			return res, err
+		}
+		cache.Warm()
+		vol, err := sess.BeamformCompound(txBufs)
+		if err != nil {
+			sess.Close()
+			return res, err
+		}
+		if prec == beamform.PrecisionFloat64 {
+			golden = vol
+		} else {
+			if res.Float32PSNRdB, err = beamform.PeakSignalRatio(golden, vol); err != nil {
+				sess.Close()
+				return res, err
+			}
+			res.Float32Transmits = nMax
+			fps, err := compoundFPS(sess, txBufs, frames)
+			if err != nil {
+				sess.Close()
+				return res, err
+			}
+			res.Float32FramesPerSec = fps
+		}
+		sess.Close()
+	}
+	return res, nil
+}
+
+// compoundFPS beamforms the same compound echo snapshot `frames` times
+// through one reused output volume and returns compound frames per second.
+func compoundFPS(sess *beamform.Session, txBufs [][]rf.EchoBuffer, frames int) (float64, error) {
+	start := time.Now()
+	err := sess.StreamCompound(frames,
+		func(int) ([][]rf.EchoBuffer, error) { return txBufs, nil },
+		func(int, *beamform.Volume) error { return nil })
+	if err != nil {
+		return 0, err
+	}
+	return float64(frames) / time.Since(start).Seconds(), nil
+}
+
+// Table renders B4.
+func (r CompoundResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B4 — compound frames/s vs transmit count × cache budget (%d frames, %d workers; f32@%dtx: %.1f dB, %.2f fps)",
+			r.Frames, r.Workers, r.Float32Transmits, r.Float32PSNRdB, r.Float32FramesPerSec),
+		"transmits", "budget", "bytes", "resident", "hit rate", "frames/s", "vs 1tx")
+	for _, row := range r.Rows {
+		bytes := "unlimited"
+		if row.BudgetBytes >= 0 {
+			bytes = report.Eng(float64(row.BudgetBytes)) + "B"
+		}
+		t.Add(fmt.Sprintf("%d", row.Transmits), row.Label, bytes,
+			fmt.Sprintf("%d/%d", row.Resident, row.Total),
+			report.Pct(row.HitRate),
+			fmt.Sprintf("%.2f", row.FramesPerSec),
+			fmt.Sprintf("%.2f×", row.RelSingleTx))
+	}
+	return t
+}
+
+// CompoundRecordRow is one machine-readable B4 row.
+type CompoundRecordRow struct {
+	Transmits      int     `json:"transmits"`
+	Budget         string  `json:"budget"`
+	BudgetBytes    int64   `json:"budget_bytes"`
+	ResidentBlocks int     `json:"resident_blocks"`
+	TotalBlocks    int     `json:"total_blocks"`
+	HitRate        float64 `json:"hit_rate"`
+	FramesPerSec   float64 `json:"frames_per_sec"`
+	RelSingleTx    float64 `json:"rel_single_tx"`
+}
+
+// CompoundRecord is the per-PR perf snapshot `usbeam bench -json` writes to
+// BENCH_compound.json: the transmit-count × budget trajectory of the
+// compounding pipeline plus the float32 fidelity gate.
+type CompoundRecord struct {
+	Spec           string              `json:"spec"`
+	GeneratedAtUTC string              `json:"generated_at_utc"`
+	GoMaxProcs     int                 `json:"gomaxprocs"`
+	Frames         int                 `json:"frames"`
+	TransmitCounts []int               `json:"transmit_counts"`
+	Rows           []CompoundRecordRow `json:"rows"`
+
+	Float32PSNRdB       float64 `json:"float32_psnr_db"`
+	Float32Transmits    int     `json:"float32_transmits"`
+	Float32FramesPerSec float64 `json:"float32_frames_per_sec"`
+}
+
+// BenchCompound measures B4 and packages it as the per-PR record.
+func BenchCompound(s core.SystemSpec, frames int) (CompoundRecord, error) {
+	rec := CompoundRecord{
+		Spec:           s.String(),
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Frames:         frames,
+		TransmitCounts: CompoundTransmitCounts,
+	}
+	r, err := Compound(s, frames)
+	if err != nil {
+		return rec, err
+	}
+	for _, row := range r.Rows {
+		rec.Rows = append(rec.Rows, CompoundRecordRow{
+			Transmits: row.Transmits, Budget: row.Label, BudgetBytes: row.BudgetBytes,
+			ResidentBlocks: row.Resident, TotalBlocks: row.Total,
+			HitRate: row.HitRate, FramesPerSec: row.FramesPerSec,
+			RelSingleTx: row.RelSingleTx,
+		})
+	}
+	rec.Float32PSNRdB = r.Float32PSNRdB
+	rec.Float32Transmits = r.Float32Transmits
+	rec.Float32FramesPerSec = r.Float32FramesPerSec
+	return rec, nil
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r CompoundRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the compound record for terminal use.
+func (r CompoundRecord) Table() *report.Table {
+	t := report.NewTable("compound bench — "+r.Spec, "metric", "value")
+	for _, row := range r.Rows {
+		t.Add(fmt.Sprintf("%dtx %s frames/s", row.Transmits, row.Budget),
+			fmt.Sprintf("%.2f (%.2f× vs 1tx, %.0f%% hits)",
+				row.FramesPerSec, row.RelSingleTx, 100*row.HitRate))
+	}
+	t.Add("float32 PSNR", fmt.Sprintf("%.1f dB @ %d transmits", r.Float32PSNRdB, r.Float32Transmits))
+	return t
+}

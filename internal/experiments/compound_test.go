@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ultrabeam/internal/core"
+)
+
+func compoundTestSpec() core.SystemSpec {
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 5, 12
+	s.DepthLambda = 60
+	return s
+}
+
+func TestCompoundSweepB4(t *testing.T) {
+	r, err := Compound(compoundTestSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2*len(CompoundTransmitCounts) {
+		t.Fatalf("got %d rows: %+v", len(r.Rows), r.Rows)
+	}
+	byKey := map[[2]string]CompoundRow{}
+	for _, row := range r.Rows {
+		if row.FramesPerSec <= 0 {
+			t.Errorf("%dtx %s: frames/s = %v", row.Transmits, row.Label, row.FramesPerSec)
+		}
+		if row.Total != row.Transmits*12 {
+			t.Errorf("%dtx %s: total blocks = %d, want Depths×N = %d",
+				row.Transmits, row.Label, row.Total, row.Transmits*12)
+		}
+		if row.Resident > row.Total {
+			t.Errorf("%dtx %s: resident %d > total %d", row.Transmits, row.Label, row.Resident, row.Total)
+		}
+		byKey[[2]string{row.Label, string(rune('0' + row.Transmits))}] = row
+	}
+	// Full residency: N transmits cost roughly N× one transmit — the
+	// compound frame does N sweeps of the volume. Only sanity-bound it
+	// (timing noise on CI), the real ratio lives in the bench record.
+	one := byKey[[2]string{"full table", "1"}]
+	four := byKey[[2]string{"full table", "4"}]
+	if one.RelSingleTx != 1 {
+		t.Errorf("1-transmit row must anchor at 1×: %+v", one)
+	}
+	if four.RelSingleTx <= 0 || four.RelSingleTx >= 1 {
+		t.Errorf("4-transmit frames/s must cost more than single-shot: %+v", four)
+	}
+	// The float32 compound clears the PSNR gate at the largest count.
+	if r.Float32Transmits != CompoundTransmitCounts[len(CompoundTransmitCounts)-1] {
+		t.Errorf("fidelity measured at %d transmits", r.Float32Transmits)
+	}
+	if r.Float32PSNRdB < 60 {
+		t.Errorf("float32 compound PSNR = %.1f dB, want ≥ 60", r.Float32PSNRdB)
+	}
+	if out := r.Table().String(); !strings.Contains(out, "vs 1tx") {
+		t.Error("B4 table rendering")
+	}
+	if _, err := Compound(compoundTestSpec(), 1); err == nil {
+		t.Error("single-frame sweep must fail (nothing to amortize)")
+	}
+}
+
+func TestBenchCompoundRecordJSON(t *testing.T) {
+	rec, err := BenchCompound(compoundTestSpec(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.TransmitCounts) < 2 {
+		t.Fatalf("record must cover ≥2 transmit counts: %v", rec.TransmitCounts)
+	}
+	if len(rec.Rows) != 2*len(rec.TransmitCounts) {
+		t.Fatalf("rows: %+v", rec.Rows)
+	}
+	if rec.Float32PSNRdB < 60 {
+		t.Errorf("float32 PSNR in record = %.1f dB", rec.Float32PSNRdB)
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round CompoundRecord
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("record is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if round.Spec != rec.Spec || len(round.Rows) != len(rec.Rows) ||
+		round.Rows[0] != rec.Rows[0] || round.Float32PSNRdB != rec.Float32PSNRdB {
+		t.Errorf("JSON round trip mutated the record")
+	}
+	if out := rec.Table().String(); !strings.Contains(out, "float32 PSNR") {
+		t.Error("compound bench table rendering")
+	}
+}

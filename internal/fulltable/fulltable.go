@@ -54,10 +54,12 @@ func PaperAnalytics() Analytics {
 // constructor refuses tables above MaxEntries to avoid accidental 1.3 TB
 // allocations).
 type Table struct {
-	Vol  scan.Volume
-	Arr  xdcr.Array
-	Fmt  fixed.Format
-	data []float64 // quantized-to-format values, in samples
+	Vol    scan.Volume
+	Arr    xdcr.Array
+	Fmt    fixed.Format
+	origin geom.Vec3       // emission reference the table was built for
+	conv   delay.Converter // kept so WithTransmit can rebuild
+	data   []float64       // quantized-to-format values, in samples
 }
 
 // MaxEntries bounds materialized tables (~800 MB of float64).
@@ -73,7 +75,8 @@ func Build(v scan.Volume, a xdcr.Array, origin geom.Vec3, cv delay.Converter, fm
 			entries, MaxEntries)
 	}
 	e := delay.NewExact(v, a, origin, cv)
-	t := &Table{Vol: v, Arr: a, Fmt: fmtSpec, data: make([]float64, entries)}
+	t := &Table{Vol: v, Arr: a, Fmt: fmtSpec, origin: origin, conv: cv,
+		data: make([]float64, entries)}
 	i := 0
 	v.Walk(scan.NappeOrder, func(ix scan.Index) {
 		for ej := 0; ej < a.NY; ej++ {
@@ -120,6 +123,14 @@ func (t *Table) FillNappe(id int, dst []float64) {
 // FillNappe16 implements delay.BlockProvider16, quantizing the stored slice.
 func (t *Table) FillNappe16(id int, dst delay.Block16) {
 	delay.QuantizeNappe(dst, t.nappe(id))
+}
+
+// WithTransmit implements delay.TransmitProvider by materializing a second
+// full table for the new emission origin — the §II baseline's cost model
+// made explicit: every additional transmit multiplies the precomputed
+// storage by a full table.
+func (t *Table) WithTransmit(tx delay.Transmit) (delay.Provider, error) {
+	return Build(t.Vol, t.Arr, tx.Origin, t.conv, t.Fmt)
 }
 
 // Entries returns the materialized entry count.

@@ -1,0 +1,48 @@
+package fulltable
+
+import (
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/fixed"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+// TestWithTransmitMaterializesNewTable: the derived table must equal one
+// built directly for the transmit's origin — the "one full table per
+// transmit" storage cost of the §II baseline.
+func TestWithTransmitMaterializesNewTable(t *testing.T) {
+	vol := scan.NewVolume(geom.Radians(40), geom.Radians(20), 0.05, 5, 3, 6)
+	arr := xdcr.NewArray(4, 4, 0.2e-3)
+	cv := delay.Converter{C: 1540, Fs: 32e6}
+	base, err := Build(vol, arr, geom.Vec3{}, cv, fixed.U13p5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := delay.Transmit{Origin: geom.Vec3{X: 0.5e-3, Z: -2e-3}}
+	q, err := base.WithTransmit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Build(vol, arr, tx.Origin, cv, fixed.U13p5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	for it := 0; it < vol.Theta.N; it++ {
+		for id := 0; id < vol.Depth.N; id++ {
+			got := q.DelaySamples(it, 1, id, 2, 3)
+			if got != want.DelaySamples(it, 1, id, 2, 3) {
+				t.Fatalf("(%d,%d) differs from direct build", it, id)
+			}
+			if got != base.DelaySamples(it, 1, id, 2, 3) {
+				differs = true
+			}
+		}
+	}
+	if !differs {
+		t.Error("derived table is identical to the base table — origin ignored")
+	}
+}

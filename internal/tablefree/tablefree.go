@@ -133,6 +133,19 @@ func (p *Provider) DelaySamples(it, ip, id, ei, ej int) float64 {
 // NumSegments reports the PWL piece count of the underlying approximation.
 func (p *Provider) NumSegments() int { return p.Approx.NumSegments() }
 
+// WithTransmit implements delay.TransmitProvider: TABLEFREE computes the
+// transmit leg on the fly (one shared √ per focal point, §IV-B), so any
+// emission origin is representable — the derived unit is rebuilt with the
+// PWL domain re-sized for the new worst-case path, exactly as New would
+// size it, and keeps the receiver's fixed/float datapath selection.
+func (p *Provider) WithTransmit(tx delay.Transmit) (delay.Provider, error) {
+	cfg := p.Cfg
+	cfg.Origin = tx.Origin
+	np := New(cfg)
+	np.UseFixed = p.UseFixed
+	return np, nil
+}
+
 // SweepResult aggregates the cost of one per-element unit following a full
 // volume sweep with the incremental segment tracker.
 type SweepResult struct {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ultrabeam/internal/delay"
 	"ultrabeam/internal/fixed"
 )
 
@@ -159,6 +160,24 @@ func alignedSum(refRaw, corrRaw int64, refFrac, corrFrac int) (sum int64, frac i
 		frac = corrFrac
 	}
 	return refRaw<<uint(frac-refFrac) + corrRaw<<uint(frac-corrFrac), frac
+}
+
+// WithTransmit implements delay.TransmitProvider: a new folded reference
+// table is built for the transmit's origin (the §V "multiple precalculated
+// delay tables" extension MultiOrigin quantifies), while the correction
+// tables — which encode only the receive-side steering plane — would be
+// shared in hardware. The folding symmetry requires the origin on the z
+// axis; off-axis transmits are rejected.
+func (p *Provider) WithTransmit(tx delay.Transmit) (delay.Provider, error) {
+	if tx.Origin.X != 0 || tx.Origin.Y != 0 {
+		return nil, fmt.Errorf("tablesteer: transmit origin must lie on the z axis for 4× folding, got %v",
+			tx.Origin)
+	}
+	cfg := p.Cfg
+	cfg.OriginZ = tx.Origin.Z
+	np := New(cfg)
+	np.UseFixed = p.UseFixed
+	return np, nil
 }
 
 // StorageBits returns the combined table footprint (ref + corrections).

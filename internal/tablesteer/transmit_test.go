@@ -1,0 +1,46 @@
+package tablesteer
+
+import (
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+// TestWithTransmitRebuildsReferenceTable: an on-axis transmit derives a
+// provider equal to one built directly with the new OriginZ (a fresh folded
+// reference table, shared-correction semantics), and off-axis transmits are
+// rejected — the folding symmetry requires O on the z axis.
+func TestWithTransmitRebuildsReferenceTable(t *testing.T) {
+	cfg := Config{
+		Vol:  scan.NewVolume(geom.Radians(40), geom.Radians(20), 0.05, 5, 3, 8),
+		Arr:  xdcr.NewArray(4, 4, 0.2e-3),
+		Conv: delay.Converter{C: 1540, Fs: 32e6},
+	}
+	p := New(cfg)
+	p.UseFixed = true
+	tx := delay.Transmit{Origin: geom.Vec3{Z: -3e-3}}
+	q, err := p.WithTransmit(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcfg := cfg
+	dcfg.OriginZ = tx.Origin.Z
+	want := New(dcfg)
+	want.UseFixed = true
+	for it := 0; it < cfg.Vol.Theta.N; it++ {
+		for id := 0; id < cfg.Vol.Depth.N; id += 2 {
+			if got, w := q.DelaySamples(it, 1, id, 2, 3), want.DelaySamples(it, 1, id, 2, 3); got != w {
+				t.Fatalf("(%d,%d): %v != %v", it, id, got, w)
+			}
+		}
+	}
+	if _, err := p.WithTransmit(delay.Transmit{Origin: geom.Vec3{X: 1e-3}}); err == nil {
+		t.Error("off-axis transmit must be rejected")
+	}
+	if _, err := p.WithTransmit(delay.Transmit{Origin: geom.Vec3{Y: 1e-3, Z: -1e-3}}); err == nil {
+		t.Error("off-axis transmit must be rejected")
+	}
+}

@@ -87,8 +87,35 @@ type Volume = beamform.Volume
 // Session is a persistent multi-frame beamformer: worker pool and nappe
 // buffers live across frames, BeamformInto is allocation-free in steady
 // state, and a caching provider amortizes delay generation across the cine
-// sequence. Build one with SystemSpec.NewSession / NewCachedSession.
+// sequence. Build one with SystemSpec.NewSession / NewCachedSession, or
+// with SessionConfig.Transmits set for multi-transmit compounding
+// (BeamformCompound sums N insonifications coherently, bit-identical to
+// the sequential per-transmit sum on the float64 path).
 type Session = beamform.Session
+
+// Transmit describes one insonification of the volume: the emission
+// reference O of the transmit leg. The zero value emits from the array
+// center; see delay.Transmit.
+type Transmit = delay.Transmit
+
+// TransmitProvider is implemented by delay providers that can derive a
+// variant of themselves for another transmit; every provider in this module
+// implements it (TABLESTEER requires on-axis origins).
+type TransmitProvider = delay.TransmitProvider
+
+// SteeredTransmits returns n diverging-wave insonifications from virtual
+// sources behind the aperture, laterally spread along x; see
+// delay.SteeredTransmits.
+func SteeredTransmits(n int, depthBehind, span float64) []Transmit {
+	return delay.SteeredTransmits(n, depthBehind, span)
+}
+
+// AxialTransmits returns n on-axis virtual-source insonifications —
+// representable by every architecture including TABLESTEER; see
+// delay.AxialTransmits.
+func AxialTransmits(n int, zmin, zmax float64) []Transmit {
+	return delay.AxialTransmits(n, zmin, zmax)
+}
 
 // DelayCache retains filled nappe delay blocks across frames under a byte
 // budget — the §V-B "on-FPGA table as a cache" design point in software.
