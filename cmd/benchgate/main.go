@@ -18,12 +18,21 @@
 // alone: the right shape for log-scale metrics like a PSNR, where "70% of
 // 186 dB" would still tolerate a near-total fidelity collapse. Exit
 // status: 0 pass, 1 regression, 2 usage.
+//
+// A -baseline path that does not exist is a warning, not an error: the
+// relative gates are skipped (the -min floors still run against the fresh
+// record). This is what lets a brand-new record land in the same PR that
+// adds its gate — the first CI run has no committed baseline to compare
+// against, and a hard failure would make every new record a two-PR dance.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"io/fs"
 	"os"
 	"strconv"
 	"strings"
@@ -40,41 +49,55 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	base, err := readRecord(*baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-	cur, err := readRecord(*fresh)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
-	floors, err := parseFloors(*mins)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(2)
-	}
 	var fieldList []string
 	if *fields != "" {
 		fieldList = strings.Split(*fields, ",")
 	}
-	lines, err := compare(base, cur, fieldList, *tol)
+	os.Exit(gate(*baseline, *fresh, fieldList, *tol, *mins, os.Stdout, os.Stderr))
+}
+
+// gate runs the whole comparison and returns the process exit status
+// (0 pass, 1 regression, 2 usage/parse). Split from main for testability.
+func gate(baseline, fresh string, fields []string, tol float64, mins string, out, errw io.Writer) int {
+	base, err := readRecord(baseline)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			fmt.Fprintf(errw, "benchgate: warning: baseline %s does not exist yet; skipping relative gates\n", baseline)
+			base = nil
+		} else {
+			fmt.Fprintln(errw, "benchgate:", err)
+			return 2
+		}
+	}
+	cur, err := readRecord(fresh)
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 2
+	}
+	floors, err := parseFloors(mins)
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 2
+	}
+	if base != nil {
+		lines, err := compare(base, cur, fields, tol)
+		for _, l := range lines {
+			fmt.Fprintln(out, l)
+		}
+		if err != nil {
+			fmt.Fprintln(errw, "benchgate:", err)
+			return 1
+		}
+	}
+	lines, err := checkFloors(cur, floors)
 	for _, l := range lines {
-		fmt.Println(l)
+		fmt.Fprintln(out, l)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 1
 	}
-	lines, err = checkFloors(cur, floors)
-	for _, l := range lines {
-		fmt.Println(l)
-	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchgate:", err)
-		os.Exit(1)
-	}
+	return 0
 }
 
 // floor is one absolute -min gate.

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -94,5 +97,68 @@ func TestCompareSkipsEmptyFieldNames(t *testing.T) {
 	}
 	if len(lines) != 2 {
 		t.Fatalf("blank field entries must be skipped, got %d lines", len(lines))
+	}
+}
+
+// writeRecord drops a JSON record into dir and returns its path.
+func writeRecord(t *testing.T, dir, name string, m map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestGateMissingBaselineWarnsAndSkips is the new-record bootstrap path:
+// a baseline that does not exist yet must not fail the build — the
+// relative gates are skipped with a warning while the absolute floors
+// still run against the fresh record.
+func TestGateMissingBaselineWarnsAndSkips(t *testing.T) {
+	dir := t.TempDir()
+	fresh := writeRecord(t, dir, "fresh.json", rec(10))
+	missing := filepath.Join(dir, "BENCH_not_yet.json")
+
+	var out, errw strings.Builder
+	if code := gate(missing, fresh, []string{"rate_a"}, 0.30, "", &out, &errw); code != 0 {
+		t.Fatalf("missing baseline must skip, got exit %d (stderr: %s)", code, errw.String())
+	}
+	if !strings.Contains(errw.String(), "does not exist yet") {
+		t.Errorf("missing baseline must warn, got: %q", errw.String())
+	}
+	if strings.Contains(out.String(), "rate_a") {
+		t.Errorf("relative gates must be skipped, got: %q", out.String())
+	}
+
+	// Floors still run against the fresh record — and still have teeth.
+	out.Reset()
+	errw.Reset()
+	if code := gate(missing, fresh, nil, 0.30, "rate_a=5", &out, &errw); code != 0 {
+		t.Fatalf("passing floor with missing baseline: exit %d", code)
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Errorf("floor report missing: %q", out.String())
+	}
+	if code := gate(missing, fresh, nil, 0.30, "rate_a=50", &out, &errw); code != 1 {
+		t.Errorf("failing floor must still fail with a missing baseline, got exit %d", code)
+	}
+
+	// A baseline that exists but is unreadable garbage stays a hard error.
+	garbage := filepath.Join(dir, "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code := gate(garbage, fresh, []string{"rate_a"}, 0.30, "", &out, &errw); code != 2 {
+		t.Errorf("corrupt baseline must exit 2, got %d", code)
+	}
+
+	// And a present baseline still gates: a collapse fails.
+	baseline := writeRecord(t, dir, "baseline.json", rec(100))
+	if code := gate(baseline, fresh, []string{"rate_a"}, 0.30, "", &out, &errw); code != 1 {
+		t.Errorf("regression with present baseline must exit 1, got %d", code)
 	}
 }

@@ -23,7 +23,8 @@
 //	cache       B2 frames/s vs delay-cache budget sweep (-frames N; always reduced scale)
 //	datapath    B3 precision/bandwidth sweep: wide vs int16×f64 vs int16×f32 (always reduced scale)
 //	compound    B4 multi-transmit compounding sweep: transmit count × cache budget (always reduced scale)
-//	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json)
+//	serve       B5 served frames/s + latency vs connection count, shared vs per-session delay budgets (always reduced scale)
+//	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json + BENCH_serve.json)
 //	all         every text experiment in sequence
 //
 // Global flags: -reduced runs on the laptop-scale spec; -exhaustive uses
@@ -169,6 +170,14 @@ func main() {
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
+	case "serve":
+		// B5 runs its own right-sized spec: the sweep starts a live HTTP
+		// server per point and streams multi-megabyte RF frames.
+		var r experiments.ServeResult
+		r, err = experiments.ServeLoad(experiments.ServeSpec(), *frames, []int{1, 2, 4})
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
 	case "bench":
 		err = runBench(core.ReducedSpec(), *frames, *jsonOut, *out)
 	case "all":
@@ -186,8 +195,9 @@ func main() {
 
 // runBench measures the per-PR perf records: the pipeline record
 // (BENCH_pipeline.json), the wide-vs-narrow kernel record
-// (BENCH_datapath.json) and the multi-transmit compounding record
-// (BENCH_compound.json). -out overrides only the pipeline path.
+// (BENCH_datapath.json), the multi-transmit compounding record
+// (BENCH_compound.json) and the serving record (BENCH_serve.json).
+// -out overrides only the pipeline path.
 func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error {
 	rec, err := experiments.Bench(spec, frames)
 	if err != nil {
@@ -201,8 +211,12 @@ func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error 
 	if err != nil {
 		return err
 	}
+	sv, err := experiments.BenchServe(frames)
+	if err != nil {
+		return err
+	}
 	if !jsonOut {
-		for _, t := range []interface{ Render(io.Writer) error }{rec.Table(), dp.Table(), cp.Table()} {
+		for _, t := range []interface{ Render(io.Writer) error }{rec.Table(), dp.Table(), cp.Table(), sv.Table()} {
 			if err := t.Render(os.Stdout); err != nil {
 				return err
 			}
@@ -226,6 +240,10 @@ func runBench(spec core.SystemSpec, frames int, jsonOut bool, out string) error 
 		return err
 	}
 	fmt.Println("compound record written to BENCH_compound.json")
+	if err := writeJSONFile("BENCH_serve.json", sv.WriteJSON); err != nil {
+		return err
+	}
+	fmt.Println("serve record written to BENCH_serve.json")
 	return nil
 }
 
@@ -385,7 +403,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             datapath compound bench all
+             datapath compound serve bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
        -frames N -json -cpuprofile FILE -memprofile FILE`)

@@ -1,0 +1,80 @@
+// Command usbeamd is the long-lived beamforming daemon: it owns a
+// geometry-keyed pool of warm sessions — every session of one probe
+// geometry attached to one shared delay block store — and beamforms binary
+// RF frames POSTed to /beamform. See internal/serve.Server for the wire
+// protocol, /healthz for liveness and /stats for pool occupancy and
+// shared-cache hit rates.
+//
+// Usage:
+//
+//	usbeamd [-addr :8642] [-max-sessions N] [-max-queue N]
+//	        [-idle-ttl 5m] [-acquire-timeout 10s] [-max-body 256MiB]
+//	        [-private-caches]
+//
+// A quick exchange against a local daemon (see examples/serveclient for a
+// programmatic client):
+//
+//	usbeamd -addr :8642 &
+//	go run ./examples/serveclient -addr localhost:8642
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ultrabeam/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8642", "listen address")
+	maxSessions := flag.Int("max-sessions", 4, "live warm sessions across all geometries")
+	maxQueue := flag.Int("max-queue", 0, "queued acquires before 503 (0 = 4× max-sessions)")
+	idleTTL := flag.Duration("idle-ttl", 5*time.Minute, "evict geometries idle this long (0 = never)")
+	acquireTimeout := flag.Duration("acquire-timeout", 10*time.Second, "max time a request may queue for a session")
+	maxBody := flag.Int64("max-body", 256<<20, "request body byte cap")
+	privateCaches := flag.Bool("private-caches", false, "disable delay-store sharing (per-session caches; A/B baseline)")
+	flag.Parse()
+
+	pool := serve.NewPool(serve.PoolConfig{
+		MaxSessions:   *maxSessions,
+		MaxQueue:      *maxQueue,
+		IdleTTL:       *idleTTL,
+		PrivateCaches: *privateCaches,
+	})
+	srv, err := serve.NewServer(serve.ServerConfig{
+		Pool: pool, MaxBodyBytes: *maxBody, AcquireTimeout: *acquireTimeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "usbeamd:", err)
+		os.Exit(1)
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Println("usbeamd: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Println("usbeamd: shutdown:", err)
+		}
+	}()
+	log.Printf("usbeamd: serving on %s (max %d sessions, idle TTL %s)", *addr, *maxSessions, *idleTTL)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "usbeamd:", err)
+		os.Exit(1)
+	}
+	<-done
+	pool.Close()
+}

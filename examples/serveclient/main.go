@@ -1,0 +1,105 @@
+// Serveclient: a minimal client for a running usbeamd. It synthesizes one
+// RF frame of a point scatterer on the reduced-scale geometry, POSTs it to
+// the daemon as binary little-endian float64 samples, and prints the
+// returned scanline through the volume center — the round trip the CI
+// server-smoke step asserts on.
+//
+// Run `go run ./cmd/usbeamd` in one terminal, then:
+//
+//	go run ./examples/serveclient -addr localhost:8642
+package main
+
+import (
+	"bytes"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+
+	"ultrabeam"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8642", "usbeamd address")
+	flag.Parse()
+
+	// One frame of the reduced Table I system: a point scatterer at 60%
+	// depth, echoes synthesized per element at fs.
+	spec := ultrabeam.ReducedSpec()
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
+		BufSamples: spec.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * spec.Depth()}))
+	if err != nil {
+		fail(err)
+	}
+
+	// The wire format: element-major little-endian float64, window length
+	// inferred by the server from the body size.
+	win := len(bufs[0].Samples)
+	body := make([]byte, 8*len(bufs)*win)
+	for d, b := range bufs {
+		for i, v := range b.Samples {
+			binary.LittleEndian.PutUint64(body[8*(d*win+i):], math.Float64bits(v))
+		}
+	}
+	url := fmt.Sprintf("http://%s/beamform?spec=reduced&out=scanline", *addr)
+	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		fail(fmt.Errorf("POST %s: %w (is usbeamd running?)", url, err))
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("%s: %s", resp.Status, raw))
+	}
+	if len(raw) == 0 || len(raw)%8 != 0 {
+		fail(fmt.Errorf("response is %d bytes, not a float64 scanline", len(raw)))
+	}
+
+	line := make([]float64, len(raw)/8)
+	peak, peakAt := 0.0, 0
+	for i := range line {
+		line[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+		if a := math.Abs(line[i]); a > peak {
+			peak, peakAt = a, i
+		}
+	}
+	fmt.Printf("scanline %s through %s, %d depth samples (server elapsed %s ms)\n",
+		resp.Header.Get("X-Ultrabeam-Scanline"), spec.String(), len(line),
+		resp.Header.Get("X-Ultrabeam-Elapsed-Ms"))
+	fmt.Printf("peak |s| = %.4g at depth index %d (scatterer at 60%% depth = index %d)\n",
+		peak, peakAt, spec.FocalDepth*60/100)
+	// A coarse sparkline of the echo energy down the line of sight.
+	const cols = 64
+	bins := make([]float64, cols)
+	for i, v := range line {
+		b := i * cols / len(line)
+		if a := math.Abs(v); a > bins[b] {
+			bins[b] = a
+		}
+	}
+	marks := []rune(" .:-=+*#%@")
+	var spark []rune
+	for _, v := range bins {
+		i := int(v / peak * float64(len(marks)-1))
+		spark = append(spark, marks[i])
+	}
+	fmt.Printf("|%s|\n", string(spark))
+	if peak == 0 {
+		fail(fmt.Errorf("returned scanline has no energy"))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "serveclient:", err)
+	os.Exit(1)
+}

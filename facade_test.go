@@ -1,7 +1,10 @@
 package ultrabeam_test
 
 import (
+	"context"
+	"encoding/json"
 	"math"
+	"net/http/httptest"
 	"testing"
 
 	"ultrabeam"
@@ -276,5 +279,108 @@ func TestFacadeCompoundInvariance(t *testing.T) {
 				t.Errorf("float32 compound PSNR = %.1f dB through the facade", psnr)
 			}
 		}
+	}
+}
+
+// TestFacadeServingPool exercises the serving surface through the public
+// package: shared store via SessionConfig, pool checkout/release with
+// fingerprint reuse, and the HTTP server round trip.
+func TestFacadeServingPool(t *testing.T) {
+	spec := ultrabeam.ReducedSpec()
+	spec.ElemX, spec.ElemY = 8, 8
+	spec.FocalTheta, spec.FocalPhi, spec.FocalDepth = 9, 3, 10
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: spec.Array(), Conv: spec.Converter(), Pulse: rf.NewPulse(spec.Fc, spec.B),
+		BufSamples: spec.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * spec.Depth()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A shared store built and attached through the facade aliases.
+	cfg := ultrabeam.SessionConfig{Window: ultrabeam.Hann, Cached: true, CacheBudget: -1}
+	var shared *ultrabeam.SharedDelayCache
+	shared, err = spec.NewSharedCache(cfg, spec.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attach := cfg
+	attach.Cached, attach.SharedCache = false, shared
+	s1, c1, err := spec.NewSessionConfig(attach, spec.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	s2, c2, err := spec.NewSessionConfig(attach, spec.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	v1, err := s1.Beamform(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s2.Beamform(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1.Data {
+		if v1.Data[i] != v2.Data[i] {
+			t.Fatalf("sessions sharing a store diverge at %d", i)
+		}
+	}
+	if c1.Shared() != shared || c2.Shared() != shared {
+		t.Error("attachments not backed by the facade-built store")
+	}
+	if st, ok := s1.CacheStats(); !ok || st.Attachments != 2 {
+		t.Errorf("session cache stats: ok=%v %+v", ok, st)
+	}
+
+	// The pool keys by fingerprint and reuses warm sessions.
+	pool := ultrabeam.NewPool(ultrabeam.PoolConfig{MaxSessions: 2})
+	defer pool.Close()
+	req := ultrabeam.SessionRequest{Spec: spec, Config: cfg, Arch: ultrabeam.ArchExact}
+	l1, err := pool.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := l1.Session
+	pv, err := l1.Session.Beamform(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range v1.Data {
+		if pv.Data[i] != v1.Data[i] {
+			t.Fatalf("pooled volume differs from direct session at %d", i)
+		}
+	}
+	l1.Release()
+	l2, err := pool.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Session != warm {
+		t.Error("pool did not reuse the warm session")
+	}
+	l2.Release()
+
+	// The HTTP frontend answers a health probe through the facade Server.
+	srv, err := ultrabeam.NewServer(ultrabeam.ServerConfig{Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if rr.Code != 200 {
+		t.Errorf("healthz = %d", rr.Code)
+	}
+	rr = httptest.NewRecorder()
+	srv.ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var st ultrabeam.PoolStats
+	if err := json.Unmarshal(rr.Body.Bytes(), &st); err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if st.Live != 1 || st.Reuses != 1 {
+		t.Errorf("pool stats over HTTP: %+v", st)
 	}
 }

@@ -30,8 +30,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
 	"ultrabeam/internal/rf"
 )
 
@@ -101,8 +103,18 @@ type Session struct {
 	planeLen int
 	flatOff  []int32
 
-	frames int64
+	// frames is atomic: a serving frontend scrapes Frames() from stats
+	// goroutines while the owning goroutine beamforms.
+	frames atomic.Int64
 	closed bool
+}
+
+// CacheStatsSource is implemented by caching delay providers that can
+// report effectiveness counters (delaycache.Cache and its transmit views).
+// The session surfaces it through CacheStats so a /stats scraper never has
+// to know which provider chain a session was built over.
+type CacheStatsSource interface {
+	Stats() delaycache.Stats
 }
 
 // NewSession builds a single-transmit session running the engine's block
@@ -265,8 +277,23 @@ func (s *Session) dispatch(job sessionJob) {
 // Workers returns the pool size (fixed at session creation).
 func (s *Session) Workers() int { return s.workers }
 
-// Frames returns how many frames the session has beamformed.
-func (s *Session) Frames() int64 { return s.frames }
+// Frames returns how many frames the session has beamformed. It is safe to
+// call concurrently with a frame in flight (the counter is atomic), so a
+// stats endpoint can scrape live sessions.
+func (s *Session) Frames() int64 { return s.frames.Load() }
+
+// CacheStats returns the delay-cache snapshot of the transmit-0 provider
+// when the session was built over a caching chain, and ok=false otherwise.
+// Like Frames, it is safe to call concurrently with a frame in flight —
+// the cache counters are atomic — which is what lets a serving frontend's
+// /stats endpoint scrape checked-out sessions without stopping them.
+func (s *Session) CacheStats() (st delaycache.Stats, ok bool) {
+	src, ok := s.bps[0].(CacheStatsSource)
+	if !ok {
+		return delaycache.Stats{}, false
+	}
+	return src.Stats(), true
+}
 
 // Transmits returns the per-frame insonification count (1 for a plain
 // session).
@@ -345,7 +372,7 @@ func (s *Session) BeamformCompoundInto(dst *Volume, txBufs [][]rf.EchoBuffer) er
 	}
 	s.dispatch(jobAccumulate)
 	s.frameTx, s.frameOut = nil, nil
-	s.frames++
+	s.frames.Add(1)
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
 	"ultrabeam/internal/scan"
@@ -262,5 +263,80 @@ func TestSessionSteadyStateAllocFree(t *testing.T) {
 	})
 	if avg > 0 {
 		t.Errorf("steady-state BeamformInto allocates %.1f objects/frame, want 0", avg)
+	}
+}
+
+// TestSessionScrapeWhileStreaming is the /stats contract: Frames and
+// CacheStats may be called from another goroutine while frames are in
+// flight. Run under -race, any unsynchronized counter access fails here.
+func TestSessionScrapeWhileStreaming(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 40)
+	eng := New(cfg)
+	layout := delay.Layout{NTheta: cfg.Vol.Theta.N, NPhi: cfg.Vol.Phi.N, NX: cfg.Arr.NX, NY: cfg.Arr.NY}
+	cache, err := delaycache.New(delaycache.Config{
+		Provider: delay.AsBlock(exactProvider(cfg), layout),
+		Depths:   cfg.Vol.Depth.N, BudgetBytes: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.NewSession(cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	const frames = 6
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the scraper: hammer the stats surface until streaming ends
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if n := sess.Frames(); n < 0 || n > frames {
+				t.Errorf("Frames = %d out of [0, %d]", n, frames)
+				return
+			}
+			st, ok := sess.CacheStats()
+			if !ok {
+				t.Error("CacheStats: session over a cache reported no stats source")
+				return
+			}
+			if st.Hits < 0 || st.Misses < 0 {
+				t.Errorf("negative cache counters: %+v", st)
+				return
+			}
+		}
+	}()
+	err = sess.Stream(frames,
+		func(int) ([]rf.EchoBuffer, error) { return bufs, nil },
+		func(int, *Volume) error { return nil })
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Frames() != frames {
+		t.Errorf("Frames = %d, want %d", sess.Frames(), frames)
+	}
+	st, ok := sess.CacheStats()
+	if !ok || st.Hits+st.Misses == 0 {
+		t.Errorf("CacheStats after streaming: ok=%v stats=%+v", ok, st)
+	}
+
+	// A session over a non-caching provider reports no stats source.
+	plain, err := eng.NewSession(exactProvider(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	if _, ok := plain.CacheStats(); ok {
+		t.Error("CacheStats: plain session claims a cache")
 	}
 }

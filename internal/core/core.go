@@ -196,45 +196,116 @@ type SessionConfig struct {
 	// one shared-budget cache keyed by (transmit, nappe) feeds them all.
 	// Empty means a single insonification using p's own emission origin.
 	Transmits []delay.Transmit
+	// SharedCache, when non-nil, attaches the session to an existing
+	// geometry-keyed block store instead of building a private cache —
+	// the serving-pool shape where N concurrent sessions of one probe
+	// geometry pay one delay budget between them. The store must have been
+	// built for this spec and transmit set (NewSharedCache does exactly
+	// that); Cached/CacheBudget/WideCache are ignored when it is set.
+	SharedCache *delaycache.Shared
+}
+
+// NewSharedCache builds a sharable delay block store for this spec and
+// session configuration: the store any number of later NewSessionConfig
+// calls (with cfg.SharedCache set) can attach to concurrently. The provider
+// derivation matches the private-cache path of NewSessionConfig exactly, so
+// attached sessions are bit-identical to sessions owning a private cache of
+// the same budget.
+func (s SystemSpec) NewSharedCache(cfg SessionConfig, p delay.Provider) (*delaycache.Shared, error) {
+	provs, err := s.transmitProviders(cfg, p)
+	if err != nil {
+		return nil, err
+	}
+	vol := s.Volume()
+	layout := delay.Layout{NTheta: vol.Theta.N, NPhi: vol.Phi.N, NX: s.ElemX, NY: s.ElemY}
+	blocks := make([]delay.BlockProvider, len(provs))
+	for t, q := range provs {
+		blocks[t] = delay.AsBlock(q, layout)
+	}
+	return delaycache.NewShared(delaycache.Config{
+		Providers: blocks, Depths: vol.Depth.N,
+		BudgetBytes: cfg.CacheBudget, Wide: cfg.WideCache,
+	})
+}
+
+// transmitProviders derives the per-transmit provider set of a session
+// configuration (the single-entry set when cfg.Transmits is empty).
+func (s SystemSpec) transmitProviders(cfg SessionConfig, p delay.Provider) ([]delay.Provider, error) {
+	if p == nil {
+		return nil, fmt.Errorf("core: nil delay provider")
+	}
+	if len(cfg.Transmits) == 0 {
+		return []delay.Provider{p}, nil
+	}
+	provs, err := delay.ForTransmits(p, cfg.Transmits)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return provs, nil
 }
 
 // NewSessionConfig builds a session with an explicit datapath
-// configuration. The returned cache is nil when cfg.Cached is false.
+// configuration. The returned cache is the session's attachment (a fresh
+// private store under cfg.Cached, a view of cfg.SharedCache when one is
+// supplied) and nil when the session is uncached. When cfg.SharedCache is
+// set, p is not consulted at all — the store's own wrapped providers
+// generate every block, so attaching sessions skip provider construction
+// entirely (for TABLESTEER that is a whole reference-table build saved
+// per session).
 func (s SystemSpec) NewSessionConfig(cfg SessionConfig, p delay.Provider) (*beamform.Session, *delaycache.Cache, error) {
-	if p == nil {
-		return nil, nil, fmt.Errorf("core: nil delay provider")
-	}
 	eng := s.NewBeamformer(cfg.Window, scan.NappeOrder)
 	eng.Cfg.Precision = cfg.Precision
-	provs := []delay.Provider{p}
-	if len(cfg.Transmits) > 0 {
-		var err error
-		if provs, err = delay.ForTransmits(p, cfg.Transmits); err != nil {
-			return nil, nil, fmt.Errorf("core: %w", err)
-		}
-	}
+	var provs []delay.Provider
 	var cache *delaycache.Cache
-	if cfg.Cached {
+	switch {
+	case cfg.SharedCache != nil:
 		vol := s.Volume()
 		layout := delay.Layout{NTheta: vol.Theta.N, NPhi: vol.Phi.N, NX: s.ElemX, NY: s.ElemY}
-		blocks := make([]delay.BlockProvider, len(provs))
-		for t, q := range provs {
-			blocks[t] = delay.AsBlock(q, layout)
+		transmits := len(cfg.Transmits)
+		if transmits == 0 {
+			transmits = 1
 		}
-		var err error
-		cache, err = delaycache.New(delaycache.Config{
-			Providers: blocks, Depths: vol.Depth.N,
-			BudgetBytes: cfg.CacheBudget, Wide: cfg.WideCache,
-		})
+		if got := cfg.SharedCache.Layout(); got != layout {
+			return nil, nil, fmt.Errorf("core: shared cache layout %v does not match spec layout %v", got, layout)
+		}
+		if got := cfg.SharedCache.Transmits(); got != transmits {
+			return nil, nil, fmt.Errorf("core: shared cache serves %d transmits, session compounds %d", got, transmits)
+		}
+		if got := cfg.SharedCache.Depths(); got != vol.Depth.N {
+			return nil, nil, fmt.Errorf("core: shared cache holds %d depths, spec has %d", got, vol.Depth.N)
+		}
+		if cfg.Precision == beamform.PrecisionWide && !cfg.SharedCache.Wide() {
+			// A narrow store cannot serve the wide datapath from residency
+			// (the float64 path is never reconstructed from quantized
+			// storage), so attaching would silently regenerate every block
+			// of every frame — fail loudly instead, like the shape checks.
+			return nil, nil, fmt.Errorf("core: narrow shared cache cannot feed a PrecisionWide session; build the store with WideCache")
+		}
+		cache = cfg.SharedCache.Attach()
+		provs = make([]delay.Provider, transmits)
+	case cfg.Cached:
+		shared, err := s.NewSharedCache(cfg, p)
 		if err != nil {
 			return nil, nil, err
 		}
+		cache = shared.Attach()
+		provs = make([]delay.Provider, shared.Transmits())
+	default:
+		var err error
+		if provs, err = s.transmitProviders(cfg, p); err != nil {
+			return nil, nil, err
+		}
+	}
+	if cache != nil {
 		for t := range provs {
 			provs[t] = cache.Transmit(t)
 		}
 	}
 	sess, err := eng.NewSessionProviders(provs)
 	if err != nil {
+		if cache != nil {
+			cache.Detach()
+		}
 		return nil, nil, err
 	}
 	return sess, cache, nil

@@ -2,9 +2,12 @@ package core
 
 import (
 	"math"
+	"sync"
 	"testing"
 
+	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
 	"ultrabeam/internal/scan"
@@ -230,4 +233,167 @@ func TestNewSessionConfigTransmits(t *testing.T) {
 		t.Fatal(err)
 	}
 	sess2.Close()
+}
+
+// TestSharedCacheConcurrentBitIdentity is the cache-sharing contract: two
+// sessions of the same geometry attached to one Shared block store, running
+// concurrently, produce volumes bit-identical to a solo session owning a
+// private cache of the same budget — at every precision, at full and
+// partial residency, and across an eviction. Run under -race this also
+// proves the store's concurrent fill path.
+func TestSharedCacheConcurrentBitIdentity(t *testing.T) {
+	s := ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 3, 10
+	s.DepthLambda = 60
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockBytes := int64(s.FocalTheta*s.FocalPhi*s.Elements()) * 2 // narrow store
+	budgets := map[string]int64{
+		"full": -1, "half": blockBytes * int64(s.FocalDepth) / 2, "none": 0,
+	}
+	precisions := []beamform.Precision{
+		beamform.PrecisionFloat64, beamform.PrecisionFloat32, beamform.PrecisionWide,
+	}
+	const frames = 3
+	for _, prec := range precisions {
+		for name, budget := range budgets {
+			cfg := SessionConfig{
+				Window: xdcr.Hann, Precision: prec,
+				Cached: true, CacheBudget: budget, WideCache: prec == beamform.PrecisionWide,
+			}
+			// Solo reference: a private cache of the same budget.
+			solo, _, err := s.NewSessionConfig(cfg, s.NewExact())
+			if err != nil {
+				t.Fatalf("%v/%s solo: %v", prec, name, err)
+			}
+			ref, err := solo.Beamform(bufs)
+			solo.Close()
+			if err != nil {
+				t.Fatalf("%v/%s solo: %v", prec, name, err)
+			}
+
+			shared, err := s.NewSharedCache(cfg, s.NewExact())
+			if err != nil {
+				t.Fatalf("%v/%s: %v", prec, name, err)
+			}
+			evicted := 0
+			shared.OnEvict(func(delaycache.Stats) { evicted++ })
+			attach := cfg
+			attach.Cached, attach.SharedCache = false, shared
+			var wg sync.WaitGroup
+			for stream := 0; stream < 2; stream++ {
+				sess, cache, err := s.NewSessionConfig(attach, s.NewExact())
+				if err != nil {
+					t.Fatalf("%v/%s attach %d: %v", prec, name, stream, err)
+				}
+				if cache.Shared() != shared {
+					t.Fatalf("%v/%s: attachment not backed by the shared store", prec, name)
+				}
+				wg.Add(1)
+				go func(stream int) {
+					defer wg.Done()
+					defer sess.Close()
+					defer cache.Detach()
+					out := &beamform.Volume{Vol: ref.Vol, Data: make([]float64, len(ref.Data))}
+					for f := 0; f < frames; f++ {
+						if err := sess.BeamformInto(out, bufs); err != nil {
+							t.Errorf("%v/%s stream %d frame %d: %v", prec, name, stream, f, err)
+							return
+						}
+						for i := range ref.Data {
+							if ref.Data[i] != out.Data[i] {
+								t.Errorf("%v/%s stream %d frame %d: differs from solo run at %d",
+									prec, name, stream, f, i)
+								return
+							}
+						}
+					}
+				}(stream)
+			}
+			wg.Wait()
+			if got := shared.Attachments(); got != 0 {
+				t.Errorf("%v/%s: %d attachments after detach, want 0", prec, name, got)
+			}
+
+			// Eviction drops the blocks; a rewarmed run is still bit-identical
+			// (deterministic prefix: the same blocks refill with the same bytes).
+			shared.Evict()
+			if evicted != 1 {
+				t.Errorf("%v/%s: eviction hook ran %d times, want 1", prec, name, evicted)
+			}
+			if st := shared.Stats(); st.Evictions != 1 || st.BytesResident != 0 {
+				t.Errorf("%v/%s post-evict stats: %+v", prec, name, st)
+			}
+			sess, cache, err := s.NewSessionConfig(attach, s.NewExact())
+			if err != nil {
+				t.Fatalf("%v/%s re-attach: %v", prec, name, err)
+			}
+			vol, err := sess.Beamform(bufs)
+			if err != nil {
+				t.Fatalf("%v/%s post-evict frame: %v", prec, name, err)
+			}
+			for i := range ref.Data {
+				if ref.Data[i] != vol.Data[i] {
+					t.Fatalf("%v/%s: post-eviction rewarm differs from solo run at %d", prec, name, i)
+				}
+			}
+			cache.Detach()
+			sess.Close()
+		}
+	}
+
+	// Attaching a store of the wrong shape must fail loudly.
+	shared, err := s.NewSharedCache(SessionConfig{Window: xdcr.Hann, CacheBudget: -1}, s.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := s
+	other.FocalTheta = 7
+	if _, _, err := other.NewSessionConfig(SessionConfig{Window: xdcr.Hann, SharedCache: shared}, other.NewExact()); err == nil {
+		t.Error("layout mismatch must fail")
+	}
+	compound := SessionConfig{Window: xdcr.Hann, SharedCache: shared,
+		Transmits: delay.AxialTransmits(2, -0.01, -0.02)}
+	if _, _, err := s.NewSessionConfig(compound, s.NewExact()); err == nil {
+		t.Error("transmit-count mismatch must fail")
+	}
+}
+
+func TestSharedCacheWideMismatchFails(t *testing.T) {
+	// A narrow store cannot serve the wide datapath from residency; the
+	// attach must fail loudly rather than silently regenerate every block.
+	s := ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 3, 10
+	narrow, err := s.NewSharedCache(SessionConfig{Window: xdcr.Hann, CacheBudget: -1}, s.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.NewSessionConfig(SessionConfig{
+		Window: xdcr.Hann, Precision: beamform.PrecisionWide, SharedCache: narrow,
+	}, s.NewExact())
+	if err == nil {
+		t.Fatal("narrow store + PrecisionWide session must fail")
+	}
+	// The wide store serves every precision (narrow reads quantize).
+	wide, err := s.NewSharedCache(SessionConfig{Window: xdcr.Hann, CacheBudget: -1, WideCache: true}, s.NewExact())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prec := range []beamform.Precision{beamform.PrecisionWide, beamform.PrecisionFloat64} {
+		sess, cache, err := s.NewSessionConfig(SessionConfig{
+			Window: xdcr.Hann, Precision: prec, SharedCache: wide,
+		}, s.NewExact())
+		if err != nil {
+			t.Fatalf("%v over wide store: %v", prec, err)
+		}
+		cache.Detach()
+		sess.Close()
+	}
 }

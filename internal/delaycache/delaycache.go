@@ -31,10 +31,17 @@
 // budget retains the shallowest nappes of every transmit rather than all
 // nappes of transmit 0: the depth prefix stays the §V-B circular-buffer
 // window, now N entries wide per depth.
+//
+// The package splits into a block store and its consumers: Shared owns the
+// blocks (one store per geometry, any number of concurrent readers — see
+// shared.go) and Cache is one consumer's attachment to a store, carrying
+// per-attachment hit/miss counters on top of the store's aggregate Stats.
+// New builds the classic private pairing — a fresh store with exactly one
+// attachment; NewShared + Attach is the serving-pool form where N sessions
+// of one probe geometry pay one delay budget between them.
 package delaycache
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -49,7 +56,7 @@ const (
 	wideDelayBytes   = 8 // float64 fractional delay
 )
 
-// Config assembles a Cache.
+// Config assembles a Shared store (and, through New, a private Cache).
 type Config struct {
 	// Provider is the wrapped block generator; its Layout fixes the block
 	// geometry. Providers implementing delay.BlockProvider16 fill narrow
@@ -78,81 +85,37 @@ type Config struct {
 	Wide bool
 }
 
-// Cache is a delay.BlockProvider16 that retains filled nappe blocks under a
-// byte budget. It is safe for concurrent use: distinct blocks fill
-// independently and a block is generated exactly once (sync.Once per
-// block), with later readers served the retained data. The plain
+// Cache is a delay.BlockProvider16 view of a Shared block store: blocks a
+// consumer requests are served from (and filled into) the store, while the
+// view's own Stats count only this attachment's traffic. It is safe for
+// concurrent use: distinct blocks fill independently and a block is
+// generated exactly once (sync.Once per block in the store), with later
+// readers — on any attachment — served the retained data. The plain
 // BlockProvider methods address transmit 0; the *T methods and the
 // Transmit(t) views address the rest of a compounding set.
 type Cache struct {
-	inners   []delay.BlockProvider   // one generator per transmit
-	inners16 []delay.BlockProvider16 // nil entries where no native narrow fill exists
-	layout   delay.Layout
-	depths   int
-	budget   int64
-	wide     bool
-	blocks   []block // len = resident block count; index = nappe id·transmits + transmit
-
-	// scratch pools float64 buffers for quantizing fills of providers
-	// without a native narrow path (and for wide-cache narrow reads).
-	scratch sync.Pool
+	s *Shared
 
 	hits   atomic.Int64
 	misses atomic.Int64
-	fills  atomic.Int64
 }
 
 type block struct {
 	once sync.Once
-	n16  delay.Block16 // narrow cache storage
-	wide []float64     // wide cache storage
+	n16  delay.Block16 // narrow store storage
+	wide []float64     // wide store storage
 }
 
-// New builds a cache over cfg.Provider (or the cfg.Providers transmit set).
-// The resident block count is min(Depths·Transmits, BudgetBytes/BlockBytes);
-// see the package comment for the partial-residency policy.
+// New builds a private store-plus-attachment over cfg.Provider (or the
+// cfg.Providers transmit set) — the single-consumer cache shape. Sessions
+// that should share one delay budget attach to a common NewShared store
+// instead.
 func New(cfg Config) (*Cache, error) {
-	inners := cfg.Providers
-	if len(inners) == 0 {
-		if cfg.Provider == nil {
-			return nil, errors.New("delaycache: nil provider")
-		}
-		inners = []delay.BlockProvider{cfg.Provider}
+	s, err := NewShared(cfg)
+	if err != nil {
+		return nil, err
 	}
-	l := inners[0].Layout()
-	if !l.Valid() {
-		return nil, fmt.Errorf("delaycache: invalid layout %v", l)
-	}
-	for t, p := range inners {
-		if p == nil {
-			return nil, fmt.Errorf("delaycache: nil provider for transmit %d", t)
-		}
-		if p.Layout() != l {
-			return nil, fmt.Errorf("delaycache: transmit %d layout %v differs from %v",
-				t, p.Layout(), l)
-		}
-	}
-	if cfg.Depths <= 0 {
-		return nil, fmt.Errorf("delaycache: non-positive depth count %d", cfg.Depths)
-	}
-	c := &Cache{inners: inners, inners16: make([]delay.BlockProvider16, len(inners)),
-		layout: l, depths: cfg.Depths, budget: cfg.BudgetBytes, wide: cfg.Wide}
-	for t, p := range inners {
-		if n, ok := p.(delay.BlockProvider16); ok {
-			c.inners16[t] = n
-		}
-	}
-	c.scratch.New = func() any { s := make([]float64, l.BlockLen()); return &s }
-	total := cfg.Depths * len(inners)
-	resident := total
-	if cfg.BudgetBytes >= 0 {
-		resident = int(cfg.BudgetBytes / c.BlockBytes())
-		if resident > total {
-			resident = total
-		}
-	}
-	c.blocks = make([]block, resident)
-	return c, nil
+	return s.Attach(), nil
 }
 
 // BudgetFromBanks translates a BRAM bank array into a cache budget: the
@@ -165,66 +128,84 @@ func BudgetFromBanks(a memmodel.BankArray) int64 {
 	return int64(a.Words()) * wideDelayBytes
 }
 
+// Shared returns the block store this attachment reads.
+func (c *Cache) Shared() *Shared { return c.s }
+
+// Detach releases the attachment's claim on the store (Stats.Attachments
+// bookkeeping only — the view keeps working; call it when the consumer is
+// done so pool occupancy stays truthful). Detach is not idempotent.
+func (c *Cache) Detach() { c.s.attached.Add(-1) }
+
 // DelayBytes returns the storage cost of one cached delay value.
-func (c *Cache) DelayBytes() int64 {
-	if c.wide {
-		return wideDelayBytes
-	}
-	return narrowDelayBytes
-}
+func (c *Cache) DelayBytes() int64 { return c.s.DelayBytes() }
 
 // BlockBytes returns the storage cost of one resident nappe block.
-func (c *Cache) BlockBytes() int64 { return int64(c.layout.BlockLen()) * c.DelayBytes() }
+func (c *Cache) BlockBytes() int64 { return c.s.BlockBytes() }
 
 // ResidentBlocks returns how many blocks the budget retains (k of
 // Depths·Transmits).
-func (c *Cache) ResidentBlocks() int { return len(c.blocks) }
+func (c *Cache) ResidentBlocks() int { return c.s.ResidentBlocks() }
 
 // FullResidency reports whether every (transmit, nappe) block is retained.
-func (c *Cache) FullResidency() bool { return len(c.blocks) == c.depths*len(c.inners) }
+func (c *Cache) FullResidency() bool { return c.s.FullResidency() }
 
-// Wide reports whether the cache stores float64 blocks (A/B mode).
-func (c *Cache) Wide() bool { return c.wide }
+// Wide reports whether the store holds float64 blocks (A/B mode).
+func (c *Cache) Wide() bool { return c.s.Wide() }
 
-// Transmits returns the transmit-set size the cache serves (1 when built
+// Transmits returns the transmit-set size the store serves (1 when built
 // from a single Provider).
-func (c *Cache) Transmits() int { return len(c.inners) }
+func (c *Cache) Transmits() int { return c.s.Transmits() }
 
 // Name implements delay.Provider.
-func (c *Cache) Name() string { return "cached(" + c.inners[0].Name() + ")" }
+func (c *Cache) Name() string { return "cached(" + c.s.inners[0].Name() + ")" }
 
 // DelaySamples implements delay.Provider by forwarding to the wrapped
 // transmit-0 provider — the scalar path stays the executable specification
 // and is not cached.
 func (c *Cache) DelaySamples(it, ip, id, ei, ej int) float64 {
-	return c.inners[0].DelaySamples(it, ip, id, ei, ej)
+	return c.s.inners[0].DelaySamples(it, ip, id, ei, ej)
 }
 
 // Layout implements delay.BlockProvider.
-func (c *Cache) Layout() delay.Layout { return c.layout }
+func (c *Cache) Layout() delay.Layout { return c.s.layout }
 
-// key linearizes a (transmit, nappe) pair into the interleaved residency
-// order: all transmits of nappe 0, then nappe 1, ... — so a partial budget
-// keeps the shallow depth prefix resident for the whole transmit set.
-func (c *Cache) key(t, id int) int { return id*len(c.inners) + t }
+// miss records one generator-run request on both counter layers.
+func (c *Cache) miss() { c.misses.Add(1); c.s.misses.Add(1) }
+
+// resident fetches the block slot for (t, id) from the store, layering the
+// attachment's hit/miss counters over the store's aggregate ones (a fill on
+// this attachment is a miss here and everywhere; a block another attachment
+// already filled is a hit).
+func (c *Cache) resident(t, id int) *block {
+	b, filled := c.s.resident(t, id)
+	if b == nil {
+		return nil
+	}
+	if filled {
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	return b
+}
 
 // FillNappe implements delay.BlockProvider for transmit 0; see FillNappeT.
 func (c *Cache) FillNappe(id int, dst []float64) { c.FillNappeT(0, id, dst) }
 
 // FillNappeT fills the float64 block of (transmit t, nappe id). A wide
-// cache serves resident blocks from the retained float64 data (filling on
-// first access); a narrow cache always delegates to the wrapped provider —
+// store serves resident blocks from the retained float64 data (filling on
+// first access); a narrow store always delegates to the wrapped provider —
 // quantized storage can not reproduce fractional delays, and the float64
 // path stays golden.
 func (c *Cache) FillNappeT(t, id int, dst []float64) {
-	if c.wide {
+	if c.s.wide {
 		if blk := c.NappeT(t, id); blk != nil {
 			copy(dst, blk)
 			return
 		}
 	}
-	c.misses.Add(1)
-	c.inners[t].FillNappe(id, dst)
+	c.miss()
+	c.s.inners[t].FillNappe(id, dst)
 }
 
 // FillNappe16 implements delay.BlockProvider16 for transmit 0; see
@@ -232,12 +213,12 @@ func (c *Cache) FillNappeT(t, id int, dst []float64) {
 func (c *Cache) FillNappe16(id int, dst delay.Block16) { c.FillNappe16T(0, id, dst) }
 
 // FillNappe16T fills the quantized block of (transmit t, nappe id):
-// resident blocks are served from retained data (copied on a narrow cache,
+// resident blocks are served from retained data (copied on a narrow store,
 // quantized per call on a wide one — exact either way) and non-resident
 // blocks regenerate through the narrowest path the provider offers. Values
 // are bit-identical to an uncached quantized fill in every case.
 func (c *Cache) FillNappe16T(t, id int, dst delay.Block16) {
-	if c.wide {
+	if c.s.wide {
 		if b := c.resident(t, id); b != nil {
 			delay.QuantizeNappe(dst, b.wide)
 			return
@@ -246,55 +227,8 @@ func (c *Cache) FillNappe16T(t, id int, dst delay.Block16) {
 		copy(dst, blk)
 		return
 	}
-	c.misses.Add(1)
-	c.fill16(t, id, dst)
-}
-
-// fill16 regenerates the quantized block of (t, id) through delay.Fill16,
-// borrowing a pooled scratch only when the provider lacks a native narrow
-// fill.
-func (c *Cache) fill16(t, id int, dst delay.Block16) {
-	if n := c.inners16[t]; n != nil {
-		n.FillNappe16(id, dst)
-		return
-	}
-	s := c.scratch.Get().(*[]float64)
-	delay.Fill16(c.inners[t], id, dst, *s)
-	c.scratch.Put(s)
-}
-
-// resident returns the filled block slot for (transmit t, nappe id),
-// running the generator under the slot's once on first access, or nil when
-// the key is outside the resident set.
-func (c *Cache) resident(t, id int) *block {
-	if t < 0 || t >= len(c.inners) || id < 0 || id >= c.depths {
-		return nil
-	}
-	key := c.key(t, id)
-	if key >= len(c.blocks) {
-		return nil
-	}
-	b := &c.blocks[key]
-	filled := false
-	b.once.Do(func() {
-		if c.wide {
-			data := make([]float64, c.layout.BlockLen())
-			c.inners[t].FillNappe(id, data)
-			b.wide = data
-		} else {
-			data := make(delay.Block16, c.layout.BlockLen())
-			c.fill16(t, id, data)
-			b.n16 = data
-		}
-		filled = true
-	})
-	if filled {
-		c.misses.Add(1)
-		c.fills.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
-	return b
+	c.miss()
+	c.s.fill16(t, id, dst)
 }
 
 // Nappe returns the retained float64 block of nappe id for transmit 0; see
@@ -302,12 +236,12 @@ func (c *Cache) resident(t, id int) *block {
 func (c *Cache) Nappe(id int) []float64 { return c.NappeT(0, id) }
 
 // NappeT returns the retained float64 block of (transmit t, nappe id) on a
-// wide cache, generating it on first access, or nil when the block is not
-// resident or the cache is narrow. Callers must treat the returned slice as
+// wide store, generating it on first access, or nil when the block is not
+// resident or the store is narrow. Callers must treat the returned slice as
 // read-only; consuming it directly (as the beamform session does) skips
 // both generation and the copy FillNappeT would pay.
 func (c *Cache) NappeT(t, id int) []float64 {
-	if !c.wide {
+	if !c.s.wide {
 		return nil
 	}
 	if b := c.resident(t, id); b != nil {
@@ -322,11 +256,11 @@ func (c *Cache) Nappe16(id int) delay.Block16 { return c.Nappe16T(0, id) }
 
 // Nappe16T returns the retained quantized block of (transmit t, nappe id),
 // generating it on first access, or nil when the block is not resident or
-// the cache is wide (no retained int16 slice exists to share in A/B mode —
+// the store is wide (no retained int16 slice exists to share in A/B mode —
 // wide residency is served through FillNappe16T's per-call quantization, or
 // NappeT). Callers must treat the returned slice as read-only.
 func (c *Cache) Nappe16T(t, id int) delay.Block16 {
-	if c.wide {
+	if c.s.wide {
 		return nil
 	}
 	if b := c.resident(t, id); b != nil {
@@ -335,7 +269,7 @@ func (c *Cache) Nappe16T(t, id int) delay.Block16 {
 	return nil
 }
 
-// TransmitView is the per-transmit face of a multi-transmit cache: a
+// TransmitView is the per-transmit face of a multi-transmit attachment: a
 // delay.BlockProvider16 whose fills and resident-block accessors address
 // one transmit of the set. The beamform session consumes one view per
 // transmit, all backed by the same shared-budget block store.
@@ -348,23 +282,23 @@ type TransmitView struct {
 // out-of-range index — transmit counts are fixed at construction, so a bad
 // index is a programming error, not a runtime condition.
 func (c *Cache) Transmit(t int) *TransmitView {
-	if t < 0 || t >= len(c.inners) {
-		panic(fmt.Sprintf("delaycache: transmit %d of %d", t, len(c.inners)))
+	if t < 0 || t >= len(c.s.inners) {
+		panic(fmt.Sprintf("delaycache: transmit %d of %d", t, len(c.s.inners)))
 	}
 	return &TransmitView{c: c, t: t}
 }
 
 // Name implements delay.Provider.
-func (v *TransmitView) Name() string { return "cached(" + v.c.inners[v.t].Name() + ")" }
+func (v *TransmitView) Name() string { return "cached(" + v.c.s.inners[v.t].Name() + ")" }
 
 // DelaySamples implements delay.Provider, forwarding to the view's wrapped
 // provider (uncached, like Cache.DelaySamples).
 func (v *TransmitView) DelaySamples(it, ip, id, ei, ej int) float64 {
-	return v.c.inners[v.t].DelaySamples(it, ip, id, ei, ej)
+	return v.c.s.inners[v.t].DelaySamples(it, ip, id, ei, ej)
 }
 
 // Layout implements delay.BlockProvider.
-func (v *TransmitView) Layout() delay.Layout { return v.c.layout }
+func (v *TransmitView) Layout() delay.Layout { return v.c.s.layout }
 
 // FillNappe implements delay.BlockProvider for the view's transmit.
 func (v *TransmitView) FillNappe(id int, dst []float64) { v.c.FillNappeT(v.t, id, dst) }
@@ -378,19 +312,29 @@ func (v *TransmitView) Nappe(id int) []float64 { return v.c.NappeT(v.t, id) }
 // Nappe16 exposes the retained quantized block (beamform.NappeSource16).
 func (v *TransmitView) Nappe16(id int) delay.Block16 { return v.c.Nappe16T(v.t, id) }
 
-// Stats is a point-in-time snapshot of cache effectiveness.
-type Stats struct {
-	Hits   int64 // block requests served from retained memory
-	Misses int64 // block requests that ran the generator
-	Fills  int64 // misses that populated a resident block (≤ ResidentBlocks)
+// Stats snapshots the attachment the view belongs to (beamform's
+// CacheStatsSource — a session holding only transmit views can still report
+// cache effectiveness).
+func (v *TransmitView) Stats() Stats { return v.c.Stats() }
 
-	ResidentBlocks int   // blocks the budget retains
-	TotalBlocks    int   // Depths·Transmits — blocks a full table would need
-	Transmits      int   // transmit-set size sharing the budget
-	DelayBytes     int64 // bytes per cached delay word (2 narrow, 8 wide)
-	BlockBytes     int64 // bytes per block
-	BytesResident  int64 // bytes actually filled so far
-	BudgetBytes    int64 // configured budget (<0 = unlimited)
+// Stats is a point-in-time snapshot of cache effectiveness. A Shared store
+// reports aggregate traffic across every attachment; a Cache reports its
+// own attachment's Hits/Misses over the store's shared residency fields.
+type Stats struct {
+	Hits   int64 `json:"hits"`   // block requests served from retained memory
+	Misses int64 `json:"misses"` // block requests that ran the generator
+	Fills  int64 `json:"fills"`  // misses that populated a resident block (cumulative across evictions)
+
+	Evictions   int64 `json:"evictions"`   // generations dropped by Shared.Evict
+	Attachments int   `json:"attachments"` // views currently attached to the store
+
+	ResidentBlocks int   `json:"resident_blocks"` // blocks the budget retains
+	TotalBlocks    int   `json:"total_blocks"`    // Depths·Transmits — blocks a full table would need
+	Transmits      int   `json:"transmits"`       // transmit-set size sharing the budget
+	DelayBytes     int64 `json:"delay_bytes"`     // bytes per cached delay word (2 narrow, 8 wide)
+	BlockBytes     int64 `json:"block_bytes"`     // bytes per block
+	BytesResident  int64 `json:"bytes_resident"`  // bytes filled in the current generation
+	BudgetBytes    int64 `json:"budget_bytes"`    // configured budget (<0 = unlimited)
 }
 
 // HitRate returns Hits/(Hits+Misses), 0 when nothing was requested.
@@ -408,28 +352,22 @@ func (s Stats) String() string {
 		s.Hits, s.Misses, 100*s.HitRate())
 }
 
-// Stats returns a consistent-enough snapshot of the counters (each counter
-// is individually atomic; the set is not a transaction).
+// Stats returns this attachment's snapshot: per-attachment hit/miss
+// counters over the store's residency and lifecycle fields (each counter is
+// individually atomic; the set is not a transaction).
 func (c *Cache) Stats() Stats {
-	fills := c.fills.Load()
-	return Stats{
-		Hits:           c.hits.Load(),
-		Misses:         c.misses.Load(),
-		Fills:          fills,
-		ResidentBlocks: len(c.blocks),
-		TotalBlocks:    c.depths * len(c.inners),
-		Transmits:      len(c.inners),
-		DelayBytes:     c.DelayBytes(),
-		BlockBytes:     c.BlockBytes(),
-		BytesResident:  fills * c.BlockBytes(),
-		BudgetBytes:    c.budget,
-	}
+	st := c.s.Stats()
+	st.Hits = c.hits.Load()
+	st.Misses = c.misses.Load()
+	return st
 }
 
-// Warm fills every resident block eagerly (frame 0 of a cine does this
-// implicitly; Warm lets benchmarks separate warm-up from steady state).
+// Warm fills every resident block eagerly through this attachment (frame 0
+// of a cine does this implicitly; Warm lets benchmarks separate warm-up
+// from steady state).
 func (c *Cache) Warm() {
-	for key := range c.blocks {
-		c.resident(key%len(c.inners), key/len(c.inners))
+	n := len(c.s.inners)
+	for key := 0; key < c.s.nResident; key++ {
+		c.resident(key%n, key/n)
 	}
 }

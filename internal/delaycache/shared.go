@@ -1,0 +1,269 @@
+// Shared is the block store half of the package: the sync.Once-filled
+// (transmit, nappe) blocks under one byte budget, split from the
+// per-consumer Cache views so that many concurrent sessions of the same
+// geometry can attach to one store and pay the delay budget once. Delays
+// depend only on geometry, so N cine streams of one probe need one table —
+// the serving-frontend form of the paper's amortization argument: the §V-B
+// cache does not belong to a frame sequence, it belongs to the geometry.
+//
+// The store keeps both contracts of the single-consumer cache:
+//
+//   - Bit-identity: a block is generated exactly once (sync.Once per slot)
+//     by the wrapped provider and every attachment reads the same bytes, so
+//     volumes beamformed through a shared store are bit-identical to solo
+//     runs at every budget.
+//   - Deterministic prefix: the resident set is a pure function of geometry
+//     and budget — the interleaved (nappe, transmit) prefix — never of
+//     which attachment touched a block first.
+//
+// Evict drops every filled block in one pointer swap: the store installs a
+// fresh generation of empty slots and the old blocks die with their last
+// in-flight reader. Because residency is the deterministic prefix, a
+// post-eviction rewarm refills exactly the same blocks with exactly the
+// same bytes — eviction affects warm-up latency, never results — which is
+// what makes TTL eviction of idle geometries safe for a serving pool (and
+// what BenchmarkEvictionRewarm in the serve package measures).
+package delaycache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ultrabeam/internal/delay"
+)
+
+// Shared is the geometry-keyed block store many Cache attachments read
+// concurrently. Build one with NewShared and hand each consumer an Attach()
+// view; a store with a single attachment behaves exactly like the PR-2
+// private cache (New composes the two).
+type Shared struct {
+	inners    []delay.BlockProvider   // one generator per transmit
+	inners16  []delay.BlockProvider16 // nil entries where no native narrow fill exists
+	layout    delay.Layout
+	depths    int
+	budget    int64
+	wide      bool
+	nResident int // blocks the budget retains
+
+	// gen is the current block generation; Evict swaps in a fresh one.
+	// In-flight readers of the old generation still see filled, valid
+	// blocks — eviction never invalidates data an accumulate loop holds.
+	gen atomic.Pointer[generation]
+
+	// scratch pools float64 buffers for quantizing fills of providers
+	// without a native narrow path (and for wide-store narrow reads).
+	scratch sync.Pool
+
+	// Aggregate counters across every attachment.
+	hits      atomic.Int64
+	misses    atomic.Int64
+	fills     atomic.Int64
+	evictions atomic.Int64
+	attached  atomic.Int64
+
+	// onEvict, when set, observes each Evict with the pre-eviction stats.
+	onEvict func(Stats)
+}
+
+// generation is one eviction epoch of the store: the block slots plus the
+// count of slots filled so far (the live resident footprint — the aggregate
+// fills counter keeps counting across evictions).
+type generation struct {
+	blocks []block
+	fills  atomic.Int64
+}
+
+// NewShared builds a sharable block store over cfg.Provider (or the
+// cfg.Providers transmit set). The resident block count is
+// min(Depths·Transmits, BudgetBytes/BlockBytes); see the package comment
+// for the partial-residency policy.
+func NewShared(cfg Config) (*Shared, error) {
+	inners := cfg.Providers
+	if len(inners) == 0 {
+		if cfg.Provider == nil {
+			return nil, errors.New("delaycache: nil provider")
+		}
+		inners = []delay.BlockProvider{cfg.Provider}
+	}
+	l := inners[0].Layout()
+	if !l.Valid() {
+		return nil, fmt.Errorf("delaycache: invalid layout %v", l)
+	}
+	for t, p := range inners {
+		if p == nil {
+			return nil, fmt.Errorf("delaycache: nil provider for transmit %d", t)
+		}
+		if p.Layout() != l {
+			return nil, fmt.Errorf("delaycache: transmit %d layout %v differs from %v",
+				t, p.Layout(), l)
+		}
+	}
+	if cfg.Depths <= 0 {
+		return nil, fmt.Errorf("delaycache: non-positive depth count %d", cfg.Depths)
+	}
+	s := &Shared{inners: inners, inners16: make([]delay.BlockProvider16, len(inners)),
+		layout: l, depths: cfg.Depths, budget: cfg.BudgetBytes, wide: cfg.Wide}
+	for t, p := range inners {
+		if n, ok := p.(delay.BlockProvider16); ok {
+			s.inners16[t] = n
+		}
+	}
+	s.scratch.New = func() any { sl := make([]float64, l.BlockLen()); return &sl }
+	total := cfg.Depths * len(inners)
+	s.nResident = total
+	if cfg.BudgetBytes >= 0 {
+		s.nResident = int(cfg.BudgetBytes / s.BlockBytes())
+		if s.nResident > total {
+			s.nResident = total
+		}
+	}
+	s.gen.Store(&generation{blocks: make([]block, s.nResident)})
+	return s, nil
+}
+
+// Attach returns a new per-consumer view of the store: a Cache whose Stats
+// count only this attachment's traffic while its blocks come from (and fill
+// into) the shared store. Detach the view when its consumer is done so
+// Stats.Attachments stays meaningful.
+func (s *Shared) Attach() *Cache {
+	s.attached.Add(1)
+	return &Cache{s: s}
+}
+
+// Attachments returns the number of currently attached views.
+func (s *Shared) Attachments() int { return int(s.attached.Load()) }
+
+// OnEvict installs fn as the eviction observer: each Evict calls it
+// synchronously with the stats snapshot taken just before the blocks drop.
+// Install the hook before the store is shared; it is not synchronized
+// against concurrent Evict calls.
+func (s *Shared) OnEvict(fn func(Stats)) { s.onEvict = fn }
+
+// Evict drops every filled block by installing a fresh generation of empty
+// slots. Readers holding blocks of the old generation keep valid data; new
+// requests refill lazily, and — residency being the deterministic prefix —
+// refill produces bit-identical blocks, so eviction only ever costs
+// regeneration time. The serving pool calls this when a geometry has been
+// idle past its TTL.
+func (s *Shared) Evict() {
+	if s.onEvict != nil {
+		s.onEvict(s.Stats())
+	}
+	s.gen.Store(&generation{blocks: make([]block, s.nResident)})
+	s.evictions.Add(1)
+}
+
+// DelayBytes returns the storage cost of one cached delay value.
+func (s *Shared) DelayBytes() int64 {
+	if s.wide {
+		return wideDelayBytes
+	}
+	return narrowDelayBytes
+}
+
+// BlockBytes returns the storage cost of one resident nappe block.
+func (s *Shared) BlockBytes() int64 { return int64(s.layout.BlockLen()) * s.DelayBytes() }
+
+// ResidentBlocks returns how many blocks the budget retains (k of
+// Depths·Transmits).
+func (s *Shared) ResidentBlocks() int { return s.nResident }
+
+// FullResidency reports whether every (transmit, nappe) block is retained.
+func (s *Shared) FullResidency() bool { return s.nResident == s.depths*len(s.inners) }
+
+// Wide reports whether the store holds float64 blocks (A/B mode).
+func (s *Shared) Wide() bool { return s.wide }
+
+// Transmits returns the transmit-set size the store serves.
+func (s *Shared) Transmits() int { return len(s.inners) }
+
+// Depths returns the depth-nappe count of the geometry.
+func (s *Shared) Depths() int { return s.depths }
+
+// Layout returns the nappe block geometry of the store.
+func (s *Shared) Layout() delay.Layout { return s.layout }
+
+// key linearizes a (transmit, nappe) pair into the interleaved residency
+// order: all transmits of nappe 0, then nappe 1, ... — so a partial budget
+// keeps the shallow depth prefix resident for the whole transmit set.
+func (s *Shared) key(t, id int) int { return id*len(s.inners) + t }
+
+// resident returns the filled block slot for (transmit t, nappe id) in the
+// current generation — running the generator under the slot's once on first
+// access — or nil when the key is outside the resident set. filled reports
+// whether this call ran the generator. Aggregate hit/miss/fill counters are
+// updated here; attachments layer their own counters on the result.
+func (s *Shared) resident(t, id int) (b *block, filled bool) {
+	if t < 0 || t >= len(s.inners) || id < 0 || id >= s.depths {
+		return nil, false
+	}
+	key := s.key(t, id)
+	gen := s.gen.Load()
+	if key >= len(gen.blocks) {
+		return nil, false
+	}
+	b = &gen.blocks[key]
+	b.once.Do(func() {
+		if s.wide {
+			data := make([]float64, s.layout.BlockLen())
+			s.inners[t].FillNappe(id, data)
+			b.wide = data
+		} else {
+			data := make(delay.Block16, s.layout.BlockLen())
+			s.fill16(t, id, data)
+			b.n16 = data
+		}
+		gen.fills.Add(1)
+		filled = true
+	})
+	if filled {
+		s.misses.Add(1)
+		s.fills.Add(1)
+	} else {
+		s.hits.Add(1)
+	}
+	return b, filled
+}
+
+// fill16 regenerates the quantized block of (t, id) through delay.Fill16,
+// borrowing a pooled scratch only when the provider lacks a native narrow
+// fill.
+func (s *Shared) fill16(t, id int, dst delay.Block16) {
+	if n := s.inners16[t]; n != nil {
+		n.FillNappe16(id, dst)
+		return
+	}
+	sc := s.scratch.Get().(*[]float64)
+	delay.Fill16(s.inners[t], id, dst, *sc)
+	s.scratch.Put(sc)
+}
+
+// Warm fills every resident block of the current generation eagerly
+// (attachment counters are untouched; the serving pool warms a store once
+// before handing out sessions).
+func (s *Shared) Warm() {
+	for key := 0; key < s.nResident; key++ {
+		s.resident(key%len(s.inners), key/len(s.inners))
+	}
+}
+
+// Stats returns the aggregate snapshot across every attachment (each
+// counter is individually atomic; the set is not a transaction).
+func (s *Shared) Stats() Stats {
+	return Stats{
+		Hits:           s.hits.Load(),
+		Misses:         s.misses.Load(),
+		Fills:          s.fills.Load(),
+		Evictions:      s.evictions.Load(),
+		Attachments:    int(s.attached.Load()),
+		ResidentBlocks: s.nResident,
+		TotalBlocks:    s.depths * len(s.inners),
+		Transmits:      len(s.inners),
+		DelayBytes:     s.DelayBytes(),
+		BlockBytes:     s.BlockBytes(),
+		BytesResident:  s.gen.Load().fills.Load() * s.BlockBytes(),
+		BudgetBytes:    s.budget,
+	}
+}

@@ -1,0 +1,306 @@
+// Experiment B5: serving throughput under concurrent connections — shared
+// vs per-session delay budgets. The serving frontend's claim is that the
+// delay working set belongs to the geometry, not the connection: N cine
+// streams of one probe through a shared block store should sustain at least
+// the frame rate of N private caches splitting the same total bytes,
+// because every block a private split would regenerate per-stream is
+// resident once in the shared store. B5 measures that over real HTTP
+// loopback — binary RF frames POSTed by N concurrent clients — reporting
+// frames/s, p50/p99 latency and hit rates per connection count and budget
+// mode, and emits the machine-readable record benchgate gates.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/serve"
+)
+
+// ServeSpec returns the B5 system: the reduced physics with a grid sized so
+// one frame's RF payload stays below 10 MB on the wire and a budget sweep
+// finishes in CI time.
+func ServeSpec() core.SystemSpec {
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 12, 12
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 25, 25, 80
+	return s
+}
+
+// ServeRow is one (connections, budget-mode) point of B5.
+type ServeRow struct {
+	Connections  int     `json:"connections"`
+	Shared       bool    `json:"shared"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// ServeResult carries experiment B5.
+type ServeResult struct {
+	Spec          string
+	FramesPerConn int
+	BudgetBytes   int64 // total delay bytes, split per-session in private mode
+	Rows          []ServeRow
+}
+
+// ServeLoad runs the B5 sweep: for each connection count, N concurrent
+// HTTP clients each stream framesPerConn frames of one geometry into a
+// freshly started server, once against a pool sharing one delay store at
+// the full budget and once against per-session private caches splitting
+// the same bytes N ways. The spec should be ServeSpec-scale.
+func ServeLoad(s core.SystemSpec, framesPerConn int, conns []int) (ServeResult, error) {
+	res := ServeResult{Spec: s.String(), FramesPerConn: framesPerConn}
+	if framesPerConn < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 frames per connection, got %d", framesPerConn)
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	frame := encodeWireFrame(bufs)
+	// Half-table total budget: the regime where residency is contended and
+	// splitting it per-session visibly shrinks each stream's prefix.
+	blockBytes := int64(s.FocalTheta*s.FocalPhi*s.Elements()) * 2
+	res.BudgetBytes = blockBytes * int64(s.FocalDepth) / 2
+
+	for _, n := range conns {
+		for _, shared := range []bool{true, false} {
+			row, err := serveOne(s, frame, framesPerConn, n, res.BudgetBytes, shared)
+			if err != nil {
+				return res, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+// encodeWireFrame serializes echo buffers into the server's wire format
+// (element-major little-endian float64).
+func encodeWireFrame(bufs []rf.EchoBuffer) []byte {
+	win := len(bufs[0].Samples)
+	out := make([]byte, 8*len(bufs)*win)
+	for d, b := range bufs {
+		for i, v := range b.Samples {
+			binary.LittleEndian.PutUint64(out[8*(d*win+i):], math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// serveOne measures one (connections, mode) point against a live server on
+// a loopback listener.
+func serveOne(s core.SystemSpec, frame []byte, frames, conns int, totalBudget int64, shared bool) (ServeRow, error) {
+	row := ServeRow{Connections: conns, Shared: shared}
+	budget := totalBudget
+	if !shared {
+		budget /= int64(conns) // same total bytes, split per session
+	}
+	pool := serve.NewPool(serve.PoolConfig{
+		MaxSessions:   conns,
+		MaxQueue:      4 * conns,
+		PrivateCaches: !shared,
+	})
+	defer pool.Close()
+	srv, err := serve.NewServer(serve.ServerConfig{Pool: pool, AcquireTimeout: time.Minute})
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Shutdown(context.Background())
+
+	url := fmt.Sprintf("http://%s/beamform?elemx=%d&elemy=%d&ftheta=%d&fphi=%d&fdepth=%d&budget=%d&out=scanline",
+		ln.Addr(), s.ElemX, s.ElemY, s.FocalTheta, s.FocalPhi, s.FocalDepth, budget)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: conns}}
+
+	latencies := make([][]time.Duration, conns)
+	errs := make([]error, conns)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, frames)
+			for f := 0; f < frames; f++ {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(frame))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("frame %d: %s: %s", f, resp.Status, body)
+					return
+				}
+				if len(body) == 0 {
+					errs[c] = fmt.Errorf("frame %d: empty response", f)
+					return
+				}
+				lats = append(lats, time.Since(t0))
+			}
+			latencies[c] = lats
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if err := errors.Join(errs...); err != nil {
+		return row, err
+	}
+	var all []time.Duration
+	for _, lats := range latencies {
+		all = append(all, lats...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	row.FramesPerSec = float64(len(all)) / elapsed
+	row.P50Ms = quantileMs(all, 0.50)
+	row.P99Ms = quantileMs(all, 0.99)
+	for _, g := range pool.Stats().Geometries {
+		row.HitRate = g.HitRate
+	}
+	return row, nil
+}
+
+// quantileMs returns the q-quantile of sorted latencies in milliseconds.
+func quantileMs(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Seconds() * 1e3
+}
+
+// Table renders B5.
+func (r ServeResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B5 — served frames/s vs connections (%d frames/conn, %s total delay budget)",
+			r.FramesPerConn, report.Eng(float64(r.BudgetBytes))+"B"),
+		"connections", "delay budget", "frames/s", "p50", "p99", "hit rate")
+	for _, row := range r.Rows {
+		mode := "per-session (split)"
+		if row.Shared {
+			mode = "shared"
+		}
+		t.Add(fmt.Sprintf("%d", row.Connections), mode,
+			fmt.Sprintf("%.2f", row.FramesPerSec),
+			fmt.Sprintf("%.1f ms", row.P50Ms),
+			fmt.Sprintf("%.1f ms", row.P99Ms),
+			report.Pct(row.HitRate))
+	}
+	return t
+}
+
+// ServeBenchRecord is the machine-readable B5 snapshot `usbeam bench -json`
+// writes to BENCH_serve.json. The headline fields gate the serving claim:
+// shared_over_private at the headline connection count must stay ≥ 1 —
+// sharing the delay store never loses to splitting the budget — and
+// shared_frames_per_sec tracks the serving throughput trajectory.
+type ServeBenchRecord struct {
+	Spec           string  `json:"spec"`
+	GeneratedAtUTC string  `json:"generated_at_utc"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
+	FramesPerConn  int     `json:"frames_per_conn"`
+	Connections    int     `json:"connections"`
+	BudgetBytes    int64   `json:"budget_bytes"`
+	WireFrameBytes float64 `json:"wire_frame_bytes"`
+
+	SharedFramesPerSec  float64 `json:"shared_frames_per_sec"`
+	PrivateFramesPerSec float64 `json:"private_frames_per_sec"`
+	SharedOverPrivate   float64 `json:"shared_over_private"`
+	SharedP99Ms         float64 `json:"shared_p99_ms"`
+	PrivateP99Ms        float64 `json:"private_p99_ms"`
+	SharedHitRate       float64 `json:"shared_hit_rate"`
+
+	Rows []ServeRow `json:"rows"`
+}
+
+// serveBenchConns is the headline connection count of the gated record.
+const serveBenchConns = 4
+
+// BenchServe measures the serving record on the B5 spec.
+func BenchServe(frames int) (ServeBenchRecord, error) {
+	s := ServeSpec()
+	rec := ServeBenchRecord{
+		GeneratedAtUTC: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		FramesPerConn:  frames,
+		Connections:    serveBenchConns,
+		WireFrameBytes: float64(s.Elements()*s.EchoBufferSamples()) * 8,
+	}
+	res, err := ServeLoad(s, frames, []int{serveBenchConns})
+	if err != nil {
+		return rec, err
+	}
+	rec.Spec = res.Spec
+	rec.BudgetBytes = res.BudgetBytes
+	rec.Rows = res.Rows
+	for _, row := range res.Rows {
+		if row.Connections != serveBenchConns {
+			continue
+		}
+		if row.Shared {
+			rec.SharedFramesPerSec = row.FramesPerSec
+			rec.SharedP99Ms = row.P99Ms
+			rec.SharedHitRate = row.HitRate
+		} else {
+			rec.PrivateFramesPerSec = row.FramesPerSec
+			rec.PrivateP99Ms = row.P99Ms
+		}
+	}
+	if rec.PrivateFramesPerSec > 0 {
+		rec.SharedOverPrivate = rec.SharedFramesPerSec / rec.PrivateFramesPerSec
+	}
+	return rec, nil
+}
+
+// WriteJSON emits the record as indented JSON.
+func (r ServeBenchRecord) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Table renders the serving record for terminal use.
+func (r ServeBenchRecord) Table() *report.Table {
+	t := report.NewTable("serving bench — "+r.Spec, "metric", "value")
+	t.Add("connections", fmt.Sprintf("%d", r.Connections))
+	t.Add("wire frame", report.Eng(r.WireFrameBytes)+"B")
+	t.Add("shared frames/s", fmt.Sprintf("%.2f", r.SharedFramesPerSec))
+	t.Add("per-session frames/s", fmt.Sprintf("%.2f", r.PrivateFramesPerSec))
+	t.Add("shared / per-session", fmt.Sprintf("%.2f×", r.SharedOverPrivate))
+	t.Add("shared p99", fmt.Sprintf("%.1f ms", r.SharedP99Ms))
+	t.Add("shared hit rate", report.Pct(r.SharedHitRate))
+	return t
+}

@@ -1,0 +1,592 @@
+// Pool: warm sessions keyed by geometry fingerprint, one shared delay
+// store per geometry, bounded-queue backpressure, and TTL eviction of idle
+// geometries. See the package comment for where this sits in the paper's
+// amortization story.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
+)
+
+// ErrOverloaded is returned by Acquire when every session slot is checked
+// out and the waiter queue is full — the typed backpressure signal the
+// HTTP layer maps to 503.
+var ErrOverloaded = errors.New("serve: pool overloaded")
+
+// ErrClosed is returned by Acquire after Close.
+var ErrClosed = errors.New("serve: pool closed")
+
+// PoolConfig sizes a Pool.
+type PoolConfig struct {
+	// MaxSessions caps live sessions across all geometries — idle and
+	// checked out together, since both hold worker pools and echo-plane
+	// buffers. <=0 defaults to 4.
+	MaxSessions int
+	// MaxQueue bounds how many Acquire calls may wait when every slot is
+	// checked out; one more is refused with ErrOverloaded. <=0 defaults to
+	// 4× MaxSessions.
+	MaxQueue int
+	// IdleTTL evicts a geometry — its warm sessions and its shared delay
+	// store — once no session of it has been used for this long. 0 keeps
+	// geometries forever.
+	IdleTTL time.Duration
+	// PrivateCaches disables delay-store sharing: each session owns a
+	// private cache at the request budget. This is the A/B baseline the
+	// B5 experiment measures shared mode against — real deployments want
+	// it off.
+	PrivateCaches bool
+	// Now injects a clock for tests; nil means time.Now.
+	Now func() time.Time
+}
+
+// Pool keys warm beamform.Sessions by SessionRequest fingerprint. Acquire
+// checks a session out (reusing a warm one, building up to MaxSessions,
+// reclaiming an idle session of a colder geometry, or queueing); Release
+// parks it warm for the next request of the same geometry. All sessions of
+// one geometry attach to one shared delaycache store, so concurrent
+// connections of the same probe pay one delay budget between them.
+type Pool struct {
+	cfg PoolConfig
+
+	mu     sync.Mutex
+	geoms  map[string]*geometry
+	total  int // live sessions, idle + checked out
+	queue  []*waiter
+	closed bool
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	acquires  atomic.Int64
+	reuses    atomic.Int64
+	creates   atomic.Int64
+	reclaims  atomic.Int64
+	overloads atomic.Int64
+	evictions atomic.Int64
+}
+
+// geometry is one fingerprint's pool entry: its shared store, warm idle
+// sessions, and checkout accounting.
+type geometry struct {
+	fp  string
+	req SessionRequest
+
+	initOnce sync.Once
+	shared   *delaycache.Shared
+	initErr  error
+
+	idle     []*Lease
+	sessions map[*Lease]struct{} // every live lease, idle or out
+	out      int
+	retired  int64 // frames beamformed by sessions since destroyed
+	lastUsed time.Time
+}
+
+// waiter is one queued Acquire.
+type waiter struct {
+	g  *geometry
+	ch chan grant // buffered 1
+}
+
+// grant is what a waiter receives: a warm lease handed over directly, a
+// reservation to build its own session (lease == nil, err == nil), or a
+// terminal error.
+type grant struct {
+	lease *Lease
+	err   error
+}
+
+// Lease is one checked-out session. Callers beamform through Session (one
+// frame in flight per lease — per the Session contract) and must Release
+// once per checkout; extra Release calls while the lease sits parked in
+// the pool are no-ops.
+type Lease struct {
+	p *Pool
+	g *geometry
+	// Session is the warm beamformer; Cache is its delay-store attachment
+	// (nil for uncached requests).
+	Session  *beamform.Session
+	Cache    *delaycache.Cache
+	released bool // destroyed (terminal)
+	parked   bool // sitting on the geometry's idle list
+}
+
+// NewPool builds a pool and, when cfg.IdleTTL > 0, starts the janitor that
+// sweeps idle geometries. Close the pool to stop it.
+func NewPool(cfg PoolConfig) *Pool {
+	if cfg.MaxSessions <= 0 {
+		cfg.MaxSessions = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 4 * cfg.MaxSessions
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	p := &Pool{cfg: cfg, geoms: map[string]*geometry{}}
+	if cfg.IdleTTL > 0 {
+		p.janitorStop = make(chan struct{})
+		p.janitorDone = make(chan struct{})
+		go p.janitor()
+	}
+	return p
+}
+
+// janitor sweeps at half the TTL so an idle geometry lives at most ~1.5×
+// IdleTTL.
+func (p *Pool) janitor() {
+	defer close(p.janitorDone)
+	tick := time.NewTicker(p.cfg.IdleTTL / 2)
+	defer tick.Stop()
+	for {
+		select {
+		case <-p.janitorStop:
+			return
+		case <-tick.C:
+			p.Sweep(p.cfg.Now())
+		}
+	}
+}
+
+// Acquire checks out a warm session for the request, building one when the
+// geometry has no idle session and capacity allows. When every slot is
+// checked out the call queues (bounded by MaxQueue — beyond that,
+// ErrOverloaded) until a release or ctx cancels.
+func (p *Pool) Acquire(ctx context.Context, req SessionRequest) (*Lease, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	fp := req.Fingerprint()
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	p.acquires.Add(1)
+	g := p.geoms[fp]
+	if g == nil {
+		g = &geometry{fp: fp, req: req, sessions: map[*Lease]struct{}{}, lastUsed: p.cfg.Now()}
+		p.geoms[fp] = g
+	}
+	// Warm reuse: the fast path a fingerprint hit buys.
+	if n := len(g.idle); n > 0 {
+		l := g.idle[n-1]
+		g.idle = g.idle[:n-1]
+		l.parked = false
+		g.out++
+		g.lastUsed = p.cfg.Now()
+		p.reuses.Add(1)
+		p.mu.Unlock()
+		return l, nil
+	}
+	// Free capacity: reserve a slot and build outside the lock.
+	if p.total < p.cfg.MaxSessions {
+		p.total++
+		g.out++
+		g.lastUsed = p.cfg.Now()
+		p.mu.Unlock()
+		return p.build(g)
+	}
+	// No free slot, but a colder geometry holds an idle session: retire the
+	// least-recently-used one and reuse its slot.
+	if victim := p.popLRUIdle(); victim != nil {
+		g.out++
+		g.lastUsed = p.cfg.Now()
+		p.reclaims.Add(1)
+		p.mu.Unlock()
+		victim.destroy()
+		return p.build(g)
+	}
+	// Everything is checked out: queue, bounded.
+	if len(p.queue) >= p.cfg.MaxQueue {
+		p.overloads.Add(1)
+		p.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	w := &waiter{g: g, ch: make(chan grant, 1)}
+	p.queue = append(p.queue, w)
+	g.lastUsed = p.cfg.Now() // queued demand is still demand
+	p.mu.Unlock()
+	select {
+	case gr := <-w.ch:
+		if gr.err != nil {
+			return nil, gr.err
+		}
+		if gr.lease != nil {
+			return gr.lease, nil
+		}
+		return p.build(g) // reservation: slot accounting already done by the granter
+	case <-ctx.Done():
+		p.mu.Lock()
+		if p.removeWaiter(w) {
+			p.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		p.mu.Unlock()
+		// A grant raced the cancellation; take it and give it back.
+		gr := <-w.ch
+		if gr.lease != nil {
+			gr.lease.Release()
+		} else if gr.err == nil {
+			p.unreserve(g)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// removeWaiter deletes w from the queue; false means w was already granted.
+func (p *Pool) removeWaiter(w *waiter) bool {
+	for i, q := range p.queue {
+		if q == w {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// popLRUIdle removes and returns the oldest idle lease across geometries,
+// or nil when no geometry has one. Caller holds the lock.
+func (p *Pool) popLRUIdle() *Lease {
+	var coldest *geometry
+	for _, g := range p.geoms {
+		if len(g.idle) == 0 {
+			continue
+		}
+		if coldest == nil || g.lastUsed.Before(coldest.lastUsed) {
+			coldest = g
+		}
+	}
+	if coldest == nil {
+		return nil
+	}
+	n := len(coldest.idle)
+	l := coldest.idle[n-1]
+	coldest.idle = coldest.idle[:n-1]
+	l.parked = false
+	p.retire(l)
+	return l
+}
+
+// build constructs a session for g (slot already reserved). The geometry's
+// shared store is created on first build; later sessions attach to it
+// without constructing a provider of their own (the store's wrapped
+// providers generate every block) — unless the pool runs PrivateCaches,
+// where every session keeps its own cache and provider.
+func (p *Pool) build(g *geometry) (*Lease, error) {
+	cfg := g.req.Config
+	var provider delay.Provider
+	if cfg.Cached && !p.cfg.PrivateCaches {
+		g.initOnce.Do(func() {
+			g.shared, g.initErr = g.req.Spec.NewSharedCache(cfg, g.req.Arch.NewProvider(g.req.Spec))
+		})
+		if g.initErr != nil {
+			p.unreserve(g)
+			return nil, g.initErr
+		}
+		cfg.Cached = false
+		cfg.SharedCache = g.shared
+	} else {
+		provider = g.req.Arch.NewProvider(g.req.Spec)
+	}
+	sess, cache, err := g.req.Spec.NewSessionConfig(cfg, provider)
+	if err != nil {
+		p.unreserve(g)
+		return nil, fmt.Errorf("serve: building session for %s: %w", g.req.Arch, err)
+	}
+	l := &Lease{p: p, g: g, Session: sess, Cache: cache}
+	p.creates.Add(1)
+	p.mu.Lock()
+	g.sessions[l] = struct{}{}
+	p.mu.Unlock()
+	return l, nil
+}
+
+// unreserve rolls back a reserved slot (failed build or cancelled grant)
+// and passes the freed capacity on.
+func (p *Pool) unreserve(g *geometry) {
+	p.mu.Lock()
+	g.out--
+	p.total--
+	p.grantCapacity()
+	p.mu.Unlock()
+}
+
+// grantCapacity hands free slots to queued waiters as build reservations.
+// Caller holds the lock.
+func (p *Pool) grantCapacity() {
+	for len(p.queue) > 0 && p.total < p.cfg.MaxSessions {
+		w := p.queue[0]
+		p.queue = p.queue[1:]
+		p.total++
+		w.g.out++
+		w.g.lastUsed = p.cfg.Now()
+		w.ch <- grant{}
+	}
+}
+
+// destroy tears a lease's session down (outside the pool lock).
+func (l *Lease) destroy() {
+	if l.Cache != nil {
+		l.Cache.Detach()
+	}
+	l.Session.Close()
+}
+
+// retire unregisters a lease under the lock, banking its frame count into
+// the geometry's cumulative total and marking the lease terminally
+// released — a stale Release of a reclaimed-and-destroyed lease must stay
+// a no-op, never re-park a closed session.
+func (p *Pool) retire(l *Lease) {
+	delete(l.g.sessions, l)
+	l.g.retired += l.Session.Frames()
+	l.released, l.parked = true, false
+}
+
+// Release returns the lease's session to the pool: handed straight to a
+// queued waiter of the same geometry, retired in favour of a waiter of a
+// different one, or parked warm on the idle list. Call it once per
+// checkout; releasing a lease that is already parked or destroyed is a
+// no-op (but a Release racing the next checkout of the same lease is the
+// caller's bug — the pool cannot tell it from the new holder's release).
+func (l *Lease) Release() {
+	p := l.p
+	p.mu.Lock()
+	if l.released || l.parked {
+		p.mu.Unlock()
+		return
+	}
+	l.released = true
+	g := l.g
+	g.lastUsed = p.cfg.Now()
+	if p.closed {
+		g.out--
+		p.total--
+		p.retire(l)
+		p.mu.Unlock()
+		l.destroy()
+		return
+	}
+	if len(p.queue) > 0 {
+		w := p.queue[0]
+		p.queue = p.queue[1:]
+		if w.g == g {
+			// Same geometry: hand the warm session over; it stays checked
+			// out, so out/total are unchanged.
+			l.released = false
+			w.g.lastUsed = p.cfg.Now()
+			w.ch <- grant{lease: l}
+			p.mu.Unlock()
+			return
+		}
+		// Different geometry: this session's slot funds the waiter's build.
+		g.out--
+		p.retire(l)
+		w.g.out++
+		w.g.lastUsed = p.cfg.Now()
+		p.mu.Unlock()
+		l.destroy()
+		w.ch <- grant{}
+		return
+	}
+	g.out--
+	g.idle = append(g.idle, l)
+	l.released, l.parked = false, true // parked leases are handed out again verbatim
+	p.mu.Unlock()
+}
+
+// Sweep evicts every geometry whose sessions are all idle and whose last
+// use is at least IdleTTL before now: warm sessions close, the shared
+// delay store drops its blocks (the OnEvict hook observes it), and the
+// fingerprint is forgotten. The janitor calls this on a timer; tests call
+// it directly with a synthetic clock.
+func (p *Pool) Sweep(now time.Time) {
+	if p.cfg.IdleTTL <= 0 {
+		return
+	}
+	var doomed []*Lease
+	var stores []*delaycache.Shared
+	p.mu.Lock()
+	if p.closed { // Close owns the teardown; a racing janitor tick is a no-op
+		p.mu.Unlock()
+		return
+	}
+	// Geometries with queued waiters are live no matter the clock: deleting
+	// one would orphan the waiter's entry — its granted session would be
+	// registered on an object no sweep or Close can reach, leaking the slot.
+	waiting := make(map[*geometry]bool, len(p.queue))
+	for _, w := range p.queue {
+		waiting[w.g] = true
+	}
+	for fp, g := range p.geoms {
+		if g.out > 0 || waiting[g] || now.Sub(g.lastUsed) < p.cfg.IdleTTL {
+			continue
+		}
+		for _, l := range g.idle {
+			p.retire(l)
+			doomed = append(doomed, l)
+		}
+		p.total -= len(g.idle)
+		if g.shared != nil {
+			stores = append(stores, g.shared)
+		}
+		delete(p.geoms, fp)
+		p.evictions.Add(1)
+	}
+	if len(doomed) > 0 {
+		p.grantCapacity()
+	}
+	p.mu.Unlock()
+	for _, l := range doomed {
+		l.destroy()
+	}
+	for _, s := range stores {
+		s.Evict()
+	}
+}
+
+// Close shuts the pool: the janitor stops, queued waiters fail with
+// ErrClosed, idle sessions close, shared stores evict, and later Acquires
+// fail. Checked-out leases stay valid; their Release destroys them. Close
+// is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	if p.janitorStop != nil {
+		close(p.janitorStop)
+		<-p.janitorDone
+	}
+	p.mu.Lock()
+	waiters := p.queue
+	p.queue = nil
+	var doomed []*Lease
+	var stores []*delaycache.Shared
+	for fp, g := range p.geoms {
+		for _, l := range g.idle {
+			p.retire(l)
+			doomed = append(doomed, l)
+		}
+		p.total -= len(g.idle)
+		g.idle = nil
+		if g.shared != nil {
+			stores = append(stores, g.shared)
+		}
+		if g.out == 0 {
+			delete(p.geoms, fp)
+		}
+	}
+	p.mu.Unlock()
+	for _, w := range waiters {
+		w.ch <- grant{err: ErrClosed}
+	}
+	for _, l := range doomed {
+		l.destroy()
+	}
+	for _, s := range stores {
+		s.Evict()
+	}
+}
+
+// GeometryStats is one fingerprint's row of PoolStats.
+type GeometryStats struct {
+	Fingerprint string            `json:"fingerprint"`
+	Spec        string            `json:"spec"`
+	Arch        string            `json:"arch"`
+	Sessions    int               `json:"sessions"`
+	Idle        int               `json:"idle"`
+	CheckedOut  int               `json:"checked_out"`
+	Frames      int64             `json:"frames"`
+	IdleForSec  float64           `json:"idle_for_sec"`
+	HitRate     float64           `json:"cache_hit_rate"`
+	Cache       *delaycache.Stats `json:"cache,omitempty"` // shared-store aggregate; nil when uncached
+}
+
+// PoolStats snapshots pool occupancy and lifecycle counters for /stats.
+type PoolStats struct {
+	MaxSessions int `json:"max_sessions"`
+	MaxQueue    int `json:"max_queue"`
+	Live        int `json:"live"`
+	Idle        int `json:"idle"`
+	CheckedOut  int `json:"checked_out"`
+	Waiters     int `json:"waiters"`
+
+	Acquires  int64 `json:"acquires"`
+	Reuses    int64 `json:"reuses"`
+	Creates   int64 `json:"creates"`
+	Reclaims  int64 `json:"reclaims"`
+	Overloads int64 `json:"overloads"`
+	Evictions int64 `json:"evictions"`
+
+	Geometries []GeometryStats `json:"geometries"`
+}
+
+// Stats snapshots the pool. Frame counts and cache counters of checked-out
+// sessions are read live — both are atomic, which is what the Session
+// scrape contract (Frames/CacheStats) exists for.
+func (p *Pool) Stats() PoolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := PoolStats{
+		MaxSessions: p.cfg.MaxSessions,
+		MaxQueue:    p.cfg.MaxQueue,
+		Live:        p.total,
+		Waiters:     len(p.queue),
+		Acquires:    p.acquires.Load(),
+		Reuses:      p.reuses.Load(),
+		Creates:     p.creates.Load(),
+		Reclaims:    p.reclaims.Load(),
+		Overloads:   p.overloads.Load(),
+		Evictions:   p.evictions.Load(),
+	}
+	for _, g := range p.geoms {
+		gs := GeometryStats{
+			Fingerprint: g.fp,
+			Spec:        g.req.Spec.String(),
+			Arch:        g.req.Arch.String(),
+			Sessions:    len(g.sessions),
+			Idle:        len(g.idle),
+			CheckedOut:  g.out,
+			Frames:      g.retired,
+			IdleForSec:  p.cfg.Now().Sub(g.lastUsed).Seconds(),
+		}
+		for l := range g.sessions {
+			gs.Frames += l.Session.Frames()
+		}
+		if g.shared != nil {
+			cs := g.shared.Stats()
+			gs.Cache = &cs
+			gs.HitRate = cs.HitRate()
+		} else {
+			// Private-cache mode: aggregate the per-session attachments so
+			// the hit rate stays observable in the A/B baseline too.
+			var agg delaycache.Stats
+			for l := range g.sessions {
+				if l.Cache == nil {
+					continue
+				}
+				cs := l.Cache.Stats()
+				agg.Hits += cs.Hits
+				agg.Misses += cs.Misses
+			}
+			gs.HitRate = agg.HitRate()
+		}
+		st.Idle += len(g.idle)
+		st.CheckedOut += g.out
+		st.Geometries = append(st.Geometries, gs)
+	}
+	return st
+}

@@ -1,0 +1,483 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/xdcr"
+)
+
+// tinySpec is the laptop-scale geometry every pool test runs on.
+func tinySpec() core.SystemSpec {
+	s := core.ReducedSpec()
+	s.ElemX, s.ElemY = 8, 8
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 9, 3, 10
+	s.DepthLambda = 60
+	return s
+}
+
+func tinyRequest() SessionRequest {
+	return SessionRequest{
+		Spec:   tinySpec(),
+		Config: core.SessionConfig{Window: xdcr.Hann, Cached: true, CacheBudget: -1},
+		Arch:   ArchTableFree,
+	}
+}
+
+func tinyFrame(t testing.TB, s core.SystemSpec) []rf.EchoBuffer {
+	t.Helper()
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bufs
+}
+
+func TestFingerprintDistinguishesConfigs(t *testing.T) {
+	base := tinyRequest()
+	same := tinyRequest()
+	if base.Fingerprint() != same.Fingerprint() {
+		t.Error("identical requests must share a fingerprint")
+	}
+	variants := map[string]func(*SessionRequest){
+		"spec":      func(r *SessionRequest) { r.Spec.FocalDepth++ },
+		"arch":      func(r *SessionRequest) { r.Arch = ArchExact },
+		"window":    func(r *SessionRequest) { r.Config.Window = xdcr.Rect },
+		"precision": func(r *SessionRequest) { r.Config.Precision = beamform.PrecisionFloat32 },
+		"budget":    func(r *SessionRequest) { r.Config.CacheBudget = 1024 },
+		"uncached":  func(r *SessionRequest) { r.Config.Cached = false },
+		"transmits": func(r *SessionRequest) {
+			r.Config.Transmits = delayAxialSet(2, r.Spec)
+		},
+	}
+	for name, mutate := range variants {
+		v := tinyRequest()
+		mutate(&v)
+		if v.Fingerprint() == base.Fingerprint() {
+			t.Errorf("%s variant must change the fingerprint", name)
+		}
+	}
+}
+
+func TestPoolReusesWarmSessions(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 2})
+	defer p.Close()
+	req := tinyRequest()
+	l1, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := l1.Session
+	if l1.Cache == nil {
+		t.Fatal("cached request must carry a cache attachment")
+	}
+	l1.Release()
+	l2, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Session != sess {
+		t.Error("same-fingerprint acquire must reuse the warm session")
+	}
+	l2.Release()
+	st := p.Stats()
+	if st.Creates != 1 || st.Reuses != 1 || st.Live != 1 {
+		t.Errorf("stats after reuse: %+v", st)
+	}
+	if len(st.Geometries) != 1 || st.Geometries[0].Cache == nil {
+		t.Fatalf("geometry stats: %+v", st.Geometries)
+	}
+	if st.Geometries[0].Cache.Attachments != 1 {
+		t.Errorf("shared store attachments = %d, want 1", st.Geometries[0].Cache.Attachments)
+	}
+}
+
+func TestPoolSharesOneStoreAcrossSessions(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 2})
+	defer p.Close()
+	req := tinyRequest()
+	l1, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Session == l2.Session {
+		t.Fatal("concurrent acquires must get distinct sessions")
+	}
+	if l1.Cache.Shared() != l2.Cache.Shared() {
+		t.Error("same-geometry sessions must attach to one shared store")
+	}
+	if got := l1.Cache.Shared().Attachments(); got != 2 {
+		t.Errorf("attachments = %d, want 2", got)
+	}
+	l1.Release()
+	l2.Release()
+}
+
+// TestPoolConcurrentBitIdentity drives many goroutines through the pool on
+// one geometry and checks every beamformed frame is bit-identical to a solo
+// session's — the end-to-end sharing contract under -race.
+func TestPoolConcurrentBitIdentity(t *testing.T) {
+	req := tinyRequest()
+	bufs := tinyFrame(t, req.Spec)
+	solo, _, err := req.Spec.NewSessionConfig(req.Config, req.Arch.NewProvider(req.Spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solo.Beamform(bufs)
+	solo.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := NewPool(PoolConfig{MaxSessions: 3, MaxQueue: 64})
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := 0; f < 3; f++ {
+				l, err := p.Acquire(context.Background(), req)
+				if err != nil {
+					t.Errorf("acquire: %v", err)
+					return
+				}
+				vol, err := l.Session.Beamform(bufs)
+				l.Release()
+				if err != nil {
+					t.Errorf("beamform: %v", err)
+					return
+				}
+				for i := range ref.Data {
+					if ref.Data[i] != vol.Data[i] {
+						t.Errorf("pooled frame differs from solo run at %d", i)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := p.Stats()
+	if st.Live > 3 {
+		t.Errorf("live sessions %d exceed the cap", st.Live)
+	}
+	if st.Overloads != 0 {
+		t.Errorf("unexpected overloads: %d", st.Overloads)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1, MaxQueue: 1})
+	defer p.Close()
+	req := tinyRequest()
+	l1, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the only slot checked out, a queued acquire can abandon the
+	// queue through its context.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.Acquire(ctx, req); err != context.DeadlineExceeded {
+		t.Fatalf("cancelled acquire: %v, want DeadlineExceeded", err)
+	}
+	// Fill the queue with one waiter...
+	done := make(chan error, 1)
+	go func() {
+		l, err := p.Acquire(context.Background(), req)
+		if err == nil {
+			l.Release()
+		}
+		done <- err
+	}()
+	// ...wait for it to actually enqueue, then the next acquire must be
+	// refused with the typed overload error.
+	deadline := time.After(5 * time.Second)
+	for {
+		if p.Stats().Waiters == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("waiter never enqueued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if _, err := p.Acquire(context.Background(), req); err != ErrOverloaded {
+		t.Fatalf("overloaded acquire: %v, want ErrOverloaded", err)
+	}
+	// Releasing hands the warm session to the queued waiter.
+	l1.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	if st := p.Stats(); st.Overloads != 1 {
+		t.Errorf("overloads = %d, want 1", st.Overloads)
+	}
+}
+
+func TestPoolReclaimsColdGeometry(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1})
+	defer p.Close()
+	cold := tinyRequest()
+	l, err := p.Acquire(context.Background(), cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release() // one idle session of the cold geometry holds the only slot
+	hot := tinyRequest()
+	hot.Arch = ArchExact
+	l2, err := p.Acquire(context.Background(), hot)
+	if err != nil {
+		t.Fatalf("acquire of a second geometry must reclaim the idle slot: %v", err)
+	}
+	defer l2.Release()
+	st := p.Stats()
+	if st.Reclaims != 1 || st.Live != 1 {
+		t.Errorf("stats after reclaim: %+v", st)
+	}
+}
+
+func TestPoolTTLEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { return now }
+	p := NewPool(PoolConfig{MaxSessions: 2, IdleTTL: time.Minute, Now: clock})
+	defer p.Close()
+	req := tinyRequest()
+	l, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := l.Cache.Shared()
+	evicted := make(chan struct{}, 1)
+	shared.OnEvict(func(st delaycache.Stats) { evicted <- struct{}{} })
+	l.Session.Beamform(tinyFrame(t, req.Spec))
+	l.Release()
+
+	// Before the TTL: sweep keeps the geometry warm.
+	now = now.Add(30 * time.Second)
+	p.Sweep(now)
+	if st := p.Stats(); st.Live != 1 || st.Evictions != 0 {
+		t.Fatalf("premature eviction: %+v", st)
+	}
+	// Past the TTL: the geometry, its sessions and its store go.
+	now = now.Add(31 * time.Second)
+	p.Sweep(now)
+	st := p.Stats()
+	if st.Live != 0 || st.Evictions != 1 || len(st.Geometries) != 0 {
+		t.Fatalf("stats after TTL sweep: %+v", st)
+	}
+	select {
+	case <-evicted:
+	default:
+		t.Error("shared store eviction hook did not run")
+	}
+	if bs := shared.Stats().BytesResident; bs != 0 {
+		t.Errorf("store still holds %d bytes after eviction", bs)
+	}
+	// The geometry comes back cold on the next acquire.
+	l2, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Cache.Shared() == shared {
+		t.Error("post-eviction acquire must build a fresh store")
+	}
+	l2.Release()
+}
+
+func TestPoolCheckedOutGeometrySurvivesSweep(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewPool(PoolConfig{MaxSessions: 2, IdleTTL: time.Minute, Now: func() time.Time { return now }})
+	defer p.Close()
+	l, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(time.Hour)
+	p.Sweep(now)
+	if st := p.Stats(); st.Live != 1 || st.Evictions != 0 {
+		t.Fatalf("sweep evicted a checked-out geometry: %+v", st)
+	}
+	l.Release()
+}
+
+func TestPoolClose(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1})
+	req := tinyRequest()
+	l, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Close()
+	if _, err := p.Acquire(context.Background(), req); err != ErrClosed {
+		t.Fatalf("acquire after close: %v, want ErrClosed", err)
+	}
+	l.Release() // destroys rather than parks; must not panic
+	p.Close()   // idempotent
+}
+
+func TestPrivateCachesMode(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 2, PrivateCaches: true})
+	defer p.Close()
+	req := tinyRequest()
+	l1, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := p.Acquire(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Cache.Shared() == l2.Cache.Shared() {
+		t.Error("private-cache mode must give each session its own store")
+	}
+	l1.Release()
+	l2.Release()
+}
+
+func TestReleaseTwiceIsNoOp(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 2})
+	defer p.Close()
+	l, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	l.Release() // must not double-park or corrupt checkout accounting
+	st := p.Stats()
+	if st.Idle != 1 || st.CheckedOut != 0 {
+		t.Fatalf("after double release: %+v", st)
+	}
+	l2, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l3, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Session == l3.Session {
+		t.Fatal("double release handed one session to two callers")
+	}
+	l2.Release()
+	l3.Release()
+}
+
+// TestSweepSparesGeometryWithWaiters pins the orphan bug: a geometry whose
+// only demand is a queued waiter must survive the TTL sweep, or the
+// waiter's granted session would be registered on an entry no sweep or
+// Close can reach — leaking its slot forever.
+func TestSweepSparesGeometryWithWaiters(t *testing.T) {
+	now := time.Unix(1000, 0)
+	p := NewPool(PoolConfig{MaxSessions: 1, MaxQueue: 2, IdleTTL: time.Minute,
+		Now: func() time.Time { return now }})
+	defer p.Close()
+	hot := tinyRequest()
+	lHot, err := p.Acquire(context.Background(), hot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second geometry can only queue: the single slot is checked out.
+	cold := tinyRequest()
+	cold.Arch = ArchExact
+	done := make(chan error, 1)
+	go func() {
+		l, err := p.Acquire(context.Background(), cold)
+		if err == nil {
+			l.Release()
+		}
+		done <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for p.Stats().Waiters != 1 {
+		select {
+		case <-deadline:
+			t.Fatal("waiter never enqueued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Hours pass; the sweep must not delete the waiter's geometry entry.
+	now = now.Add(2 * time.Hour)
+	p.Sweep(now)
+	lHot.Release() // retires hot's session in favour of the waiter's build
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter after sweep: %v", err)
+	}
+	st := p.Stats()
+	if st.Live != 1 || st.Idle != 1 {
+		t.Fatalf("slot leaked across sweep+grant: %+v", st)
+	}
+	// The granted session's geometry is reachable: a later sweep with no
+	// demand reclaims everything.
+	now = now.Add(2 * time.Hour)
+	p.Sweep(now)
+	if st := p.Stats(); st.Live != 0 {
+		t.Fatalf("granted session unreachable by sweep: %+v", st)
+	}
+}
+
+func TestPoolCloseIdempotentWithJanitor(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1, IdleTTL: time.Minute})
+	l, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Release()
+	p.Close()
+	p.Close() // must not panic closing the janitor stop channel again
+}
+
+// TestStaleReleaseOfReclaimedLease pins the reclaim/stale-release race: a
+// second Release of a lease the pool has since reclaimed and destroyed
+// must stay a no-op — never re-park the closed session for a later
+// Acquire to hand out.
+func TestStaleReleaseOfReclaimedLease(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1})
+	defer p.Close()
+	reqA := tinyRequest()
+	lA, err := p.Acquire(context.Background(), reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA.Release() // parked
+	reqB := tinyRequest()
+	reqB.Arch = ArchExact
+	lB, err := p.Acquire(context.Background(), reqB) // reclaims and destroys lA
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA.Release() // stale: must not corrupt accounting or re-park lA
+	lB.Release()
+	lA2, err := p.Acquire(context.Background(), reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lA2.Release()
+	if lA2.Session == lA.Session {
+		t.Fatal("pool handed out a destroyed session")
+	}
+	if _, err := lA2.Session.Beamform(tinyFrame(t, reqA.Spec)); err != nil {
+		t.Fatalf("session from post-stale-release acquire is broken: %v", err)
+	}
+	if st := p.Stats(); st.Live != 1 || st.CheckedOut != 1 {
+		t.Fatalf("accounting corrupted by stale release: %+v", st)
+	}
+}

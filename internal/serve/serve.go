@@ -1,0 +1,125 @@
+// Package serve is the long-lived serving frontend over the beamforming
+// stack: a Pool that keeps warm beamform.Sessions keyed by a canonical
+// geometry/config fingerprint — every session of one geometry attached to
+// one shared delay block store, so N concurrent cine streams of the same
+// probe pay one delay budget between them — and a Server that beamforms
+// binary RF frames arriving over HTTP through that pool.
+//
+// This is the paper's amortization argument pushed to its serving
+// conclusion: delays depend only on geometry, so the delay working set
+// belongs to the geometry, not to any one frame, cine sequence or
+// connection. PR 2 amortized generation across frames, PR 4 across
+// transmits; the pool amortizes it across every connection that shares a
+// probe, and evicts the working set only when the whole geometry has gone
+// idle past a TTL. Eviction is safe because residency is the deterministic
+// prefix — a rewarm refills exactly the same blocks with exactly the same
+// bytes — so an evicted geometry costs warm-up latency, never correctness.
+package serve
+
+import (
+	"fmt"
+	"strings"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+)
+
+// Arch names the delay-generation architecture a serving session runs.
+type Arch int
+
+const (
+	// ArchTableFree computes delays on the fly through the §IV fixed-point
+	// PWL datapath — the compute-bound architecture the cache amortizes
+	// hardest, and the serving default.
+	ArchTableFree Arch = iota
+	// ArchTableSteer steers the §V folded reference table (18-bit design
+	// point, fixed datapath).
+	ArchTableSteer
+	// ArchExact runs the float64 golden delay law.
+	ArchExact
+)
+
+func (a Arch) String() string {
+	switch a {
+	case ArchTableFree:
+		return "tablefree"
+	case ArchTableSteer:
+		return "tablesteer"
+	case ArchExact:
+		return "exact"
+	}
+	return fmt.Sprintf("Arch(%d)", int(a))
+}
+
+// ParseArch parses an architecture name — the parser behind the server's
+// arch= parameter and the CLI flags.
+func ParseArch(name string) (Arch, error) {
+	switch strings.ToLower(name) {
+	case "", "tablefree":
+		return ArchTableFree, nil
+	case "tablesteer":
+		return ArchTableSteer, nil
+	case "exact":
+		return ArchExact, nil
+	}
+	return ArchTableFree, fmt.Errorf("serve: unknown arch %q (want tablefree|tablesteer|exact)", name)
+}
+
+// NewProvider builds the architecture's delay provider for a spec. The
+// fixed-point datapaths are selected for the approximating architectures —
+// the synthesized hardware forms, matching the B-series experiments.
+func (a Arch) NewProvider(spec core.SystemSpec) delay.Provider {
+	switch a {
+	case ArchTableSteer:
+		p := spec.NewTableSteer(18)
+		p.UseFixed = true
+		return p
+	case ArchExact:
+		return spec.NewExact()
+	default:
+		p := spec.NewTableFree()
+		p.UseFixed = true
+		return p
+	}
+}
+
+// SessionRequest is everything that determines whether two requests can
+// share a warm session: the Table I geometry, the session datapath
+// configuration and the delay architecture. Config.SharedCache must be nil
+// — attaching to stores is the pool's job.
+type SessionRequest struct {
+	Spec   core.SystemSpec
+	Config core.SessionConfig
+	Arch   Arch
+}
+
+// Fingerprint canonically encodes the request: two requests map to the same
+// warm pool entry iff their fingerprints are equal. Every field that feeds
+// session construction participates — the spec's physical numbers, the
+// window, precision, cache mode and budget, the architecture, and each
+// transmit origin — so a fingerprint hit guarantees bit-compatible reuse.
+func (r SessionRequest) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "spec{c=%g fc=%g b=%g elem=%dx%d pitch=%g fov=%gx%g depth=%g fs=%g focal=%dx%dx%d}",
+		r.Spec.C, r.Spec.Fc, r.Spec.B, r.Spec.ElemX, r.Spec.ElemY, r.Spec.PitchL,
+		r.Spec.ThetaDeg, r.Spec.PhiDeg, r.Spec.DepthLambda, r.Spec.Fs,
+		r.Spec.FocalTheta, r.Spec.FocalPhi, r.Spec.FocalDepth)
+	fmt.Fprintf(&b, " arch=%s win=%s prec=%s cached=%t budget=%d wide=%t",
+		r.Arch, r.Config.Window, r.Config.Precision,
+		r.Config.Cached, r.Config.CacheBudget, r.Config.WideCache)
+	for _, t := range r.Config.Transmits {
+		fmt.Fprintf(&b, " tx(%g,%g,%g)", t.Origin.X, t.Origin.Y, t.Origin.Z)
+	}
+	return b.String()
+}
+
+// validate rejects requests the pool cannot key.
+func (r SessionRequest) validate() error {
+	if err := r.Spec.Validate(); err != nil {
+		return err
+	}
+	if r.Config.SharedCache != nil {
+		return fmt.Errorf("serve: SessionRequest.Config.SharedCache must be nil (the pool owns store attachment)")
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Server: the RF-over-HTTP face of the pool. A frame of raw echo samples
+// is POSTed as binary little-endian float64 (or one multipart part per
+// transmit for compounding), a warm session is checked out of the pool by
+// geometry fingerprint, and the beamformed volume — or one scanline of it —
+// streams back as binary float64. /healthz answers liveness probes and
+// /stats exposes the pool occupancy and shared-cache hit rates.
+package serve
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"mime"
+	"mime/multipart"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/xdcr"
+)
+
+// ServerConfig assembles a Server.
+type ServerConfig struct {
+	// Pool serves the sessions. Required.
+	Pool *Pool
+	// MaxBodyBytes caps one request body (all transmits together).
+	// <=0 defaults to 256 MiB — a paper-scale frame is 10 000 elements ×
+	// ~8500 samples × 8 B ≈ 650 MiB, so paper-scale serving raises this.
+	MaxBodyBytes int64
+	// AcquireTimeout bounds how long a request may queue for a session
+	// before 503. <=0 defaults to 10 s.
+	AcquireTimeout time.Duration
+}
+
+// Server is an http.Handler exposing the beamform pool.
+//
+//	POST /beamform   binary RF frame → beamformed volume (or scanline)
+//	GET  /healthz    liveness
+//	GET  /stats      pool + shared-cache statistics (JSON)
+//
+// /beamform query parameters:
+//
+//	spec=reduced|paper   base Table I geometry (default reduced)
+//	elemx,elemy          element-grid overrides
+//	ftheta,fphi,fdepth   focal-grid overrides
+//	arch=tablefree|tablesteer|exact   delay architecture (default tablefree)
+//	precision=float64|float32|wide    session kernel (default float64)
+//	window=hann|rect                  receive apodization (default hann)
+//	budget=N             delay-cache byte budget (default -1 = full residency;
+//	                     "none" disables caching)
+//	transmits=N          axial compounding set size; the body must then be
+//	                     multipart/form-data with N parts named "transmit"
+//	out=volume|scanline  response payload (default volume)
+//	theta,phi            scanline grid indices (default volume center)
+//
+// The body is len(elements)·window·8 bytes of little-endian float64 echo
+// samples, element-major in the xdcr.Array row order (ej·NX+ei); the
+// window length is inferred from the body size. Responses are binary
+// little-endian float64 with the grid shape in X-Ultrabeam-* headers.
+type Server struct {
+	cfg ServerConfig
+	mux *http.ServeMux
+}
+
+// NewServer wires the handler tree over the pool.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Pool == nil {
+		return nil, errors.New("serve: ServerConfig.Pool is required")
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.AcquireTimeout <= 0 {
+		cfg.AcquireTimeout = 10 * time.Second
+	}
+	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /beamform", s.handleBeamform)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.cfg.Pool.Stats()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// httpError is a status-carrying error for request parsing.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseRequest resolves the query parameters into a pool request plus the
+// response selection.
+func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip int, err error) {
+	q := r.URL.Query()
+	spec := core.ReducedSpec()
+	switch q.Get("spec") {
+	case "", "reduced":
+	case "paper":
+		spec = core.PaperSpec()
+	default:
+		return req, false, 0, 0, badRequest("unknown spec %q (want reduced|paper)", q.Get("spec"))
+	}
+	for name, dst := range map[string]*int{
+		"elemx": &spec.ElemX, "elemy": &spec.ElemY,
+		"ftheta": &spec.FocalTheta, "fphi": &spec.FocalPhi, "fdepth": &spec.FocalDepth,
+	} {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n <= 0 {
+				return req, false, 0, 0, badRequest("bad %s=%q", name, v)
+			}
+			*dst = n
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return req, false, 0, 0, badRequest("%v", err)
+	}
+	arch, aerr := ParseArch(q.Get("arch"))
+	if aerr != nil {
+		return req, false, 0, 0, badRequest("%v", aerr)
+	}
+	cfg := core.SessionConfig{Window: xdcr.Hann, Cached: true, CacheBudget: -1}
+	switch q.Get("window") {
+	case "", "hann":
+	case "rect":
+		cfg.Window = xdcr.Rect
+	default:
+		return req, false, 0, 0, badRequest("unknown window %q (want hann|rect)", q.Get("window"))
+	}
+	if v := q.Get("precision"); v != "" {
+		prec, perr := beamform.ParsePrecision(v)
+		if perr != nil {
+			return req, false, 0, 0, badRequest("%v", perr)
+		}
+		cfg.Precision = prec
+		cfg.WideCache = prec == beamform.PrecisionWide
+	}
+	switch v := q.Get("budget"); v {
+	case "":
+	case "none":
+		cfg.Cached = false
+	default:
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, false, 0, 0, badRequest("bad budget=%q", v)
+		}
+		cfg.CacheBudget = n
+	}
+	if v := q.Get("transmits"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 64 {
+			return req, false, 0, 0, badRequest("bad transmits=%q (want 1..64)", v)
+		}
+		if n > 1 {
+			// Axial virtual sources behind the aperture: the transmit set
+			// every architecture (incl. TABLESTEER's folding) can represent.
+			cfg.Transmits = delayAxialSet(n, spec)
+		}
+	}
+	it, ip = spec.FocalTheta/2, spec.FocalPhi/2
+	switch q.Get("out") {
+	case "", "volume":
+	case "scanline":
+		scanline = true
+		for name, dst := range map[string]*int{"theta": &it, "phi": &ip} {
+			if v := q.Get(name); v != "" {
+				n, err := strconv.Atoi(v)
+				if err != nil || n < 0 {
+					return req, false, 0, 0, badRequest("bad %s=%q", name, v)
+				}
+				*dst = n
+			}
+		}
+		if it >= spec.FocalTheta || ip >= spec.FocalPhi {
+			return req, false, 0, 0, badRequest("scanline (θ=%d, φ=%d) outside %d×%d grid",
+				it, ip, spec.FocalTheta, spec.FocalPhi)
+		}
+	default:
+		return req, false, 0, 0, badRequest("unknown out %q (want volume|scanline)", q.Get("out"))
+	}
+	return SessionRequest{Spec: spec, Config: cfg, Arch: arch}, scanline, it, ip, nil
+}
+
+// readFrame decodes one transmit's echo plane: elements·win little-endian
+// float64 samples, element-major.
+func readFrame(r io.Reader, elements int, maxBytes int64) ([]rf.EchoBuffer, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
+	if err != nil {
+		// http.MaxBytesReader trips before our own limit check can: keep
+		// the status a retry-sizing client can act on.
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("frame exceeds %d bytes", mbe.Limit)}
+		}
+		return nil, badRequest("reading frame: %v", err)
+	}
+	if int64(len(raw)) > maxBytes {
+		return nil, &httpError{status: http.StatusRequestEntityTooLarge,
+			msg: fmt.Sprintf("frame exceeds %d bytes", maxBytes)}
+	}
+	if len(raw) == 0 || len(raw)%(8*elements) != 0 {
+		return nil, badRequest("frame is %d bytes; want a positive multiple of 8·%d elements", len(raw), elements)
+	}
+	win := len(raw) / (8 * elements)
+	bufs := make([]rf.EchoBuffer, elements)
+	samples := make([]float64, elements*win) // one backing array for the frame
+	for i := range samples {
+		samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	for d := 0; d < elements; d++ {
+		bufs[d] = rf.EchoBuffer{Samples: samples[d*win : (d+1)*win]}
+	}
+	return bufs, nil
+}
+
+// readTransmits decodes the request body into per-transmit echo sets: the
+// raw body for a single insonification, one multipart "transmit" part per
+// insonification for compounding.
+func readTransmits(r *http.Request, req SessionRequest, maxBytes int64) ([][]rf.EchoBuffer, error) {
+	elements := req.Spec.Elements()
+	wantTx := len(req.Config.Transmits)
+	if wantTx == 0 {
+		wantTx = 1
+	}
+	ct := r.Header.Get("Content-Type")
+	mt, params, _ := mime.ParseMediaType(ct)
+	if mt != "multipart/form-data" {
+		if wantTx != 1 {
+			return nil, badRequest("%d transmits need multipart/form-data with one part per transmit", wantTx)
+		}
+		bufs, err := readFrame(r.Body, elements, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		return [][]rf.EchoBuffer{bufs}, nil
+	}
+	mr := multipart.NewReader(r.Body, params["boundary"])
+	var tx [][]rf.EchoBuffer
+	for {
+		part, err := mr.NextPart()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, badRequest("multipart: %v", err)
+		}
+		if part.FormName() != "transmit" {
+			continue
+		}
+		if len(tx) == wantTx {
+			return nil, badRequest("more than %d transmit parts", wantTx)
+		}
+		bufs, err := readFrame(part, elements, maxBytes)
+		if err != nil {
+			return nil, err
+		}
+		tx = append(tx, bufs)
+	}
+	if len(tx) != wantTx {
+		return nil, badRequest("%d transmit parts for %d transmits", len(tx), wantTx)
+	}
+	return tx, nil
+}
+
+func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	req, scanline, it, ip, err := parseRequest(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	txBufs, err := readTransmits(r, req, s.cfg.MaxBodyBytes)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AcquireTimeout)
+	defer cancel()
+	lease, err := s.cfg.Pool.Acquire(ctx, req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	vol, err := lease.Session.BeamformCompound(txBufs)
+	// The volume is freshly allocated, so the session is done the moment
+	// BeamformCompound returns: release before encoding and writing the
+	// response, or a slow-reading client would pin a warm slot through a
+	// multi-megabyte network write doing no beamforming.
+	lease.Release()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	data := vol.Data
+	if scanline {
+		data = vol.Scanline(it, ip)
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Ultrabeam-Theta", strconv.Itoa(vol.Vol.Theta.N))
+	h.Set("X-Ultrabeam-Phi", strconv.Itoa(vol.Vol.Phi.N))
+	h.Set("X-Ultrabeam-Depth", strconv.Itoa(vol.Vol.Depth.N))
+	if scanline {
+		h.Set("X-Ultrabeam-Scanline", fmt.Sprintf("%d,%d", it, ip))
+	}
+	h.Set("X-Ultrabeam-Elapsed-Ms", strconv.FormatFloat(time.Since(start).Seconds()*1e3, 'f', 3, 64))
+	h.Set("Content-Length", strconv.Itoa(8*len(data)))
+	out := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	w.Write(out)
+}
+
+// writeError maps pool and parse errors onto HTTP statuses: overload and
+// queue timeout are 503 (retryable backpressure), parse errors 400.
+func writeError(w http.ResponseWriter, err error) {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		http.Error(w, he.msg, he.status)
+	case errors.Is(err, ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// delayAxialSet builds the n-transmit axial virtual-source set used by the
+// transmits= parameter: sources spread from 10λ to 30λ behind the aperture.
+func delayAxialSet(n int, spec core.SystemSpec) []delay.Transmit {
+	l := spec.Lambda()
+	return delay.AxialTransmits(n, -10*l, -30*l)
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strconv"
+	"testing"
+	"time"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/rf"
+)
+
+// encodeFrame serializes echo buffers into the wire format: element-major
+// little-endian float64.
+func encodeFrame(bufs []rf.EchoBuffer) []byte {
+	win := len(bufs[0].Samples)
+	out := make([]byte, 8*len(bufs)*win)
+	for d, b := range bufs {
+		for i, v := range b.Samples {
+			binary.LittleEndian.PutUint64(out[8*(d*win+i):], math.Float64bits(v))
+		}
+	}
+	return out
+}
+
+// decodeFloats parses a binary float64 response body.
+func decodeFloats(t *testing.T, body []byte) []float64 {
+	t.Helper()
+	if len(body)%8 != 0 {
+		t.Fatalf("response body is %d bytes, not a float64 multiple", len(body))
+	}
+	out := make([]float64, len(body)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+	}
+	return out
+}
+
+// tinyQuery returns the query string selecting the tinySpec geometry.
+func tinyQuery(extra url.Values) string {
+	s := tinySpec()
+	q := url.Values{
+		"spec":  {"reduced"},
+		"elemx": {strconv.Itoa(s.ElemX)}, "elemy": {strconv.Itoa(s.ElemY)},
+		"ftheta": {strconv.Itoa(s.FocalTheta)}, "fphi": {strconv.Itoa(s.FocalPhi)},
+		"fdepth": {strconv.Itoa(s.FocalDepth)},
+	}
+	for k, vs := range extra {
+		q[k] = vs
+	}
+	return q.Encode()
+}
+
+func newTestServer(t *testing.T, pc PoolConfig) (*httptest.Server, *Pool) {
+	t.Helper()
+	p := NewPool(pc)
+	t.Cleanup(p.Close)
+	srv, err := NewServer(ServerConfig{Pool: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, p
+}
+
+func TestServerHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, PoolConfig{MaxSessions: 1})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+}
+
+// TestServerBeamformVolume posts a frame on the tinySpec geometry — but the
+// tinySpec DepthLambda stays at the reduced default here, since the server
+// only takes grid overrides — and checks the returned volume matches a
+// direct session run on the same inputs bit for bit.
+func TestServerBeamformVolume(t *testing.T) {
+	ts, p := newTestServer(t, PoolConfig{MaxSessions: 2})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda // the server has no depth override
+	bufs := tinyFrame(t, spec)
+
+	req := tinyRequest()
+	req.Spec = spec
+	solo, _, err := spec.NewSessionConfig(req.Config, req.Arch.NewProvider(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solo.Beamform(bufs)
+	solo.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Post(ts.URL+"/beamform?"+tinyQuery(nil),
+		"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beamform: %s: %s", resp.Status, body)
+	}
+	if got := resp.Header.Get("X-Ultrabeam-Depth"); got != strconv.Itoa(spec.FocalDepth) {
+		t.Errorf("depth header = %q", got)
+	}
+	vol := decodeFloats(t, body)
+	if len(vol) != len(ref.Data) {
+		t.Fatalf("volume has %d points, want %d", len(vol), len(ref.Data))
+	}
+	for i := range ref.Data {
+		if vol[i] != ref.Data[i] {
+			t.Fatalf("served volume differs from direct session at %d", i)
+		}
+	}
+	// The pool kept the session warm.
+	if st := p.Stats(); st.Live != 1 || st.Creates != 1 {
+		t.Errorf("pool after one request: %+v", st)
+	}
+
+	// Second request on the same geometry reuses the warm session and the
+	// shared store: the cache hit counter moves.
+	resp2, err := http.Post(ts.URL+"/beamform?"+tinyQuery(url.Values{"out": {"scanline"}}),
+		"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("scanline: %s: %s", resp2.Status, body2)
+	}
+	line := decodeFloats(t, body2)
+	if len(line) != spec.FocalDepth {
+		t.Fatalf("scanline has %d samples, want %d", len(line), spec.FocalDepth)
+	}
+	it, ip := spec.FocalTheta/2, spec.FocalPhi/2
+	want := ref.Scanline(it, ip)
+	for i := range want {
+		if line[i] != want[i] {
+			t.Fatalf("served scanline differs from direct session at depth %d", i)
+		}
+	}
+	st := p.Stats()
+	if st.Reuses != 1 {
+		t.Errorf("second request did not reuse the warm session: %+v", st)
+	}
+	if st.Geometries[0].Cache == nil || st.Geometries[0].Cache.Hits == 0 {
+		t.Errorf("second frame hit no cached blocks: %+v", st.Geometries[0].Cache)
+	}
+	if st.Geometries[0].Frames != 2 {
+		t.Errorf("geometry frames = %d, want 2", st.Geometries[0].Frames)
+	}
+}
+
+func TestServerCompoundMultipart(t *testing.T) {
+	ts, _ := newTestServer(t, PoolConfig{MaxSessions: 1})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+
+	// Reference: a direct compound session over the same axial transmit set
+	// the server derives for transmits=2.
+	cfg := core.SessionConfig{Window: tinyRequest().Config.Window, Cached: true, CacheBudget: -1,
+		Transmits: delayAxialSet(2, spec)}
+	solo, _, err := spec.NewSessionConfig(cfg, ArchTableFree.NewProvider(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solo.BeamformCompound([][]rf.EchoBuffer{bufs, bufs})
+	solo.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var body bytes.Buffer
+	mw := multipart.NewWriter(&body)
+	for tx := 0; tx < 2; tx++ {
+		part, err := mw.CreateFormFile("transmit", "tx"+strconv.Itoa(tx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		part.Write(encodeFrame(bufs))
+	}
+	mw.Close()
+	resp, err := http.Post(ts.URL+"/beamform?"+tinyQuery(url.Values{"transmits": {"2"}}),
+		mw.FormDataContentType(), &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("compound: %s: %s", resp.Status, raw)
+	}
+	vol := decodeFloats(t, raw)
+	for i := range ref.Data {
+		if vol[i] != ref.Data[i] {
+			t.Fatalf("served compound differs from direct session at %d", i)
+		}
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	ts, _ := newTestServer(t, PoolConfig{MaxSessions: 1})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+	resp, err := http.Post(ts.URL+"/beamform?"+tinyQuery(nil),
+		"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var st PoolStats
+	if err := json.NewDecoder(sresp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Live != 1 || len(st.Geometries) != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	g := st.Geometries[0]
+	if g.Frames != 1 || g.Cache == nil || g.Cache.Misses == 0 {
+		t.Errorf("geometry stats: %+v", g)
+	}
+}
+
+func TestServerRejectsBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, PoolConfig{MaxSessions: 1})
+	cases := map[string]struct {
+		query string
+		body  []byte
+	}{
+		"bad spec":        {query: "spec=nope", body: make([]byte, 8)},
+		"bad arch":        {query: tinyQuery(url.Values{"arch": {"nope"}}), body: make([]byte, 8)},
+		"bad out":         {query: tinyQuery(url.Values{"out": {"nope"}}), body: make([]byte, 8)},
+		"empty body":      {query: tinyQuery(nil), body: nil},
+		"ragged body":     {query: tinyQuery(nil), body: make([]byte, 12)},
+		"scanline range":  {query: tinyQuery(url.Values{"out": {"scanline"}, "theta": {"999"}}), body: make([]byte, 8)},
+		"missing 2nd tx":  {query: tinyQuery(url.Values{"transmits": {"2"}}), body: make([]byte, 8*64)},
+		"budget garbage":  {query: tinyQuery(url.Values{"budget": {"lots"}}), body: make([]byte, 8)},
+		"elemx non-digit": {query: tinyQuery(url.Values{"elemx": {"x"}}), body: make([]byte, 8)},
+	}
+	for name, c := range cases {
+		resp, err := http.Post(ts.URL+"/beamform?"+c.query,
+			"application/octet-stream", bytes.NewReader(c.body))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestServerOverloadMapsTo503(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1, MaxQueue: 1})
+	defer p.Close()
+	srv, err := NewServer(ServerConfig{Pool: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Hold the only session and fill the queue directly through the pool,
+	// so the HTTP request below must be refused.
+	l, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	waiting := make(chan struct{})
+	go func() {
+		close(waiting)
+		if wl, err := p.Acquire(context.Background(), tinyRequest()); err == nil {
+			wl.Release()
+		}
+	}()
+	<-waiting
+	for p.Stats().Waiters != 1 {
+		time.Sleep(time.Millisecond)
+	}
+
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+	resp, err := http.Post(ts.URL+"/beamform?"+tinyQuery(nil),
+		"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overloaded POST: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestServerOversizedBodyIs413(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1})
+	defer p.Close()
+	srv, err := NewServer(ServerConfig{Pool: p, MaxBodyBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/beamform?"+tinyQuery(nil),
+		"application/octet-stream", bytes.NewReader(make([]byte, 4096)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}

@@ -31,6 +31,18 @@
 //	vols, err := sess.BeamformFrames(frames)
 //	fmt.Println(cache.Stats()) // hits, misses, resident bytes
 //
+// Serving is the long-lived form of all of this (see internal/serve and
+// cmd/usbeamd): a Pool keys warm Sessions by geometry fingerprint with one
+// SharedDelayCache per geometry — N concurrent cine streams of one probe
+// pay one delay budget — and a Server beamforms binary RF frames POSTed
+// over HTTP, with bounded-queue backpressure (ErrOverloaded → 503) and TTL
+// eviction of idle geometries:
+//
+//	pool := ultrabeam.NewPool(ultrabeam.PoolConfig{MaxSessions: 4, IdleTTL: 5 * time.Minute})
+//	defer pool.Close()
+//	srv, err := ultrabeam.NewServer(ultrabeam.ServerConfig{Pool: pool})
+//	http.ListenAndServe(":8642", srv)
+//
 // The cmd/ tools regenerate every table and figure; see DESIGN.md for the
 // experiment index and EXPERIMENTS.md for paper-vs-measured results.
 package ultrabeam
@@ -43,6 +55,7 @@ import (
 	"ultrabeam/internal/memmodel"
 	"ultrabeam/internal/rf"
 	"ultrabeam/internal/scan"
+	"ultrabeam/internal/serve"
 	"ultrabeam/internal/xdcr"
 )
 
@@ -119,9 +132,19 @@ func AxialTransmits(n int, zmin, zmax float64) []Transmit {
 
 // DelayCache retains filled nappe delay blocks across frames under a byte
 // budget — the §V-B "on-FPGA table as a cache" design point in software.
+// Since PR 5 a DelayCache is one consumer's attachment to a
+// SharedDelayCache block store (a private store when built through
+// NewCachedSession).
 type DelayCache = delaycache.Cache
 
-// CacheStats snapshots delay-cache effectiveness (hits, misses, residency).
+// SharedDelayCache is the geometry-keyed block store any number of
+// concurrent Sessions can attach to: the delay working set belongs to the
+// geometry, not the connection. Build one with SystemSpec.NewSharedCache
+// and hand sessions SessionConfig.SharedCache; see delaycache.Shared.
+type SharedDelayCache = delaycache.Shared
+
+// CacheStats snapshots delay-cache effectiveness (hits, misses, residency,
+// attachments, evictions).
 type CacheStats = delaycache.Stats
 
 // EchoBuffer holds one element's sampled receive signal; see rf.EchoBuffer.
@@ -174,6 +197,51 @@ type BankArray = memmodel.BankArray
 // BudgetFromBanks translates BRAM capacity into a delay-cache byte budget
 // holding the same number of resident delay words.
 func BudgetFromBanks(a BankArray) int64 { return delaycache.BudgetFromBanks(a) }
+
+// Pool keys warm Sessions by geometry/config fingerprint, sharing one
+// SharedDelayCache per geometry, with bounded-queue backpressure and TTL
+// eviction of idle geometries; see serve.Pool.
+type Pool = serve.Pool
+
+// PoolConfig sizes a Pool (session cap, queue bound, idle TTL).
+type PoolConfig = serve.PoolConfig
+
+// PoolStats snapshots pool occupancy and per-geometry cache hit rates.
+type PoolStats = serve.PoolStats
+
+// Lease is one checked-out pool session; Release it when the frame is done.
+type Lease = serve.Lease
+
+// SessionRequest is the pool key: geometry spec, session config and delay
+// architecture. Equal fingerprints share warm sessions and delay storage.
+type SessionRequest = serve.SessionRequest
+
+// Server beamforms binary RF frames POSTed over HTTP through a Pool; see
+// serve.Server for the wire protocol (/beamform, /healthz, /stats).
+type Server = serve.Server
+
+// ServerConfig assembles a Server over a Pool.
+type ServerConfig = serve.ServerConfig
+
+// Arch names a delay-generation architecture for serving requests.
+type Arch = serve.Arch
+
+// The serving delay architectures.
+const (
+	ArchTableFree  = serve.ArchTableFree
+	ArchTableSteer = serve.ArchTableSteer
+	ArchExact      = serve.ArchExact
+)
+
+// ErrOverloaded is the pool's typed backpressure signal (HTTP 503).
+var ErrOverloaded = serve.ErrOverloaded
+
+// NewPool builds a session pool; see serve.NewPool.
+func NewPool(cfg PoolConfig) *Pool { return serve.NewPool(cfg) }
+
+// NewServer wires the HTTP serving frontend over a pool; see
+// serve.NewServer.
+func NewServer(cfg ServerConfig) (*Server, error) { return serve.NewServer(cfg) }
 
 // PaperSpec returns the exact Table I configuration of the paper.
 func PaperSpec() SystemSpec { return core.PaperSpec() }
