@@ -8,16 +8,19 @@
 //
 //	benchgate -baseline BENCH_pipeline.json -fresh fresh.json \
 //	          -fields uncached_frames_per_sec,cached_frames_per_sec [-tol 0.30] \
-//	          [-min float32_psnr_db=60]
+//	          [-lat p99_ms] [-min float32_psnr_db=60] [-max p99_ratio=1.0]
 //
 // -fields names top-level JSON numbers (rates: higher is better) gated
 // RELATIVE to the baseline. The tolerance is generous by design — CI
 // runners are noisy and differ from the machines that committed the
-// baselines — so only collapses, not jitter, stop the build. -min names
-// field=value pairs gated against an ABSOLUTE floor in the fresh record
-// alone: the right shape for log-scale metrics like a PSNR, where "70% of
-// 186 dB" would still tolerate a near-total fidelity collapse. Exit
-// status: 0 pass, 1 regression, 2 usage.
+// baselines — so only collapses, not jitter, stop the build. -lat names
+// fields where LOWER is better (latencies): the fresh value must stay
+// below baseline·(1+tol). -min names field=value pairs gated against an
+// ABSOLUTE floor in the fresh record alone: the right shape for log-scale
+// metrics like a PSNR, where "70% of 186 dB" would still tolerate a
+// near-total fidelity collapse. -max is the mirror-image absolute
+// ceiling, for fields like a latency ratio that must stay below a design
+// bound. Exit status: 0 pass, 1 regression, 2 usage.
 //
 // A -baseline path that does not exist is a warning, not an error: the
 // relative gates are skipped (the -min floors still run against the fresh
@@ -42,23 +45,27 @@ func main() {
 	baseline := flag.String("baseline", "", "committed baseline JSON record")
 	fresh := flag.String("fresh", "", "freshly measured JSON record")
 	fields := flag.String("fields", "", "comma-separated top-level numeric fields gated relative to the baseline (higher is better)")
+	lats := flag.String("lat", "", "comma-separated top-level numeric fields gated relative to the baseline where LOWER is better (latencies)")
 	tol := flag.Float64("tol", 0.30, "allowed fractional regression before failing")
 	mins := flag.String("min", "", "comma-separated field=value absolute floors checked against the fresh record")
+	maxs := flag.String("max", "", "comma-separated field=value absolute ceilings checked against the fresh record")
 	flag.Parse()
-	if *baseline == "" || *fresh == "" || (*fields == "" && *mins == "") {
+	if *baseline == "" || *fresh == "" || (*fields == "" && *lats == "" && *mins == "" && *maxs == "") {
 		flag.Usage()
 		os.Exit(2)
 	}
-	var fieldList []string
-	if *fields != "" {
-		fieldList = strings.Split(*fields, ",")
+	split := func(s string) []string {
+		if s == "" {
+			return nil
+		}
+		return strings.Split(s, ",")
 	}
-	os.Exit(gate(*baseline, *fresh, fieldList, *tol, *mins, os.Stdout, os.Stderr))
+	os.Exit(gate(*baseline, *fresh, split(*fields), split(*lats), *tol, *mins, *maxs, os.Stdout, os.Stderr))
 }
 
 // gate runs the whole comparison and returns the process exit status
 // (0 pass, 1 regression, 2 usage/parse). Split from main for testability.
-func gate(baseline, fresh string, fields []string, tol float64, mins string, out, errw io.Writer) int {
+func gate(baseline, fresh string, fields, lats []string, tol float64, mins, maxs string, out, errw io.Writer) int {
 	base, err := readRecord(baseline)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
@@ -79,6 +86,11 @@ func gate(baseline, fresh string, fields []string, tol float64, mins string, out
 		fmt.Fprintln(errw, "benchgate:", err)
 		return 2
 	}
+	ceilings, err := parseFloors(maxs)
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 2
+	}
 	if base != nil {
 		lines, err := compare(base, cur, fields, tol)
 		for _, l := range lines {
@@ -88,8 +100,24 @@ func gate(baseline, fresh string, fields []string, tol float64, mins string, out
 			fmt.Fprintln(errw, "benchgate:", err)
 			return 1
 		}
+		lines, err = compareLat(base, cur, lats, tol)
+		for _, l := range lines {
+			fmt.Fprintln(out, l)
+		}
+		if err != nil {
+			fmt.Fprintln(errw, "benchgate:", err)
+			return 1
+		}
 	}
 	lines, err := checkFloors(cur, floors)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if err != nil {
+		fmt.Fprintln(errw, "benchgate:", err)
+		return 1
+	}
+	lines, err = checkCeilings(cur, ceilings)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}
@@ -153,6 +181,32 @@ func checkFloors(fresh map[string]any, floors []floor) ([]string, error) {
 	return lines, nil
 }
 
+// checkCeilings gates fresh-record fields against absolute maximums — the
+// -max mirror of checkFloors, for bounded-above metrics like a latency
+// ratio.
+func checkCeilings(fresh map[string]any, ceilings []floor) ([]string, error) {
+	var lines []string
+	var failed []string
+	for _, f := range ceilings {
+		v, err := number(fresh, f.field)
+		if err != nil {
+			return lines, fmt.Errorf("fresh %w", err)
+		}
+		status := "ok"
+		if v > f.min {
+			status = "ABOVE CEILING"
+			failed = append(failed, f.field)
+		}
+		lines = append(lines, fmt.Sprintf("%-36s fresh %12.3f  (absolute ceiling %.3f)  %s",
+			f.field, v, f.min, status))
+	}
+	if len(failed) > 0 {
+		return lines, fmt.Errorf("%d field(s) above absolute ceiling: %s",
+			len(failed), strings.Join(failed, ", "))
+	}
+	return lines, nil
+}
+
 func readRecord(path string) (map[string]any, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -201,6 +255,46 @@ func compare(baseline, fresh map[string]any, fields []string, tol float64) ([]st
 	}
 	if len(failed) > 0 {
 		return lines, fmt.Errorf("%d field(s) regressed beyond %.0f%%: %s",
+			len(failed), tol*100, strings.Join(failed, ", "))
+	}
+	return lines, nil
+}
+
+// compareLat is compare for lower-is-better fields (latencies): the fresh
+// value must stay at or below baseline·(1+tol). The baseline must be
+// positive — a zero committed latency says the record predates the field,
+// and silently passing would be the schema-drift hole compare also closes.
+func compareLat(baseline, fresh map[string]any, fields []string, tol float64) ([]string, error) {
+	var lines []string
+	var failed []string
+	for _, f := range fields {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		b, err := number(baseline, f)
+		if err != nil {
+			return lines, fmt.Errorf("baseline %w", err)
+		}
+		c, err := number(fresh, f)
+		if err != nil {
+			return lines, fmt.Errorf("fresh %w", err)
+		}
+		if b <= 0 {
+			return lines, fmt.Errorf("baseline %s = %v is not a positive latency", f, b)
+		}
+		ceiling := b * (1 + tol)
+		ratio := c / b
+		status := "ok"
+		if c > ceiling {
+			status = "REGRESSED"
+			failed = append(failed, f)
+		}
+		lines = append(lines, fmt.Sprintf("%-36s baseline %12.3f  fresh %12.3f  (%.2f×, ceiling %.3f)  %s",
+			f, b, c, ratio, ceiling, status))
+	}
+	if len(failed) > 0 {
+		return lines, fmt.Errorf("%d latency field(s) regressed beyond %.0f%%: %s",
 			len(failed), tol*100, strings.Join(failed, ", "))
 	}
 	return lines, nil

@@ -124,7 +124,7 @@ func TestGateMissingBaselineWarnsAndSkips(t *testing.T) {
 	missing := filepath.Join(dir, "BENCH_not_yet.json")
 
 	var out, errw strings.Builder
-	if code := gate(missing, fresh, []string{"rate_a"}, 0.30, "", &out, &errw); code != 0 {
+	if code := gate(missing, fresh, []string{"rate_a"}, nil, 0.30, "", "", &out, &errw); code != 0 {
 		t.Fatalf("missing baseline must skip, got exit %d (stderr: %s)", code, errw.String())
 	}
 	if !strings.Contains(errw.String(), "does not exist yet") {
@@ -137,13 +137,13 @@ func TestGateMissingBaselineWarnsAndSkips(t *testing.T) {
 	// Floors still run against the fresh record — and still have teeth.
 	out.Reset()
 	errw.Reset()
-	if code := gate(missing, fresh, nil, 0.30, "rate_a=5", &out, &errw); code != 0 {
+	if code := gate(missing, fresh, nil, nil, 0.30, "rate_a=5", "", &out, &errw); code != 0 {
 		t.Fatalf("passing floor with missing baseline: exit %d", code)
 	}
 	if !strings.Contains(out.String(), "ok") {
 		t.Errorf("floor report missing: %q", out.String())
 	}
-	if code := gate(missing, fresh, nil, 0.30, "rate_a=50", &out, &errw); code != 1 {
+	if code := gate(missing, fresh, nil, nil, 0.30, "rate_a=50", "", &out, &errw); code != 1 {
 		t.Errorf("failing floor must still fail with a missing baseline, got exit %d", code)
 	}
 
@@ -152,13 +152,87 @@ func TestGateMissingBaselineWarnsAndSkips(t *testing.T) {
 	if err := os.WriteFile(garbage, []byte("{"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code := gate(garbage, fresh, []string{"rate_a"}, 0.30, "", &out, &errw); code != 2 {
+	if code := gate(garbage, fresh, []string{"rate_a"}, nil, 0.30, "", "", &out, &errw); code != 2 {
 		t.Errorf("corrupt baseline must exit 2, got %d", code)
 	}
 
 	// And a present baseline still gates: a collapse fails.
 	baseline := writeRecord(t, dir, "baseline.json", rec(100))
-	if code := gate(baseline, fresh, []string{"rate_a"}, 0.30, "", &out, &errw); code != 1 {
+	if code := gate(baseline, fresh, []string{"rate_a"}, nil, 0.30, "", "", &out, &errw); code != 1 {
 		t.Errorf("regression with present baseline must exit 1, got %d", code)
+	}
+}
+
+func TestCompareLatLowerIsBetter(t *testing.T) {
+	base := map[string]any{"p99_ms": 100.0}
+	// 20% slower passes a 30% gate; 40% slower fails; faster always passes.
+	if _, err := compareLat(base, map[string]any{"p99_ms": 120.0}, []string{"p99_ms"}, 0.30); err != nil {
+		t.Errorf("20%% latency growth within 30%% tolerance must pass: %v", err)
+	}
+	lines, err := compareLat(base, map[string]any{"p99_ms": 140.0}, []string{"p99_ms"}, 0.30)
+	if err == nil || !strings.Contains(err.Error(), "p99_ms") {
+		t.Errorf("40%% latency growth must fail and name the field: %v", err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "REGRESSED") {
+		t.Errorf("report must mark the regression: %v", lines)
+	}
+	if _, err := compareLat(base, map[string]any{"p99_ms": 10.0}, []string{"p99_ms"}, 0.30); err != nil {
+		t.Errorf("a latency improvement must pass: %v", err)
+	}
+	// Schema drift stays loud: missing fields and non-positive baselines.
+	if _, err := compareLat(base, base, []string{"missing"}, 0.30); err == nil {
+		t.Error("missing latency field must fail")
+	}
+	if _, err := compareLat(map[string]any{"p99_ms": 0.0}, base, []string{"p99_ms"}, 0.30); err == nil {
+		t.Error("zero baseline latency must fail, not silently pass")
+	}
+}
+
+func TestCeilingsAbsoluteGate(t *testing.T) {
+	fresh := map[string]any{"ratio": 0.6}
+	ceilings, err := parseFloors("ratio=1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := checkCeilings(fresh, ceilings); err != nil {
+		t.Errorf("0.6 under a 1.0 ceiling must pass: %v", err)
+	}
+	lines, err := checkCeilings(map[string]any{"ratio": 1.4}, ceilings)
+	if err == nil || !strings.Contains(err.Error(), "ratio") {
+		t.Errorf("1.4 must breach the 1.0 ceiling: %v", err)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "ABOVE CEILING") {
+		t.Errorf("report must mark the breach: %v", lines)
+	}
+	if _, err := checkCeilings(fresh, []floor{{field: "missing", min: 1}}); err == nil {
+		t.Error("missing ceiling field must fail, not silently pass")
+	}
+}
+
+// TestGateLatAndMaxEndToEnd runs the full gate with the new flags wired:
+// latency fields against a present baseline, a ceiling against the fresh
+// record, and the missing-baseline skip applying to -lat but not -max.
+func TestGateLatAndMaxEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	base := writeRecord(t, dir, "base.json", map[string]any{"fps": 10.0, "p99_ms": 100.0, "ratio": 0.5})
+	ok := writeRecord(t, dir, "ok.json", map[string]any{"fps": 11.0, "p99_ms": 110.0, "ratio": 0.6})
+	slow := writeRecord(t, dir, "slow.json", map[string]any{"fps": 11.0, "p99_ms": 500.0, "ratio": 1.8})
+
+	var out, errw strings.Builder
+	if code := gate(base, ok, []string{"fps"}, []string{"p99_ms"}, 0.30, "", "ratio=1.0", &out, &errw); code != 0 {
+		t.Fatalf("healthy record must pass: exit %d (stderr %s)", code, errw.String())
+	}
+	if code := gate(base, slow, nil, []string{"p99_ms"}, 0.30, "", "", &out, &errw); code != 1 {
+		t.Errorf("5× latency must fail -lat: exit %d", code)
+	}
+	if code := gate(base, slow, nil, nil, 0.30, "", "ratio=1.0", &out, &errw); code != 1 {
+		t.Errorf("ratio 1.8 must fail -max ratio=1.0: exit %d", code)
+	}
+	missing := filepath.Join(dir, "nope.json")
+	if code := gate(missing, slow, nil, []string{"p99_ms"}, 0.30, "", "", &out, &errw); code != 0 {
+		t.Errorf("-lat must skip on a missing baseline: exit %d", code)
+	}
+	if code := gate(missing, slow, nil, nil, 0.30, "", "ratio=1.0", &out, &errw); code != 1 {
+		t.Errorf("-max must still gate on a missing baseline: exit %d", code)
 	}
 }

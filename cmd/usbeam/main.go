@@ -24,6 +24,7 @@
 //	datapath    B3 precision/bandwidth sweep: wide vs int16×f64 vs int16×f32 (always reduced scale)
 //	compound    B4 multi-transmit compounding sweep: transmit count × cache budget (always reduced scale)
 //	serve       B5 served frames/s + latency vs connection count, shared vs per-session delay budgets (always reduced scale)
+//	sched       B6 scheduled vs checkout serving under mixed bulk + interactive load (always reduced scale)
 //	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json + BENCH_serve.json)
 //	all         every text experiment in sequence
 //
@@ -175,6 +176,14 @@ func main() {
 		// server per point and streams multi-megabyte RF frames.
 		var r experiments.ServeResult
 		r, err = experiments.ServeLoad(experiments.ServeSpec(), *frames, []int{1, 2, 4})
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
+	case "sched":
+		// B6 likewise serves live HTTP on its own right-sized spec:
+		// scheduled vs checkout under a mixed bulk + interactive load.
+		var r experiments.SchedResult
+		r, err = experiments.SchedLoad(experiments.ServeSpec(), *frames)
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
@@ -403,7 +412,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             datapath compound serve bench all
+             datapath compound serve sched bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
        -frames N -json -cpuprofile FILE -memprofile FILE`)

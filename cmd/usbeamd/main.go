@@ -1,15 +1,18 @@
-// Command usbeamd is the long-lived beamforming daemon: it owns a
-// geometry-keyed pool of warm sessions — every session of one probe
-// geometry attached to one shared delay block store — and beamforms binary
-// RF frames POSTed to /beamform. See internal/serve.Server for the wire
-// protocol, /healthz for liveness and /stats for pool occupancy and
-// shared-cache hit rates.
+// Command usbeamd is the long-lived beamforming daemon. By default it runs
+// the per-geometry frame scheduler: one hot session per warm probe
+// geometry, incoming frames queued into priority lanes (interactive jumps
+// bulk/cine) and dispatched as fused batches that amortize delay-block
+// regeneration across the backlog. -checkout falls back to the PR 5
+// checkout pool — a warm session leased per request. See
+// internal/serve.Server for the wire protocol, /healthz for liveness and
+// /stats for occupancy, lane wait percentiles and shared-cache hit rates.
 //
 // Usage:
 //
-//	usbeamd [-addr :8642] [-max-sessions N] [-max-queue N]
-//	        [-idle-ttl 5m] [-acquire-timeout 10s] [-max-body 256MiB]
-//	        [-private-caches]
+//	usbeamd [-addr :8642] [-max-geometries N] [-max-queue N] [-max-batch N]
+//	        [-core-slots N] [-idle-ttl 5m] [-acquire-timeout 10s]
+//	        [-max-body 256MiB]
+//	usbeamd -checkout [-max-sessions N] [-max-queue N] [-private-caches] ...
 //
 // A quick exchange against a local daemon (see examples/serveclient for a
 // programmatic client):
@@ -35,23 +38,45 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8642", "listen address")
-	maxSessions := flag.Int("max-sessions", 4, "live warm sessions across all geometries")
-	maxQueue := flag.Int("max-queue", 0, "queued acquires before 503 (0 = 4× max-sessions)")
+	checkout := flag.Bool("checkout", false, "serve from the checkout pool instead of the frame scheduler")
+	maxGeometries := flag.Int("max-geometries", 4, "warm geometries the scheduler keeps hot")
+	maxSessions := flag.Int("max-sessions", 4, "checkout mode: live warm sessions across all geometries")
+	maxQueue := flag.Int("max-queue", 0, "queued frames before 503 (0 = mode default)")
+	maxBatch := flag.Int("max-batch", 4, "frames fused into one scheduler dispatch")
+	coreSlots := flag.Int("core-slots", 1, "geometries beamforming concurrently (scheduler turnstile width)")
 	idleTTL := flag.Duration("idle-ttl", 5*time.Minute, "evict geometries idle this long (0 = never)")
 	acquireTimeout := flag.Duration("acquire-timeout", 10*time.Second, "max time a request may queue for a session")
 	maxBody := flag.Int64("max-body", 256<<20, "request body byte cap")
-	privateCaches := flag.Bool("private-caches", false, "disable delay-store sharing (per-session caches; A/B baseline)")
+	privateCaches := flag.Bool("private-caches", false, "checkout mode: disable delay-store sharing (per-session caches; A/B baseline)")
 	flag.Parse()
 
-	pool := serve.NewPool(serve.PoolConfig{
-		MaxSessions:   *maxSessions,
-		MaxQueue:      *maxQueue,
-		IdleTTL:       *idleTTL,
-		PrivateCaches: *privateCaches,
-	})
-	srv, err := serve.NewServer(serve.ServerConfig{
-		Pool: pool, MaxBodyBytes: *maxBody, AcquireTimeout: *acquireTimeout,
-	})
+	var (
+		cfg   serve.ServerConfig
+		stop  func()
+		model string
+	)
+	if *checkout {
+		pool := serve.NewPool(serve.PoolConfig{
+			MaxSessions:   *maxSessions,
+			MaxQueue:      *maxQueue,
+			IdleTTL:       *idleTTL,
+			PrivateCaches: *privateCaches,
+		})
+		cfg.Pool, stop = pool, pool.Close
+		model = fmt.Sprintf("checkout pool, max %d sessions", *maxSessions)
+	} else {
+		sched := serve.NewScheduler(serve.SchedulerConfig{
+			MaxGeometries: *maxGeometries,
+			MaxQueue:      *maxQueue,
+			MaxBatch:      *maxBatch,
+			CoreSlots:     *coreSlots,
+			IdleTTL:       *idleTTL,
+		})
+		cfg.Scheduler, stop = sched, sched.Close
+		model = fmt.Sprintf("frame scheduler, max %d geometries, batch %d", *maxGeometries, *maxBatch)
+	}
+	cfg.MaxBodyBytes, cfg.AcquireTimeout = *maxBody, *acquireTimeout
+	srv, err := serve.NewServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "usbeamd:", err)
 		os.Exit(1)
@@ -70,11 +95,11 @@ func main() {
 			log.Println("usbeamd: shutdown:", err)
 		}
 	}()
-	log.Printf("usbeamd: serving on %s (max %d sessions, idle TTL %s)", *addr, *maxSessions, *idleTTL)
+	log.Printf("usbeamd: serving on %s (%s, idle TTL %s)", *addr, model, *idleTTL)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "usbeamd:", err)
 		os.Exit(1)
 	}
 	<-done
-	pool.Close()
+	stop()
 }

@@ -24,6 +24,15 @@
 // is transmit-major and identical to summing N single-transmit volumes in
 // transmit order, which keeps the compounded float64 frame bit-identical to
 // the explicit sequential sum (the compounding invariance contract).
+//
+// Frame batching (PR 6): BeamformBatch fuses K same-shape frames into one
+// worker dispatch, walking each depth slice once per transmit for the whole
+// batch — the delay block is obtained (or, when non-resident under a partial
+// cache budget, regenerated) once and applied to all K frames. Per-frame
+// results stay bit-identical to K sequential BeamformCompoundInto calls
+// because the accumulation order within each frame is unchanged; the batch
+// changes only how often delay blocks are produced, which is the serving
+// scheduler's throughput lever (amortized regeneration).
 package beamform
 
 import (
@@ -79,17 +88,20 @@ type Session struct {
 	start []chan struct{} // per-worker frame triggers
 	done  chan struct{}   // workers report job completion
 
-	// Per-frame shared state, published before the start tokens and
+	// Per-batch shared state, published before the start tokens and
 	// therefore visible to workers via the channel happens-before edge.
-	job      sessionJob
-	frameTx  [][]rf.EchoBuffer // per-transmit echo sets of the frame in flight
-	frameOut *Volume
-	narrow   bool // int16 delay blocks are exact for this frame's windows
-	useFlat  bool // accumulate through the float32 kernel this frame
+	job     sessionJob
+	batch   [][][]rf.EchoBuffer // frames in flight: [frame][transmit][element]
+	outs    []*Volume           // one destination volume per frame in flight
+	narrow  bool                // int16 delay blocks are exact for this batch's windows
+	useFlat bool                // accumulate through the float32 kernel this batch
 
-	// tx1 is the persistent single-transmit wrapper BeamformInto reuses so
-	// the steady-state frame stays allocation-free.
-	tx1 [1][]rf.EchoBuffer
+	// tx1 / batch1 / out1 are the persistent wrappers BeamformInto and
+	// BeamformCompoundInto reuse so the steady-state single frame stays
+	// allocation-free through the batched dispatch path.
+	tx1    [1][]rf.EchoBuffer
+	batch1 [1][][]rf.EchoBuffer
+	out1   [1]*Volume
 
 	// Flattened float32 echo planes: one guarded row of flatWin+1 samples
 	// per element, one plane per transmit (plane t starts at t·planeLen),
@@ -189,33 +201,40 @@ func (s *Session) worker(w int) {
 	}
 }
 
-// convertStripe flattens echo buffers of the frame into the session's
-// guarded float32 planes, striping over the (transmit, element) rows.
+// convertStripe flattens echo buffers of the batch into the session's
+// guarded float32 planes, striping over the (frame, transmit, element) rows.
+// Frame k's transmit-t plane starts at (k·T+t)·planeLen, so the accumulate
+// kernel addresses planes exactly as the single-frame path does within each
+// frame.
 func (s *Session) convertStripe(w int) {
 	stride := s.flatWin + 1
-	nElem := len(s.frameTx[0])
-	total := len(s.frameTx) * nElem
+	nTx := len(s.batch[0])
+	nElem := len(s.batch[0][0])
+	total := len(s.batch) * nTx * nElem
 	for r := w; r < total; r += s.workers {
-		t, d := r/nElem, r%nElem
-		base := t*s.planeLen + d*stride
+		k, rem := r/(nTx*nElem), r%(nTx*nElem)
+		t, d := rem/nElem, rem%nElem
+		base := (k*nTx+t)*s.planeLen + d*stride
 		row := s.flat[base : base+s.flatWin]
-		for i, v := range s.frameTx[t][d].Samples {
+		for i, v := range s.batch[k][t][d].Samples {
 			row[i] = float32(v)
 		}
 	}
 }
 
-// accumulateStripe beamforms depth slices w, w+workers, ... of the frame:
-// for each slice, every transmit's delay block is obtained in turn — a
-// narrow (or, on fallback, wide) block, resident blocks from a NappeSource
-// consumed in place — and the precision-selected kernel runs with the
-// first transmit storing and later transmits adding, compounding the
-// insonifications coherently in transmit order.
+// accumulateStripe beamforms depth slices w, w+workers, ... of the batch:
+// for each slice, every transmit's delay block is obtained once — a narrow
+// (or, on fallback, wide) block, resident blocks from a NappeSource consumed
+// in place — and the precision-selected kernel runs over every frame of the
+// batch with the first transmit storing and later transmits adding. The
+// loop nesting is slice → transmit → frame, so within each frame the
+// per-voxel accumulation order is exactly the single-frame order (the
+// batching bit-identity contract), while a non-resident block is generated
+// once per batch instead of once per frame.
 func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64) {
-	out := s.frameOut
+	nTx := len(s.bps)
 	for id := w; id < s.eng.Cfg.Vol.Depth.N; id += s.workers {
-		for t := range s.bps {
-			bufs := s.frameTx[t]
+		for t := 0; t < nTx; t++ {
 			add := t > 0
 			if !s.narrow {
 				// Wide fallback: float64 blocks end to end (PrecisionWide, or
@@ -230,7 +249,9 @@ func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64
 				} else {
 					s.bps[t].FillNappe(id, scratch)
 				}
-				s.eng.accumulateNappe(blk, bufs, id, out, add)
+				for k, frame := range s.batch {
+					s.eng.accumulateNappe(blk, frame[t], id, s.outs[k], add)
+				}
 				continue
 			}
 			blk := buf16
@@ -254,10 +275,14 @@ func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64
 				delay.Fill16(s.bps[t], id, buf16, scratch)
 			}
 			if s.useFlat {
-				plane := s.flat[t*s.planeLen : (t+1)*s.planeLen]
-				s.eng.accumulateNappe16Narrow(blk, plane, s.flatOff, s.flatWin, id, out, add)
+				for k := range s.batch {
+					plane := s.flat[(k*nTx+t)*s.planeLen : (k*nTx+t+1)*s.planeLen]
+					s.eng.accumulateNappe16Narrow(blk, plane, s.flatOff, s.flatWin, id, s.outs[k], add)
+				}
 			} else {
-				s.eng.accumulateNappe16(blk, bufs, id, out, add)
+				for k, frame := range s.batch {
+					s.eng.accumulateNappe16(blk, frame[t], id, s.outs[k], add)
+				}
 			}
 		}
 	}
@@ -325,6 +350,97 @@ func frameShape(txBufs [][]rf.EchoBuffer) (narrowOK, uniform bool, win int) {
 	return narrowOK, uniform, win
 }
 
+// BeamformBatch beamforms a batch of compound frames in one dispatch over
+// the worker pool: batch[k][t] holds the echo buffers of frame k recorded
+// after insonification t, and dsts[k] receives frame k's compounded volume.
+// The per-frame results are bit-identical to len(batch) sequential
+// BeamformCompoundInto calls — each frame's per-voxel accumulation still
+// runs store-then-add in transmit order per depth slice — while every
+// transmit's delay block is obtained once per depth slice for the whole
+// batch, so blocks outside a partial cache budget are regenerated once per
+// batch instead of once per frame. That amortization is the serving
+// scheduler's throughput lever.
+//
+// Every frame of a batch must share one shape: the same transmit count,
+// element count and window classification (frameShape), because the
+// narrow/flat datapath decisions are made once for the whole batch — and
+// must equal what each frame would decide alone, or bit-identity breaks.
+// Mixed shapes return an error; callers batching heterogeneous traffic
+// group frames by shape first. dsts must be distinct volumes carrying the
+// session's grid.
+func (s *Session) BeamformBatch(dsts []*Volume, batch [][][]rf.EchoBuffer) error {
+	if s.closed {
+		return errors.New("beamform: session is closed")
+	}
+	if len(batch) == 0 {
+		return errors.New("beamform: empty batch")
+	}
+	if len(dsts) != len(batch) {
+		return fmt.Errorf("beamform: %d destination volumes for %d frames", len(dsts), len(batch))
+	}
+	for k, dst := range dsts {
+		if dst == nil || len(dst.Data) != s.eng.Cfg.Vol.Points() {
+			return fmt.Errorf("beamform: destination volume needs %d points", s.eng.Cfg.Vol.Points())
+		}
+		if dst.Vol != s.eng.Cfg.Vol {
+			return fmt.Errorf("beamform: destination grid %v is not the session grid %v",
+				dst.Vol, s.eng.Cfg.Vol)
+		}
+		for j := 0; j < k; j++ {
+			if dsts[j] == dst {
+				return fmt.Errorf("beamform: frames %d and %d share a destination volume", j, k)
+			}
+		}
+	}
+	var narrowOK, uniform bool
+	var win int
+	for k, txBufs := range batch {
+		if len(txBufs) != len(s.bps) {
+			return fmt.Errorf("beamform: %d echo sets for %d transmits", len(txBufs), len(s.bps))
+		}
+		for t, bufs := range txBufs {
+			if len(bufs) != s.eng.Cfg.Arr.Elements() {
+				return fmt.Errorf("beamform: transmit %d has %d echo buffers for %d elements",
+					t, len(bufs), s.eng.Cfg.Arr.Elements())
+			}
+		}
+		n, u, w := frameShape(txBufs)
+		if k == 0 {
+			narrowOK, uniform, win = n, u, w
+		} else if n != narrowOK || u != uniform || w != win {
+			return fmt.Errorf("beamform: frame %d shape differs from frame 0 (a batch fuses one shape; group frames by shape)", k)
+		}
+	}
+	s.narrow = narrowOK && s.eng.Cfg.Precision != PrecisionWide
+	// The flat decision is per-frame-shape, independent of batch size, so a
+	// batched frame takes exactly the kernel it would take alone.
+	s.useFlat = s.narrow && uniform && s.eng.Cfg.Precision == PrecisionFloat32 &&
+		len(batch[0])*len(batch[0][0])*(win+1) <= math.MaxInt32 // row offsets are int32
+	s.batch, s.outs = batch, dsts
+	if s.useFlat {
+		plane := len(batch[0][0]) * (win + 1)
+		if s.flatWin != win || s.planeLen != plane {
+			// Window changed: rebuild the plane geometry.
+			s.flat = nil
+			s.flatWin, s.planeLen = win, plane
+			s.flatOff = make([]int32, len(s.eng.activeIdx))
+			for j, d := range s.eng.activeIdx {
+				s.flatOff[j] = d * int32(win+1)
+			}
+		}
+		if need := len(batch) * len(batch[0]) * plane; need > len(s.flat) {
+			// Grow only: a smaller batch reuses the larger plane set (rows
+			// never move within a plane, so guard slots stay zero).
+			s.flat = make([]float32, need)
+		}
+		s.dispatch(jobConvert)
+	}
+	s.dispatch(jobAccumulate)
+	s.batch, s.outs = nil, nil
+	s.frames.Add(int64(len(batch)))
+	return nil
+}
+
 // BeamformCompoundInto beamforms one compound frame into dst, reusing
 // dst.Data in place: txBufs[t] holds the echo buffers recorded after
 // insonification t, and the output volume is the coherent sum of the
@@ -333,52 +449,23 @@ func frameShape(txBufs [][]rf.EchoBuffer) (narrowOK, uniform bool, win int) {
 // first frame sizes any cache and, on the float32 path, the flattened echo
 // planes). dst must carry the session's volume grid.
 func (s *Session) BeamformCompoundInto(dst *Volume, txBufs [][]rf.EchoBuffer) error {
-	if s.closed {
-		return errors.New("beamform: session is closed")
-	}
-	if len(txBufs) != len(s.bps) {
-		return fmt.Errorf("beamform: %d echo sets for %d transmits", len(txBufs), len(s.bps))
-	}
-	if dst == nil || len(dst.Data) != s.eng.Cfg.Vol.Points() {
-		return fmt.Errorf("beamform: destination volume needs %d points", s.eng.Cfg.Vol.Points())
-	}
-	if dst.Vol != s.eng.Cfg.Vol {
-		return fmt.Errorf("beamform: destination grid %v is not the session grid %v",
-			dst.Vol, s.eng.Cfg.Vol)
-	}
-	for t, bufs := range txBufs {
-		if len(bufs) != s.eng.Cfg.Arr.Elements() {
-			return fmt.Errorf("beamform: transmit %d has %d echo buffers for %d elements",
-				t, len(bufs), s.eng.Cfg.Arr.Elements())
-		}
-	}
-	narrowOK, uniform, win := frameShape(txBufs)
-	s.narrow = narrowOK && s.eng.Cfg.Precision != PrecisionWide
-	s.useFlat = s.narrow && uniform && s.eng.Cfg.Precision == PrecisionFloat32 &&
-		len(txBufs)*len(txBufs[0])*(win+1) <= math.MaxInt32 // row offsets are int32
-	s.frameTx, s.frameOut = txBufs, dst
-	if s.useFlat {
-		plane := len(txBufs[0]) * (win + 1)
-		if need := len(txBufs) * plane; len(s.flat) != need || s.flatWin != win {
-			s.flat = make([]float32, need) // guard slots zero, never written
-			s.flatWin = win
-			s.planeLen = plane
-			s.flatOff = make([]int32, len(s.eng.activeIdx))
-			for j, d := range s.eng.activeIdx {
-				s.flatOff[j] = d * int32(win+1)
-			}
-		}
-		s.dispatch(jobConvert)
-	}
-	s.dispatch(jobAccumulate)
-	s.frameTx, s.frameOut = nil, nil
-	s.frames.Add(1)
-	return nil
+	s.batch1[0], s.out1[0] = txBufs, dst
+	err := s.BeamformBatch(s.out1[:], s.batch1[:])
+	s.batch1[0], s.out1[0] = nil, nil
+	return err
+}
+
+// NewVolume allocates an output volume on the session's grid — the
+// destination shape BeamformInto / BeamformBatch expect. Serving callers
+// that batch frames allocate destinations through this instead of knowing
+// the engine's volume configuration.
+func (s *Session) NewVolume() *Volume {
+	return &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
 }
 
 // BeamformCompound beamforms one compound frame into a fresh volume.
 func (s *Session) BeamformCompound(txBufs [][]rf.EchoBuffer) (*Volume, error) {
-	out := &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
+	out := s.NewVolume()
 	if err := s.BeamformCompoundInto(out, txBufs); err != nil {
 		return nil, err
 	}
@@ -403,7 +490,7 @@ func (s *Session) BeamformInto(dst *Volume, bufs []rf.EchoBuffer) error {
 
 // Beamform beamforms one frame into a freshly allocated volume.
 func (s *Session) Beamform(bufs []rf.EchoBuffer) (*Volume, error) {
-	out := &Volume{Vol: s.eng.Cfg.Vol, Data: make([]float64, s.eng.Cfg.Vol.Points())}
+	out := s.NewVolume()
 	if err := s.BeamformInto(out, bufs); err != nil {
 		return nil, err
 	}

@@ -459,3 +459,32 @@ func TestDatapathSweep(t *testing.T) {
 		t.Error("JSON record missing speedup field")
 	}
 }
+
+// TestServeBenchRecordJSONShape pins the wire names benchgate's serving
+// gates reference — a renamed field would silently skip a CI gate if the
+// record and the workflow drifted apart.
+func TestServeBenchRecordJSONShape(t *testing.T) {
+	rec := ServeBenchRecord{
+		SharedOverPrivate:           1.3,
+		SchedFramesPerSec:           9,
+		SchedOverCheckout:           1.5,
+		SchedBulkP99Ms:              1700,
+		SchedInteractiveP99Ms:       600,
+		SchedInteractiveP99OverBulk: 0.35,
+		SchedMeanBatch:              2.6,
+		SchedRows:                   []SchedRow{{Mode: "scheduled"}},
+	}
+	var buf bytes.Buffer
+	if err := rec.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"shared_over_private"`, `"sched_frames_per_sec"`, `"sched_over_checkout"`,
+		`"sched_bulk_p99_ms"`, `"sched_interactive_p99_ms"`,
+		`"sched_interactive_p99_over_bulk"`, `"sched_mean_batch"`, `"sched_rows"`,
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(key)) {
+			t.Errorf("serve record JSON lacks %s", key)
+		}
+	}
+}

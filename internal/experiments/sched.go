@@ -1,0 +1,270 @@
+// Experiment B6: scheduled vs checkout serving under a mixed workload. The
+// frame scheduler's claim is twofold. Throughput: a cine backlog through
+// one hot session dispatches as fused batches, so delay blocks outside the
+// resident prefix regenerate once per batch instead of once per frame —
+// at partial budget that amortization must beat the checkout pool, which
+// pays regeneration per request. Latency: the interactive lane preempts
+// the backlog at batch boundaries, so a live probe frame's p99 must sit
+// below the bulk p99 while the cine stream saturates the core — the
+// checkout pool, which queues FIFO for a lease, cannot make that
+// separation. B6 measures both over real HTTP loopback and feeds the
+// gated sched_* fields of BENCH_serve.json.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/serve"
+)
+
+// SchedRow is one serving-mode point of B6.
+type SchedRow struct {
+	Mode              string  `json:"mode"` // "scheduled" | "checkout"
+	BulkFramesPerSec  float64 `json:"bulk_frames_per_sec"`
+	BulkP50Ms         float64 `json:"bulk_p50_ms"`
+	BulkP99Ms         float64 `json:"bulk_p99_ms"`
+	InteractiveFrames int     `json:"interactive_frames"`
+	InteractiveP50Ms  float64 `json:"interactive_p50_ms"`
+	InteractiveP99Ms  float64 `json:"interactive_p99_ms"`
+	MeanBatch         float64 `json:"mean_batch"` // 1.0 by construction in checkout mode
+	HitRate           float64 `json:"hit_rate"`
+}
+
+// SchedResult carries experiment B6.
+type SchedResult struct {
+	Spec            string
+	FramesPerWorker int
+	BulkWorkers     int
+	BudgetBytes     int64
+	Rows            []SchedRow
+}
+
+// schedBulkWorkers is the bulk client count: twice the B5 headline
+// connection count, so in checkout mode every one of the pool's
+// serveBenchConns sessions always has a next frame waiting (a saturating
+// cine load), and in scheduled mode the single hot session always has a
+// full MaxBatch of backlog to fuse.
+const schedBulkWorkers = 2 * serveBenchConns
+
+// schedMaxBatch is the scheduled mode's fusion bound — the B6 design
+// point. With schedBulkWorkers of backlog, a bulk frame waits about two
+// batch cycles while an interactive frame waits at most the batch in
+// flight plus its own dispatch.
+const schedMaxBatch = 4
+
+// interactiveSpacing is the live-probe cadence: one frame roughly every
+// 120 ms, far below the saturating rate, so interactive latency measures
+// queueing discipline rather than the probe's own load.
+const interactiveSpacing = 120 * time.Millisecond
+
+// SchedLoad runs the B6 pair: a saturating bulk/cine load plus a paced
+// interactive probe against a freshly started server, once in scheduled
+// mode (frame scheduler, one hot session, fused batches, priority lanes)
+// and once in checkout mode (PR 5 pool, one session leased per request,
+// shared delay store). Both run the same half-table delay budget on the
+// same geometry. The spec should be ServeSpec-scale.
+func SchedLoad(s core.SystemSpec, framesPerWorker int) (SchedResult, error) {
+	res := SchedResult{Spec: s.String(), FramesPerWorker: framesPerWorker, BulkWorkers: schedBulkWorkers}
+	if framesPerWorker < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 frames per worker, got %d", framesPerWorker)
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	frame := encodeWireFrame(bufs)
+	// Quarter-table budget — tighter than B5's half-table point. B6 gates
+	// the batching amortization, so it runs the regime where per-frame
+	// regeneration dominates: three quarters of the blocks regenerate per
+	// request in checkout mode, once per fused batch in scheduled mode.
+	blockBytes := int64(s.FocalTheta*s.FocalPhi*s.Elements()) * 2
+	res.BudgetBytes = blockBytes * int64(s.FocalDepth) / 4
+
+	for _, scheduled := range []bool{true, false} {
+		row, err := schedOne(s, frame, framesPerWorker, res.BudgetBytes, scheduled)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// schedOne measures one serving mode against a live loopback server: start
+// the mode's frontend, warm the geometry with one untimed frame, then run
+// schedBulkWorkers cine clients to completion with the interactive probe
+// ticking alongside.
+func schedOne(s core.SystemSpec, frame []byte, framesPerWorker int, budget int64, scheduled bool) (SchedRow, error) {
+	row := SchedRow{Mode: "checkout", MeanBatch: 1}
+	var cfg serve.ServerConfig
+	if scheduled {
+		row.Mode = "scheduled"
+		sched := serve.NewScheduler(serve.SchedulerConfig{
+			MaxGeometries: 1,
+			MaxQueue:      4 * schedBulkWorkers,
+			MaxBatch:      schedMaxBatch,
+			CoreSlots:     1,
+		})
+		cfg.Scheduler = sched
+		defer sched.Close()
+	} else {
+		pool := serve.NewPool(serve.PoolConfig{
+			MaxSessions: serveBenchConns,
+			MaxQueue:    4 * schedBulkWorkers,
+		})
+		cfg.Pool = pool
+		defer pool.Close()
+	}
+	cfg.AcquireTimeout = time.Minute
+	srv, err := serve.NewServer(cfg)
+	if err != nil {
+		return row, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return row, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Shutdown(context.Background())
+
+	base := fmt.Sprintf("http://%s/beamform?elemx=%d&elemy=%d&ftheta=%d&fphi=%d&fdepth=%d&budget=%d&out=scanline",
+		ln.Addr(), s.ElemX, s.ElemY, s.FocalTheta, s.FocalPhi, s.FocalDepth, budget)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: schedBulkWorkers + 1}}
+	post := func(lane string) (time.Duration, error) {
+		t0 := time.Now()
+		resp, err := client.Post(base+"&lane="+lane, "application/octet-stream", bytes.NewReader(frame))
+		if err != nil {
+			return 0, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return 0, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, fmt.Errorf("%s lane %s: %s", resp.Status, lane, body)
+		}
+		if len(body) == 0 {
+			return 0, fmt.Errorf("lane %s: empty response", lane)
+		}
+		return time.Since(t0), nil
+	}
+
+	// Warm the geometry outside the timed window: session build and store
+	// warm-up are cold-start costs both modes pay identically.
+	if _, err := post("interactive"); err != nil {
+		return row, err
+	}
+
+	bulkLats := make([][]time.Duration, schedBulkWorkers)
+	errs := make([]error, schedBulkWorkers+1)
+	bulkDone := make(chan struct{})
+	var interactive []time.Duration
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the live probe: paced, latency-sensitive
+		defer wg.Done()
+		for {
+			select {
+			case <-bulkDone:
+				return
+			case <-time.After(interactiveSpacing):
+			}
+			lat, err := post("interactive")
+			if err != nil {
+				errs[schedBulkWorkers] = err
+				return
+			}
+			interactive = append(interactive, lat)
+		}
+	}()
+	start := time.Now()
+	var bulkWG sync.WaitGroup
+	for c := 0; c < schedBulkWorkers; c++ {
+		bulkWG.Add(1)
+		go func(c int) {
+			defer bulkWG.Done()
+			lats := make([]time.Duration, 0, framesPerWorker)
+			for f := 0; f < framesPerWorker; f++ {
+				lat, err := post("bulk")
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				lats = append(lats, lat)
+			}
+			bulkLats[c] = lats
+		}(c)
+	}
+	bulkWG.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(bulkDone)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return row, err
+	}
+	if cfg.Scheduler != nil {
+		st := cfg.Scheduler.Stats()
+		if st.Batches > 0 {
+			row.MeanBatch = float64(st.Fused) / float64(st.Batches)
+		}
+		for _, g := range st.Geometries {
+			row.HitRate = g.HitRate
+		}
+	} else {
+		for _, g := range cfg.Pool.Stats().Geometries {
+			row.HitRate = g.HitRate
+		}
+	}
+
+	var bulk []time.Duration
+	for _, lats := range bulkLats {
+		bulk = append(bulk, lats...)
+	}
+	sort.Slice(bulk, func(i, j int) bool { return bulk[i] < bulk[j] })
+	sort.Slice(interactive, func(i, j int) bool { return interactive[i] < interactive[j] })
+	row.BulkFramesPerSec = float64(len(bulk)) / elapsed
+	row.BulkP50Ms = quantileMs(bulk, 0.50)
+	row.BulkP99Ms = quantileMs(bulk, 0.99)
+	row.InteractiveFrames = len(interactive)
+	row.InteractiveP50Ms = quantileMs(interactive, 0.50)
+	row.InteractiveP99Ms = quantileMs(interactive, 0.99)
+	return row, nil
+}
+
+// Table renders B6.
+func (r SchedResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B6 — scheduled vs checkout serving (%d bulk workers × %d frames, %s delay budget)",
+			r.BulkWorkers, r.FramesPerWorker, report.Eng(float64(r.BudgetBytes))+"B"),
+		"mode", "bulk frames/s", "bulk p50", "bulk p99",
+		"interactive p50", "interactive p99", "mean batch", "hit rate")
+	for _, row := range r.Rows {
+		t.Add(row.Mode,
+			fmt.Sprintf("%.2f", row.BulkFramesPerSec),
+			fmt.Sprintf("%.1f ms", row.BulkP50Ms),
+			fmt.Sprintf("%.1f ms", row.BulkP99Ms),
+			fmt.Sprintf("%.1f ms", row.InteractiveP50Ms),
+			fmt.Sprintf("%.1f ms", row.InteractiveP99Ms),
+			fmt.Sprintf("%.2f", row.MeanBatch),
+			report.Pct(row.HitRate))
+	}
+	return t
+}

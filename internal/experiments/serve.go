@@ -222,11 +222,14 @@ func (r ServeResult) Table() *report.Table {
 	return t
 }
 
-// ServeBenchRecord is the machine-readable B5 snapshot `usbeam bench -json`
-// writes to BENCH_serve.json. The headline fields gate the serving claim:
-// shared_over_private at the headline connection count must stay ≥ 1 —
-// sharing the delay store never loses to splitting the budget — and
-// shared_frames_per_sec tracks the serving throughput trajectory.
+// ServeBenchRecord is the machine-readable B5+B6 snapshot `usbeam bench
+// -json` writes to BENCH_serve.json. The headline fields gate the serving
+// claims: shared_over_private at the headline connection count must stay
+// ≥ 1 — sharing the delay store never loses to splitting the budget —
+// sched_over_checkout must stay ≥ 1.25 — batched dispatch through one hot
+// session beats leasing a session per request at partial budget — and
+// sched_interactive_p99_over_bulk must stay < 1 — the interactive lane
+// actually preempts a saturating cine load.
 type ServeBenchRecord struct {
 	Spec           string  `json:"spec"`
 	GeneratedAtUTC string  `json:"generated_at_utc"`
@@ -244,6 +247,20 @@ type ServeBenchRecord struct {
 	SharedHitRate       float64 `json:"shared_hit_rate"`
 
 	Rows []ServeRow `json:"rows"`
+
+	// B6: the frame scheduler against the checkout pool under a mixed
+	// bulk + interactive load (see SchedLoad).
+	SchedBulkWorkers            int        `json:"sched_bulk_workers"`
+	SchedFramesPerSec           float64    `json:"sched_frames_per_sec"`
+	CheckoutFramesPerSec        float64    `json:"checkout_frames_per_sec"`
+	SchedOverCheckout           float64    `json:"sched_over_checkout"`
+	SchedBulkP99Ms              float64    `json:"sched_bulk_p99_ms"`
+	SchedInteractiveP99Ms       float64    `json:"sched_interactive_p99_ms"`
+	SchedInteractiveP99OverBulk float64    `json:"sched_interactive_p99_over_bulk"`
+	CheckoutBulkP99Ms           float64    `json:"checkout_bulk_p99_ms"`
+	CheckoutInteractiveP99Ms    float64    `json:"checkout_interactive_p99_ms"`
+	SchedMeanBatch              float64    `json:"sched_mean_batch"`
+	SchedRows                   []SchedRow `json:"sched_rows"`
 }
 
 // serveBenchConns is the headline connection count of the gated record.
@@ -282,6 +299,32 @@ func BenchServe(frames int) (ServeBenchRecord, error) {
 	if rec.PrivateFramesPerSec > 0 {
 		rec.SharedOverPrivate = rec.SharedFramesPerSec / rec.PrivateFramesPerSec
 	}
+
+	sched, err := SchedLoad(s, frames)
+	if err != nil {
+		return rec, err
+	}
+	rec.SchedBulkWorkers = sched.BulkWorkers
+	rec.SchedRows = sched.Rows
+	for _, row := range sched.Rows {
+		switch row.Mode {
+		case "scheduled":
+			rec.SchedFramesPerSec = row.BulkFramesPerSec
+			rec.SchedBulkP99Ms = row.BulkP99Ms
+			rec.SchedInteractiveP99Ms = row.InteractiveP99Ms
+			rec.SchedMeanBatch = row.MeanBatch
+		case "checkout":
+			rec.CheckoutFramesPerSec = row.BulkFramesPerSec
+			rec.CheckoutBulkP99Ms = row.BulkP99Ms
+			rec.CheckoutInteractiveP99Ms = row.InteractiveP99Ms
+		}
+	}
+	if rec.CheckoutFramesPerSec > 0 {
+		rec.SchedOverCheckout = rec.SchedFramesPerSec / rec.CheckoutFramesPerSec
+	}
+	if rec.SchedBulkP99Ms > 0 {
+		rec.SchedInteractiveP99OverBulk = rec.SchedInteractiveP99Ms / rec.SchedBulkP99Ms
+	}
 	return rec, nil
 }
 
@@ -302,5 +345,11 @@ func (r ServeBenchRecord) Table() *report.Table {
 	t.Add("shared / per-session", fmt.Sprintf("%.2f×", r.SharedOverPrivate))
 	t.Add("shared p99", fmt.Sprintf("%.1f ms", r.SharedP99Ms))
 	t.Add("shared hit rate", report.Pct(r.SharedHitRate))
+	t.Add("scheduled frames/s", fmt.Sprintf("%.2f", r.SchedFramesPerSec))
+	t.Add("checkout frames/s", fmt.Sprintf("%.2f", r.CheckoutFramesPerSec))
+	t.Add("scheduled / checkout", fmt.Sprintf("%.2f×", r.SchedOverCheckout))
+	t.Add("sched interactive p99", fmt.Sprintf("%.1f ms", r.SchedInteractiveP99Ms))
+	t.Add("sched bulk p99", fmt.Sprintf("%.1f ms", r.SchedBulkP99Ms))
+	t.Add("mean batch", fmt.Sprintf("%.2f", r.SchedMeanBatch))
 	return t
 }

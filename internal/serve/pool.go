@@ -8,6 +8,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,22 @@ type PoolConfig struct {
 	PrivateCaches bool
 	// Now injects a clock for tests; nil means time.Now.
 	Now func() time.Time
+	// Jitter draws the janitor's random start delay given the sweep
+	// interval; nil draws uniformly from [0, interval). The first sweep is
+	// delayed by the draw so periodic sweeps of pools and schedulers that
+	// started together (one deployment rolling out many processes) never
+	// synchronize into an eviction thundering herd. Inject a deterministic
+	// func in tests.
+	Jitter func(interval time.Duration) time.Duration
+}
+
+// startJitter is the default janitor start-delay draw: uniform over
+// [0, interval).
+func startJitter(interval time.Duration) time.Duration {
+	if interval <= 0 {
+		return 0
+	}
+	return time.Duration(rand.Int63n(int64(interval)))
 }
 
 // Pool keys warm beamform.Sessions by SessionRequest fingerprint. Acquire
@@ -142,17 +159,30 @@ func NewPool(cfg PoolConfig) *Pool {
 }
 
 // janitor sweeps at half the TTL so an idle geometry lives at most ~1.5×
-// IdleTTL.
+// IdleTTL, after a jittered start delay so sweeps never synchronize across
+// pools (modelled on the random start delay periodic agents use).
 func (p *Pool) janitor() {
 	defer close(p.janitorDone)
-	tick := time.NewTicker(p.cfg.IdleTTL / 2)
+	interval := p.cfg.IdleTTL / 2
+	jitter := p.cfg.Jitter
+	if jitter == nil {
+		jitter = startJitter
+	}
+	start := time.NewTimer(jitter(interval))
+	defer start.Stop()
+	select {
+	case <-p.janitorStop:
+		return
+	case <-start.C:
+	}
+	tick := time.NewTicker(interval)
 	defer tick.Stop()
 	for {
+		p.Sweep(p.cfg.Now())
 		select {
 		case <-p.janitorStop:
 			return
 		case <-tick.C:
-			p.Sweep(p.cfg.Now())
 		}
 	}
 }

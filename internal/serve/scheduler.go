@@ -1,0 +1,726 @@
+// Scheduler: the frame scheduler that replaces checkout-per-request
+// concurrency (PR 6). The Pool's model — N sessions of one geometry checked
+// out to N connections — makes N worker pools fight for the same cores
+// while each frame regenerates its own non-resident delay blocks. The
+// scheduler inverts the model: one hot beamform.Session per warm geometry,
+// a per-geometry frame queue in front of it, and a dispatch loop that
+// drains the queue through Session.BeamformBatch — so consecutive frames of
+// one geometry share a single pass over the depth slices and every
+// non-resident delay block is regenerated once per batch instead of once
+// per frame. Under a partial cache budget that amortization is the
+// throughput win the B6 experiment measures; the ffdas lesson (keep one
+// reconstruction pipeline saturated and feed it a queue) applied to the
+// CPU datapath.
+//
+// Two priority lanes ride the same queue: every interactive frame of a
+// geometry dispatches before any bulk frame, so a live probe view preempts
+// a cine stream at the next batch boundary — MaxBatch bounds how long a
+// bulk batch can make an interactive frame wait. A turnstile of CoreSlots
+// tokens time-slices the core budget across geometries: a dispatch loop
+// acquires a slot per batch, so one geometry's bulk backlog cannot starve
+// another geometry (batch-boundary round-robin through the slot queue).
+//
+// Results are bit-identical to the checkout model: BeamformBatch preserves
+// each frame's accumulation order, batches fuse only same-shape frames,
+// and the delay store's residency plan changes which blocks are resident,
+// never their bytes.
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/rf"
+)
+
+// SchedulerConfig sizes a Scheduler.
+type SchedulerConfig struct {
+	// MaxGeometries caps warm geometries (each holds one hot session and
+	// one delay store). A new geometry beyond the cap evicts the coldest
+	// idle one, or is refused with ErrOverloaded when all are busy. <=0
+	// defaults to 4.
+	MaxGeometries int
+	// MaxQueue bounds queued frames per geometry across both lanes; beyond
+	// it Submit refuses with ErrOverloaded. <=0 defaults to 64.
+	MaxQueue int
+	// MaxBatch caps how many consecutive same-shape, same-lane frames one
+	// dispatch fuses. It is the interactive-latency knob: an interactive
+	// frame waits at most one in-flight batch before preempting. <=0
+	// defaults to 4.
+	MaxBatch int
+	// CoreSlots is how many geometries may beamform concurrently — the
+	// time-slice width of the core budget. Sessions already parallelize
+	// internally across cores, so the default 1 (strict round-robin at
+	// batch boundaries) is right unless GOMAXPROCS far exceeds the depth
+	// count.
+	CoreSlots int
+	// IdleTTL evicts a geometry — its hot session and delay store — once
+	// nothing has used it for this long. 0 keeps geometries forever.
+	IdleTTL time.Duration
+	// PlanWeights, when set, supplies per-transmit residency weights for a
+	// new geometry's delay store (fed to delaycache.PlanWeighted). nil
+	// plans uniform cadence — every transmit fires once per compound
+	// frame — which is exactly the store's default interleaved-prefix
+	// residency; skewed per-transmit cadence is where a plan moves the
+	// hit rate.
+	PlanWeights func(req SessionRequest) []float64
+	// Now injects a clock for tests; nil means time.Now.
+	Now func() time.Time
+	// Jitter draws the janitor's random start delay from the sweep
+	// interval; nil draws uniformly from [0, interval). See PoolConfig.
+	Jitter func(interval time.Duration) time.Duration
+}
+
+// Scheduler owns one hot session per warm geometry and schedules decoded
+// frames onto them. Submit enqueues a frame and blocks until its volume is
+// beamformed (or ctx cancels); the per-geometry dispatch loops do the
+// beamforming. Close drains and tears everything down.
+type Scheduler struct {
+	cfg SchedulerConfig
+
+	mu     sync.Mutex
+	geoms  map[string]*schedGeom
+	closed bool
+
+	// slots is the core-budget turnstile: a dispatch loop holds a token
+	// for the duration of one batch. Waiting loops queue on the channel,
+	// which hands tokens out approximately FIFO — the time-slicing
+	// fairness mechanism.
+	slots chan struct{}
+
+	wg          sync.WaitGroup // dispatch loops + geometry builders
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+
+	submits   atomic.Int64
+	completed atomic.Int64
+	overloads atomic.Int64
+	evictions atomic.Int64
+	batches   atomic.Int64
+	fused     atomic.Int64 // frames dispatched through batches
+
+	batchSizes []atomic.Int64 // batchSizes[k]: batches of size k+1
+	lanes      [numLanes]laneRecorder
+}
+
+// schedGeom is one warm geometry: its hot session, store attachment and
+// two-lane frame queue.
+type schedGeom struct {
+	fp  string
+	req SessionRequest
+
+	sess  *beamform.Session
+	cache *delaycache.Cache
+
+	lanes    [numLanes][]*frameJob
+	queued   int
+	building bool // session under construction; jobs queue meanwhile
+	running  bool // dispatch loop live
+	lastUsed time.Time
+}
+
+// frameJob is one submitted frame: decoded echo sets in, volume out.
+type frameJob struct {
+	tx    [][]rf.EchoBuffer
+	lane  Lane
+	shape shapeKey
+	enq   time.Time
+
+	out  *beamform.Volume
+	err  error
+	done chan struct{}
+}
+
+// shapeKey classifies a frame for batch fusion: BeamformBatch fuses only
+// frames whose narrow/flat datapath decisions agree, so the scheduler
+// groups queued frames by this key (mirroring beamform's frameShape plus
+// the element arity).
+type shapeKey struct {
+	transmits int
+	elements  int
+	narrowOK  bool
+	uniform   bool
+	win       int
+}
+
+func frameShapeKey(tx [][]rf.EchoBuffer) shapeKey {
+	k := shapeKey{transmits: len(tx), narrowOK: true, uniform: true}
+	if len(tx) > 0 {
+		k.elements = len(tx[0])
+	}
+	first := true
+	for _, bufs := range tx {
+		for _, b := range bufs {
+			n := len(b.Samples)
+			if n > delay.MaxEchoWindow {
+				k.narrowOK = false
+			}
+			if first {
+				k.win, first = n, false
+			} else if n != k.win {
+				k.uniform = false
+			}
+		}
+	}
+	return k
+}
+
+// NewScheduler builds a scheduler and, when cfg.IdleTTL > 0, starts the
+// jittered janitor. Close the scheduler to stop it.
+func NewScheduler(cfg SchedulerConfig) *Scheduler {
+	if cfg.MaxGeometries <= 0 {
+		cfg.MaxGeometries = 4
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 4
+	}
+	if cfg.CoreSlots <= 0 {
+		cfg.CoreSlots = 1
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Scheduler{
+		cfg:        cfg,
+		geoms:      map[string]*schedGeom{},
+		slots:      make(chan struct{}, cfg.CoreSlots),
+		batchSizes: make([]atomic.Int64, cfg.MaxBatch),
+	}
+	if cfg.IdleTTL > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorDone = make(chan struct{})
+		go s.janitor()
+	}
+	return s
+}
+
+// janitor mirrors the pool's: half-TTL sweeps after a jittered start.
+func (s *Scheduler) janitor() {
+	defer close(s.janitorDone)
+	interval := s.cfg.IdleTTL / 2
+	jitter := s.cfg.Jitter
+	if jitter == nil {
+		jitter = startJitter
+	}
+	start := time.NewTimer(jitter(interval))
+	defer start.Stop()
+	select {
+	case <-s.janitorStop:
+		return
+	case <-start.C:
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		s.Sweep(s.cfg.Now())
+		select {
+		case <-s.janitorStop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// Submit enqueues one decoded frame for req's geometry on req.Lane and
+// blocks until the frame is beamformed, returning its volume. The first
+// frame of a cold geometry triggers the session build (and delay-store
+// warm plan); frames queue behind the build. A full per-geometry queue —
+// or a cold geometry beyond MaxGeometries with no evictable peer — refuses
+// with ErrOverloaded, the typed signal the HTTP layer maps to 503.
+func (s *Scheduler) Submit(ctx context.Context, req SessionRequest, tx [][]rf.EchoBuffer) (*beamform.Volume, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	lane := req.Lane
+	if lane < 0 || lane >= numLanes {
+		lane = LaneInteractive
+	}
+	job := &frameJob{
+		tx: tx, lane: lane, shape: frameShapeKey(tx),
+		enq: s.cfg.Now(), done: make(chan struct{}),
+	}
+	fp := req.Fingerprint()
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.submits.Add(1)
+	g := s.geoms[fp]
+	if g == nil {
+		if len(s.geoms) >= s.cfg.MaxGeometries && !s.evictColdestLocked() {
+			s.overloads.Add(1)
+			s.mu.Unlock()
+			return nil, ErrOverloaded
+		}
+		g = &schedGeom{fp: fp, req: req, building: true, lastUsed: s.cfg.Now()}
+		s.geoms[fp] = g
+		s.wg.Add(1)
+		go s.build(g)
+	}
+	if g.queued >= s.cfg.MaxQueue {
+		s.overloads.Add(1)
+		s.mu.Unlock()
+		return nil, ErrOverloaded
+	}
+	g.lanes[lane] = append(g.lanes[lane], job)
+	g.queued++
+	g.lastUsed = job.enq
+	if !g.building && !g.running {
+		g.running = true
+		s.wg.Add(1)
+		go s.run(g)
+	}
+	s.mu.Unlock()
+
+	select {
+	case <-job.done:
+		if job.err == nil {
+			s.completed.Add(1)
+		}
+		return job.out, job.err
+	case <-ctx.Done():
+		s.mu.Lock()
+		if s.removeJobLocked(g, job) {
+			s.mu.Unlock()
+			return nil, ctx.Err()
+		}
+		s.mu.Unlock()
+		// The job is already in a dispatching batch; its result arrives
+		// regardless, the caller just stops waiting for it.
+		<-job.done
+		return nil, ctx.Err()
+	}
+}
+
+// removeJobLocked unlinks a cancelled job from its lane queue; false means
+// the job was already taken by a batch. Caller holds the lock.
+func (s *Scheduler) removeJobLocked(g *schedGeom, job *frameJob) bool {
+	q := g.lanes[job.lane]
+	for i, j := range q {
+		if j == job {
+			g.lanes[job.lane] = append(q[:i], q[i+1:]...)
+			g.queued--
+			return true
+		}
+	}
+	return false
+}
+
+// build constructs the geometry's hot session (first Submit of a cold
+// fingerprint runs it in its own goroutine; frames queue meanwhile). A
+// cached request gets a delay store planned by PlanWeights — the
+// compound-aware budget plan — before any frame touches it.
+func (s *Scheduler) build(g *schedGeom) {
+	defer s.wg.Done()
+	sess, cache, err := g.req.Spec.NewSessionConfig(g.req.Config, g.req.Arch.NewProvider(g.req.Spec))
+	if err == nil && cache != nil {
+		s.planStore(cache.Shared(), g.req)
+	}
+
+	s.mu.Lock()
+	g.building = false
+	if err != nil || s.closed {
+		jobs := s.drainLocked(g)
+		delete(s.geoms, g.fp)
+		s.mu.Unlock()
+		if err == nil { // built into a closing scheduler: tear it back down
+			destroySession(sess, cache)
+			err = ErrClosed
+		}
+		for _, j := range jobs {
+			j.err = err
+			close(j.done)
+		}
+		return
+	}
+	g.sess, g.cache = sess, cache
+	if g.queued > 0 && !g.running {
+		g.running = true
+		s.wg.Add(1)
+		go s.run(g)
+	}
+	s.mu.Unlock()
+}
+
+// planStore installs the per-transmit residency plan on a geometry's
+// store. With no PlanWeights hook the cadence is uniform — every transmit
+// once per compound frame — and the weighted plan collapses to the store's
+// default interleaved prefix (delaycache.PlanUniform), so planning is a
+// no-op exactly when the default is already optimal.
+func (s *Scheduler) planStore(store *delaycache.Shared, req SessionRequest) {
+	if store == nil || store.FullResidency() {
+		return
+	}
+	var weights []float64
+	if s.cfg.PlanWeights != nil {
+		weights = s.cfg.PlanWeights(req)
+	}
+	if len(weights) != store.Transmits() {
+		weights = make([]float64, store.Transmits())
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	// Quotas computed from demand can only be invalid if PlanWeights
+	// returned garbage arity (handled above), so the error is impossible
+	// by construction; ignore defensively rather than fail the build.
+	_ = store.Plan(delaycache.PlanWeighted(store.ResidentBlocks(), store.Depths(), weights))
+}
+
+// run is a geometry's dispatch loop: acquire a core slot, take the next
+// batch (interactive lane first), beamform it, release the slot; exit when
+// the queue drains. Demand respawns the loop on the next Submit.
+func (s *Scheduler) run(g *schedGeom) {
+	defer s.wg.Done()
+	for {
+		s.slots <- struct{}{} // turnstile: one batch per turn
+		s.mu.Lock()
+		batch := s.takeBatchLocked(g)
+		if batch == nil {
+			g.running = false
+			g.lastUsed = s.cfg.Now()
+			s.mu.Unlock()
+			<-s.slots
+			return
+		}
+		s.mu.Unlock()
+		s.dispatch(g, batch)
+		<-s.slots
+	}
+}
+
+// takeBatchLocked removes the next batch from g's queues: the interactive
+// lane always first — that is the whole preemption mechanism — then bulk;
+// within a lane, up to MaxBatch consecutive frames of one shape (the
+// fusion precondition of Session.BeamformBatch). Caller holds the lock.
+func (s *Scheduler) takeBatchLocked(g *schedGeom) []*frameJob {
+	for lane := Lane(0); lane < numLanes; lane++ {
+		q := g.lanes[lane]
+		if len(q) == 0 {
+			continue
+		}
+		n := 1
+		for n < len(q) && n < s.cfg.MaxBatch && q[n].shape == q[0].shape {
+			n++
+		}
+		batch := q[:n:n]
+		if n == len(q) {
+			g.lanes[lane] = nil
+		} else {
+			g.lanes[lane] = q[n:]
+		}
+		g.queued -= n
+		return batch
+	}
+	return nil
+}
+
+// dispatch beamforms one batch through the geometry's hot session and
+// completes its jobs. A batch error fails every job in it (the session
+// rejects malformed frames before touching any output).
+func (s *Scheduler) dispatch(g *schedGeom, batch []*frameJob) {
+	start := s.cfg.Now()
+	outs := make([]*beamform.Volume, len(batch))
+	frames := make([][][]rf.EchoBuffer, len(batch))
+	for i, j := range batch {
+		outs[i] = g.sess.NewVolume()
+		frames[i] = j.tx
+		s.lanes[j.lane].observe(start.Sub(j.enq))
+	}
+	err := g.sess.BeamformBatch(outs, frames)
+
+	s.batches.Add(1)
+	s.fused.Add(int64(len(batch)))
+	if k := len(batch) - 1; k < len(s.batchSizes) {
+		s.batchSizes[k].Add(1)
+	}
+	s.mu.Lock()
+	g.lastUsed = s.cfg.Now()
+	s.mu.Unlock()
+
+	for i, j := range batch {
+		if err != nil {
+			j.err = err
+		} else {
+			j.out = outs[i]
+		}
+		close(j.done)
+	}
+}
+
+// drainLocked empties both lanes of g, returning the orphaned jobs for the
+// caller to fail outside the lock. Caller holds the lock.
+func (s *Scheduler) drainLocked(g *schedGeom) []*frameJob {
+	var jobs []*frameJob
+	for lane := range g.lanes {
+		jobs = append(jobs, g.lanes[lane]...)
+		g.lanes[lane] = nil
+	}
+	g.queued = 0
+	return jobs
+}
+
+// evictColdestLocked retires the least-recently-used fully idle geometry
+// to make room for a new one; false means every geometry is building,
+// dispatching or has queued frames. Caller holds the lock; teardown of the
+// evicted session is deferred to a goroutine (it joins s.wg so Close still
+// waits for it).
+func (s *Scheduler) evictColdestLocked() bool {
+	var coldest *schedGeom
+	for _, g := range s.geoms {
+		if g.building || g.running || g.queued > 0 {
+			continue
+		}
+		if coldest == nil || g.lastUsed.Before(coldest.lastUsed) {
+			coldest = g
+		}
+	}
+	if coldest == nil {
+		return false
+	}
+	delete(s.geoms, coldest.fp)
+	s.evictions.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		destroySession(coldest.sess, coldest.cache)
+	}()
+	return true
+}
+
+// destroySession tears down a hot session and its store attachment,
+// evicting the store's blocks (last attachment out drops the geometry's
+// whole delay working set).
+func destroySession(sess *beamform.Session, cache *delaycache.Cache) {
+	if sess != nil {
+		sess.Close()
+	}
+	if cache != nil {
+		store := cache.Shared()
+		cache.Detach()
+		if store != nil && store.Attachments() == 0 {
+			store.Evict()
+		}
+	}
+}
+
+// Sweep evicts every geometry that is fully idle — no queue, no dispatch
+// loop, no build — and unused for at least IdleTTL. The janitor calls this
+// on its jittered timer; tests call it directly with a synthetic clock.
+func (s *Scheduler) Sweep(now time.Time) {
+	if s.cfg.IdleTTL <= 0 {
+		return
+	}
+	var doomed []*schedGeom
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	for fp, g := range s.geoms {
+		if g.building || g.running || g.queued > 0 || now.Sub(g.lastUsed) < s.cfg.IdleTTL {
+			continue
+		}
+		delete(s.geoms, fp)
+		s.evictions.Add(1)
+		doomed = append(doomed, g)
+	}
+	s.mu.Unlock()
+	for _, g := range doomed {
+		destroySession(g.sess, g.cache)
+	}
+}
+
+// Close shuts the scheduler down: queued frames fail with ErrClosed,
+// in-flight batches finish, dispatch loops and builders join, then every
+// hot session closes and every store evicts. Close is idempotent.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	var orphans []*frameJob
+	for _, g := range s.geoms {
+		orphans = append(orphans, s.drainLocked(g)...)
+	}
+	s.mu.Unlock()
+	for _, j := range orphans {
+		j.err = ErrClosed
+		close(j.done)
+	}
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		<-s.janitorDone
+	}
+	s.wg.Wait()
+	s.mu.Lock()
+	geoms := s.geoms
+	s.geoms = map[string]*schedGeom{}
+	s.mu.Unlock()
+	for _, g := range geoms {
+		destroySession(g.sess, g.cache)
+	}
+}
+
+// laneRecorder keeps a ring of recent queue-wait samples per lane — enough
+// for stable p50/p99 in /stats without unbounded memory.
+type laneRecorder struct {
+	mu         sync.Mutex
+	waits      [512]float64 // milliseconds
+	n          int          // filled entries
+	next       int
+	dispatched int64
+}
+
+func (r *laneRecorder) observe(wait time.Duration) {
+	ms := float64(wait) / float64(time.Millisecond)
+	r.mu.Lock()
+	r.waits[r.next] = ms
+	r.next = (r.next + 1) % len(r.waits)
+	if r.n < len(r.waits) {
+		r.n++
+	}
+	r.dispatched++
+	r.mu.Unlock()
+}
+
+// quantiles returns dispatch count and wait p50/p99 over the retained
+// window.
+func (r *laneRecorder) quantiles() (dispatched int64, p50, p99 float64) {
+	r.mu.Lock()
+	dispatched = r.dispatched
+	sorted := append([]float64(nil), r.waits[:r.n]...)
+	r.mu.Unlock()
+	if len(sorted) == 0 {
+		return dispatched, 0, 0
+	}
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return sorted[i]
+	}
+	return dispatched, at(0.50), at(0.99)
+}
+
+// LaneStats is one priority lane's row of SchedulerStats: live queue depth
+// plus wait-time percentiles over the recent dispatch window.
+type LaneStats struct {
+	Queued     int     `json:"queued"`
+	Dispatched int64   `json:"dispatched"`
+	WaitP50Ms  float64 `json:"wait_p50_ms"`
+	WaitP99Ms  float64 `json:"wait_p99_ms"`
+}
+
+// SchedGeometryStats is one warm geometry's row of SchedulerStats.
+type SchedGeometryStats struct {
+	Fingerprint string            `json:"fingerprint"`
+	Spec        string            `json:"spec"`
+	Arch        string            `json:"arch"`
+	Frames      int64             `json:"frames"`
+	Queued      int               `json:"queued"`
+	Building    bool              `json:"building,omitempty"`
+	IdleForSec  float64           `json:"idle_for_sec"`
+	HitRate     float64           `json:"cache_hit_rate"`
+	Plan        []int             `json:"plan,omitempty"` // per-transmit residency quotas
+	Cache       *delaycache.Stats `json:"cache,omitempty"`
+}
+
+// SchedulerStats snapshots the scheduler for /stats: queue depths,
+// per-lane wait percentiles and batch-size counters — the observability
+// the batching and preemption claims are checked against.
+type SchedulerStats struct {
+	MaxGeometries int `json:"max_geometries"`
+	MaxQueue      int `json:"max_queue"`
+	MaxBatch      int `json:"max_batch"`
+	CoreSlots     int `json:"core_slots"`
+
+	GeometriesLive int `json:"geometries_live"`
+	Queued         int `json:"queued"`
+
+	Submits   int64 `json:"submits"`
+	Completed int64 `json:"completed"`
+	Overloads int64 `json:"overloads"`
+	Evictions int64 `json:"evictions"`
+	Batches   int64 `json:"batches"`
+	Fused     int64 `json:"batched_frames"`
+
+	// BatchSizeCounts[k] counts dispatched batches of k+1 frames; the mass
+	// above index 0 is the amortization actually realized.
+	BatchSizeCounts []int64              `json:"batch_size_counts"`
+	Lanes           map[string]LaneStats `json:"lanes"`
+	Geometries      []SchedGeometryStats `json:"geometries"`
+}
+
+// Stats snapshots the scheduler. Like the pool's, it is safe against
+// in-flight dispatches: frame and cache counters are atomic.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := SchedulerStats{
+		MaxGeometries:   s.cfg.MaxGeometries,
+		MaxQueue:        s.cfg.MaxQueue,
+		MaxBatch:        s.cfg.MaxBatch,
+		CoreSlots:       s.cfg.CoreSlots,
+		Submits:         s.submits.Load(),
+		Completed:       s.completed.Load(),
+		Overloads:       s.overloads.Load(),
+		Evictions:       s.evictions.Load(),
+		Batches:         s.batches.Load(),
+		Fused:           s.fused.Load(),
+		BatchSizeCounts: make([]int64, len(s.batchSizes)),
+		Lanes:           map[string]LaneStats{},
+	}
+	for k := range s.batchSizes {
+		st.BatchSizeCounts[k] = s.batchSizes[k].Load()
+	}
+	laneQueued := [numLanes]int{}
+	s.mu.Lock()
+	st.GeometriesLive = len(s.geoms)
+	for _, g := range s.geoms {
+		gs := SchedGeometryStats{
+			Fingerprint: g.fp,
+			Spec:        g.req.Spec.String(),
+			Arch:        g.req.Arch.String(),
+			Queued:      g.queued,
+			Building:    g.building,
+			IdleForSec:  s.cfg.Now().Sub(g.lastUsed).Seconds(),
+		}
+		if g.sess != nil {
+			gs.Frames = g.sess.Frames()
+		}
+		if g.cache != nil {
+			store := g.cache.Shared()
+			cs := store.Stats()
+			gs.Cache = &cs
+			gs.HitRate = cs.HitRate()
+			gs.Plan = store.PlanQuota()
+		}
+		for lane := range g.lanes {
+			laneQueued[lane] += len(g.lanes[lane])
+		}
+		st.Queued += g.queued
+		st.Geometries = append(st.Geometries, gs)
+	}
+	s.mu.Unlock()
+	for lane := Lane(0); lane < numLanes; lane++ {
+		dispatched, p50, p99 := s.lanes[lane].quantiles()
+		st.Lanes[lane.String()] = LaneStats{
+			Queued:     laneQueued[lane],
+			Dispatched: dispatched,
+			WaitP50Ms:  p50,
+			WaitP99Ms:  p99,
+		}
+	}
+	return st
+}

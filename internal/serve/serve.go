@@ -83,14 +83,62 @@ func (a Arch) NewProvider(spec core.SystemSpec) delay.Provider {
 	}
 }
 
+// Lane is a request's scheduling priority class. Lanes are a scheduler
+// concept: the frame scheduler drains every interactive frame of a
+// geometry before touching its bulk backlog, so a single live probe frame
+// jumps ahead of a cine stream instead of queueing behind it.
+type Lane int
+
+const (
+	// LaneInteractive is the default: latency-sensitive single frames
+	// (live probe view, tele-ultrasound interaction) that preempt bulk
+	// work at the next batch boundary.
+	LaneInteractive Lane = iota
+	// LaneBulk marks throughput traffic — cine sequences, reprocessing —
+	// that the scheduler batches aggressively and runs when no
+	// interactive frame is waiting.
+	LaneBulk
+
+	numLanes = 2
+)
+
+func (l Lane) String() string {
+	switch l {
+	case LaneInteractive:
+		return "interactive"
+	case LaneBulk:
+		return "bulk"
+	}
+	return fmt.Sprintf("Lane(%d)", int(l))
+}
+
+// ParseLane parses a lane name — the parser behind the X-Ultrabeam-Lane
+// header and the lane= parameter. Empty means interactive; "cine" is an
+// alias for bulk.
+func ParseLane(name string) (Lane, error) {
+	switch strings.ToLower(name) {
+	case "", "interactive":
+		return LaneInteractive, nil
+	case "bulk", "cine":
+		return LaneBulk, nil
+	}
+	return LaneInteractive, fmt.Errorf("serve: unknown lane %q (want interactive|bulk)", name)
+}
+
 // SessionRequest is everything that determines whether two requests can
 // share a warm session: the Table I geometry, the session datapath
 // configuration and the delay architecture. Config.SharedCache must be nil
 // — attaching to stores is the pool's job.
+//
+// Lane is a scheduling hint, not part of the geometry: it is deliberately
+// excluded from Fingerprint so interactive and bulk traffic of one probe
+// share the same warm session and delay store — the whole point of lanes
+// is two priorities over one hot pipeline, not two pipelines.
 type SessionRequest struct {
 	Spec   core.SystemSpec
 	Config core.SessionConfig
 	Arch   Arch
+	Lane   Lane
 }
 
 // Fingerprint canonically encodes the request: two requests map to the same

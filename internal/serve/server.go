@@ -1,9 +1,12 @@
-// Server: the RF-over-HTTP face of the pool. A frame of raw echo samples
-// is POSTed as binary little-endian float64 (or one multipart part per
-// transmit for compounding), a warm session is checked out of the pool by
-// geometry fingerprint, and the beamformed volume — or one scanline of it —
+// Server: the RF-over-HTTP face of the pool or the frame scheduler. A
+// frame of raw echo samples is POSTed as binary little-endian float64 (or
+// one multipart part per transmit for compounding), routed to a warm
+// session by geometry fingerprint — leased per request in checkout mode,
+// queued into a priority lane and dispatched as part of a fused batch in
+// scheduled mode — and the beamformed volume (or one scanline of it)
 // streams back as binary float64. /healthz answers liveness probes and
-// /stats exposes the pool occupancy and shared-cache hit rates.
+// /stats exposes occupancy, lane wait percentiles and shared-cache hit
+// rates.
 package serve
 
 import (
@@ -29,8 +32,13 @@ import (
 
 // ServerConfig assembles a Server.
 type ServerConfig struct {
-	// Pool serves the sessions. Required.
+	// Pool serves the sessions in checkout mode: one warm session leased
+	// per request. Exactly one of Pool and Scheduler must be set.
 	Pool *Pool
+	// Scheduler serves the sessions in scheduled mode: one hot session per
+	// geometry, requests queued into per-geometry lanes and dispatched as
+	// fused batches. The serving default since PR 6.
+	Scheduler *Scheduler
 	// MaxBodyBytes caps one request body (all transmits together).
 	// <=0 defaults to 256 MiB — a paper-scale frame is 10 000 elements ×
 	// ~8500 samples × 8 B ≈ 650 MiB, so paper-scale serving raises this.
@@ -60,6 +68,11 @@ type ServerConfig struct {
 //	                     multipart/form-data with N parts named "transmit"
 //	out=volume|scanline  response payload (default volume)
 //	theta,phi            scanline grid indices (default volume center)
+//	lane=interactive|bulk   scheduling priority (scheduled mode; default
+//	                     interactive, "cine" aliases bulk). The
+//	                     X-Ultrabeam-Lane header takes precedence over the
+//	                     parameter, so a proxy can reclassify traffic
+//	                     without rewriting URLs.
 //
 // The body is len(elements)·window·8 bytes of little-endian float64 echo
 // samples, element-major in the xdcr.Array row order (ej·NX+ei); the
@@ -70,10 +83,13 @@ type Server struct {
 	mux *http.ServeMux
 }
 
-// NewServer wires the handler tree over the pool.
+// NewServer wires the handler tree over the pool or the scheduler.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Pool == nil {
-		return nil, errors.New("serve: ServerConfig.Pool is required")
+	if cfg.Pool == nil && cfg.Scheduler == nil {
+		return nil, errors.New("serve: ServerConfig needs a Pool or a Scheduler")
+	}
+	if cfg.Pool != nil && cfg.Scheduler != nil {
+		return nil, errors.New("serve: ServerConfig.Pool and Scheduler are exclusive (one serving mode per server)")
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 256 << 20
@@ -100,7 +116,13 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(s.cfg.Pool.Stats()); err != nil {
+	var stats any
+	if s.cfg.Scheduler != nil {
+		stats = s.cfg.Scheduler.Stats()
+	} else {
+		stats = s.cfg.Pool.Stats()
+	}
+	if err := enc.Encode(stats); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -186,6 +208,14 @@ func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip in
 			cfg.Transmits = delayAxialSet(n, spec)
 		}
 	}
+	laneName := r.Header.Get("X-Ultrabeam-Lane")
+	if laneName == "" {
+		laneName = q.Get("lane")
+	}
+	lane, lerr := ParseLane(laneName)
+	if lerr != nil {
+		return req, false, 0, 0, badRequest("%v", lerr)
+	}
 	it, ip = spec.FocalTheta/2, spec.FocalPhi/2
 	switch q.Get("out") {
 	case "", "volume":
@@ -207,7 +237,7 @@ func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip in
 	default:
 		return req, false, 0, 0, badRequest("unknown out %q (want volume|scanline)", q.Get("out"))
 	}
-	return SessionRequest{Spec: spec, Config: cfg, Arch: arch}, scanline, it, ip, nil
+	return SessionRequest{Spec: spec, Config: cfg, Arch: arch, Lane: lane}, scanline, it, ip, nil
 }
 
 // readFrame decodes one transmit's echo plane: elements·win little-endian
@@ -307,20 +337,31 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AcquireTimeout)
 	defer cancel()
-	lease, err := s.cfg.Pool.Acquire(ctx, req)
-	if err != nil {
-		writeError(w, err)
-		return
-	}
-	vol, err := lease.Session.BeamformCompound(txBufs)
-	// The volume is freshly allocated, so the session is done the moment
-	// BeamformCompound returns: release before encoding and writing the
-	// response, or a slow-reading client would pin a warm slot through a
-	// multi-megabyte network write doing no beamforming.
-	lease.Release()
-	if err != nil {
-		writeError(w, err)
-		return
+	var vol *beamform.Volume
+	if s.cfg.Scheduler != nil {
+		// Scheduled mode: the frame joins its geometry's lane queue and
+		// comes back as a freshly allocated volume once its batch runs.
+		vol, err = s.cfg.Scheduler.Submit(ctx, req, txBufs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+	} else {
+		lease, lerr := s.cfg.Pool.Acquire(ctx, req)
+		if lerr != nil {
+			writeError(w, lerr)
+			return
+		}
+		vol, err = lease.Session.BeamformCompound(txBufs)
+		// The volume is freshly allocated, so the session is done the moment
+		// BeamformCompound returns: release before encoding and writing the
+		// response, or a slow-reading client would pin a warm slot through a
+		// multi-megabyte network write doing no beamforming.
+		lease.Release()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
 	}
 	data := vol.Data
 	if scanline {

@@ -342,3 +342,168 @@ func TestServerOversizedBodyIs413(t *testing.T) {
 		t.Fatalf("oversized body: status %d, want 413", resp.StatusCode)
 	}
 }
+
+func newSchedTestServer(t *testing.T, sc SchedulerConfig) (*httptest.Server, *Scheduler) {
+	t.Helper()
+	sched := NewScheduler(sc)
+	t.Cleanup(sched.Close)
+	srv, err := NewServer(ServerConfig{Scheduler: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, sched
+}
+
+// TestServerScheduledBitIdentity: the scheduled serving mode returns the
+// same bytes as a direct session — batching and lanes change when a frame
+// runs, never what it computes — and the lane routing is wire-visible:
+// the X-Ultrabeam-Lane header wins over the lane= parameter, and both land
+// in the per-lane dispatch counters.
+func TestServerScheduledBitIdentity(t *testing.T) {
+	ts, sched := newSchedTestServer(t, SchedulerConfig{MaxBatch: 4})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+
+	req := tinyRequest()
+	req.Spec = spec
+	solo, _, err := spec.NewSessionConfig(req.Config, req.Arch.NewProvider(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solo.Beamform(bufs)
+	solo.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	post := func(query string, lane string) *http.Response {
+		t.Helper()
+		hr, err := http.NewRequest(http.MethodPost, ts.URL+"/beamform?"+query,
+			bytes.NewReader(encodeFrame(bufs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Header.Set("Content-Type", "application/octet-stream")
+		if lane != "" {
+			hr.Header.Set("X-Ultrabeam-Lane", lane)
+		}
+		resp, err := http.DefaultClient.Do(hr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	resp := post(tinyQuery(nil), "")
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scheduled beamform: %s: %s", resp.Status, body)
+	}
+	vol := decodeFloats(t, body)
+	for i := range ref.Data {
+		if vol[i] != ref.Data[i] {
+			t.Fatalf("scheduled volume differs from direct session at %d", i)
+		}
+	}
+
+	// lane= parameter routes to bulk; the header overrides it back the
+	// other way ("cine" aliasing bulk exercises the alias on the wire).
+	resp2 := post(tinyQuery(url.Values{"lane": {"bulk"}}), "")
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	resp3 := post(tinyQuery(url.Values{"lane": {"interactive"}}), "cine")
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp2.StatusCode != http.StatusOK || resp3.StatusCode != http.StatusOK {
+		t.Fatalf("lane posts: %s / %s", resp2.Status, resp3.Status)
+	}
+
+	st := sched.Stats()
+	if st.Completed != 3 || st.GeometriesLive != 1 {
+		t.Fatalf("scheduler after three requests: completed=%d live=%d", st.Completed, st.GeometriesLive)
+	}
+	if n := st.Lanes["interactive"].Dispatched; n != 1 {
+		t.Errorf("interactive dispatched = %d, want 1", n)
+	}
+	if n := st.Lanes["bulk"].Dispatched; n != 2 {
+		t.Errorf("bulk dispatched = %d, want 2 (lane param + header override)", n)
+	}
+
+	// Bad lane names are a client error.
+	resp4 := post(tinyQuery(url.Values{"lane": {"express"}}), "")
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad lane: status %d, want 400", resp4.StatusCode)
+	}
+}
+
+// TestServerScheduledStats scrapes /stats in scheduled mode: the JSON must
+// carry the scheduler shape — lane wait percentiles, batch-size counters,
+// queue depth — that the CI smoke test greps for.
+func TestServerScheduledStats(t *testing.T) {
+	ts, _ := newSchedTestServer(t, SchedulerConfig{MaxBatch: 4})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+	resp, err := http.Post(ts.URL+"/beamform?"+tinyQuery(nil),
+		"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("beamform: %s", resp.Status)
+	}
+
+	sresp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	raw, _ := io.ReadAll(sresp.Body)
+	var st SchedulerStats
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("stats decode: %v\n%s", err, raw)
+	}
+	if st.Completed != 1 || st.GeometriesLive != 1 || st.Batches != 1 {
+		t.Fatalf("scheduler stats: %s", raw)
+	}
+	lane, ok := st.Lanes["interactive"]
+	if !ok || lane.Dispatched != 1 {
+		t.Errorf("interactive lane stats missing: %s", raw)
+	}
+	if lane.WaitP99Ms < 0 {
+		t.Errorf("negative wait percentile: %+v", lane)
+	}
+	if len(st.BatchSizeCounts) != 4 || st.BatchSizeCounts[0] != 1 {
+		t.Errorf("batch size counters: %v", st.BatchSizeCounts)
+	}
+	if len(st.Geometries) != 1 || st.Geometries[0].Frames != 1 {
+		t.Errorf("geometry stats: %s", raw)
+	}
+	for _, key := range []string{`"lanes"`, `"batch_size_counts"`, `"queued"`} {
+		if !bytes.Contains(raw, []byte(key)) {
+			t.Errorf("stats JSON lacks %s:\n%s", key, raw)
+		}
+	}
+}
+
+// TestServerConfigModeExclusive: a server is one serving mode, never both.
+func TestServerConfigModeExclusive(t *testing.T) {
+	if _, err := NewServer(ServerConfig{}); err == nil {
+		t.Error("serverless server config accepted")
+	}
+	p := NewPool(PoolConfig{MaxSessions: 1})
+	defer p.Close()
+	s := NewScheduler(SchedulerConfig{})
+	defer s.Close()
+	if _, err := NewServer(ServerConfig{Pool: p, Scheduler: s}); err == nil {
+		t.Error("pool+scheduler config accepted")
+	}
+}
