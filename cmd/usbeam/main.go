@@ -25,6 +25,7 @@
 //	compound    B4 multi-transmit compounding sweep: transmit count × cache budget (always reduced scale)
 //	serve       B5 served frames/s + latency vs connection count, shared vs per-session delay budgets (always reduced scale)
 //	sched       B6 scheduled vs checkout serving under mixed bulk + interactive load (always reduced scale)
+//	wire        B7 transport comparison: legacy f64 POST vs i16 wire frames vs the persistent i16 stream (always reduced scale)
 //	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json + BENCH_serve.json)
 //	all         every text experiment in sequence
 //
@@ -184,6 +185,15 @@ func main() {
 		// scheduled vs checkout under a mixed bulk + interactive load.
 		var r experiments.SchedResult
 		r, err = experiments.SchedLoad(experiments.ServeSpec(), *frames)
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
+	case "wire":
+		// B7 compares the request transports over live loopback: the legacy
+		// whole-frame f64 POST against ADC-native i16 wire frames, posted
+		// and streamed, on the float32 session.
+		var r experiments.WireResult
+		r, err = experiments.WireLoad(experiments.ServeSpec(), *frames)
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
@@ -412,7 +422,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             datapath compound serve sched bench all
+             datapath compound serve sched wire bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
        -frames N -json -cpuprofile FILE -memprofile FILE`)

@@ -9,16 +9,22 @@
 //
 // Usage:
 //
-//	usbeamd [-addr :8642] [-max-geometries N] [-max-queue N] [-max-batch N]
-//	        [-core-slots N] [-idle-ttl 5m] [-acquire-timeout 10s]
-//	        [-max-body 256MiB]
+//	usbeamd [-addr :8642] [-stream-addr :8643] [-max-geometries N]
+//	        [-max-queue N] [-max-batch N] [-core-slots N] [-idle-ttl 5m]
+//	        [-acquire-timeout 10s] [-max-body 256MiB]
 //	usbeamd -checkout [-max-sessions N] [-max-queue N] [-private-caches] ...
+//
+// -stream-addr additionally listens for the persistent cine stream
+// transport (scheduler mode only): one TCP connection per probe, wire
+// frames in, volumes out, no per-frame HTTP overhead. See
+// internal/serve.Server.ServeStream for the protocol.
 //
 // A quick exchange against a local daemon (see examples/serveclient for a
 // programmatic client):
 //
-//	usbeamd -addr :8642 &
-//	go run ./examples/serveclient -addr localhost:8642
+//	usbeamd -addr :8642 -stream-addr :8643 &
+//	go run ./examples/serveclient -addr localhost:8642 -wire i16
+//	go run ./examples/serveclient -stream localhost:8643 -wire i16 -frames 8
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
@@ -38,6 +46,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8642", "listen address")
+	streamAddr := flag.String("stream-addr", "", "also listen for the persistent cine stream transport on this TCP address (scheduler mode only)")
 	checkout := flag.Bool("checkout", false, "serve from the checkout pool instead of the frame scheduler")
 	maxGeometries := flag.Int("max-geometries", 4, "warm geometries the scheduler keeps hot")
 	maxSessions := flag.Int("max-sessions", 4, "checkout mode: live warm sessions across all geometries")
@@ -82,6 +91,32 @@ func main() {
 		os.Exit(1)
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	// The stream transport shares the scheduler with HTTP: same lanes, same
+	// fused batches, same /stats counters.
+	streamCtx, streamCancel := context.WithCancel(context.Background())
+	var streamWG sync.WaitGroup
+	var streamLn net.Listener
+	if *streamAddr != "" {
+		if *checkout {
+			fmt.Fprintln(os.Stderr, "usbeamd: -stream-addr needs scheduler mode (drop -checkout)")
+			os.Exit(1)
+		}
+		streamLn, err = net.Listen("tcp", *streamAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "usbeamd:", err)
+			os.Exit(1)
+		}
+		streamWG.Add(1)
+		go func() {
+			defer streamWG.Done()
+			if err := srv.ServeStream(streamCtx, streamLn); err != nil {
+				log.Println("usbeamd: stream:", err)
+			}
+		}()
+		log.Printf("usbeamd: cine stream transport on %s", *streamAddr)
+	}
+
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -89,6 +124,10 @@ func main() {
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
 		log.Println("usbeamd: shutting down")
+		if streamLn != nil {
+			streamCancel()
+			streamLn.Close()
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := hs.Shutdown(ctx); err != nil {
@@ -101,5 +140,7 @@ func main() {
 		os.Exit(1)
 	}
 	<-done
+	streamCancel()
+	streamWG.Wait()
 	stop()
 }

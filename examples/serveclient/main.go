@@ -1,12 +1,19 @@
 // Serveclient: a minimal client for a running usbeamd. It synthesizes one
-// RF frame of a point scatterer on the reduced-scale geometry, POSTs it to
-// the daemon as binary little-endian float64 samples, and prints the
-// returned scanline through the volume center — the round trip the CI
-// server-smoke step asserts on.
+// RF frame of a point scatterer on the reduced-scale geometry, sends it to
+// the daemon, and prints the returned scanline through the volume center —
+// the round trip the CI server-smoke step asserts on.
 //
-// Run `go run ./cmd/usbeamd` in one terminal, then:
+// The transport is selectable. -wire raw POSTs the legacy headerless
+// float64 body; -wire i16|f32|f64 POSTs a self-describing wire frame
+// (internal/wire) — i16 is the ADC-native format at roughly a third of the
+// f64 bytes. -stream switches from HTTP to the persistent cine transport:
+// one TCP connection, the query sent once, then -frames compounds pushed
+// back to back with volumes read in order.
 //
-//	go run ./examples/serveclient -addr localhost:8642
+// Run `go run ./cmd/usbeamd -stream-addr :8643` in one terminal, then:
+//
+//	go run ./examples/serveclient -addr localhost:8642 -wire i16
+//	go run ./examples/serveclient -stream localhost:8643 -wire i16 -frames 8
 package main
 
 import (
@@ -16,16 +23,22 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"os"
 
 	"ultrabeam"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
+	"ultrabeam/internal/wire"
 )
 
 func main() {
-	addr := flag.String("addr", "localhost:8642", "usbeamd address")
+	addr := flag.String("addr", "localhost:8642", "usbeamd HTTP address")
+	wireFmt := flag.String("wire", "raw", "request format: raw (legacy float64 body) or i16|f32|f64 wire frames")
+	respFmt := flag.String("resp", "f64", "response sample encoding: f64|f32")
+	stream := flag.String("stream", "", "use the persistent cine stream transport at this TCP address instead of HTTP")
+	frames := flag.Int("frames", 4, "compounds to push over the stream transport")
 	flag.Parse()
 
 	// One frame of the reduced Table I system: a point scatterer at 60%
@@ -38,44 +51,47 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-
-	// The wire format: element-major little-endian float64, window length
-	// inferred by the server from the body size.
 	win := len(bufs[0].Samples)
-	body := make([]byte, 8*len(bufs)*win)
+	samples := make([]float64, len(bufs)*win) // element-major
 	for d, b := range bufs {
-		for i, v := range b.Samples {
-			binary.LittleEndian.PutUint64(body[8*(d*win+i):], math.Float64bits(v))
+		copy(samples[d*win:], b.Samples)
+	}
+
+	query := "spec=reduced&out=scanline&resp=" + *respFmt
+	var enc wire.Encoding
+	isWire := *wireFmt != "raw"
+	if isWire {
+		if enc, err = wire.ParseEncoding(*wireFmt); err != nil {
+			fail(err)
+		}
+		query += "&fmt=" + enc.String()
+		if enc != wire.EncodingF64 {
+			// The narrowed encodings pair with the float32 session: the
+			// server decodes them straight into its float32 echo planes.
+			query += "&precision=float32"
 		}
 	}
-	url := fmt.Sprintf("http://%s/beamform?spec=reduced&out=scanline", *addr)
-	resp, err := http.Post(url, "application/octet-stream", bytes.NewReader(body))
-	if err != nil {
-		fail(fmt.Errorf("POST %s: %w (is usbeamd running?)", url, err))
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fail(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		fail(fmt.Errorf("%s: %s", resp.Status, raw))
-	}
-	if len(raw) == 0 || len(raw)%8 != 0 {
-		fail(fmt.Errorf("response is %d bytes, not a float64 scanline", len(raw)))
+
+	var line []float64
+	var note string
+	if *stream != "" {
+		if !isWire {
+			fail(fmt.Errorf("the stream transport carries wire frames: pick -wire i16|f32|f64"))
+		}
+		line, note = runStream(*stream, query, enc, spec.Elements(), win, samples, *frames)
+	} else if isWire {
+		line, note = postWire(*addr, query, enc, spec.Elements(), win, samples)
+	} else {
+		line, note = postRaw(*addr, query, samples)
 	}
 
-	line := make([]float64, len(raw)/8)
 	peak, peakAt := 0.0, 0
-	for i := range line {
-		line[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
-		if a := math.Abs(line[i]); a > peak {
+	for i, v := range line {
+		if a := math.Abs(v); a > peak {
 			peak, peakAt = a, i
 		}
 	}
-	fmt.Printf("scanline %s through %s, %d depth samples (server elapsed %s ms)\n",
-		resp.Header.Get("X-Ultrabeam-Scanline"), spec.String(), len(line),
-		resp.Header.Get("X-Ultrabeam-Elapsed-Ms"))
+	fmt.Printf("scanline through %s, %d depth samples (%s)\n", spec.String(), len(line), note)
 	fmt.Printf("peak |s| = %.4g at depth index %d (scatterer at 60%% depth = index %d)\n",
 		peak, peakAt, spec.FocalDepth*60/100)
 	// A coarse sparkline of the echo energy down the line of sight.
@@ -97,6 +113,113 @@ func main() {
 	if peak == 0 {
 		fail(fmt.Errorf("returned scanline has no energy"))
 	}
+}
+
+// postRaw POSTs the legacy headerless float64 body.
+func postRaw(addr, query string, samples []float64) ([]float64, string) {
+	body := make([]byte, 8*len(samples))
+	for i, v := range samples {
+		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(v))
+	}
+	return post(addr, query, "application/octet-stream", body, fmt.Sprintf("raw f64 body, %d B", len(body)))
+}
+
+// postWire POSTs one wire frame in the chosen encoding.
+func postWire(addr, query string, enc wire.Encoding, elements, win int, samples []float64) ([]float64, string) {
+	f, err := wire.NewFrame(enc, elements, win, 0, 1, samples)
+	if err != nil {
+		fail(err)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, f, 0); err != nil {
+		fail(err)
+	}
+	note := fmt.Sprintf("%s wire frame, %d B (f64 would be %d B)",
+		enc, buf.Len(), wire.FrameWireBytes(wire.Header{
+			Encoding: wire.EncodingF64, Elements: elements, Window: win, TxCount: 1,
+		}, 0))
+	return post(addr, query, wire.ContentType, buf.Bytes(), note)
+}
+
+// post runs one HTTP round trip and decodes the response scanline.
+func post(addr, query, ct string, body []byte, note string) ([]float64, string) {
+	url := fmt.Sprintf("http://%s/beamform?%s", addr, query)
+	resp, err := http.Post(url, ct, bytes.NewReader(body))
+	if err != nil {
+		fail(fmt.Errorf("POST %s: %w (is usbeamd running?)", url, err))
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fail(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail(fmt.Errorf("%s: %s", resp.Status, raw))
+	}
+	line := decodeSamples(raw, resp.Header.Get("X-Ultrabeam-Encoding"))
+	return line, note + ", server elapsed " + resp.Header.Get("X-Ultrabeam-Elapsed-Ms") + " ms"
+}
+
+// decodeSamples parses a response body in the negotiated encoding.
+func decodeSamples(raw []byte, enc string) []float64 {
+	if enc == "f32" {
+		if len(raw) == 0 || len(raw)%4 != 0 {
+			fail(fmt.Errorf("response is %d bytes, not an f32 scanline", len(raw)))
+		}
+		out := make([]float64, len(raw)/4)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
+		}
+		return out
+	}
+	if len(raw) == 0 || len(raw)%8 != 0 {
+		fail(fmt.Errorf("response is %d bytes, not a float64 scanline", len(raw)))
+	}
+	out := make([]float64, len(raw)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return out
+}
+
+// runStream pushes n compounds over one persistent connection and returns
+// the last volume's samples.
+func runStream(addr, query string, enc wire.Encoding, elements, win int, samples []float64, n int) ([]float64, string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fail(fmt.Errorf("dial %s: %w (is usbeamd running with -stream-addr?)", addr, err))
+	}
+	defer conn.Close()
+	if err := wire.WriteHello(conn, query); err != nil {
+		fail(err)
+	}
+	if err := wire.ReadHelloReply(conn); err != nil {
+		fail(fmt.Errorf("stream hello: %w", err))
+	}
+	f, err := wire.NewFrame(enc, elements, win, 0, 1, samples)
+	if err != nil {
+		fail(err)
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteFrame(&buf, f, 0); err != nil {
+		fail(err)
+	}
+	// Push the whole burst, then drain the replies: the server pipelines.
+	for i := 0; i < n; i++ {
+		if _, err := conn.Write(buf.Bytes()); err != nil {
+			fail(fmt.Errorf("push compound %d: %w", i, err))
+		}
+	}
+	var last *wire.Volume
+	for i := 0; i < n; i++ {
+		v, err := wire.ReadVolume(conn, 0)
+		if err != nil {
+			fail(fmt.Errorf("volume %d: %w", i, err))
+		}
+		last = v
+	}
+	note := fmt.Sprintf("stream: %d × %s compounds of %d B on one connection", n, enc, buf.Len())
+	return last.Data, note
 }
 
 func fail(err error) {

@@ -1,0 +1,154 @@
+package beamform
+
+import (
+	"strings"
+	"testing"
+
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
+)
+
+// framePlanes flattens single-transmit frames into the guarded plane
+// layout BeamformBatchPlanes consumes.
+func framePlanes(t *testing.T, frames [][]rf.EchoBuffer, win int) [][][]float32 {
+	t.Helper()
+	planes := make([][][]float32, len(frames))
+	for k, f := range frames {
+		p, err := rf.Plane32(f, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes[k] = [][]float32{p}
+	}
+	return planes
+}
+
+// TestBatchPlanesMatchesBufferBatch is the decode-into-plane bit-identity
+// contract: a plane batch (echoes pre-flattened by rf.Plane32 — the layout
+// wire.DecodePlane streams into) must produce exactly the volumes of a
+// buffer batch over the same samples, at every cache budget, interleaved
+// with buffer batches on the same session (shared flat-geometry state).
+func TestBatchPlanesMatchesBufferBatch(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 30)
+	cfg.Precision = PrecisionFloat32
+	frames := scaledFrames(bufs, 4)
+	win := len(bufs[0].Samples)
+	planes := framePlanes(t, frames, win)
+
+	for _, budget := range []int64{-2, -1, 0} {
+		eng := New(cfg)
+		refSess := batchSession(t, eng, cfg, budget)
+		refs := make([]*Volume, len(frames))
+		for k, f := range frames {
+			v, err := refSess.Beamform(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[k] = v
+		}
+		refSess.Close()
+
+		sess := batchSession(t, eng, cfg, budget)
+		check := func(dsts []*Volume, ks ...int) {
+			t.Helper()
+			for i, k := range ks {
+				for j := range refs[k].Data {
+					if refs[k].Data[j] != dsts[i].Data[j] {
+						t.Fatalf("budget %d: plane frame %d differs from buffer path at %d: %v vs %v",
+							budget, k, j, dsts[i].Data[j], refs[k].Data[j])
+					}
+				}
+			}
+		}
+		planeBatch := func(ks ...int) {
+			t.Helper()
+			dsts := make([]*Volume, len(ks))
+			sub := make([][][]float32, len(ks))
+			for i, k := range ks {
+				dsts[i] = sess.NewVolume()
+				sub[i] = planes[k]
+			}
+			if err := sess.BeamformBatchPlanes(dsts, win, sub); err != nil {
+				t.Fatal(err)
+			}
+			check(dsts, ks...)
+		}
+		planeBatch(0, 1)
+		planeBatch(2, 3, 0)
+		// Interleave a buffer batch: the session's flat-plane state must
+		// survive switching ingest forms.
+		dst := sess.NewVolume()
+		if err := sess.BeamformBatch([]*Volume{dst}, [][][]rf.EchoBuffer{{frames[1]}}); err != nil {
+			t.Fatal(err)
+		}
+		check([]*Volume{dst}, 1)
+		planeBatch(3)
+		if got := sess.Frames(); got != 7 {
+			t.Errorf("budget %d: Frames = %d, want 7", budget, got)
+		}
+		sess.Close()
+	}
+}
+
+// TestBatchPlanesValidation pins the plane-batch error surface.
+func TestBatchPlanesValidation(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 16)
+	win := len(bufs[0].Samples)
+	plane, err := rf.Plane32(bufs, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("needs_float32", func(t *testing.T) {
+		c := cfg
+		c.Precision = PrecisionFloat64
+		sess := batchSession(t, New(c), c, -1)
+		defer sess.Close()
+		err := sess.BeamformBatchPlanes([]*Volume{sess.NewVolume()}, win, [][][]float32{{plane}})
+		if err == nil || !strings.Contains(err.Error(), "float32") {
+			t.Fatalf("float64 session accepted a plane batch: %v", err)
+		}
+	})
+
+	c := cfg
+	c.Precision = PrecisionFloat32
+	sess := batchSession(t, New(c), c, -1)
+	defer sess.Close()
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero_window", func() error {
+			return sess.BeamformBatchPlanes([]*Volume{sess.NewVolume()}, 0, [][][]float32{{plane}})
+		}},
+		{"empty_batch", func() error {
+			return sess.BeamformBatchPlanes(nil, win, nil)
+		}},
+		{"dst_count", func() error {
+			return sess.BeamformBatchPlanes([]*Volume{sess.NewVolume(), sess.NewVolume()}, win, [][][]float32{{plane}})
+		}},
+		{"transmit_count", func() error {
+			return sess.BeamformBatchPlanes([]*Volume{sess.NewVolume()}, win, [][][]float32{{plane, plane}})
+		}},
+		{"short_plane", func() error {
+			return sess.BeamformBatchPlanes([]*Volume{sess.NewVolume()}, win, [][][]float32{{plane[:10]}})
+		}},
+		{"shared_dst", func() error {
+			d := sess.NewVolume()
+			return sess.BeamformBatchPlanes([]*Volume{d, d}, win, [][][]float32{{plane}, {plane}})
+		}},
+		{"nil_dst", func() error {
+			return sess.BeamformBatchPlanes([]*Volume{nil}, win, [][][]float32{{plane}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); err == nil {
+				t.Fatal("invalid plane batch accepted")
+			}
+		})
+	}
+}

@@ -115,6 +115,13 @@ type Session struct {
 	planeLen int
 	flatOff  []int32
 
+	// extPlanes, when non-nil, carries caller-owned guarded float32 planes
+	// for the batch in flight (extPlanes[k][t] is frame k / transmit t,
+	// stride flatWin+1, guard slots zero) — the decode-into-plane ingest
+	// path: the wire layer already produced the exact layout convertStripe
+	// would build, so the convert dispatch is skipped entirely.
+	extPlanes [][][]float32
+
 	// frames is atomic: a serving frontend scrapes Frames() from stats
 	// goroutines while the owning goroutine beamforms.
 	frames atomic.Int64
@@ -275,6 +282,12 @@ func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64
 				delay.Fill16(s.bps[t], id, buf16, scratch)
 			}
 			if s.useFlat {
+				if s.extPlanes != nil {
+					for k := range s.extPlanes {
+						s.eng.accumulateNappe16Narrow(blk, s.extPlanes[k][t], s.flatOff, s.flatWin, id, s.outs[k], add)
+					}
+					continue
+				}
 				for k := range s.batch {
 					plane := s.flat[(k*nTx+t)*s.planeLen : (k*nTx+t+1)*s.planeLen]
 					s.eng.accumulateNappe16Narrow(blk, plane, s.flatOff, s.flatWin, id, s.outs[k], add)
@@ -438,6 +451,83 @@ func (s *Session) BeamformBatch(dsts []*Volume, batch [][][]rf.EchoBuffer) error
 	s.dispatch(jobAccumulate)
 	s.batch, s.outs = nil, nil
 	s.frames.Add(int64(len(batch)))
+	return nil
+}
+
+// BeamformBatchPlanes beamforms a batch of compound frames whose echoes
+// already live in guarded float32 planes — the layout the convert phase of
+// BeamformBatch would build: planes[k][t] holds frame k / transmit t as
+// elements·(win+1) float32s, element d's window at d·(win+1), and the
+// guard slot (position win of each row) zero — it is the branchless
+// kernel's clamp target, so a non-zero guard corrupts out-of-window
+// gathers. The wire layer's DecodePlane produces exactly this layout, so
+// streamed i16/f32 ingest skips both the float64 intermediate and the
+// whole convert dispatch: samples go wire → plane → kernel.
+//
+// The accumulation order per frame is identical to BeamformBatch's flat
+// path (slice → transmit → frame, store-then-add), so a plane batch is
+// bit-identical to BeamformBatch over echo buffers carrying the same
+// float32 sample values. It requires PrecisionFloat32 (the only precision
+// that consumes float32 planes) and a window within delay.MaxEchoWindow.
+func (s *Session) BeamformBatchPlanes(dsts []*Volume, win int, planes [][][]float32) error {
+	if s.closed {
+		return errors.New("beamform: session is closed")
+	}
+	if s.eng.Cfg.Precision != PrecisionFloat32 {
+		return fmt.Errorf("beamform: plane batches need Precision=float32 (have %s)", s.eng.Cfg.Precision)
+	}
+	if win <= 0 || win > delay.MaxEchoWindow {
+		return fmt.Errorf("beamform: plane window %d outside (0, %d]", win, delay.MaxEchoWindow)
+	}
+	if len(planes) == 0 {
+		return errors.New("beamform: empty batch")
+	}
+	if len(dsts) != len(planes) {
+		return fmt.Errorf("beamform: %d destination volumes for %d frames", len(dsts), len(planes))
+	}
+	elems := s.eng.Cfg.Arr.Elements()
+	planeLen := elems * (win + 1)
+	if planeLen > math.MaxInt32 { // row offsets are int32
+		return fmt.Errorf("beamform: plane of %d float32s exceeds the int32 offset range", planeLen)
+	}
+	for k, dst := range dsts {
+		if dst == nil || len(dst.Data) != s.eng.Cfg.Vol.Points() {
+			return fmt.Errorf("beamform: destination volume needs %d points", s.eng.Cfg.Vol.Points())
+		}
+		if dst.Vol != s.eng.Cfg.Vol {
+			return fmt.Errorf("beamform: destination grid %v is not the session grid %v",
+				dst.Vol, s.eng.Cfg.Vol)
+		}
+		for j := 0; j < k; j++ {
+			if dsts[j] == dst {
+				return fmt.Errorf("beamform: frames %d and %d share a destination volume", j, k)
+			}
+		}
+	}
+	for k, tx := range planes {
+		if len(tx) != len(s.bps) {
+			return fmt.Errorf("beamform: frame %d has %d planes for %d transmits", k, len(tx), len(s.bps))
+		}
+		for t, p := range tx {
+			if len(p) != planeLen {
+				return fmt.Errorf("beamform: frame %d transmit %d plane has %d float32s (want %d elements × %d)",
+					k, t, len(p), elems, win+1)
+			}
+		}
+	}
+	s.narrow, s.useFlat = true, true
+	if s.flatWin != win || s.planeLen != planeLen {
+		s.flat = nil // any interleaved buffer batch re-sizes its own planes
+		s.flatWin, s.planeLen = win, planeLen
+		s.flatOff = make([]int32, len(s.eng.activeIdx))
+		for j, d := range s.eng.activeIdx {
+			s.flatOff[j] = d * int32(win+1)
+		}
+	}
+	s.extPlanes, s.outs = planes, dsts
+	s.dispatch(jobAccumulate)
+	s.extPlanes, s.outs = nil, nil
+	s.frames.Add(int64(len(planes)))
 	return nil
 }
 

@@ -460,6 +460,37 @@ func TestDatapathSweep(t *testing.T) {
 	}
 }
 
+// TestWireLoadSmoke runs B7 end to end on a tiny geometry: all three
+// transport modes must produce volumes and a positive rate, and the i16
+// request must stay at or below a third of the f64 request bytes.
+func TestWireLoadSmoke(t *testing.T) {
+	s := ServeSpec()
+	s.ElemX, s.ElemY = 6, 6
+	s.FocalTheta, s.FocalPhi, s.FocalDepth = 7, 7, 20
+	res, err := WireLoad(s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	var f64Bytes, i16Bytes int64
+	for _, row := range res.Rows {
+		if row.FramesPerSec <= 0 {
+			t.Errorf("%s: frames/s = %v", row.Mode, row.FramesPerSec)
+		}
+		switch row.Mode {
+		case "f64-post":
+			f64Bytes = row.BytesPerFrame
+		case "i16-stream":
+			i16Bytes = row.BytesPerFrame
+		}
+	}
+	if 3*i16Bytes > f64Bytes {
+		t.Errorf("i16 frame is %d B vs f64's %d B; want ≤ 1/3", i16Bytes, f64Bytes)
+	}
+}
+
 // TestServeBenchRecordJSONShape pins the wire names benchgate's serving
 // gates reference — a renamed field would silently skip a CI gate if the
 // record and the workflow drifted apart.
@@ -473,6 +504,11 @@ func TestServeBenchRecordJSONShape(t *testing.T) {
 		SchedInteractiveP99OverBulk: 0.35,
 		SchedMeanBatch:              2.6,
 		SchedRows:                   []SchedRow{{Mode: "scheduled"}},
+		WireF64FramesPerSec:         25,
+		WireI16FramesPerSec:         60,
+		I16OverF64:                  2.4,
+		WireBytesPerFrameI16:        2451528,
+		WireRows:                    []WireRow{{Mode: "i16-stream"}},
 	}
 	var buf bytes.Buffer
 	if err := rec.WriteJSON(&buf); err != nil {
@@ -482,6 +518,8 @@ func TestServeBenchRecordJSONShape(t *testing.T) {
 		`"shared_over_private"`, `"sched_frames_per_sec"`, `"sched_over_checkout"`,
 		`"sched_bulk_p99_ms"`, `"sched_interactive_p99_ms"`,
 		`"sched_interactive_p99_over_bulk"`, `"sched_mean_batch"`, `"sched_rows"`,
+		`"wire_f64_frames_per_sec"`, `"wire_i16_frames_per_sec"`,
+		`"i16_over_f64"`, `"wire_bytes_per_frame_i16"`, `"wire_rows"`,
 	} {
 		if !bytes.Contains(buf.Bytes(), []byte(key)) {
 			t.Errorf("serve record JSON lacks %s", key)

@@ -261,6 +261,18 @@ type ServeBenchRecord struct {
 	CheckoutInteractiveP99Ms    float64    `json:"checkout_interactive_p99_ms"`
 	SchedMeanBatch              float64    `json:"sched_mean_batch"`
 	SchedRows                   []SchedRow `json:"sched_rows"`
+
+	// B7: the ADC-native wire protocol (see WireLoad). i16_over_f64 must
+	// stay ≥ 1.15 — i16 frames over the persistent stream beat the legacy
+	// whole-frame f64 POST — and wire_bytes_per_frame_i16 must stay at or
+	// below a third of wire_frame_bytes: the int16 payload plus header and
+	// chunk framing never grows past the ADC-native budget.
+	WireF64FramesPerSec     float64   `json:"wire_f64_frames_per_sec"`
+	WireI16PostFramesPerSec float64   `json:"wire_i16_post_frames_per_sec"`
+	WireI16FramesPerSec     float64   `json:"wire_i16_frames_per_sec"`
+	I16OverF64              float64   `json:"i16_over_f64"`
+	WireBytesPerFrameI16    float64   `json:"wire_bytes_per_frame_i16"`
+	WireRows                []WireRow `json:"wire_rows"`
 }
 
 // serveBenchConns is the headline connection count of the gated record.
@@ -325,6 +337,26 @@ func BenchServe(frames int) (ServeBenchRecord, error) {
 	if rec.SchedBulkP99Ms > 0 {
 		rec.SchedInteractiveP99OverBulk = rec.SchedInteractiveP99Ms / rec.SchedBulkP99Ms
 	}
+
+	wres, err := WireLoad(s, frames)
+	if err != nil {
+		return rec, err
+	}
+	rec.WireRows = wres.Rows
+	for _, row := range wres.Rows {
+		switch row.Mode {
+		case "f64-post":
+			rec.WireF64FramesPerSec = row.FramesPerSec
+		case "i16-post":
+			rec.WireI16PostFramesPerSec = row.FramesPerSec
+		case "i16-stream":
+			rec.WireI16FramesPerSec = row.FramesPerSec
+			rec.WireBytesPerFrameI16 = float64(row.BytesPerFrame)
+		}
+	}
+	if rec.WireF64FramesPerSec > 0 {
+		rec.I16OverF64 = rec.WireI16FramesPerSec / rec.WireF64FramesPerSec
+	}
 	return rec, nil
 }
 
@@ -351,5 +383,10 @@ func (r ServeBenchRecord) Table() *report.Table {
 	t.Add("sched interactive p99", fmt.Sprintf("%.1f ms", r.SchedInteractiveP99Ms))
 	t.Add("sched bulk p99", fmt.Sprintf("%.1f ms", r.SchedBulkP99Ms))
 	t.Add("mean batch", fmt.Sprintf("%.2f", r.SchedMeanBatch))
+	t.Add("wire f64 POST frames/s", fmt.Sprintf("%.2f", r.WireF64FramesPerSec))
+	t.Add("wire i16 POST frames/s", fmt.Sprintf("%.2f", r.WireI16PostFramesPerSec))
+	t.Add("wire i16 stream frames/s", fmt.Sprintf("%.2f", r.WireI16FramesPerSec))
+	t.Add("i16 stream / f64 POST", fmt.Sprintf("%.2f×", r.I16OverF64))
+	t.Add("i16 frame", report.Eng(r.WireBytesPerFrameI16)+"B")
 	return t
 }

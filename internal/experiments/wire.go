@@ -1,0 +1,252 @@
+// Experiment B7: the ADC-native wire protocol against the legacy
+// transport. The paper's bottleneck argument extends to the link between
+// the front end and the beamformer: echo samples leave the converters as
+// ~12-bit integers, so shipping them as float64 pays 4× the bytes the
+// signal carries (and the legacy path buffers and widens the whole frame
+// before the first sample is beamformed). B7 measures, over live
+// loopback on the B5 spec with the float32 session: (a) the legacy
+// whole-frame f64 POST, (b) the same frames as wire-framed i16 POSTs
+// (chunked decode straight into the session's guarded float32 planes),
+// and (c) i16 frames over the persistent cine stream, pipelined. The
+// headline gates: an i16 frame must cost at most a third of the f64
+// bytes, and i16 streaming must beat the f64 POST baseline on frames/s.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/serve"
+	"ultrabeam/internal/wire"
+)
+
+// WireRow is one transport mode of B7.
+type WireRow struct {
+	Mode          string  `json:"mode"` // f64-post | i16-post | i16-stream
+	FramesPerSec  float64 `json:"frames_per_sec"`
+	BytesPerFrame int64   `json:"bytes_per_frame"` // request bytes on the wire
+	P99Ms         float64 `json:"p99_ms"`          // 0 for the pipelined stream
+}
+
+// WireResult carries experiment B7.
+type WireResult struct {
+	Spec   string    `json:"spec"`
+	Frames int       `json:"frames"`
+	Rows   []WireRow `json:"rows"`
+}
+
+// WireLoad runs B7: frames sequential volumes per transport mode on a
+// fresh scheduler-backed server each (one warmup frame builds the hot
+// session before timing starts). All modes use the float32 session and a
+// scanline response, so the request transport is the variable.
+func WireLoad(s core.SystemSpec, frames int) (WireResult, error) {
+	res := WireResult{Spec: s.String(), Frames: frames}
+	if frames < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 frames, got %d", frames)
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	win := len(bufs[0].Samples)
+	samples := make([]float64, len(bufs)*win)
+	for d, b := range bufs {
+		copy(samples[d*win:], b.Samples)
+	}
+	rawBody := encodeWireFrame(bufs)
+	i16Frame, err := wire.NewFrame(wire.EncodingI16, len(bufs), win, 0, 1, samples)
+	if err != nil {
+		return res, err
+	}
+	var i16Buf bytes.Buffer
+	if err := wire.WriteFrame(&i16Buf, i16Frame, 0); err != nil {
+		return res, err
+	}
+	i16Body := i16Buf.Bytes()
+
+	query := fmt.Sprintf("elemx=%d&elemy=%d&ftheta=%d&fphi=%d&fdepth=%d&precision=float32&out=scanline",
+		s.ElemX, s.ElemY, s.FocalTheta, s.FocalPhi, s.FocalDepth)
+
+	modes := []struct {
+		mode string
+		run  func(addr string) (float64, float64, error)
+	}{
+		{"f64-post", func(addr string) (float64, float64, error) {
+			return wirePost(addr, query, "application/octet-stream", rawBody, frames)
+		}},
+		{"i16-post", func(addr string) (float64, float64, error) {
+			return wirePost(addr, query+"&fmt=i16", wire.ContentType, i16Body, frames)
+		}},
+		{"i16-stream", func(addr string) (float64, float64, error) {
+			return wireStream(addr, query, i16Body, frames)
+		}},
+	}
+	for _, m := range modes {
+		row := WireRow{Mode: m.mode, BytesPerFrame: int64(len(i16Body))}
+		if m.mode == "f64-post" {
+			row.BytesPerFrame = int64(len(rawBody))
+		}
+		err := withWireServer(func(httpAddr, streamAddr string) error {
+			addr := httpAddr
+			if m.mode == "i16-stream" {
+				addr = streamAddr
+			}
+			fps, p99, err := m.run(addr)
+			row.FramesPerSec, row.P99Ms = fps, p99
+			return err
+		})
+		if err != nil {
+			return res, fmt.Errorf("%s: %w", m.mode, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// withWireServer runs fn against a fresh scheduler-backed server exposing
+// both the HTTP and the stream transport on loopback.
+func withWireServer(fn func(httpAddr, streamAddr string) error) error {
+	sched := serve.NewScheduler(serve.SchedulerConfig{})
+	defer sched.Close()
+	srv, err := serve.NewServer(serve.ServerConfig{Scheduler: sched, AcquireTimeout: time.Minute})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	defer hs.Shutdown(context.Background())
+	sln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		srv.ServeStream(ctx, sln)
+	}()
+	defer func() {
+		cancel()
+		sln.Close()
+		<-streamDone
+	}()
+	return fn(ln.Addr().String(), sln.Addr().String())
+}
+
+// wirePost measures sequential whole-frame POSTs on one keep-alive
+// connection: one warmup (cold session build), then frames timed rounds.
+func wirePost(addr, query, ct string, body []byte, frames int) (fps, p99 float64, err error) {
+	url := fmt.Sprintf("http://%s/beamform?%s", addr, query)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	round := func() error {
+		resp, err := client.Post(url, ct, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, raw)
+		}
+		return nil
+	}
+	if err := round(); err != nil { // warmup
+		return 0, 0, err
+	}
+	lats := make([]time.Duration, frames)
+	start := time.Now()
+	for f := 0; f < frames; f++ {
+		t0 := time.Now()
+		if err := round(); err != nil {
+			return 0, 0, fmt.Errorf("frame %d: %w", f, err)
+		}
+		lats[f] = time.Since(t0)
+	}
+	elapsed := time.Since(start).Seconds()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	return float64(frames) / elapsed, quantileMs(lats, 0.99), nil
+}
+
+// wireStream measures the persistent transport: hello once, one warmup
+// round trip, then frames compounds pushed by a writer goroutine while the
+// reader drains the volumes — the pipelined cine shape.
+func wireStream(addr, query string, frameBody []byte, frames int) (fps, p99 float64, err error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	if err := wire.WriteHello(conn, query); err != nil {
+		return 0, 0, err
+	}
+	if err := wire.ReadHelloReply(conn); err != nil {
+		return 0, 0, err
+	}
+	roundTrip := func() error {
+		if _, err := conn.Write(frameBody); err != nil {
+			return err
+		}
+		_, err := wire.ReadVolume(conn, 0)
+		return err
+	}
+	if err := roundTrip(); err != nil { // warmup
+		return 0, 0, err
+	}
+	start := time.Now()
+	writeErr := make(chan error, 1)
+	go func() {
+		for f := 0; f < frames; f++ {
+			if _, err := conn.Write(frameBody); err != nil {
+				writeErr <- fmt.Errorf("push %d: %w", f, err)
+				return
+			}
+		}
+		writeErr <- nil
+	}()
+	for f := 0; f < frames; f++ {
+		if _, err := wire.ReadVolume(conn, 0); err != nil {
+			return 0, 0, fmt.Errorf("volume %d: %w", f, err)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if err := <-writeErr; err != nil {
+		return 0, 0, err
+	}
+	return float64(frames) / elapsed, 0, nil
+}
+
+// Table renders B7.
+func (r WireResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B7 — wire transport frames/s (%s, %d frames, float32 session)", r.Spec, r.Frames),
+		"mode", "request bytes/frame", "frames/s", "p99")
+	for _, row := range r.Rows {
+		p99 := "—"
+		if row.P99Ms > 0 {
+			p99 = fmt.Sprintf("%.1f ms", row.P99Ms)
+		}
+		t.Add(row.Mode, report.Eng(float64(row.BytesPerFrame))+"B",
+			fmt.Sprintf("%.2f", row.FramesPerSec), p99)
+	}
+	return t
+}

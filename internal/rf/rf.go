@@ -156,6 +156,31 @@ func NarrowAll(bufs []EchoBuffer) []EchoBuffer32 {
 	return out
 }
 
+// Plane32 flattens a uniform-window echo buffer set into one guarded
+// float32 plane: element d's win samples at plane[d·(win+1)], and the
+// trailing guard slot of every row zero — the layout the narrow beamform
+// kernel gathers from (its branchless clamp redirects out-of-window
+// indices to the guard). Every buffer must hold exactly win samples. The
+// wire layer's DecodePlane produces the same layout straight off the
+// network; Plane32 is the in-process equivalent for synthesized echoes.
+func Plane32(bufs []EchoBuffer, win int) ([]float32, error) {
+	if win <= 0 {
+		return nil, fmt.Errorf("rf: plane window %d must be positive", win)
+	}
+	stride := win + 1
+	plane := make([]float32, len(bufs)*stride) // fresh: guard slots zero
+	for d, b := range bufs {
+		if len(b.Samples) != win {
+			return nil, fmt.Errorf("rf: element %d has %d samples; a plane needs a uniform window of %d", d, len(b.Samples), win)
+		}
+		row := plane[d*stride : d*stride+win]
+		for i, v := range b.Samples {
+			row[i] = float32(v)
+		}
+	}
+	return plane, nil
+}
+
 // Config drives echo synthesis.
 type Config struct {
 	Arr        xdcr.Array

@@ -89,6 +89,8 @@ type Pool struct {
 	reclaims  atomic.Int64
 	overloads atomic.Int64
 	evictions atomic.Int64
+
+	wire wireRecorder
 }
 
 // geometry is one fingerprint's pool entry: its shared store, warm idle
@@ -561,6 +563,8 @@ type PoolStats struct {
 	Overloads int64 `json:"overloads"`
 	Evictions int64 `json:"evictions"`
 
+	Wire WireStats `json:"wire"`
+
 	Geometries []GeometryStats `json:"geometries"`
 }
 
@@ -581,6 +585,7 @@ func (p *Pool) Stats() PoolStats {
 		Reclaims:    p.reclaims.Load(),
 		Overloads:   p.overloads.Load(),
 		Evictions:   p.evictions.Load(),
+		Wire:        p.wire.stats(),
 	}
 	for _, g := range p.geoms {
 		gs := GeometryStats{

@@ -107,6 +107,7 @@ type Scheduler struct {
 
 	batchSizes []atomic.Int64 // batchSizes[k]: batches of size k+1
 	lanes      [numLanes]laneRecorder
+	wire       wireRecorder
 }
 
 // schedGeom is one warm geometry: its hot session, store attachment and
@@ -125,12 +126,23 @@ type schedGeom struct {
 	lastUsed time.Time
 }
 
-// frameJob is one submitted frame: decoded echo sets in, volume out.
+// frameJob is one submitted frame: decoded echo sets (or pre-decoded
+// float32 planes, on the wire ingest path) in, volume out. A job enters
+// its lane queue the moment Begin reserves the slot — possibly before its
+// upload has finished arriving — and becomes dispatchable only when ready
+// flips (Complete*), so decode overlaps the backlog without a stalled
+// upload ever blocking a batch.
 type frameJob struct {
-	tx    [][]rf.EchoBuffer
-	lane  Lane
-	shape shapeKey
-	enq   time.Time
+	tx     [][]rf.EchoBuffer
+	planes [][][]float32 // plane ingest: planes[0][t], one frame per job
+	win    int           // plane window (planes != nil)
+	lane   Lane
+	shape  shapeKey
+	enq    time.Time
+
+	ready   bool      // payload fully decoded; batchable
+	readyAt time.Time // lane wait is measured from here, not enq:
+	// queue time under the scheduler's control, not the client's uplink
 
 	out  *beamform.Volume
 	err  error
@@ -140,13 +152,15 @@ type frameJob struct {
 // shapeKey classifies a frame for batch fusion: BeamformBatch fuses only
 // frames whose narrow/flat datapath decisions agree, so the scheduler
 // groups queued frames by this key (mirroring beamform's frameShape plus
-// the element arity).
+// the element arity). Plane-ingest frames fuse only with plane-ingest
+// frames — they dispatch through BeamformBatchPlanes.
 type shapeKey struct {
 	transmits int
 	elements  int
 	narrowOK  bool
 	uniform   bool
 	win       int
+	planes    bool
 }
 
 func frameShapeKey(tx [][]rf.EchoBuffer) shapeKey {
@@ -230,13 +244,25 @@ func (s *Scheduler) janitor() {
 	}
 }
 
-// Submit enqueues one decoded frame for req's geometry on req.Lane and
-// blocks until the frame is beamformed, returning its volume. The first
-// frame of a cold geometry triggers the session build (and delay-store
-// warm plan); frames queue behind the build. A full per-geometry queue —
-// or a cold geometry beyond MaxGeometries with no evictable peer — refuses
-// with ErrOverloaded, the typed signal the HTTP layer maps to 503.
-func (s *Scheduler) Submit(ctx context.Context, req SessionRequest, tx [][]rf.EchoBuffer) (*beamform.Volume, error) {
+// PendingFrame is a queue slot reserved by Begin before the frame's
+// payload exists server-side: the streaming-ingest handle. Exactly one of
+// CompleteBuffers / CompletePlanes / Abort must follow, then Wait collects
+// the volume. The slot holds its lane position while the upload decodes,
+// and the first frame of a cold geometry starts the session build
+// immediately — so by the time a large upload finishes arriving, the
+// session is warm and the backlog ahead of it has drained.
+type PendingFrame struct {
+	s   *Scheduler
+	g   *schedGeom
+	job *frameJob
+}
+
+// Begin reserves a queue slot for one frame of req's geometry on req.Lane
+// and triggers the session build for a cold geometry — before the frame's
+// payload has arrived. A full per-geometry queue, or a cold geometry
+// beyond MaxGeometries with no evictable peer, refuses with ErrOverloaded
+// (the typed signal the HTTP layer maps to 503).
+func (s *Scheduler) Begin(req SessionRequest) (*PendingFrame, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -244,10 +270,7 @@ func (s *Scheduler) Submit(ctx context.Context, req SessionRequest, tx [][]rf.Ec
 	if lane < 0 || lane >= numLanes {
 		lane = LaneInteractive
 	}
-	job := &frameJob{
-		tx: tx, lane: lane, shape: frameShapeKey(tx),
-		enq: s.cfg.Now(), done: make(chan struct{}),
-	}
+	job := &frameJob{lane: lane, enq: s.cfg.Now(), done: make(chan struct{})}
 	fp := req.Fingerprint()
 
 	s.mu.Lock()
@@ -276,31 +299,101 @@ func (s *Scheduler) Submit(ctx context.Context, req SessionRequest, tx [][]rf.Ec
 	g.lanes[lane] = append(g.lanes[lane], job)
 	g.queued++
 	g.lastUsed = job.enq
-	if !g.building && !g.running {
-		g.running = true
+	s.mu.Unlock()
+	return &PendingFrame{s: s, g: g, job: job}, nil
+}
+
+// complete marks the pending job dispatchable and kicks the geometry's
+// dispatch loop if it parked while every queued job was still uploading.
+func (p *PendingFrame) complete() {
+	s := p.s
+	s.mu.Lock()
+	p.job.ready = true
+	p.job.readyAt = s.cfg.Now()
+	p.g.lastUsed = p.job.readyAt
+	if !p.g.building && !p.g.running && p.g.queued > 0 {
+		p.g.running = true
 		s.wg.Add(1)
-		go s.run(g)
+		go s.run(p.g)
 	}
 	s.mu.Unlock()
+}
 
+// CompleteBuffers delivers the frame's decoded echo sets (tx[t][element])
+// and makes the job dispatchable.
+func (p *PendingFrame) CompleteBuffers(tx [][]rf.EchoBuffer) {
+	p.job.tx = tx
+	p.job.shape = frameShapeKey(tx)
+	p.complete()
+}
+
+// CompletePlanes delivers the frame as guarded float32 echo planes —
+// planes[t] is transmit t, the layout wire.DecodePlane streams into — and
+// makes the job dispatchable through Session.BeamformBatchPlanes. The
+// geometry's session must run Precision=float32 (the fingerprint carries
+// precision, so a plane-completed geometry is single-precision by
+// construction) and every plane must be elements·(win+1) long with zero
+// guard slots.
+func (p *PendingFrame) CompletePlanes(win int, planes [][]float32) {
+	p.job.planes = [][][]float32{planes}
+	p.job.win = win
+	p.job.shape = shapeKey{
+		transmits: len(planes), elements: p.g.req.Spec.Elements(),
+		narrowOK: true, uniform: true, win: win, planes: true,
+	}
+	p.complete()
+}
+
+// Abort releases the reserved slot without dispatching — the upload
+// failed mid-decode. Safe to call after a scheduler Close (the slot is
+// already drained then).
+func (p *PendingFrame) Abort() {
+	s := p.s
+	s.mu.Lock()
+	removed := s.removeJobLocked(p.g, p.job)
+	s.mu.Unlock()
+	if removed {
+		p.job.err = ErrClosed // never observed: Wait is not called after Abort
+		close(p.job.done)
+	}
+}
+
+// Wait blocks until the frame's batch has run, returning its volume. On
+// ctx cancellation the slot is released if the job has not entered a
+// batch yet; an in-flight batch finishes regardless, the caller just
+// stops waiting.
+func (p *PendingFrame) Wait(ctx context.Context) (*beamform.Volume, error) {
+	s := p.s
 	select {
-	case <-job.done:
-		if job.err == nil {
+	case <-p.job.done:
+		if p.job.err == nil {
 			s.completed.Add(1)
 		}
-		return job.out, job.err
+		return p.job.out, p.job.err
 	case <-ctx.Done():
 		s.mu.Lock()
-		if s.removeJobLocked(g, job) {
+		if s.removeJobLocked(p.g, p.job) {
 			s.mu.Unlock()
 			return nil, ctx.Err()
 		}
 		s.mu.Unlock()
-		// The job is already in a dispatching batch; its result arrives
-		// regardless, the caller just stops waiting for it.
-		<-job.done
+		<-p.job.done
 		return nil, ctx.Err()
 	}
+}
+
+// Submit enqueues one decoded frame for req's geometry on req.Lane and
+// blocks until the frame is beamformed, returning its volume: the
+// whole-frame form of Begin → CompleteBuffers → Wait. The first frame of
+// a cold geometry triggers the session build (and delay-store warm plan);
+// frames queue behind the build.
+func (s *Scheduler) Submit(ctx context.Context, req SessionRequest, tx [][]rf.EchoBuffer) (*beamform.Volume, error) {
+	p, err := s.Begin(req)
+	if err != nil {
+		return nil, err
+	}
+	p.CompleteBuffers(tx)
+	return p.Wait(ctx)
 }
 
 // removeJobLocked unlinks a cancelled job from its lane queue; false means
@@ -402,24 +495,31 @@ func (s *Scheduler) run(g *schedGeom) {
 
 // takeBatchLocked removes the next batch from g's queues: the interactive
 // lane always first — that is the whole preemption mechanism — then bulk;
-// within a lane, up to MaxBatch consecutive frames of one shape (the
-// fusion precondition of Session.BeamformBatch). Caller holds the lock.
+// within a lane, up to MaxBatch consecutive ready frames of one shape (the
+// fusion precondition of Session.BeamformBatch). Jobs still uploading
+// (ready=false) are skipped over, not waited on — a stalled uplink never
+// blocks the frames queued behind it — and since only ready jobs are ever
+// taken, a pending slot cannot deadlock dispatch. Caller holds the lock.
 func (s *Scheduler) takeBatchLocked(g *schedGeom) []*frameJob {
 	for lane := Lane(0); lane < numLanes; lane++ {
 		q := g.lanes[lane]
-		if len(q) == 0 {
+		first := -1
+		for i, j := range q {
+			if j.ready {
+				first = i
+				break
+			}
+		}
+		if first < 0 {
 			continue
 		}
 		n := 1
-		for n < len(q) && n < s.cfg.MaxBatch && q[n].shape == q[0].shape {
+		for first+n < len(q) && n < s.cfg.MaxBatch &&
+			q[first+n].ready && q[first+n].shape == q[first].shape {
 			n++
 		}
-		batch := q[:n:n]
-		if n == len(q) {
-			g.lanes[lane] = nil
-		} else {
-			g.lanes[lane] = q[n:]
-		}
+		batch := append([]*frameJob(nil), q[first:first+n]...)
+		g.lanes[lane] = append(q[:first], q[first+n:]...)
 		g.queued -= n
 		return batch
 	}
@@ -428,17 +528,30 @@ func (s *Scheduler) takeBatchLocked(g *schedGeom) []*frameJob {
 
 // dispatch beamforms one batch through the geometry's hot session and
 // completes its jobs. A batch error fails every job in it (the session
-// rejects malformed frames before touching any output).
+// rejects malformed frames before touching any output). Plane batches
+// (wire ingest) run through BeamformBatchPlanes — same accumulation
+// order, no convert phase; the shape key keeps the two forms apart.
 func (s *Scheduler) dispatch(g *schedGeom, batch []*frameJob) {
 	start := s.cfg.Now()
 	outs := make([]*beamform.Volume, len(batch))
-	frames := make([][][]rf.EchoBuffer, len(batch))
 	for i, j := range batch {
 		outs[i] = g.sess.NewVolume()
-		frames[i] = j.tx
-		s.lanes[j.lane].observe(start.Sub(j.enq))
+		s.lanes[j.lane].observe(start.Sub(j.readyAt))
 	}
-	err := g.sess.BeamformBatch(outs, frames)
+	var err error
+	if batch[0].shape.planes {
+		planes := make([][][]float32, len(batch))
+		for i, j := range batch {
+			planes[i] = j.planes[0]
+		}
+		err = g.sess.BeamformBatchPlanes(outs, batch[0].win, planes)
+	} else {
+		frames := make([][][]rf.EchoBuffer, len(batch))
+		for i, j := range batch {
+			frames[i] = j.tx
+		}
+		err = g.sess.BeamformBatch(outs, frames)
+	}
 
 	s.batches.Add(1)
 	s.fused.Add(int64(len(batch)))
@@ -661,6 +774,7 @@ type SchedulerStats struct {
 	// above index 0 is the amortization actually realized.
 	BatchSizeCounts []int64              `json:"batch_size_counts"`
 	Lanes           map[string]LaneStats `json:"lanes"`
+	Wire            WireStats            `json:"wire"`
 	Geometries      []SchedGeometryStats `json:"geometries"`
 }
 
@@ -680,6 +794,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Fused:           s.fused.Load(),
 		BatchSizeCounts: make([]int64, len(s.batchSizes)),
 		Lanes:           map[string]LaneStats{},
+		Wire:            s.wire.stats(),
 	}
 	for k := range s.batchSizes {
 		st.BatchSizeCounts[k] = s.batchSizes[k].Load()

@@ -1,12 +1,17 @@
 // Server: the RF-over-HTTP face of the pool or the frame scheduler. A
-// frame of raw echo samples is POSTed as binary little-endian float64 (or
-// one multipart part per transmit for compounding), routed to a warm
-// session by geometry fingerprint — leased per request in checkout mode,
-// queued into a priority lane and dispatched as part of a fused batch in
-// scheduled mode — and the beamformed volume (or one scanline of it)
-// streams back as binary float64. /healthz answers liveness probes and
-// /stats exposes occupancy, lane wait percentiles and shared-cache hit
-// rates.
+// frame of echo samples is POSTed either as the legacy raw little-endian
+// float64 body (one multipart part per transmit for compounding) or as
+// self-describing binary wire frames (internal/wire: i16 ADC-native, f32,
+// or f64 payloads in length-prefixed chunks, one frame per transmit,
+// concatenated — no multipart needed). Wire uploads decode incrementally:
+// i16/f32 chunks convert straight into guarded float32 echo planes (no
+// float64 intermediate, no whole-frame buffer) and the frame's queue slot
+// is reserved before the upload finishes, so decode overlaps the
+// scheduler's backlog. The beamformed volume (or one scanline of it)
+// returns as binary float64 or, negotiated, float32 at half the reply
+// bandwidth. /healthz answers liveness probes and /stats exposes
+// occupancy, lane wait percentiles, shared-cache hit rates and wire
+// transport counters.
 package serve
 
 import (
@@ -20,13 +25,16 @@ import (
 	"mime"
 	"mime/multipart"
 	"net/http"
+	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
 	"ultrabeam/internal/rf"
+	"ultrabeam/internal/wire"
 	"ultrabeam/internal/xdcr"
 )
 
@@ -50,9 +58,9 @@ type ServerConfig struct {
 
 // Server is an http.Handler exposing the beamform pool.
 //
-//	POST /beamform   binary RF frame → beamformed volume (or scanline)
+//	POST /beamform   RF frame (raw float64 or wire-framed) → volume/scanline
 //	GET  /healthz    liveness
-//	GET  /stats      pool + shared-cache statistics (JSON)
+//	GET  /stats      pool/scheduler + shared-cache + wire statistics (JSON)
 //
 // /beamform query parameters:
 //
@@ -64,20 +72,33 @@ type ServerConfig struct {
 //	window=hann|rect                  receive apodization (default hann)
 //	budget=N             delay-cache byte budget (default -1 = full residency;
 //	                     "none" disables caching)
-//	transmits=N          axial compounding set size; the body must then be
-//	                     multipart/form-data with N parts named "transmit"
+//	transmits=N          axial compounding set size; a raw body must then be
+//	                     multipart/form-data with N parts named "transmit",
+//	                     a wire body simply concatenates N frames
 //	out=volume|scanline  response payload (default volume)
 //	theta,phi            scanline grid indices (default volume center)
+//	fmt=raw|i16|f32|f64  request body format (default raw, the legacy
+//	                     headerless float64 body; i16/f32/f64 select the
+//	                     wire frame format — equivalently send Content-Type
+//	                     application/x-ultrabeam-frame, under which each
+//	                     frame header names its own encoding)
+//	resp=f64|f32         response sample encoding (default f64; f32 halves
+//	                     reply bandwidth — equivalently send Accept:
+//	                     application/x-ultrabeam-f32)
 //	lane=interactive|bulk   scheduling priority (scheduled mode; default
 //	                     interactive, "cine" aliases bulk). The
 //	                     X-Ultrabeam-Lane header takes precedence over the
 //	                     parameter, so a proxy can reclassify traffic
 //	                     without rewriting URLs.
 //
-// The body is len(elements)·window·8 bytes of little-endian float64 echo
+// A raw body is len(elements)·window·8 bytes of little-endian float64 echo
 // samples, element-major in the xdcr.Array row order (ej·NX+ei); the
-// window length is inferred from the body size. Responses are binary
-// little-endian float64 with the grid shape in X-Ultrabeam-* headers.
+// window length is inferred from the body size. A wire body is one
+// internal/wire frame per transmit (header: elements, window, encoding,
+// transmit index/count; payload: length-prefixed chunks) whose geometry is
+// validated against the request before any payload is decoded. Responses
+// are binary little-endian samples in the negotiated encoding with the
+// grid shape in X-Ultrabeam-* headers.
 type Server struct {
 	cfg ServerConfig
 	mux *http.ServeMux
@@ -106,6 +127,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// wireRec returns the transport recorder of whichever backend serves.
+func (s *Server) wireRec() *wireRecorder {
+	if s.cfg.Scheduler != nil {
+		return &s.cfg.Scheduler.wire
+	}
+	return &s.cfg.Pool.wire
+}
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -139,10 +168,15 @@ func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// parseRequest resolves the query parameters into a pool request plus the
-// response selection.
-func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip int, err error) {
-	q := r.URL.Query()
+func tooLarge(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf(format, args...)}
+}
+
+// parseQuery resolves beamform parameters — shared by the HTTP handler
+// (r.URL.Query() plus header overrides) and the stream transport (the
+// hello query string). laneOverride, when non-empty, wins over the lane
+// parameter.
+func parseQuery(q url.Values, laneOverride string) (req SessionRequest, scanline bool, it, ip int, err error) {
 	spec := core.ReducedSpec()
 	switch q.Get("spec") {
 	case "", "reduced":
@@ -208,7 +242,7 @@ func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip in
 			cfg.Transmits = delayAxialSet(n, spec)
 		}
 	}
-	laneName := r.Header.Get("X-Ultrabeam-Lane")
+	laneName := laneOverride
 	if laneName == "" {
 		laneName = q.Get("lane")
 	}
@@ -240,8 +274,46 @@ func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip in
 	return SessionRequest{Spec: spec, Config: cfg, Arch: arch, Lane: lane}, scanline, it, ip, nil
 }
 
-// readFrame decodes one transmit's echo plane: elements·win little-endian
-// float64 samples, element-major.
+// parseRequest resolves an HTTP request's query parameters into a session
+// request plus the response selection.
+func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip int, err error) {
+	return parseQuery(r.URL.Query(), r.Header.Get("X-Ultrabeam-Lane"))
+}
+
+// wantsWire reports whether the request body is wire-framed: fmt=i16|f32|
+// f64 or Content-Type application/x-ultrabeam-frame. fmt names what the
+// client intends to send, but each frame header is authoritative for its
+// own encoding — the format is self-describing.
+func wantsWire(contentType, fmtParam string) (bool, error) {
+	switch fmtParam {
+	case "", "raw":
+	case "i16", "f32", "f64", "int16", "float32", "float64":
+		return true, nil
+	default:
+		return false, badRequest("unknown fmt %q (want raw|i16|f32|f64)", fmtParam)
+	}
+	mt, _, _ := mime.ParseMediaType(contentType)
+	return mt == wire.ContentType, nil
+}
+
+// respEncoding resolves the response sample encoding: resp=f32|f64 or an
+// Accept header naming application/x-ultrabeam-f32.
+func respEncoding(q url.Values, accept string) (wire.Encoding, error) {
+	switch q.Get("resp") {
+	case "", "f64", "float64":
+	case "f32", "float32":
+		return wire.EncodingF32, nil
+	default:
+		return wire.EncodingF64, badRequest("unknown resp %q (want f64|f32)", q.Get("resp"))
+	}
+	if strings.Contains(accept, "application/x-ultrabeam-f32") {
+		return wire.EncodingF32, nil
+	}
+	return wire.EncodingF64, nil
+}
+
+// readFrame decodes one transmit's raw echo plane: elements·win
+// little-endian float64 samples, element-major.
 func readFrame(r io.Reader, elements int, maxBytes int64) ([]rf.EchoBuffer, error) {
 	raw, err := io.ReadAll(io.LimitReader(r, maxBytes+1))
 	if err != nil {
@@ -249,14 +321,12 @@ func readFrame(r io.Reader, elements int, maxBytes int64) ([]rf.EchoBuffer, erro
 		// the status a retry-sizing client can act on.
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			return nil, &httpError{status: http.StatusRequestEntityTooLarge,
-				msg: fmt.Sprintf("frame exceeds %d bytes", mbe.Limit)}
+			return nil, tooLarge("frame exceeds %d bytes", mbe.Limit)
 		}
 		return nil, badRequest("reading frame: %v", err)
 	}
 	if int64(len(raw)) > maxBytes {
-		return nil, &httpError{status: http.StatusRequestEntityTooLarge,
-			msg: fmt.Sprintf("frame exceeds %d bytes", maxBytes)}
+		return nil, tooLarge("frame exceeds %d bytes", maxBytes)
 	}
 	if len(raw) == 0 || len(raw)%(8*elements) != 0 {
 		return nil, badRequest("frame is %d bytes; want a positive multiple of 8·%d elements", len(raw), elements)
@@ -273,9 +343,11 @@ func readFrame(r io.Reader, elements int, maxBytes int64) ([]rf.EchoBuffer, erro
 	return bufs, nil
 }
 
-// readTransmits decodes the request body into per-transmit echo sets: the
-// raw body for a single insonification, one multipart "transmit" part per
-// insonification for compounding.
+// readTransmits decodes a raw request body into per-transmit echo sets:
+// the plain body for a single insonification, one multipart "transmit"
+// part per insonification for compounding. Before any byte of a plain
+// body is buffered, the declared Content-Length is checked against the
+// geometry — a malformed length costs a 400/413, not a 256 MiB read.
 func readTransmits(r *http.Request, req SessionRequest, maxBytes int64) ([][]rf.EchoBuffer, error) {
 	elements := req.Spec.Elements()
 	wantTx := len(req.Config.Transmits)
@@ -286,7 +358,15 @@ func readTransmits(r *http.Request, req SessionRequest, maxBytes int64) ([][]rf.
 	mt, params, _ := mime.ParseMediaType(ct)
 	if mt != "multipart/form-data" {
 		if wantTx != 1 {
-			return nil, badRequest("%d transmits need multipart/form-data with one part per transmit", wantTx)
+			return nil, badRequest("%d transmits need multipart/form-data with one part per transmit (or wire frames)", wantTx)
+		}
+		if cl := r.ContentLength; cl >= 0 {
+			if cl > maxBytes {
+				return nil, tooLarge("declared body of %d bytes exceeds %d", cl, maxBytes)
+			}
+			if cl == 0 || cl%int64(8*elements) != 0 {
+				return nil, badRequest("declared body of %d bytes; want a positive multiple of 8·%d elements", cl, elements)
+			}
 		}
 		bufs, err := readFrame(r.Body, elements, maxBytes)
 		if err != nil {
@@ -322,6 +402,135 @@ func readTransmits(r *http.Request, req SessionRequest, maxBytes int64) ([][]rf.
 	return tx, nil
 }
 
+// countingReader counts bytes drawn from the underlying reader — the wire
+// bytes-received metric measures what actually crossed the transport,
+// framing included.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// wirePayload is one compound frame decoded off the wire: either guarded
+// float32 planes (planes[t], stride win+1 — the decode-into-plane path)
+// or float64 echo sets (tx[t][element] — the golden path every precision
+// accepts). Exactly one is non-nil.
+type wirePayload struct {
+	planes [][]float32
+	win    int
+	tx     [][]rf.EchoBuffer
+}
+
+// wireErr maps a wire decode error onto an HTTP status: a tripped
+// http.MaxBytesReader (the cap on the whole request body) is 413, any
+// other malformed frame is 400.
+func wireErr(err error) error {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return tooLarge("body exceeds %d bytes", mbe.Limit)
+	}
+	return badRequest("%v", err)
+}
+
+// planesUsable reports whether a request's session consumes guarded
+// float32 planes: the narrow single-precision kernel with the window
+// inside the int16-exact range. Everything else gets float64 echo buffers
+// (for f64 wire frames that path is bit-exact at every precision).
+func planesUsable(req SessionRequest, win int) bool {
+	return req.Config.Precision == beamform.PrecisionFloat32 && win <= delay.MaxEchoWindow
+}
+
+// checkWireHeader validates a frame header against the request geometry
+// and its transmit position — rejecting on shape, order or size before
+// one payload byte is decoded. win is transmit 0's window (ignored at
+// t == 0, where the header sets it).
+func checkWireHeader(h wire.Header, req SessionRequest, wantTx, t, win int, maxBytes int64) error {
+	if elements := req.Spec.Elements(); h.Elements != elements {
+		return badRequest("frame has %d elements; the request geometry has %d", h.Elements, elements)
+	}
+	if h.TxCount != wantTx {
+		return badRequest("frame declares %d transmits; the request compounds %d", h.TxCount, wantTx)
+	}
+	if h.TxIndex != t {
+		return badRequest("transmit %d arrived where %d was expected (frames are sent in transmit order)", h.TxIndex, t)
+	}
+	if t > 0 && h.Window != win {
+		return badRequest("transmit %d window %d differs from transmit 0 window %d", t, h.Window, win)
+	}
+	if h.PayloadBytes() > maxBytes {
+		return tooLarge("frame payload of %d bytes exceeds %d", h.PayloadBytes(), maxBytes)
+	}
+	return nil
+}
+
+// decodeWireFrame streams a checked frame's payload into p, picking p's
+// form on the first transmit: guarded float32 planes when the session can
+// consume them, float64 echo buffers otherwise.
+func decodeWireFrame(body io.Reader, h wire.Header, req SessionRequest, wantTx, t int, p *wirePayload) error {
+	elements := req.Spec.Elements()
+	if t == 0 {
+		p.win = h.Window
+		if planesUsable(req, h.Window) {
+			p.planes = make([][]float32, wantTx)
+		} else {
+			p.tx = make([][]rf.EchoBuffer, wantTx)
+		}
+	}
+	if p.planes != nil {
+		stride := p.win + 1
+		plane := make([]float32, elements*stride) // fresh: guard slots zero
+		if err := wire.DecodePlane(body, h, plane, stride); err != nil {
+			return wireErr(err)
+		}
+		p.planes[t] = plane
+		return nil
+	}
+	samples := make([]float64, elements*h.Window)
+	if err := wire.DecodeF64(body, h, samples); err != nil {
+		return wireErr(err)
+	}
+	bufs := make([]rf.EchoBuffer, elements)
+	for d := 0; d < elements; d++ {
+		bufs[d] = rf.EchoBuffer{Samples: samples[d*h.Window : (d+1)*h.Window]}
+	}
+	p.tx[t] = bufs
+	return nil
+}
+
+// readWireFrame reads, checks and decodes one wire frame into p.
+func readWireFrame(body io.Reader, req SessionRequest, wantTx, t int, maxBytes int64, p *wirePayload) (wire.Header, error) {
+	h, err := wire.ReadHeader(body)
+	if err != nil {
+		return h, wireErr(err)
+	}
+	if err := checkWireHeader(h, req, wantTx, t, p.win, maxBytes); err != nil {
+		return h, err
+	}
+	return h, decodeWireFrame(body, h, req, wantTx, t, p)
+}
+
+// readWirePayload decodes a whole compound frame (wantTx wire frames,
+// transmit order) from body, recording ingest metrics on rec.
+func readWirePayload(body io.Reader, req SessionRequest, wantTx int, maxBytes int64, rec *wireRecorder) (*wirePayload, error) {
+	var p wirePayload
+	cr := &countingReader{r: body}
+	for t := 0; t < wantTx; t++ {
+		before := cr.n
+		start := time.Now()
+		h, err := readWireFrame(cr, req, wantTx, t, maxBytes, &p)
+		if err != nil {
+			return nil, err
+		}
+		rec.recordIngest(h.Encoding, false, cr.n-before, time.Since(start), p.planes != nil)
+	}
+	return &p, nil
+}
+
 func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	req, scanline, it, ip, err := parseRequest(r)
@@ -329,24 +538,81 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	txBufs, err := readTransmits(r, req, s.cfg.MaxBodyBytes)
+	q := r.URL.Query()
+	isWire, err := wantsWire(r.Header.Get("Content-Type"), q.Get("fmt"))
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	respEnc, err := respEncoding(q, r.Header.Get("Accept"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AcquireTimeout)
 	defer cancel()
+
 	var vol *beamform.Volume
-	if s.cfg.Scheduler != nil {
-		// Scheduled mode: the frame joins its geometry's lane queue and
-		// comes back as a freshly allocated volume once its batch runs.
-		vol, err = s.cfg.Scheduler.Submit(ctx, req, txBufs)
-		if err != nil {
-			writeError(w, err)
+	switch {
+	case isWire && s.cfg.Scheduler != nil:
+		// Streaming ingest: reserve the queue slot (and start a cold
+		// geometry's session build) before the payload is decoded, so the
+		// upload overlaps the backlog ahead of it.
+		pend, berr := s.cfg.Scheduler.Begin(req)
+		if berr != nil {
+			writeError(w, berr)
 			return
 		}
-	} else {
+		p, derr := readWirePayload(r.Body, req, txCount(req), s.cfg.MaxBodyBytes, s.wireRec())
+		if derr != nil {
+			pend.Abort()
+			writeError(w, derr)
+			return
+		}
+		if p.planes != nil {
+			pend.CompletePlanes(p.win, p.planes)
+		} else {
+			pend.CompleteBuffers(p.tx)
+		}
+		vol, err = pend.Wait(ctx)
+	case isWire:
+		// Checkout mode: decode fully (planes still skip the float64
+		// intermediate), then lease a session.
+		p, derr := readWirePayload(r.Body, req, txCount(req), s.cfg.MaxBodyBytes, s.wireRec())
+		if derr != nil {
+			writeError(w, derr)
+			return
+		}
+		lease, lerr := s.cfg.Pool.Acquire(ctx, req)
+		if lerr != nil {
+			writeError(w, lerr)
+			return
+		}
+		if p.planes != nil {
+			vol = lease.Session.NewVolume()
+			err = lease.Session.BeamformBatchPlanes([]*beamform.Volume{vol}, p.win, [][][]float32{p.planes})
+		} else {
+			vol, err = lease.Session.BeamformCompound(p.tx)
+		}
+		lease.Release()
+	case s.cfg.Scheduler != nil:
+		decodeStart := time.Now()
+		txBufs, derr := readTransmits(r, req, s.cfg.MaxBodyBytes)
+		if derr != nil {
+			writeError(w, derr)
+			return
+		}
+		s.recordRaw(txBufs, time.Since(decodeStart))
+		vol, err = s.cfg.Scheduler.Submit(ctx, req, txBufs)
+	default:
+		decodeStart := time.Now()
+		txBufs, derr := readTransmits(r, req, s.cfg.MaxBodyBytes)
+		if derr != nil {
+			writeError(w, derr)
+			return
+		}
+		s.recordRaw(txBufs, time.Since(decodeStart))
 		lease, lerr := s.cfg.Pool.Acquire(ctx, req)
 		if lerr != nil {
 			writeError(w, lerr)
@@ -358,30 +624,60 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		// response, or a slow-reading client would pin a warm slot through a
 		// multi-megabyte network write doing no beamforming.
 		lease.Release()
-		if err != nil {
-			writeError(w, err)
-			return
-		}
+	}
+	if err != nil {
+		writeError(w, err)
+		return
 	}
 	data := vol.Data
 	if scanline {
 		data = vol.Scanline(it, ip)
 	}
+	size := respEnc.SampleBytes()
 	h := w.Header()
 	h.Set("Content-Type", "application/octet-stream")
 	h.Set("X-Ultrabeam-Theta", strconv.Itoa(vol.Vol.Theta.N))
 	h.Set("X-Ultrabeam-Phi", strconv.Itoa(vol.Vol.Phi.N))
 	h.Set("X-Ultrabeam-Depth", strconv.Itoa(vol.Vol.Depth.N))
+	h.Set("X-Ultrabeam-Encoding", respEnc.String())
 	if scanline {
 		h.Set("X-Ultrabeam-Scanline", fmt.Sprintf("%d,%d", it, ip))
 	}
 	h.Set("X-Ultrabeam-Elapsed-Ms", strconv.FormatFloat(time.Since(start).Seconds()*1e3, 'f', 3, 64))
-	h.Set("Content-Length", strconv.Itoa(8*len(data)))
-	out := make([]byte, 8*len(data))
-	for i, v := range data {
-		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	h.Set("Content-Length", strconv.Itoa(size*len(data)))
+	out := make([]byte, size*len(data))
+	if respEnc == wire.EncodingF32 {
+		for i, v := range data {
+			binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(float32(v)))
+		}
+	} else {
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+		}
 	}
+	s.wireRec().recordReply(int64(len(out)))
 	w.Write(out)
+}
+
+// txCount returns the compound set size of a request.
+func txCount(req SessionRequest) int {
+	if n := len(req.Config.Transmits); n > 0 {
+		return n
+	}
+	return 1
+}
+
+// recordRaw accounts legacy raw-body ingest in the wire metrics.
+func (s *Server) recordRaw(txBufs [][]rf.EchoBuffer, decode time.Duration) {
+	rec := s.wireRec()
+	per := decode / time.Duration(max(len(txBufs), 1))
+	for _, bufs := range txBufs {
+		var n int64
+		for _, b := range bufs {
+			n += int64(8 * len(b.Samples))
+		}
+		rec.recordIngest(wire.EncodingF64, true, n, per, false)
+	}
 }
 
 // writeError maps pool and parse errors onto HTTP statuses: overload and

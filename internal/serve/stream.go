@@ -1,0 +1,224 @@
+// Cine stream transport: a persistent TCP connection carrying wire frames
+// in and volumes out, for the paper's real-time imaging loop. HTTP pays a
+// request/response round of headers, connection churn and (for compounds)
+// multipart framing per volume; a cine feed at tens of volumes per second
+// pays it tens of times per second. The stream protocol amortises all of
+// it into one hello: the client connects, sends the beamform query string
+// once (same parameters as POST /beamform), then pushes compound frames
+// back to back and reads volumes back in frame order. Frames decode with
+// the same streaming ingest as HTTP — i16/f32 payloads land straight in
+// guarded float32 planes — and each compound's queue slot is reserved
+// before its payload finishes arriving, so the scheduler overlaps decode
+// with the backlog. Replies use the negotiated f32 or f64 volume encoding;
+// per-compound errors come back in-band as status volumes without killing
+// the stream, so one malformed frame does not drop a live cine feed.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/url"
+	"sync"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/wire"
+)
+
+// streamDepth bounds how many compounds one connection may have in flight
+// (decoded or decoding, not yet answered). Depth >1 is what makes the
+// stream a pipeline: the next upload decodes while the scheduler works the
+// previous one.
+const streamDepth = 4
+
+// ServeStream accepts persistent cine connections on ln until the
+// listener closes or ctx is done. Protocol, all little-endian:
+//
+//	client → hello: "UBS1", query length, query string (the /beamform
+//	         parameter set, e.g. "spec=paper&precision=float32&fmt=i16").
+//	server → hello reply: status byte (0 ok) + message.
+//	client → wire frames (internal/wire), one per transmit, transmit
+//	         order, repeated per compound, back to back.
+//	server → one volume ("UBV1") per compound, in order: the beamformed
+//	         volume or scanline in the negotiated resp= encoding, or a
+//	         non-zero status with an error message for that compound.
+//
+// Streaming requires scheduled mode (the stream rides Begin/Complete
+// pipelining); a pool-backed server refuses the hello.
+func (s *Server) ServeStream(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			s.serveStreamConn(ctx, conn)
+		}()
+	}
+}
+
+// serveStreamConn runs one cine connection to completion.
+func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
+	query, err := wire.ReadHello(conn)
+	if err != nil {
+		return // nothing sane to reply to
+	}
+	q, err := url.ParseQuery(query)
+	if err != nil {
+		wire.WriteHelloReply(conn, 1, fmt.Sprintf("bad query: %v", err))
+		return
+	}
+	req, scanline, it, ip, perr := parseQuery(q, "")
+	if perr != nil {
+		wire.WriteHelloReply(conn, 1, perr.Error())
+		return
+	}
+	respEnc, perr := respEncoding(q, "")
+	if perr != nil {
+		wire.WriteHelloReply(conn, 1, perr.Error())
+		return
+	}
+	if s.cfg.Scheduler == nil {
+		wire.WriteHelloReply(conn, 1, "stream transport needs scheduled mode")
+		return
+	}
+	if err := wire.WriteHelloReply(conn, 0, "ok"); err != nil {
+		return
+	}
+	s.wireRec().recordStream()
+
+	// The reader goroutine (this one) decodes compounds and submits them;
+	// the writer goroutine answers in submission order. results is the
+	// in-order pipeline between them, its capacity the pipelining depth.
+	type result struct {
+		pend *PendingFrame
+		err  error // decode/submit error to report in-band
+	}
+	results := make(chan result, streamDepth)
+	writerDone := make(chan struct{})
+	// fail queues an in-band error reply unless the writer is gone.
+	fail := func(err error) {
+		select {
+		case results <- result{err: err}:
+		case <-writerDone:
+		}
+	}
+	go func() {
+		defer close(writerDone)
+		for res := range results {
+			var vol *beamform.Volume
+			err := res.err
+			if err == nil {
+				wctx, cancel := context.WithTimeout(ctx, s.cfg.AcquireTimeout)
+				vol, err = res.pend.Wait(wctx)
+				cancel()
+			}
+			if err != nil {
+				if werr := wire.WriteVolumeError(conn, 1, err.Error()); werr != nil {
+					return
+				}
+				continue
+			}
+			data := vol.Data
+			theta, phi, depth := vol.Vol.Theta.N, vol.Vol.Phi.N, vol.Vol.Depth.N
+			if scanline {
+				data = vol.Scanline(it, ip)
+				theta, phi = 1, 1
+			}
+			if err := wire.WriteVolume(conn, respEnc, theta, phi, depth, data); err != nil {
+				return
+			}
+			s.wireRec().recordReply(int64(len(data) * respEnc.SampleBytes()))
+		}
+	}()
+
+	wantTx := txCount(req)
+	rec := s.wireRec()
+	for ctx.Err() == nil {
+		// One compound: read and check the first header, reserve the queue
+		// slot, then decode payloads — the upload overlaps the backlog.
+		cr := &countingReader{r: conn}
+		start := time.Now()
+		h, herr := wire.ReadHeader(cr)
+		if herr != nil {
+			if cr.n == 0 {
+				break // clean end of stream
+			}
+			fail(wireErr(herr))
+			break
+		}
+		if cerr := checkWireHeader(h, req, wantTx, 0, 0, s.cfg.MaxBodyBytes); cerr != nil {
+			// The unread payload desynchronises the byte stream: report
+			// in-band, then stop reading. The writer drains what's queued.
+			fail(cerr)
+			break
+		}
+		// Per-compound lane override: the frame header's lane byte lets a
+		// client interleave priorities on one connection (0 keeps the
+		// connection's lane, 1 forces interactive, 2 forces bulk).
+		creq := req
+		if h.Lane >= 1 && int(h.Lane) <= numLanes {
+			creq.Lane = Lane(h.Lane - 1)
+		}
+		pend, berr := s.cfg.Scheduler.Begin(creq)
+		if berr != nil && !errors.Is(berr, ErrOverloaded) {
+			fail(berr)
+			break
+		}
+		// On overload pend is nil: decode anyway to keep the stream in
+		// sync, drop the compound, and report in-band — one saturated
+		// moment must not kill a live cine feed.
+		var p wirePayload
+		var derr error
+		for t := 0; t < wantTx; t++ {
+			before := cr.n
+			if t > 0 {
+				start = time.Now()
+				if h, derr = wire.ReadHeader(cr); derr != nil {
+					derr = wireErr(derr)
+					break
+				}
+				if derr = checkWireHeader(h, req, wantTx, t, p.win, s.cfg.MaxBodyBytes); derr != nil {
+					break
+				}
+			}
+			if derr = decodeWireFrame(cr, h, req, wantTx, t, &p); derr != nil {
+				break
+			}
+			rec.recordIngest(h.Encoding, false, cr.n-before, time.Since(start), p.planes != nil)
+		}
+		if derr != nil {
+			if pend != nil {
+				pend.Abort()
+			}
+			fail(derr)
+			break
+		}
+		if pend == nil {
+			fail(berr)
+			continue
+		}
+		if p.planes != nil {
+			pend.CompletePlanes(p.win, p.planes)
+		} else {
+			pend.CompleteBuffers(p.tx)
+		}
+		select {
+		case results <- result{pend: pend}:
+		case <-writerDone:
+			pend.Abort()
+		}
+	}
+	close(results)
+	<-writerDone
+}

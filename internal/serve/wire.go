@@ -1,0 +1,83 @@
+// Wire metrics: the serving-side counters behind the B7 bandwidth claim.
+// Every ingest path (legacy raw float64 POST, wire-framed i16/f32/f64 over
+// HTTP or the cine stream) records what actually crossed the network and
+// how long decode took, and every reply records its encoded bytes — so
+// /stats shows the protocol win live, not just the bench record.
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ultrabeam/internal/wire"
+)
+
+// wireRecorder accumulates transport counters. All fields are atomic: the
+// HTTP handlers and stream connections record concurrently with /stats
+// scrapes.
+type wireRecorder struct {
+	framesIn  atomic.Int64 // ingested frames (one per transmit)
+	bytesIn   atomic.Int64 // request payload bytes received
+	decodeNs  atomic.Int64 // time spent decoding payloads into echo form
+	framesI16 atomic.Int64
+	framesF32 atomic.Int64
+	framesF64 atomic.Int64 // wire-framed f64
+	framesRaw atomic.Int64 // legacy headerless float64 bodies
+	planes    atomic.Int64 // frames decoded straight into float32 planes
+	bytesOut  atomic.Int64 // response payload bytes sent
+	streams   atomic.Int64 // cine stream connections accepted
+}
+
+// recordIngest counts one ingested transmit frame. enc < 0 marks the
+// legacy raw float64 body.
+func (r *wireRecorder) recordIngest(enc wire.Encoding, raw bool, bytes int64, decode time.Duration, toPlane bool) {
+	r.framesIn.Add(1)
+	r.bytesIn.Add(bytes)
+	r.decodeNs.Add(int64(decode))
+	switch {
+	case raw:
+		r.framesRaw.Add(1)
+	case enc == wire.EncodingI16:
+		r.framesI16.Add(1)
+	case enc == wire.EncodingF32:
+		r.framesF32.Add(1)
+	default:
+		r.framesF64.Add(1)
+	}
+	if toPlane {
+		r.planes.Add(1)
+	}
+}
+
+func (r *wireRecorder) recordReply(bytes int64) { r.bytesOut.Add(bytes) }
+func (r *wireRecorder) recordStream()           { r.streams.Add(1) }
+
+// WireStats is the JSON row of transport counters in SchedulerStats and
+// PoolStats.
+type WireStats struct {
+	FramesIn     int64   `json:"frames_in"`
+	BytesIn      int64   `json:"bytes_in"`
+	DecodeMs     float64 `json:"decode_ms"`
+	FramesI16    int64   `json:"frames_i16"`
+	FramesF32    int64   `json:"frames_f32"`
+	FramesF64    int64   `json:"frames_f64"`
+	FramesRaw    int64   `json:"frames_raw"`
+	PlaneDecodes int64   `json:"plane_decodes"`
+	BytesOut     int64   `json:"bytes_out"`
+	Streams      int64   `json:"streams"`
+}
+
+func (r *wireRecorder) stats() WireStats {
+	return WireStats{
+		FramesIn:     r.framesIn.Load(),
+		BytesIn:      r.bytesIn.Load(),
+		DecodeMs:     float64(r.decodeNs.Load()) / 1e6,
+		FramesI16:    r.framesI16.Load(),
+		FramesF32:    r.framesF32.Load(),
+		FramesF64:    r.framesF64.Load(),
+		FramesRaw:    r.framesRaw.Load(),
+		PlaneDecodes: r.planes.Load(),
+		BytesOut:     r.bytesOut.Load(),
+		Streams:      r.streams.Load(),
+	}
+}
