@@ -26,6 +26,7 @@
 //	serve       B5 served frames/s + latency vs connection count, shared vs per-session delay budgets (always reduced scale)
 //	sched       B6 scheduled vs checkout serving under mixed bulk + interactive load (always reduced scale)
 //	wire        B7 transport comparison: legacy f64 POST vs i16 wire frames vs the persistent i16 stream (always reduced scale)
+//	resilience  B8 failure-path triplet: drain latency, fault-burst recovery, interactive p99 under overload shed (always reduced scale)
 //	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json + BENCH_serve.json)
 //	all         every text experiment in sequence
 //
@@ -194,6 +195,16 @@ func main() {
 		// and streamed, on the float32 session.
 		var r experiments.WireResult
 		r, err = experiments.WireLoad(experiments.ServeSpec(), *frames)
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
+	case "resilience":
+		// B8 exercises the failure paths over live loopback: graceful
+		// drain of a queued backlog, recovery from a fault burst that
+		// kills the hot session, and the overload ladder's interactive
+		// latency while the bulk lane sheds.
+		var r experiments.ResilienceResult
+		r, err = experiments.ResilienceLoad(experiments.ServeSpec(), *frames)
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
@@ -422,7 +433,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             datapath compound serve sched wire bench all
+             datapath compound serve sched wire resilience bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
        -frames N -json -cpuprofile FILE -memprofile FILE`)

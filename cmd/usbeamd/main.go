@@ -11,8 +11,18 @@
 //
 //	usbeamd [-addr :8642] [-stream-addr :8643] [-max-geometries N]
 //	        [-max-queue N] [-max-batch N] [-core-slots N] [-idle-ttl 5m]
-//	        [-acquire-timeout 10s] [-max-body 256MiB]
+//	        [-acquire-timeout 10s] [-max-body 256MiB] [-drain-timeout 30s]
 //	usbeamd -checkout [-max-sessions N] [-max-queue N] [-private-caches] ...
+//
+// SIGTERM (or interrupt) triggers a graceful drain: /healthz flips to 503
+// with drain progress so a router can deroute, new frames are refused with
+// Retry-After hints, cine streams get an in-band GOAWAY at their next
+// compound boundary, and every frame already queued finishes (bounded by
+// -drain-timeout) before the listeners close.
+//
+// -faults (or the ULTRABEAM_FAULTS environment variable) arms the
+// internal/faultpoint chaos schedule — deterministic injected failures for
+// resilience testing, never for production.
 //
 // -stream-addr additionally listens for the persistent cine stream
 // transport (scheduler mode only): one TCP connection per probe, wire
@@ -41,6 +51,7 @@ import (
 	"syscall"
 	"time"
 
+	"ultrabeam/internal/faultpoint"
 	"ultrabeam/internal/serve"
 )
 
@@ -57,7 +68,22 @@ func main() {
 	acquireTimeout := flag.Duration("acquire-timeout", 10*time.Second, "max time a request may queue for a session")
 	maxBody := flag.Int64("max-body", 256<<20, "request body byte cap")
 	privateCaches := flag.Bool("private-caches", false, "checkout mode: disable delay-store sharing (per-session caches; A/B baseline)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time a SIGTERM drain may spend finishing queued frames")
+	faults := flag.String("faults", "", "fault-injection schedule (see internal/faultpoint); testing only")
 	flag.Parse()
+
+	if *faults != "" {
+		if err := faultpoint.Activate(*faults); err != nil {
+			fmt.Fprintln(os.Stderr, "usbeamd: -faults:", err)
+			os.Exit(1)
+		}
+		log.Printf("usbeamd: fault injection ARMED (%s) — not for production", *faults)
+	} else if err := faultpoint.ActivateFromEnv(); err != nil {
+		fmt.Fprintf(os.Stderr, "usbeamd: %s: %v\n", faultpoint.EnvVar, err)
+		os.Exit(1)
+	} else if faultpoint.Active() {
+		log.Printf("usbeamd: fault injection ARMED via %s — not for production", faultpoint.EnvVar)
+	}
 
 	var (
 		cfg   serve.ServerConfig
@@ -123,7 +149,19 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Println("usbeamd: shutting down")
+		log.Println("usbeamd: draining (healthz now 503; queued frames finishing)")
+		// Drain before anything closes: new work is refused with GOAWAY /
+		// Retry-After, /healthz flips to 503 so a router deroutes, and every
+		// frame already queued finishes. Stream connections observe the
+		// drain at their next compound boundary and say goodbye in-band —
+		// only then do the listeners come down.
+		drainCtx, drainCancel := context.WithTimeout(context.Background(), *drainTimeout)
+		if err := srv.Shutdown(drainCtx); err != nil {
+			log.Println("usbeamd: drain:", err)
+		} else {
+			log.Println("usbeamd: drained clean")
+		}
+		drainCancel()
 		if streamLn != nil {
 			streamCancel()
 			streamLn.Close()

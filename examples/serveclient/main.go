@@ -10,6 +10,13 @@
 // one TCP connection, the query sent once, then -frames compounds pushed
 // back to back with volumes read in order.
 //
+// The client is resilient by default: HTTP 503s (overloaded, draining,
+// degraded) retry with jittered exponential backoff honoring the server's
+// Retry-After hint, and the stream transport sequence-tracks its compounds
+// — a GOAWAY or dead connection reconnects and resends only the frames the
+// server never answered, so nothing is beamformed twice. -retries bounds
+// both.
+//
 // Run `go run ./cmd/usbeamd -stream-addr :8643` in one terminal, then:
 //
 //	go run ./examples/serveclient -addr localhost:8642 -wire i16
@@ -19,13 +26,18 @@ package main
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"ultrabeam"
 	"ultrabeam/internal/geom"
@@ -39,6 +51,7 @@ func main() {
 	respFmt := flag.String("resp", "f64", "response sample encoding: f64|f32")
 	stream := flag.String("stream", "", "use the persistent cine stream transport at this TCP address instead of HTTP")
 	frames := flag.Int("frames", 4, "compounds to push over the stream transport")
+	retries := flag.Int("retries", 5, "retry budget: 503s and dead connections back off and try again this many times")
 	flag.Parse()
 
 	// One frame of the reduced Table I system: a point scatterer at 60%
@@ -78,11 +91,11 @@ func main() {
 		if !isWire {
 			fail(fmt.Errorf("the stream transport carries wire frames: pick -wire i16|f32|f64"))
 		}
-		line, note = runStream(*stream, query, enc, spec.Elements(), win, samples, *frames)
+		line, note = runStream(*stream, query, enc, spec.Elements(), win, samples, *frames, *retries)
 	} else if isWire {
-		line, note = postWire(*addr, query, enc, spec.Elements(), win, samples)
+		line, note = postWire(*addr, query, enc, spec.Elements(), win, samples, *retries)
 	} else {
-		line, note = postRaw(*addr, query, samples)
+		line, note = postRaw(*addr, query, samples, *retries)
 	}
 
 	peak, peakAt := 0.0, 0
@@ -115,17 +128,33 @@ func main() {
 	}
 }
 
+// backoff picks the delay before retry attempt+1. A Retry-After hint from
+// the server wins (it is derived from actual queue depth and drain rate);
+// otherwise exponential from 100ms capped at 5s. Both get ±25% jitter so a
+// fleet of clients bounced by one overload burst does not reconverge on
+// the server in lockstep.
+func backoff(attempt int, retryAfter string) time.Duration {
+	d := 100 * time.Millisecond << uint(min(attempt, 6))
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	if s, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && s > 0 {
+		d = time.Duration(s) * time.Second
+	}
+	return time.Duration(float64(d) * (0.75 + rand.Float64()/2))
+}
+
 // postRaw POSTs the legacy headerless float64 body.
-func postRaw(addr, query string, samples []float64) ([]float64, string) {
+func postRaw(addr, query string, samples []float64, retries int) ([]float64, string) {
 	body := make([]byte, 8*len(samples))
 	for i, v := range samples {
 		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(v))
 	}
-	return post(addr, query, "application/octet-stream", body, fmt.Sprintf("raw f64 body, %d B", len(body)))
+	return post(addr, query, "application/octet-stream", body, fmt.Sprintf("raw f64 body, %d B", len(body)), retries)
 }
 
 // postWire POSTs one wire frame in the chosen encoding.
-func postWire(addr, query string, enc wire.Encoding, elements, win int, samples []float64) ([]float64, string) {
+func postWire(addr, query string, enc wire.Encoding, elements, win int, samples []float64, retries int) ([]float64, string) {
 	f, err := wire.NewFrame(enc, elements, win, 0, 1, samples)
 	if err != nil {
 		fail(err)
@@ -138,26 +167,43 @@ func postWire(addr, query string, enc wire.Encoding, elements, win int, samples 
 		enc, buf.Len(), wire.FrameWireBytes(wire.Header{
 			Encoding: wire.EncodingF64, Elements: elements, Window: win, TxCount: 1,
 		}, 0))
-	return post(addr, query, wire.ContentType, buf.Bytes(), note)
+	return post(addr, query, wire.ContentType, buf.Bytes(), note, retries)
 }
 
-// post runs one HTTP round trip and decodes the response scanline.
-func post(addr, query, ct string, body []byte, note string) ([]float64, string) {
+// post runs one HTTP round trip and decodes the response scanline. Dead
+// connections and 503s (overloaded, draining, degraded) retry with
+// jittered backoff, honoring the server's Retry-After hint.
+func post(addr, query, ct string, body []byte, note string, retries int) ([]float64, string) {
 	url := fmt.Sprintf("http://%s/beamform?%s", addr, query)
-	resp, err := http.Post(url, ct, bytes.NewReader(body))
-	if err != nil {
-		fail(fmt.Errorf("POST %s: %w (is usbeamd running?)", url, err))
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(url, ct, bytes.NewReader(body))
+		if err != nil {
+			if attempt >= retries {
+				fail(fmt.Errorf("POST %s: %w (is usbeamd running?)", url, err))
+			}
+			d := backoff(attempt, "")
+			fmt.Fprintf(os.Stderr, "serveclient: %v; retrying in %v\n", err, d.Round(time.Millisecond))
+			time.Sleep(d)
+			continue
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			fail(err)
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable && attempt < retries {
+			d := backoff(attempt, resp.Header.Get("Retry-After"))
+			fmt.Fprintf(os.Stderr, "serveclient: 503 %s; retrying in %v\n",
+				strings.TrimSpace(string(raw)), d.Round(time.Millisecond))
+			time.Sleep(d)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("%s: %s", resp.Status, raw))
+		}
+		line := decodeSamples(raw, resp.Header.Get("X-Ultrabeam-Encoding"))
+		return line, note + ", server elapsed " + resp.Header.Get("X-Ultrabeam-Elapsed-Ms") + " ms"
 	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
-	if err != nil {
-		fail(err)
-	}
-	if resp.StatusCode != http.StatusOK {
-		fail(fmt.Errorf("%s: %s", resp.Status, raw))
-	}
-	line := decodeSamples(raw, resp.Header.Get("X-Ultrabeam-Encoding"))
-	return line, note + ", server elapsed " + resp.Header.Get("X-Ultrabeam-Elapsed-Ms") + " ms"
 }
 
 // decodeSamples parses a response body in the negotiated encoding.
@@ -182,20 +228,14 @@ func decodeSamples(raw []byte, enc string) []float64 {
 	return out
 }
 
-// runStream pushes n compounds over one persistent connection and returns
-// the last volume's samples.
-func runStream(addr, query string, enc wire.Encoding, elements, win int, samples []float64, n int) ([]float64, string) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		fail(fmt.Errorf("dial %s: %w (is usbeamd running with -stream-addr?)", addr, err))
-	}
-	defer conn.Close()
-	if err := wire.WriteHello(conn, query); err != nil {
-		fail(err)
-	}
-	if err := wire.ReadHelloReply(conn); err != nil {
-		fail(fmt.Errorf("stream hello: %w", err))
-	}
+// runStream pushes n compounds over the persistent cine transport and
+// returns the last volume's samples. Frames are sequence-tracked: acked
+// counts compounds the server has answered (a volume, or an in-band
+// per-compound error — both are definitive answers and are never resent,
+// so nothing is double-beamformed). A GOAWAY (server draining) or a dead
+// connection reconnects with jittered backoff and resumes pushing from
+// the first unanswered frame.
+func runStream(addr, query string, enc wire.Encoding, elements, win int, samples []float64, n, retries int) ([]float64, string) {
 	f, err := wire.NewFrame(enc, elements, win, 0, 1, samples)
 	if err != nil {
 		fail(err)
@@ -204,22 +244,81 @@ func runStream(addr, query string, enc wire.Encoding, elements, win int, samples
 	if err := wire.WriteFrame(&buf, f, 0); err != nil {
 		fail(err)
 	}
-	// Push the whole burst, then drain the replies: the server pipelines.
-	for i := 0; i < n; i++ {
-		if _, err := conn.Write(buf.Bytes()); err != nil {
-			fail(fmt.Errorf("push compound %d: %w", i, err))
-		}
-	}
 	var last *wire.Volume
-	for i := 0; i < n; i++ {
-		v, err := wire.ReadVolume(conn, 0)
-		if err != nil {
-			fail(fmt.Errorf("volume %d: %w", i, err))
+	acked, reconnects, attempt := 0, 0, 0
+	for acked < n {
+		if attempt > retries {
+			fail(fmt.Errorf("stream: gave up after %d attempts with %d/%d compounds answered", attempt, acked, n))
 		}
-		last = v
+		if attempt > 0 {
+			d := backoff(attempt-1, "")
+			fmt.Fprintf(os.Stderr, "serveclient: stream reconnect %d (answered %d/%d) in %v\n",
+				reconnects+1, acked, n, d.Round(time.Millisecond))
+			time.Sleep(d)
+			reconnects++
+		}
+		attempt++
+		acked = streamOnce(addr, query, buf.Bytes(), acked, n, &last, &attempt)
 	}
-	note := fmt.Sprintf("stream: %d × %s compounds of %d B on one connection", n, enc, buf.Len())
+	if last == nil {
+		fail(fmt.Errorf("stream: all %d compounds answered, none with a volume", n))
+	}
+	note := fmt.Sprintf("stream: %d × %s compounds of %d B, %d reconnect(s)", n, enc, buf.Len(), reconnects)
 	return last.Data, note
+}
+
+// streamOnce runs one connection: hello, push every unanswered compound,
+// read replies until done or the connection dies. Returns the updated
+// acked count; progress resets the caller's retry attempt counter.
+func streamOnce(addr, query string, frame []byte, acked, n int, last **wire.Volume, attempt *int) int {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "serveclient: dial %s: %v (is usbeamd running with -stream-addr?)\n", addr, err)
+		return acked
+	}
+	defer conn.Close()
+	if err := wire.WriteHello(conn, query); err != nil {
+		return acked
+	}
+	if err := wire.ReadHelloReply(conn); err != nil {
+		fmt.Fprintf(os.Stderr, "serveclient: stream hello refused: %v\n", err)
+		return acked
+	}
+	// Push the whole unanswered burst, then drain the replies: the server
+	// pipelines decode against the backlog. A write error is not fatal —
+	// the server still answers every compound it read; the rest resend on
+	// the next connection.
+	pushed := 0
+	for i := acked; i < n; i++ {
+		if _, err := conn.Write(frame); err != nil {
+			break
+		}
+		pushed++
+	}
+	for k := 0; k < pushed; k++ {
+		v, err := wire.ReadVolume(conn, 0)
+		if err == nil {
+			*last, acked, *attempt = v, acked+1, 0
+			continue
+		}
+		if wire.IsGoAway(err) {
+			// Draining: this compound was not beamformed and nothing else
+			// is coming on this connection. Resend from here elsewhere.
+			fmt.Fprintf(os.Stderr, "serveclient: server draining (GOAWAY) after %d/%d\n", acked, n)
+			return acked
+		}
+		var re *wire.RemoteError
+		if errors.As(err, &re) {
+			// In-band per-compound answer: definitive for this frame (it
+			// counts as acked, never resent), stream still healthy.
+			fmt.Fprintf(os.Stderr, "serveclient: compound %d rejected in-band: %v\n", acked, err)
+			acked, *attempt = acked+1, 0
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "serveclient: stream read after %d/%d: %v\n", acked, n, err)
+		return acked
+	}
+	return acked
 }
 
 func fail(err error) {

@@ -43,8 +43,14 @@ import (
 
 	"ultrabeam/internal/delay"
 	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/faultpoint"
 	"ultrabeam/internal/rf"
 )
+
+// batchFault fails a whole batch dispatch before it touches any output —
+// the chaos harness's stand-in for a kernel-level failure. Inert (one
+// atomic load) unless a schedule arms it.
+var batchFault = faultpoint.New("beamform.batch")
 
 // NappeSource is the optional fast path a caching BlockProvider can offer
 // on the wide datapath: Nappe returns a retained read-only float64 block
@@ -385,6 +391,9 @@ func (s *Session) BeamformBatch(dsts []*Volume, batch [][][]rf.EchoBuffer) error
 	if s.closed {
 		return errors.New("beamform: session is closed")
 	}
+	if err := batchFault.Err(); err != nil {
+		return err
+	}
 	if len(batch) == 0 {
 		return errors.New("beamform: empty batch")
 	}
@@ -472,6 +481,9 @@ func (s *Session) BeamformBatch(dsts []*Volume, batch [][][]rf.EchoBuffer) error
 func (s *Session) BeamformBatchPlanes(dsts []*Volume, win int, planes [][][]float32) error {
 	if s.closed {
 		return errors.New("beamform: session is closed")
+	}
+	if err := batchFault.Err(); err != nil {
+		return err
 	}
 	if s.eng.Cfg.Precision != PrecisionFloat32 {
 		return fmt.Errorf("beamform: plane batches need Precision=float32 (have %s)", s.eng.Cfg.Precision)

@@ -32,7 +32,13 @@ import (
 	"sync/atomic"
 
 	"ultrabeam/internal/delay"
+	"ultrabeam/internal/faultpoint"
 )
+
+// fillFault stalls a block fill under a chaos schedule (arm it with a
+// :sleep= spec) — the slow-fill timing case for everything serialized
+// behind the fill's sync.Once.
+var fillFault = faultpoint.New("delaycache.fill")
 
 // Shared is the geometry-keyed block store many Cache attachments read
 // concurrently. Build one with NewShared and hand each consumer an Attach()
@@ -337,6 +343,10 @@ func (s *Shared) resident(t, id int) (b *block, filled bool) {
 	}
 	b = &gen.blocks[gen.offset[t]+id]
 	b.once.Do(func() {
+		// Latency-only injection: a fill has no error path (the generator
+		// is deterministic math), so the chaos harness perturbs its timing
+		// — every waiter on this once observes the stall — never its bytes.
+		fillFault.Fire()
 		if s.wide {
 			data := make([]float64, s.layout.BlockLen())
 			s.inners[t].FillNappe(id, data)

@@ -1,0 +1,404 @@
+// Experiment B8: serving resilience under drain, faults and overload. The
+// resilience claims of the serving stack are operational, not throughput:
+// a SIGTERM drain must finish the queued backlog and nothing else (drain
+// latency is the backlog, not a timeout); recovery from a fault burst that
+// killed the hot session must be one cold rebuild away (table fill is the
+// bottleneck the paper attacks, so rebuild time is the honest recovery
+// cost); and when the bulk lane saturates the queue past the pressure
+// ladder's shed rung, the interactive lane must keep answering at a
+// bounded p99 while bulk frames are decode-and-dropped. B8 measures all
+// three over real HTTP loopback and feeds the gated drain_ms /
+// recovery_ms fields of BENCH_serve.json.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+	"time"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/faultpoint"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/serve"
+)
+
+// ResilienceResult carries experiment B8.
+type ResilienceResult struct {
+	Spec string
+
+	// Drain: backlog frames queued when Shutdown was called, wall time for
+	// the drain to complete, and how many of the backlog answered 200 —
+	// graceful means all of them.
+	BacklogFrames int
+	DrainMs       float64
+	DrainedOK     int
+
+	// Recovery: failed frames observed during the fault burst, then the
+	// wall time from clearing the faults to the third consecutive clean
+	// frame — the session rebuild and delay-table refill included.
+	FaultBurst     int
+	RecoveryMs     float64
+	RecoveryFrames int
+
+	// Degradation: a bulk flood past the shed rung with an interactive
+	// probe alongside. Shed counts bulk frames the ladder dropped;
+	// the interactive probe must never be shed and its p99 is the
+	// latency the ladder is buying.
+	DegradedBulkWorkers      int
+	DegradedShed             int64
+	DegradedInflatedBatches  int64
+	DegradedInteractiveCount int
+	DegradedInteractiveP99Ms float64
+	PeakRetryAfterSec        int
+}
+
+// resilienceFaultSchedule is the burst B8 injects between the healthy
+// baseline and the recovery clock: every session build fails, so the
+// variant-geometry post evicts and kills the hot session and every retry
+// dies at rebuild until the faults clear. Deterministic by seed.
+const resilienceFaultSchedule = "seed=1807;serve.session.build=1"
+
+// resilienceBulkWorkers is the degradation phase's flood width: enough
+// concurrent bulk clients to hold the queue above the shed watermark
+// (0.9) while a batch is in flight, against resilienceMaxQueue slots.
+const (
+	resilienceBulkWorkers = 10
+	resilienceMaxQueue    = 8
+)
+
+// ResilienceLoad runs the B8 triplet on a ServeSpec-scale spec. backlog
+// sizes the drain queue and the per-worker flood length; ≥2.
+func ResilienceLoad(s core.SystemSpec, backlog int) (ResilienceResult, error) {
+	res := ResilienceResult{Spec: s.String(), BacklogFrames: backlog}
+	if backlog < 2 {
+		return res, fmt.Errorf("experiments: need ≥2 backlog frames, got %d", backlog)
+	}
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	frame := encodeWireFrame(bufs)
+	blockBytes := int64(s.FocalTheta*s.FocalPhi*s.Elements()) * 2
+	budget := blockBytes * int64(s.FocalDepth) / 2
+
+	if err := resilienceDrain(&res, s, frame, budget); err != nil {
+		return res, fmt.Errorf("drain phase: %w", err)
+	}
+	if err := resilienceRecovery(&res, s, frame, budget); err != nil {
+		return res, fmt.Errorf("recovery phase: %w", err)
+	}
+	if err := resilienceDegrade(&res, s, frame, budget); err != nil {
+		return res, fmt.Errorf("degradation phase: %w", err)
+	}
+	return res, nil
+}
+
+// resilienceServer starts a scheduled-mode server on loopback and returns
+// its base /beamform URL (budget applied, scanline output) plus a cleanup.
+func resilienceServer(s core.SystemSpec, budget int64, cfg serve.SchedulerConfig) (*serve.Scheduler, *serve.Server, string, func(), error) {
+	sched := serve.NewScheduler(cfg)
+	srv, err := serve.NewServer(serve.ServerConfig{Scheduler: sched, AcquireTimeout: time.Minute})
+	if err != nil {
+		sched.Close()
+		return nil, nil, "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sched.Close()
+		return nil, nil, "", nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	base := fmt.Sprintf("http://%s/beamform?elemx=%d&elemy=%d&ftheta=%d&fphi=%d&fdepth=%d&budget=%d&out=scanline",
+		ln.Addr(), s.ElemX, s.ElemY, s.FocalTheta, s.FocalPhi, s.FocalDepth, budget)
+	cleanup := func() {
+		hs.Shutdown(context.Background())
+		sched.Close()
+	}
+	return sched, srv, base, cleanup, nil
+}
+
+// resiliencePost posts one frame and returns the HTTP status (0 on
+// transport error) plus the response headers.
+func resiliencePost(client *http.Client, url string, frame []byte) (int, http.Header, error) {
+	resp, err := client.Post(url, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return 0, nil, err
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return 0, nil, rerr
+	}
+	if resp.StatusCode == http.StatusOK && len(body) == 0 {
+		return 0, nil, errors.New("empty 200 response")
+	}
+	return resp.StatusCode, resp.Header, nil
+}
+
+// resilienceDrain measures graceful-shutdown latency: queue a backlog of
+// bulk frames behind one core slot, call Shutdown, and clock how long the
+// server takes to answer everything it accepted. Every accepted frame
+// must come back 200 — drain finishes work, it does not shed it.
+func resilienceDrain(res *ResilienceResult, s core.SystemSpec, frame []byte, budget int64) error {
+	sched, srv, base, cleanup, err := resilienceServer(s, budget, serve.SchedulerConfig{
+		MaxGeometries: 1, MaxQueue: 4 * res.BacklogFrames, MaxBatch: 4, CoreSlots: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: res.BacklogFrames + 1}}
+
+	// Warm the geometry: drain latency should measure the backlog, not the
+	// cold build both healthy and draining servers pay once.
+	if code, _, err := resiliencePost(client, base+"&lane=interactive", frame); err != nil || code != http.StatusOK {
+		return fmt.Errorf("warm frame: code=%d err=%v", code, err)
+	}
+
+	codes := make([]int, res.BacklogFrames)
+	var wg sync.WaitGroup
+	for i := 0; i < res.BacklogFrames; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			codes[i], _, _ = resiliencePost(client, base+"&lane=bulk", frame)
+		}(i)
+	}
+	// Shutdown only after every backlog frame is accepted into the queue,
+	// so the measured drain is the full backlog.
+	deadline := time.Now().Add(10 * time.Second)
+	for sched.Stats().Submits < int64(1+res.BacklogFrames) {
+		if time.Now().After(deadline) {
+			return errors.New("backlog never queued")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t0 := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	err = srv.Shutdown(ctx)
+	cancel()
+	res.DrainMs = time.Since(t0).Seconds() * 1e3
+	if err != nil {
+		return fmt.Errorf("Shutdown: %w", err)
+	}
+	wg.Wait()
+	for _, code := range codes {
+		if code == http.StatusOK {
+			res.DrainedOK++
+		}
+	}
+	if res.DrainedOK != res.BacklogFrames {
+		return fmt.Errorf("drain answered %d/%d backlog frames", res.DrainedOK, res.BacklogFrames)
+	}
+	return nil
+}
+
+// resilienceRecovery measures time back to health after a fault burst
+// that destroys the hot session: with build faults armed, a post for a
+// variant geometry evicts the warm one and dies building its own, and
+// every retry dies at rebuild. The recovery clock starts when the faults
+// clear and stops at the third consecutive clean frame — so it prices the
+// cold session rebuild and the delay-table refill, which is exactly the
+// cost the paper's table bottleneck puts on restarts.
+func resilienceRecovery(res *ResilienceResult, s core.SystemSpec, frame []byte, budget int64) error {
+	_, _, base, cleanup, err := resilienceServer(s, budget, serve.SchedulerConfig{
+		MaxGeometries: 1, MaxQueue: 16, MaxBatch: 4, CoreSlots: 1,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 2}}
+
+	if code, _, err := resiliencePost(client, base+"&lane=interactive", frame); err != nil || code != http.StatusOK {
+		return fmt.Errorf("warm frame: code=%d err=%v", code, err)
+	}
+
+	if err := faultpoint.Activate(resilienceFaultSchedule); err != nil {
+		return err
+	}
+	defer faultpoint.Deactivate()
+	// The variant geometry (one extra theta row) evicts the idle warm
+	// session under MaxGeometries=1; its own build then fails. After this
+	// the scheduler holds no live geometry. The theta value must replace
+	// the one already in base — a duplicate query key would be ignored.
+	u, err := url.Parse(base + "&lane=bulk")
+	if err != nil {
+		return err
+	}
+	q := u.Query()
+	q.Set("ftheta", fmt.Sprintf("%d", s.FocalTheta+1))
+	u.RawQuery = q.Encode()
+	variant := u.String()
+	if code, _, err := resiliencePost(client, variant, frame); err != nil {
+		return err
+	} else if code == http.StatusOK {
+		return errors.New("variant post succeeded with build faults armed")
+	}
+	res.FaultBurst = 1
+	for i := 0; i < 2; i++ { // retries die at rebuild while faults hold
+		code, _, err := resiliencePost(client, base+"&lane=bulk", frame)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusOK {
+			res.FaultBurst++
+		}
+	}
+	faultpoint.Deactivate()
+
+	t0 := time.Now()
+	consecutive := 0
+	for attempt := 0; attempt < 50; attempt++ {
+		code, _, err := resiliencePost(client, base+"&lane=bulk", frame)
+		if err != nil {
+			return err
+		}
+		res.RecoveryFrames++
+		if code == http.StatusOK {
+			consecutive++
+			if consecutive == 3 {
+				res.RecoveryMs = time.Since(t0).Seconds() * 1e3
+				return nil
+			}
+		} else {
+			consecutive = 0
+		}
+	}
+	return errors.New("no 3 consecutive clean frames within 50 attempts after faults cleared")
+}
+
+// resilienceDegrade floods the bulk lane past the pressure ladder's shed
+// rung and runs a paced interactive probe alongside. Bulk frames may shed
+// (503 + degraded marker) or bounce (503 + Retry-After); the probe must
+// always get a frame — retrying overload refusals, never seeing a shed —
+// and its end-to-end p99, retries included, is the recorded latency.
+func resilienceDegrade(res *ResilienceResult, s core.SystemSpec, frame []byte, budget int64) error {
+	sched, _, base, cleanup, err := resilienceServer(s, budget, serve.SchedulerConfig{
+		MaxGeometries: 1, MaxQueue: resilienceMaxQueue, MaxBatch: 4, CoreSlots: 1,
+		PressureWindow: 25 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	res.DegradedBulkWorkers = resilienceBulkWorkers
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: resilienceBulkWorkers + 1}}
+
+	if code, _, err := resiliencePost(client, base+"&lane=interactive", frame); err != nil || code != http.StatusOK {
+		return fmt.Errorf("warm frame: code=%d err=%v", code, err)
+	}
+
+	var peakRetry int64
+	var peakMu sync.Mutex
+	errs := make([]error, resilienceBulkWorkers+1)
+	bulkDone := make(chan struct{})
+	var interactive []time.Duration
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the probe: paced, must never be shed
+		defer wg.Done()
+		for {
+			select {
+			case <-bulkDone:
+				return
+			case <-time.After(60 * time.Millisecond):
+			}
+			t0 := time.Now()
+			for retry := 0; ; retry++ {
+				code, hdr, err := resiliencePost(client, base+"&lane=interactive", frame)
+				if err != nil {
+					errs[resilienceBulkWorkers] = err
+					return
+				}
+				if code == http.StatusOK {
+					break
+				}
+				if hdr.Get("X-Ultrabeam-Degraded") != "" {
+					errs[resilienceBulkWorkers] = errors.New("interactive frame was shed")
+					return
+				}
+				if retry >= 100 {
+					errs[resilienceBulkWorkers] = fmt.Errorf("interactive frame refused %d times (last code %d)", retry+1, code)
+					return
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			interactive = append(interactive, time.Since(t0))
+		}
+	}()
+	var bulkWG sync.WaitGroup
+	for c := 0; c < resilienceBulkWorkers; c++ {
+		bulkWG.Add(1)
+		go func(c int) {
+			defer bulkWG.Done()
+			for f := 0; f < res.BacklogFrames; f++ {
+				code, hdr, err := resiliencePost(client, base+"&lane=bulk", frame)
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if code != http.StatusOK {
+					if ra := hdr.Get("Retry-After"); ra != "" {
+						var sec int
+						if _, err := fmt.Sscanf(ra, "%d", &sec); err == nil {
+							peakMu.Lock()
+							if int64(sec) > peakRetry {
+								peakRetry = int64(sec)
+							}
+							peakMu.Unlock()
+						}
+					}
+					time.Sleep(5 * time.Millisecond) // bounce: keep the flood up
+				}
+			}
+		}(c)
+	}
+	bulkWG.Wait()
+	close(bulkDone)
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		return err
+	}
+	st := sched.Stats()
+	res.DegradedShed = st.Degraded
+	res.DegradedInflatedBatches = st.Inflated
+	res.PeakRetryAfterSec = int(peakRetry)
+	sort.Slice(interactive, func(i, j int) bool { return interactive[i] < interactive[j] })
+	res.DegradedInteractiveCount = len(interactive)
+	res.DegradedInteractiveP99Ms = quantileMs(interactive, 0.99)
+	if len(interactive) == 0 {
+		return errors.New("interactive probe never completed a frame")
+	}
+	return nil
+}
+
+// Table renders B8.
+func (r ResilienceResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B8 — serving resilience (%d-frame backlog, %d-worker flood)",
+			r.BacklogFrames, r.DegradedBulkWorkers),
+		"metric", "value")
+	t.Add("drain latency", fmt.Sprintf("%.1f ms (%d/%d frames answered)", r.DrainMs, r.DrainedOK, r.BacklogFrames))
+	t.Add("fault burst", fmt.Sprintf("%d failed frames", r.FaultBurst))
+	t.Add("recovery", fmt.Sprintf("%.1f ms to 3 clean frames (%d posts)", r.RecoveryMs, r.RecoveryFrames))
+	t.Add("bulk shed under overload", fmt.Sprintf("%d frames", r.DegradedShed))
+	t.Add("inflated batches", fmt.Sprintf("%d", r.DegradedInflatedBatches))
+	t.Add("interactive p99 under shed", fmt.Sprintf("%.1f ms (%d frames)", r.DegradedInteractiveP99Ms, r.DegradedInteractiveCount))
+	t.Add("peak Retry-After hint", fmt.Sprintf("%d s", r.PeakRetryAfterSec))
+	return t
+}

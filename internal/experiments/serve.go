@@ -273,6 +273,17 @@ type ServeBenchRecord struct {
 	I16OverF64              float64   `json:"i16_over_f64"`
 	WireBytesPerFrameI16    float64   `json:"wire_bytes_per_frame_i16"`
 	WireRows                []WireRow `json:"wire_rows"`
+
+	// B8: serving resilience (see ResilienceLoad). drain_ms and
+	// recovery_ms carry -max ceilings in CI: a graceful drain must cost
+	// the backlog it finishes, never a timeout, and recovery from a
+	// session-killing fault burst must stay one cold rebuild — if either
+	// balloons, a shutdown path or the rebuild path picked up a stall.
+	DrainMs                  float64 `json:"drain_ms"`
+	DrainBacklogFrames       int     `json:"drain_backlog_frames"`
+	RecoveryMs               float64 `json:"recovery_ms"`
+	DegradedShedFrames       int64   `json:"degraded_shed_frames"`
+	DegradedInteractiveP99Ms float64 `json:"degraded_interactive_p99_ms"`
 }
 
 // serveBenchConns is the headline connection count of the gated record.
@@ -357,6 +368,16 @@ func BenchServe(frames int) (ServeBenchRecord, error) {
 	if rec.WireF64FramesPerSec > 0 {
 		rec.I16OverF64 = rec.WireI16FramesPerSec / rec.WireF64FramesPerSec
 	}
+
+	rres, err := ResilienceLoad(s, frames)
+	if err != nil {
+		return rec, err
+	}
+	rec.DrainMs = rres.DrainMs
+	rec.DrainBacklogFrames = rres.BacklogFrames
+	rec.RecoveryMs = rres.RecoveryMs
+	rec.DegradedShedFrames = rres.DegradedShed
+	rec.DegradedInteractiveP99Ms = rres.DegradedInteractiveP99Ms
 	return rec, nil
 }
 
@@ -388,5 +409,8 @@ func (r ServeBenchRecord) Table() *report.Table {
 	t.Add("wire i16 stream frames/s", fmt.Sprintf("%.2f", r.WireI16FramesPerSec))
 	t.Add("i16 stream / f64 POST", fmt.Sprintf("%.2f×", r.I16OverF64))
 	t.Add("i16 frame", report.Eng(r.WireBytesPerFrameI16)+"B")
+	t.Add("drain latency", fmt.Sprintf("%.1f ms (%d-frame backlog)", r.DrainMs, r.DrainBacklogFrames))
+	t.Add("fault recovery", fmt.Sprintf("%.1f ms", r.RecoveryMs))
+	t.Add("interactive p99 under shed", fmt.Sprintf("%.1f ms (%d bulk shed)", r.DegradedInteractiveP99Ms, r.DegradedShedFrames))
 	return t
 }

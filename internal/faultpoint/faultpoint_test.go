@@ -1,0 +1,168 @@
+package faultpoint
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestInertByDefault(t *testing.T) {
+	p := New("test.inert")
+	for i := 0; i < 1000; i++ {
+		if p.Fire() {
+			t.Fatal("fired with no schedule active")
+		}
+		if err := p.Err(); err != nil {
+			t.Fatalf("Err with no schedule: %v", err)
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	defer Deactivate()
+	p := New("test.det")
+	run := func() []bool {
+		if err := Activate("seed=42;test.det=0.3"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Fire()
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identically seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired < 20 || fired > 120 {
+		t.Fatalf("0.3 rate fired %d/200 times", fired)
+	}
+
+	// A different seed must produce a different sequence.
+	if err := Activate("seed=43;test.det=0.3"); err != nil {
+		t.Fatal(err)
+	}
+	c := make([]bool, 200)
+	diff := false
+	for i := range c {
+		c[i] = p.Fire()
+		diff = diff || c[i] != a[i]
+	}
+	if !diff {
+		t.Fatal("seed change did not change the schedule")
+	}
+}
+
+func TestEveryN(t *testing.T) {
+	defer Deactivate()
+	p := New("test.every")
+	if err := Activate("test.every=every:3"); err != nil {
+		t.Fatal(err)
+	}
+	fired := 0
+	for i := 0; i < 9; i++ {
+		if p.Fire() {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Fatalf("every:3 fired %d/9 times", fired)
+	}
+}
+
+func TestErrWrapsSentinel(t *testing.T) {
+	defer Deactivate()
+	p := New("test.err")
+	if err := Activate("test.err=1.0"); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Err()
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected error %v does not wrap ErrInjected", err)
+	}
+}
+
+func TestAllWildcardAndLateRegistration(t *testing.T) {
+	defer Deactivate()
+	if err := Activate("all=1.0"); err != nil {
+		t.Fatal(err)
+	}
+	// Registered after Activate: must still be armed by the wildcard.
+	p := New("test.late")
+	if !p.Fire() {
+		t.Fatal("late-registered point not armed by all=1.0")
+	}
+	Deactivate()
+	if p.Fire() {
+		t.Fatal("fired after Deactivate")
+	}
+}
+
+func TestSleepInjection(t *testing.T) {
+	defer Deactivate()
+	p := New("test.sleep")
+	if err := Activate("test.sleep=1.0:sleep=20ms"); err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Now()
+	p.Fire()
+	if d := time.Since(t0); d < 15*time.Millisecond {
+		t.Fatalf("sleep-armed hit returned after %v", d)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nonsense",
+		"p=2.0",
+		"p=0",
+		"p=-0.5",
+		"p=every:0",
+		"seed=notanumber",
+		"p=0.5:sleep=bogus",
+	} {
+		if err := Activate(spec); err == nil {
+			Deactivate()
+			t.Fatalf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	defer Deactivate()
+	p := New("test.conc")
+	if err := Activate("test.conc=0.5"); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				p.Fire()
+			}
+		}()
+	}
+	wg.Wait()
+	var st PointStats
+	for _, row := range Snapshot() {
+		if row.Name == "test.conc" {
+			st = row
+		}
+	}
+	if st.Calls != 4000 {
+		t.Fatalf("calls = %d, want 4000", st.Calls)
+	}
+	if st.Fired < 1000 || st.Fired > 3000 {
+		t.Fatalf("0.5 rate fired %d/4000", st.Fired)
+	}
+}

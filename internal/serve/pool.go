@@ -74,11 +74,12 @@ func startJitter(interval time.Duration) time.Duration {
 type Pool struct {
 	cfg PoolConfig
 
-	mu     sync.Mutex
-	geoms  map[string]*geometry
-	total  int // live sessions, idle + checked out
-	queue  []*waiter
-	closed bool
+	mu       sync.Mutex
+	geoms    map[string]*geometry
+	total    int // live sessions, idle + checked out
+	queue    []*waiter
+	closed   bool
+	draining bool
 
 	janitorStop chan struct{}
 	janitorDone chan struct{}
@@ -202,6 +203,10 @@ func (p *Pool) Acquire(ctx context.Context, req SessionRequest) (*Lease, error) 
 	if p.closed {
 		p.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if p.draining {
+		p.mu.Unlock()
+		return nil, ErrDraining
 	}
 	p.acquires.Add(1)
 	g := p.geoms[fp]
@@ -484,6 +489,77 @@ func (p *Pool) Sweep(now time.Time) {
 	for _, s := range stores {
 		s.Evict()
 	}
+}
+
+// Drain puts the pool into draining mode — new Acquires refuse with
+// ErrDraining — and blocks until every checked-out lease has been
+// released and the waiter queue has emptied, or ctx cancels. Queued
+// waiters admitted before the drain still get their grants. The graceful
+// half of shutdown, mirroring Scheduler.Drain.
+func (p *Pool) Drain(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.draining = true
+	p.mu.Unlock()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		p.mu.Lock()
+		busy := len(p.queue)
+		for _, g := range p.geoms {
+			busy += g.out
+		}
+		p.mu.Unlock()
+		if busy == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (p *Pool) Draining() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.draining
+}
+
+// CheckedOut counts leases currently checked out plus queued waiters —
+// the drain-progress number /healthz reports in checkout mode.
+func (p *Pool) CheckedOut() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := len(p.queue)
+	for _, g := range p.geoms {
+		n += g.out
+	}
+	return n
+}
+
+// RetryAfterSeconds derives the overload backoff hint from queue length
+// relative to session capacity, clamped to [1, 30]. Coarser than the
+// scheduler's rate-based estimate — the pool does not measure dispatch
+// time — but still proportional to how far behind the node is.
+func (p *Pool) RetryAfterSeconds() int {
+	p.mu.Lock()
+	queued := len(p.queue)
+	width := p.cfg.MaxSessions
+	p.mu.Unlock()
+	if width < 1 {
+		width = 1
+	}
+	secs := 1 + queued/width
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // Close shuts the pool: the janitor stops, queued waiters fail with

@@ -1,0 +1,622 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/wire"
+)
+
+// TestSchedulerDeadlineExpiresInQueue: a frame whose client-supplied
+// deadline passes while it waits in queue fails with ErrExpired before it
+// ever reaches a core slot, and the expiry shows up in the stats.
+func TestSchedulerDeadlineExpiresInQueue(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{MaxQueue: 8, CoreSlots: 1})
+	defer sched.Close()
+	req := tinyRequest()
+	req.Lane = LaneBulk
+	frame := [][]rf.EchoBuffer{tinyFrame(t, req.Spec)}
+
+	sched.slots <- struct{}{} // plug the turnstile: everything queues
+
+	impatient := req
+	impatient.Deadline = 10 * time.Millisecond
+	var expiredErr error
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, expiredErr = sched.Submit(context.Background(), impatient, frame)
+	}()
+	patient := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		_, err := sched.Submit(context.Background(), req, frame)
+		patient <- err
+	}()
+	for sched.Stats().Queued != 2 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(30 * time.Millisecond) // let the impatient deadline lapse
+	<-sched.slots                     // open the turnstile
+	wg.Wait()
+	if !errors.Is(expiredErr, ErrExpired) {
+		t.Errorf("expired frame: %v, want ErrExpired", expiredErr)
+	}
+	if err := <-patient; err != nil {
+		t.Errorf("deadline-free frame alongside it: %v", err)
+	}
+	st := sched.Stats()
+	if st.Expired != 1 {
+		t.Errorf("stats expired = %d, want 1", st.Expired)
+	}
+	if st.Lanes["bulk"].Expired != 1 {
+		t.Errorf("bulk lane expired = %d, want 1", st.Lanes["bulk"].Expired)
+	}
+	if st.Completed != 1 {
+		t.Errorf("completed = %d, want 1 (the patient frame)", st.Completed)
+	}
+}
+
+// TestSchedulerDrain: Drain finishes every frame already queued, refuses
+// new ones with ErrDraining, and returns once the queues are empty.
+func TestSchedulerDrain(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{MaxQueue: 16, CoreSlots: 1})
+	defer sched.Close()
+	req := tinyRequest()
+	req.Lane = LaneBulk
+	frame := [][]rf.EchoBuffer{tinyFrame(t, req.Spec)}
+
+	sched.slots <- struct{}{} // hold the backlog in queue
+
+	const n = 4
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sched.Submit(context.Background(), req, frame); err != nil {
+				t.Errorf("queued-before-drain frame: %v", err)
+				return
+			}
+			done.Add(1)
+		}()
+	}
+	for sched.Stats().Queued != n {
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan error, 1)
+	go func() { drained <- sched.Drain(context.Background()) }()
+	for !sched.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := sched.Begin(req); !errors.Is(err, ErrDraining) {
+		t.Errorf("Begin during drain: %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with %d frames still queued", err, sched.QueuedFrames())
+	default:
+	}
+	<-sched.slots // open the turnstile; the backlog finishes
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	wg.Wait()
+	if done.Load() != n {
+		t.Errorf("drain completed %d/%d queued frames", done.Load(), n)
+	}
+	if !sched.Stats().Draining {
+		t.Error("stats must report draining")
+	}
+}
+
+// TestSchedulerDrainTimeout: a Drain whose context expires returns the
+// context error instead of hanging on a plugged queue.
+func TestSchedulerDrainTimeout(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{CoreSlots: 1})
+	defer sched.Close()
+	req := tinyRequest()
+	frame := [][]rf.EchoBuffer{tinyFrame(t, req.Spec)}
+	sched.slots <- struct{}{}
+	go sched.Submit(context.Background(), req, frame)
+	for sched.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := sched.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Drain with plugged queue: %v, want DeadlineExceeded", err)
+	}
+	<-sched.slots
+}
+
+// TestSchedulerPressureLadder drives the overload ladder to its top rung:
+// sustained near-full occupancy first inflates bulk batches, then sheds
+// ready bulk frames as ErrDegraded — while every interactive frame
+// alongside them completes normally.
+func TestSchedulerPressureLadder(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{
+		MaxQueue: 16, MaxBatch: 2, CoreSlots: 1,
+		PressureWindow: time.Millisecond,
+	})
+	defer sched.Close()
+	req := tinyRequest()
+	bulkReq := req
+	bulkReq.Lane = LaneBulk
+	frame := [][]rf.EchoBuffer{tinyFrame(t, req.Spec)}
+
+	sched.slots <- struct{}{} // plug: occupancy builds and holds
+
+	// 15 bulk + 1 interactive = 16/16 full; after the interactive batch
+	// dispatches, 15/16 ≈ 94% keeps the shed rung engaged (recovery is
+	// immediate, so the bulk lane must still be over the high-water mark
+	// on its own when its turn comes).
+	var degraded, bulkOK atomic.Int64
+	var wg sync.WaitGroup
+	const bulk = 15
+	for i := 0; i < bulk; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := sched.Submit(context.Background(), bulkReq, frame)
+			switch {
+			case errors.Is(err, ErrDegraded):
+				degraded.Add(1)
+			case err == nil:
+				bulkOK.Add(1)
+			default:
+				t.Errorf("bulk: %v", err)
+			}
+		}()
+	}
+	interactiveErr := make(chan error, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err := sched.Submit(context.Background(), req, frame)
+		interactiveErr <- err
+	}()
+	for sched.Stats().Queued != bulk+1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Climb the ladder: one rung per sustained pressure window.
+	for i := 0; i < 2; i++ {
+		time.Sleep(3 * time.Millisecond)
+		sched.mu.Lock()
+		sched.updatePressureLocked(time.Now())
+		sched.mu.Unlock()
+	}
+	if lvl := sched.PressureLevel(); lvl != pressureShed {
+		t.Fatalf("pressure level after sustained full queue = %d, want %d", lvl, pressureShed)
+	}
+	<-sched.slots // open: dispatch sees the sustained pressure
+	wg.Wait()
+	if err := <-interactiveErr; err != nil {
+		t.Errorf("interactive frame under shed pressure: %v", err)
+	}
+	if degraded.Load() == 0 {
+		t.Error("top-rung pressure shed no bulk frames")
+	}
+	st := sched.Stats()
+	if st.Degraded != degraded.Load() {
+		t.Errorf("stats degraded = %d, callers saw %d", st.Degraded, degraded.Load())
+	}
+	// The ladder must recover once the queue empties: the next submit
+	// recomputes occupancy at zero.
+	if _, err := sched.Submit(context.Background(), req, frame); err != nil {
+		t.Fatalf("post-recovery submit: %v", err)
+	}
+	if lvl := sched.PressureLevel(); lvl != 0 {
+		t.Errorf("pressure level after recovery = %d, want 0", lvl)
+	}
+}
+
+// TestSchedulerPressureInflatesBulkBatches: the ladder's first rung fuses
+// bulk batches beyond MaxBatch (amortizing harder instead of shedding).
+func TestSchedulerPressureInflatesBulkBatches(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{
+		MaxQueue: 32, MaxBatch: 2, CoreSlots: 1,
+		PressureWindow: time.Millisecond,
+	})
+	defer sched.Close()
+	req := tinyRequest()
+	req.Lane = LaneBulk
+	frame := [][]rf.EchoBuffer{tinyFrame(t, req.Spec)}
+
+	sched.slots <- struct{}{}
+	var wg sync.WaitGroup
+	const n = 20 // 20/32 = 62%: above the inflate rung, below shed
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := sched.Submit(context.Background(), req, frame); err != nil {
+				t.Errorf("bulk: %v", err)
+			}
+		}()
+	}
+	for sched.Stats().Queued != n {
+		time.Sleep(time.Millisecond)
+	}
+	// Hold occupancy across the window so dispatch-time recomputation has
+	// a sustained rise to act on.
+	time.Sleep(3 * time.Millisecond)
+	sched.mu.Lock()
+	sched.updatePressureLocked(time.Now())
+	sched.mu.Unlock()
+	time.Sleep(3 * time.Millisecond)
+	<-sched.slots
+	wg.Wait()
+	st := sched.Stats()
+	if st.Inflated == 0 {
+		t.Errorf("no inflated batches under sustained mid-ladder pressure (batches=%d fused=%d)",
+			st.Batches, st.Fused)
+	}
+	if st.Degraded != 0 {
+		t.Errorf("mid-ladder pressure shed %d frames — shedding is the top rung only", st.Degraded)
+	}
+}
+
+// TestRetryAfterScalesWithBacklog: the Retry-After hint derives from queue
+// depth, not a constant — a deep backlog on a cold scheduler quotes its
+// assumed drain time, an idle one quotes the floor.
+func TestRetryAfterScalesWithBacklog(t *testing.T) {
+	sched := NewScheduler(SchedulerConfig{MaxQueue: 64, CoreSlots: 1})
+	defer sched.Close()
+	if got := sched.RetryAfterSeconds(); got != 1 {
+		t.Errorf("idle cold scheduler Retry-After = %d, want 1", got)
+	}
+	req := tinyRequest()
+	req.Lane = LaneBulk
+	frame := [][]rf.EchoBuffer{tinyFrame(t, req.Spec)}
+	sched.slots <- struct{}{}
+	var wg sync.WaitGroup
+	const n = 20
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sched.Submit(context.Background(), req, frame)
+		}()
+	}
+	for sched.Stats().Queued != n {
+		time.Sleep(time.Millisecond)
+	}
+	// Cold scheduler assumes 4 frames/s: 21 frames ahead → ceil(21/4) = 6.
+	if got := sched.RetryAfterSeconds(); got != 6 {
+		t.Errorf("Retry-After with %d queued = %d, want 6", n, got)
+	}
+	if got := sched.Stats().RetryAfterSec; got != 6 {
+		t.Errorf("stats retry_after_sec = %d, want 6", got)
+	}
+	<-sched.slots
+	wg.Wait()
+	// Once measured, an empty queue quotes the floor again.
+	if got := sched.RetryAfterSeconds(); got != 1 {
+		t.Errorf("post-drain Retry-After = %d, want 1", got)
+	}
+}
+
+// TestPoolDrain: a draining pool refuses new leases with ErrDraining and
+// Drain blocks until every checked-out session returns.
+func TestPoolDrain(t *testing.T) {
+	p := NewPool(PoolConfig{MaxSessions: 1})
+	defer p.Close()
+	lease, err := p.Acquire(context.Background(), tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan error, 1)
+	go func() { drained <- p.Drain(context.Background()) }()
+	for !p.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := p.Acquire(context.Background(), tinyRequest()); !errors.Is(err, ErrDraining) {
+		t.Errorf("Acquire during drain: %v, want ErrDraining", err)
+	}
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a lease still out", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	lease.Release()
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if got := p.RetryAfterSeconds(); got < 1 || got > 30 {
+		t.Errorf("pool Retry-After = %d, want within [1,30]", got)
+	}
+}
+
+// TestServerShutdownSurface: Shutdown flips /healthz to 503 with drain
+// progress and /beamform refusals carry the draining marker and an
+// adaptive Retry-After — everything a router needs to deroute the node.
+func TestServerShutdownSurface(t *testing.T) {
+	ts, sched := newSchedTestServer(t, SchedulerConfig{})
+	srv := ts.Config.Handler.(*Server)
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	tx := [][]rf.EchoBuffer{tinyFrame(t, spec)}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz before drain: %d", resp.StatusCode)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown of an idle server: %v", err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Queued int    `json:"queued"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || health.Status != "draining" {
+		t.Errorf("healthz during drain: %d %+v, want 503 draining", resp.StatusCode, health)
+	}
+
+	st, body, hdr := postBytes(t, ts.URL+"/beamform?"+tinyQuery(nil),
+		wire.ContentType, encodeWire(t, wire.EncodingF64, tx, 0))
+	if st != http.StatusServiceUnavailable {
+		t.Fatalf("beamform during drain: %d: %s", st, body)
+	}
+	if hdr.Get("X-Ultrabeam-Draining") != "1" {
+		t.Error("draining refusal lacks the X-Ultrabeam-Draining marker")
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("draining refusal lacks Retry-After")
+	}
+	if !sched.Draining() {
+		t.Error("server Shutdown did not drain the scheduler")
+	}
+}
+
+// TestServerDeadlineParsing: the per-request deadline arrives as the
+// deadline_ms query parameter or the X-Ultrabeam-Deadline-Ms header (the
+// header wins), rejects garbage, and never leaks into the geometry
+// fingerprint.
+func TestServerDeadlineParsing(t *testing.T) {
+	q := url.Values{"spec": {"reduced"}, "deadline_ms": {"250"}}
+	req, _, _, _, err := parseQuery(q, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Deadline != 250*time.Millisecond {
+		t.Errorf("deadline_ms=250 parsed as %v", req.Deadline)
+	}
+	hreq, _, _, _, err := parseQuery(q, "", "40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hreq.Deadline != 40*time.Millisecond {
+		t.Errorf("header override parsed as %v, want 40ms", hreq.Deadline)
+	}
+	if req.Fingerprint() != hreq.Fingerprint() {
+		t.Error("deadline must not split the geometry fingerprint")
+	}
+	for _, bad := range []string{"0", "-5", "soon", "1.5"} {
+		if _, _, _, _, err := parseQuery(url.Values{"spec": {"reduced"}, "deadline_ms": {bad}}, "", ""); err == nil {
+			t.Errorf("deadline_ms=%q accepted", bad)
+		}
+	}
+}
+
+// TestServerExpiredDeadlineIs504: a frame dropped because its deadline
+// lapsed in queue maps to 504, distinct from the retryable 503 family.
+func TestServerExpiredDeadlineIs504(t *testing.T) {
+	ts, sched := newSchedTestServer(t, SchedulerConfig{MaxQueue: 8, CoreSlots: 1})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	body := encodeWire(t, wire.EncodingF64, [][]rf.EchoBuffer{tinyFrame(t, spec)}, 0)
+
+	sched.slots <- struct{}{} // plug dispatch so the deadline lapses in queue
+	status := make(chan int, 1)
+	go func() {
+		st, _, _ := postBytes(t, ts.URL+"/beamform?"+tinyQuery(url.Values{"deadline_ms": {"25"}}),
+			wire.ContentType, body)
+		status <- st
+	}()
+	for sched.Stats().Queued != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	<-sched.slots
+	if st := <-status; st != http.StatusGatewayTimeout {
+		t.Errorf("expired-in-queue frame: status %d, want 504", st)
+	}
+	if got := sched.Stats().Expired; got != 1 {
+		t.Errorf("stats expired = %d, want 1", got)
+	}
+}
+
+// TestStreamDrainSendsGoAway: a cine stream on a server that starts
+// draining gets every already-submitted compound answered, then an
+// in-band GOAWAY — and the close is counted as a drain, not an error.
+func TestStreamDrainSendsGoAway(t *testing.T) {
+	_, sched := newSchedTestServer(t, SchedulerConfig{})
+	srv, err := NewServer(ServerConfig{Scheduler: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	body := encodeWire(t, wire.EncodingF64, [][]rf.EchoBuffer{tinyFrame(t, spec)}, 0)
+
+	conn := dialStream(t, srv)
+	if err := wire.WriteHello(conn, tinyQuery(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadHelloReply(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.ReadVolume(conn, 0); err != nil {
+		t.Fatalf("pre-drain compound: %v", err)
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	// The idle stream notices the drain within its poll interval and says
+	// goodbye in-band.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	_, gerr := wire.ReadVolume(conn, 0)
+	if !wire.IsGoAway(gerr) {
+		t.Fatalf("post-drain read: %v, want GOAWAY", gerr)
+	}
+	waitStreamCloses(t, sched, func(ws WireStats) bool { return ws.StreamClosesDrain == 1 })
+
+	// A fresh connection is refused at the hello.
+	conn2 := dialStream(t, srv)
+	if err := wire.WriteHello(conn2, tinyQuery(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadHelloReply(conn2); err == nil {
+		t.Error("draining server accepted a new stream hello")
+	}
+}
+
+// waitStreamCloses polls the wire stats until the close counters satisfy
+// ok — the close is recorded after the reply, so tests must not race it.
+func waitStreamCloses(t *testing.T, sched *Scheduler, ok func(WireStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !ok(sched.Stats().Wire) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stream close counters never settled: %+v", sched.Stats().Wire)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestStreamTornFrameReconnect: a stream that dies mid-chunk leaves no
+// corrupt state behind — the close is counted as client-gone, and a
+// reconnect pushing the same compound gets a volume bit-identical to an
+// untouched connection's.
+func TestStreamTornFrameReconnect(t *testing.T) {
+	_, sched := newSchedTestServer(t, SchedulerConfig{})
+	srv, err := NewServer(ServerConfig{Scheduler: sched})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	body := encodeWire(t, wire.EncodingF64, [][]rf.EchoBuffer{tinyFrame(t, spec)}, 8192)
+
+	// Reference: one clean connection, one compound.
+	ref := streamOneCompound(t, srv, body)
+
+	// Torn upload: half a compound, then the connection dies.
+	conn := dialStream(t, srv)
+	if err := wire.WriteHello(conn, tinyQuery(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadHelloReply(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(body[:len(body)/2]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	waitStreamCloses(t, sched, func(ws WireStats) bool { return ws.StreamClosesClientGone >= 1 })
+
+	// Reconnect: the same compound beamforms to the same bytes.
+	got := streamOneCompound(t, srv, body)
+	if len(got) != len(ref) {
+		t.Fatalf("post-reconnect volume has %d points, want %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if got[i] != ref[i] {
+			t.Fatalf("post-reconnect volume differs at %d: torn upload corrupted state", i)
+		}
+	}
+	// Both bracketing connections half-closed at a compound boundary.
+	waitStreamCloses(t, sched, func(ws WireStats) bool { return ws.StreamClosesClean == 2 })
+}
+
+// streamOneCompound pushes one compound over a fresh connection and
+// returns the volume, closing cleanly.
+func streamOneCompound(t *testing.T, srv *Server, body []byte) []float64 {
+	t.Helper()
+	conn := dialStream(t, srv)
+	if err := wire.WriteHello(conn, tinyQuery(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.ReadHelloReply(conn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(body); err != nil {
+		t.Fatal(err)
+	}
+	vol, err := wire.ReadVolume(conn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Half-close the upload so the server sees a clean EOF at the
+	// compound boundary.
+	if tc, ok := conn.(interface{ CloseWrite() error }); ok {
+		tc.CloseWrite()
+	} else {
+		conn.Close()
+	}
+	return vol.Data
+}
+
+// TestStreamStatusMapping: in-band per-compound refusals carry typed
+// statuses — an overloaded queue answers StatusOverloaded so clients can
+// tell "resend later" from "this frame is broken".
+func TestStreamStatusMapping(t *testing.T) {
+	if got := streamStatus(ErrOverloaded); got != wire.StatusOverloaded {
+		t.Errorf("overloaded status = %d", got)
+	}
+	if got := streamStatus(ErrDegraded); got != wire.StatusDegraded {
+		t.Errorf("degraded status = %d", got)
+	}
+	if got := streamStatus(ErrDraining); got != wire.StatusGoAway {
+		t.Errorf("draining status = %d", got)
+	}
+	if got := streamStatus(errors.New("boom")); got != wire.StatusError {
+		t.Errorf("generic status = %d", got)
+	}
+	err := &wire.RemoteError{Status: wire.StatusGoAway, Msg: "draining"}
+	if !wire.IsGoAway(err) || wire.IsDegraded(err) {
+		t.Error("GOAWAY classification broken")
+	}
+	if !wire.IsDegraded(&wire.RemoteError{Status: wire.StatusDegraded}) {
+		t.Error("degraded classification broken")
+	}
+	if wire.IsGoAway(errors.New("plain")) {
+		t.Error("plain errors must not classify as GOAWAY")
+	}
+	if !strings.Contains(err.Error(), "draining") {
+		t.Errorf("remote error text lost the message: %q", err.Error())
+	}
+}

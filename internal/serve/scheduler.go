@@ -28,6 +28,8 @@ package serve
 
 import (
 	"context"
+	"errors"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -36,7 +38,42 @@ import (
 	"ultrabeam/internal/beamform"
 	"ultrabeam/internal/delay"
 	"ultrabeam/internal/delaycache"
+	"ultrabeam/internal/faultpoint"
 	"ultrabeam/internal/rf"
+)
+
+// ErrDraining refuses new frames while the scheduler finishes its queues
+// for shutdown. Clients should retry against another node.
+var ErrDraining = errors.New("serve: draining for shutdown")
+
+// ErrExpired fails a frame whose client-supplied deadline passed while it
+// sat in queue — the frame was dropped before burning a core slot.
+var ErrExpired = errors.New("serve: frame deadline expired in queue")
+
+// ErrDegraded fails a bulk frame shed by the overload pressure ladder:
+// the frame was accepted and decoded, then deliberately dropped so
+// interactive frames keep their latency. The transport layers surface it
+// with an explicit "degraded" marker, never as a generic failure.
+var ErrDegraded = errors.New("serve: bulk frame shed under overload")
+
+// Pressure ladder rungs. Occupancy is the fullest geometry queue as a
+// fraction of MaxQueue; the level climbs one rung per sustained
+// PressureWindow above a threshold and drops the moment occupancy recedes.
+const (
+	pressureInflate = 1 // bulk batches fuse up to bulkInflateFactor× MaxBatch
+	pressureShed    = 2 // ready bulk frames are decode-and-dropped as degraded
+
+	pressureLoFrac = 0.5
+	pressureHiFrac = 0.9
+
+	bulkInflateFactor = 4
+)
+
+// Injection points for the chaos harness (inert single-load checks unless
+// a faultpoint schedule is activated).
+var (
+	buildFault    = faultpoint.New("serve.session.build")
+	dispatchFault = faultpoint.New("serve.dispatch")
 )
 
 // SchedulerConfig sizes a Scheduler.
@@ -70,6 +107,10 @@ type SchedulerConfig struct {
 	// residency; skewed per-transmit cadence is where a plan moves the
 	// hit rate.
 	PlanWeights func(req SessionRequest) []float64
+	// PressureWindow is how long queue occupancy must hold above a ladder
+	// threshold before the overload level climbs a rung (hysteresis against
+	// momentary spikes). <=0 defaults to 250ms.
+	PressureWindow time.Duration
 	// Now injects a clock for tests; nil means time.Now.
 	Now func() time.Time
 	// Jitter draws the janitor's random start delay from the sweep
@@ -84,9 +125,18 @@ type SchedulerConfig struct {
 type Scheduler struct {
 	cfg SchedulerConfig
 
-	mu     sync.Mutex
-	geoms  map[string]*schedGeom
-	closed bool
+	mu       sync.Mutex
+	geoms    map[string]*schedGeom
+	closed   bool
+	draining bool
+
+	// pressure is the overload ladder level (0 = normal). pressureRiseAt
+	// marks when occupancy first demanded a higher rung; the level climbs
+	// only after PressureWindow of sustained demand. Guarded by mu;
+	// pressureLevel mirrors it for lock-free reads.
+	pressure       int
+	pressureRiseAt time.Time
+	pressureLevel  atomic.Int32
 
 	// slots is the core-budget turnstile: a dispatch loop holds a token
 	// for the duration of one batch. Waiting loops queue on the channel,
@@ -98,16 +148,21 @@ type Scheduler struct {
 	janitorStop chan struct{}
 	janitorDone chan struct{}
 
-	submits   atomic.Int64
-	completed atomic.Int64
-	overloads atomic.Int64
-	evictions atomic.Int64
-	batches   atomic.Int64
-	fused     atomic.Int64 // frames dispatched through batches
+	submits    atomic.Int64
+	completed  atomic.Int64
+	overloads  atomic.Int64
+	evictions  atomic.Int64
+	batches    atomic.Int64
+	fused      atomic.Int64 // frames dispatched through batches
+	expired    atomic.Int64 // frames dropped in queue past their deadline
+	degraded   atomic.Int64 // bulk frames shed by the pressure ladder
+	inflated   atomic.Int64 // bulk batches fused beyond MaxBatch
+	dispatchNs atomic.Int64 // wall time spent inside dispatch (rate source)
 
-	batchSizes []atomic.Int64 // batchSizes[k]: batches of size k+1
-	lanes      [numLanes]laneRecorder
-	wire       wireRecorder
+	batchSizes  []atomic.Int64 // batchSizes[k]: batches of size k+1
+	lanes       [numLanes]laneRecorder
+	laneExpired [numLanes]atomic.Int64
+	wire        wireRecorder
 }
 
 // schedGeom is one warm geometry: its hot session, store attachment and
@@ -133,12 +188,13 @@ type schedGeom struct {
 // flips (Complete*), so decode overlaps the backlog without a stalled
 // upload ever blocking a batch.
 type frameJob struct {
-	tx     [][]rf.EchoBuffer
-	planes [][][]float32 // plane ingest: planes[0][t], one frame per job
-	win    int           // plane window (planes != nil)
-	lane   Lane
-	shape  shapeKey
-	enq    time.Time
+	tx       [][]rf.EchoBuffer
+	planes   [][][]float32 // plane ingest: planes[0][t], one frame per job
+	win      int           // plane window (planes != nil)
+	lane     Lane
+	shape    shapeKey
+	enq      time.Time
+	deadline time.Time // zero: no client deadline; else drop from queue past it
 
 	ready   bool      // payload fully decoded; batchable
 	readyAt time.Time // lane wait is measured from here, not enq:
@@ -199,6 +255,9 @@ func NewScheduler(cfg SchedulerConfig) *Scheduler {
 	}
 	if cfg.CoreSlots <= 0 {
 		cfg.CoreSlots = 1
+	}
+	if cfg.PressureWindow <= 0 {
+		cfg.PressureWindow = 250 * time.Millisecond
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
@@ -261,7 +320,10 @@ type PendingFrame struct {
 // and triggers the session build for a cold geometry — before the frame's
 // payload has arrived. A full per-geometry queue, or a cold geometry
 // beyond MaxGeometries with no evictable peer, refuses with ErrOverloaded
-// (the typed signal the HTTP layer maps to 503).
+// (the typed signal the HTTP layer maps to 503); a draining scheduler
+// refuses with ErrDraining. A req.Deadline > 0 stamps the job: if the
+// deadline passes while the frame is still queued it is dropped with
+// ErrExpired instead of burning a core slot on a client that gave up.
 func (s *Scheduler) Begin(req SessionRequest) (*PendingFrame, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
@@ -271,12 +333,19 @@ func (s *Scheduler) Begin(req SessionRequest) (*PendingFrame, error) {
 		lane = LaneInteractive
 	}
 	job := &frameJob{lane: lane, enq: s.cfg.Now(), done: make(chan struct{})}
+	if req.Deadline > 0 {
+		job.deadline = job.enq.Add(req.Deadline)
+	}
 	fp := req.Fingerprint()
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
 	}
 	s.submits.Add(1)
 	g := s.geoms[fp]
@@ -292,6 +361,11 @@ func (s *Scheduler) Begin(req SessionRequest) (*PendingFrame, error) {
 		go s.build(g)
 	}
 	if g.queued >= s.cfg.MaxQueue {
+		// Expired frames still holding slots are dead weight; reclaim them
+		// before refusing a live client.
+		s.purgeExpiredLocked(g, job.enq)
+	}
+	if g.queued >= s.cfg.MaxQueue {
 		s.overloads.Add(1)
 		s.mu.Unlock()
 		return nil, ErrOverloaded
@@ -299,9 +373,73 @@ func (s *Scheduler) Begin(req SessionRequest) (*PendingFrame, error) {
 	g.lanes[lane] = append(g.lanes[lane], job)
 	g.queued++
 	g.lastUsed = job.enq
+	s.updatePressureLocked(job.enq)
 	s.mu.Unlock()
 	return &PendingFrame{s: s, g: g, job: job}, nil
 }
+
+// purgeExpiredLocked drops every queued job of g whose deadline has
+// passed, failing it with ErrExpired. Ready or still-uploading alike: the
+// client has given up either way. Caller holds the lock.
+func (s *Scheduler) purgeExpiredLocked(g *schedGeom, now time.Time) {
+	for lane := range g.lanes {
+		q := g.lanes[lane]
+		kept := q[:0]
+		for _, j := range q {
+			if !j.deadline.IsZero() && now.After(j.deadline) {
+				g.queued--
+				s.expired.Add(1)
+				s.laneExpired[lane].Add(1)
+				j.err = ErrExpired
+				close(j.done)
+				continue
+			}
+			kept = append(kept, j)
+		}
+		for i := len(kept); i < len(q); i++ {
+			q[i] = nil
+		}
+		g.lanes[lane] = kept
+	}
+}
+
+// updatePressureLocked recomputes the overload ladder level from queue
+// occupancy (fullest geometry as a fraction of MaxQueue). Climbing a rung
+// requires the demand to hold for PressureWindow; recovery is immediate.
+// Caller holds the lock.
+func (s *Scheduler) updatePressureLocked(now time.Time) {
+	occ := 0.0
+	for _, g := range s.geoms {
+		if o := float64(g.queued) / float64(s.cfg.MaxQueue); o > occ {
+			occ = o
+		}
+	}
+	target := 0
+	switch {
+	case occ >= pressureHiFrac:
+		target = pressureShed
+	case occ >= pressureLoFrac:
+		target = pressureInflate
+	}
+	if target > s.pressure {
+		if s.pressureRiseAt.IsZero() {
+			s.pressureRiseAt = now
+		} else if now.Sub(s.pressureRiseAt) >= s.cfg.PressureWindow {
+			s.pressure++
+			s.pressureRiseAt = now
+		}
+	} else {
+		s.pressureRiseAt = time.Time{}
+		if target < s.pressure {
+			s.pressure = target
+		}
+	}
+	s.pressureLevel.Store(int32(s.pressure))
+}
+
+// PressureLevel reports the current overload ladder rung (0 = normal, 1 =
+// bulk batches inflate, 2 = bulk frames shed).
+func (s *Scheduler) PressureLevel() int { return int(s.pressureLevel.Load()) }
 
 // complete marks the pending job dispatchable and kicks the geometry's
 // dispatch loop if it parked while every queued job was still uploading.
@@ -373,6 +511,15 @@ func (p *PendingFrame) Wait(ctx context.Context) (*beamform.Volume, error) {
 	case <-ctx.Done():
 		s.mu.Lock()
 		if s.removeJobLocked(p.g, p.job) {
+			// The caller gave up while the frame was still queued. When the
+			// frame's own deadline is what lapsed, classify it as an expiry
+			// — the frame never burned a core slot, same as a purge.
+			if !p.job.deadline.IsZero() && !s.cfg.Now().Before(p.job.deadline) {
+				s.expired.Add(1)
+				s.laneExpired[p.job.lane].Add(1)
+				s.mu.Unlock()
+				return nil, ErrExpired
+			}
 			s.mu.Unlock()
 			return nil, ctx.Err()
 		}
@@ -416,7 +563,12 @@ func (s *Scheduler) removeJobLocked(g *schedGeom, job *frameJob) bool {
 // compound-aware budget plan — before any frame touches it.
 func (s *Scheduler) build(g *schedGeom) {
 	defer s.wg.Done()
-	sess, cache, err := g.req.Spec.NewSessionConfig(g.req.Config, g.req.Arch.NewProvider(g.req.Spec))
+	var sess *beamform.Session
+	var cache *delaycache.Cache
+	err := buildFault.Err()
+	if err == nil {
+		sess, cache, err = g.req.Spec.NewSessionConfig(g.req.Config, g.req.Arch.NewProvider(g.req.Spec))
+	}
 	if err == nil && cache != nil {
 		s.planStore(cache.Shared(), g.req)
 	}
@@ -499,9 +651,27 @@ func (s *Scheduler) run(g *schedGeom) {
 // fusion precondition of Session.BeamformBatch). Jobs still uploading
 // (ready=false) are skipped over, not waited on — a stalled uplink never
 // blocks the frames queued behind it — and since only ready jobs are ever
-// taken, a pending slot cannot deadlock dispatch. Caller holds the lock.
+// taken, a pending slot cannot deadlock dispatch.
+//
+// This is also where deadlines and the pressure ladder bite: expired jobs
+// are purged before any batch forms (a dead frame never reaches a core
+// slot), and under overload the bulk lane first fuses larger batches
+// (amortizing harder) and then, at the shed rung, decode-and-drops its
+// ready frames as ErrDegraded — the interactive lane is never shed.
+// Caller holds the lock.
 func (s *Scheduler) takeBatchLocked(g *schedGeom) []*frameJob {
+	now := s.cfg.Now()
+	s.purgeExpiredLocked(g, now)
+	s.updatePressureLocked(now)
 	for lane := Lane(0); lane < numLanes; lane++ {
+		if lane == LaneBulk && s.pressure >= pressureShed {
+			s.shedBulkLocked(g)
+			continue
+		}
+		limit := s.cfg.MaxBatch
+		if lane == LaneBulk && s.pressure >= pressureInflate {
+			limit = s.cfg.MaxBatch * bulkInflateFactor
+		}
 		q := g.lanes[lane]
 		first := -1
 		for i, j := range q {
@@ -514,16 +684,43 @@ func (s *Scheduler) takeBatchLocked(g *schedGeom) []*frameJob {
 			continue
 		}
 		n := 1
-		for first+n < len(q) && n < s.cfg.MaxBatch &&
+		for first+n < len(q) && n < limit &&
 			q[first+n].ready && q[first+n].shape == q[first].shape {
 			n++
 		}
 		batch := append([]*frameJob(nil), q[first:first+n]...)
 		g.lanes[lane] = append(q[:first], q[first+n:]...)
 		g.queued -= n
+		if n > s.cfg.MaxBatch {
+			s.inflated.Add(1)
+		}
 		return batch
 	}
 	return nil
+}
+
+// shedBulkLocked decode-and-drops every ready bulk frame of g with
+// ErrDegraded — the pressure ladder's last rung before interactive
+// latency would suffer. Frames still uploading keep their slots (they
+// will be shed or dispatched once ready, depending on pressure then).
+// Caller holds the lock.
+func (s *Scheduler) shedBulkLocked(g *schedGeom) {
+	q := g.lanes[LaneBulk]
+	kept := q[:0]
+	for _, j := range q {
+		if !j.ready {
+			kept = append(kept, j)
+			continue
+		}
+		g.queued--
+		s.degraded.Add(1)
+		j.err = ErrDegraded
+		close(j.done)
+	}
+	for i := len(kept); i < len(q); i++ {
+		q[i] = nil
+	}
+	g.lanes[LaneBulk] = kept
 }
 
 // dispatch beamforms one batch through the geometry's hot session and
@@ -538,14 +735,14 @@ func (s *Scheduler) dispatch(g *schedGeom, batch []*frameJob) {
 		outs[i] = g.sess.NewVolume()
 		s.lanes[j.lane].observe(start.Sub(j.readyAt))
 	}
-	var err error
-	if batch[0].shape.planes {
+	err := dispatchFault.Err()
+	if err == nil && batch[0].shape.planes {
 		planes := make([][][]float32, len(batch))
 		for i, j := range batch {
 			planes[i] = j.planes[0]
 		}
 		err = g.sess.BeamformBatchPlanes(outs, batch[0].win, planes)
-	} else {
+	} else if err == nil {
 		frames := make([][][]rf.EchoBuffer, len(batch))
 		for i, j := range batch {
 			frames[i] = j.tx
@@ -555,6 +752,7 @@ func (s *Scheduler) dispatch(g *schedGeom, batch []*frameJob) {
 
 	s.batches.Add(1)
 	s.fused.Add(int64(len(batch)))
+	s.dispatchNs.Add(int64(s.cfg.Now().Sub(start)))
 	if k := len(batch) - 1; k < len(s.batchSizes) {
 		s.batchSizes[k].Add(1)
 	}
@@ -655,6 +853,92 @@ func (s *Scheduler) Sweep(now time.Time) {
 	}
 }
 
+// Drain puts the scheduler into draining mode — Begin/Submit refuse with
+// ErrDraining — and blocks until every queued frame has dispatched (or
+// expired) and every build and dispatch loop has gone idle, or ctx
+// cancels. Queued work finishes per lane exactly as it would have under
+// load; nothing is dropped. Drain is the graceful half of shutdown: call
+// it before Close so in-flight clients get their volumes instead of
+// ErrClosed. Safe to call concurrently and after Close (both no-ops once
+// the queues are empty).
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		s.mu.Lock()
+		idle := true
+		now := s.cfg.Now()
+		for _, g := range s.geoms {
+			// Keep expiring while we wait: a stalled upload with a deadline
+			// must not hold the drain hostage.
+			s.purgeExpiredLocked(g, now)
+			if g.queued > 0 || g.running || g.building {
+				idle = false
+			}
+		}
+		s.mu.Unlock()
+		if idle {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Draining reports whether Drain has been called.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// QueuedFrames counts frames currently queued across all geometries — the
+// drain-progress number /healthz reports so a router can watch a node
+// empty out.
+func (s *Scheduler) QueuedFrames() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, g := range s.geoms {
+		n += g.queued
+	}
+	return n
+}
+
+// RetryAfterSeconds derives the overload backoff hint from live state:
+// queued depth divided by the measured dispatch rate — roughly when the
+// backlog will have drained — clamped to [1, 30]. Replaces the constant
+// Retry-After: a client told "1" by a node with a 20-second backlog just
+// returns to be refused again.
+func (s *Scheduler) RetryAfterSeconds() int {
+	queued := s.QueuedFrames()
+	rate := 0.0
+	if ns := s.dispatchNs.Load(); ns > 0 {
+		rate = float64(s.fused.Load()) / (float64(ns) / 1e9)
+	}
+	if rate <= 0 {
+		rate = 4 // cold scheduler: no measurement yet, assume a few frames/s
+	}
+	secs := int(math.Ceil(float64(queued+1) / rate))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
+}
+
 // Close shuts the scheduler down: queued frames fail with ErrClosed,
 // in-flight batches finish, dispatch loops and builders join, then every
 // hot session closes and every store evicts. Close is idempotent.
@@ -733,6 +1017,7 @@ func (r *laneRecorder) quantiles() (dispatched int64, p50, p99 float64) {
 type LaneStats struct {
 	Queued     int     `json:"queued"`
 	Dispatched int64   `json:"dispatched"`
+	Expired    int64   `json:"expired"`
 	WaitP50Ms  float64 `json:"wait_p50_ms"`
 	WaitP99Ms  float64 `json:"wait_p99_ms"`
 }
@@ -769,6 +1054,15 @@ type SchedulerStats struct {
 	Evictions int64 `json:"evictions"`
 	Batches   int64 `json:"batches"`
 	Fused     int64 `json:"batched_frames"`
+	Expired   int64 `json:"expired"`
+	Degraded  int64 `json:"degraded_shed"`
+	Inflated  int64 `json:"inflated_batches"`
+
+	// Resilience posture: the overload ladder rung, whether a drain is in
+	// progress, and the backoff hint overloaded clients are being given.
+	PressureLevel int  `json:"pressure_level"`
+	Draining      bool `json:"draining,omitempty"`
+	RetryAfterSec int  `json:"retry_after_sec"`
 
 	// BatchSizeCounts[k] counts dispatched batches of k+1 frames; the mass
 	// above index 0 is the amortization actually realized.
@@ -792,6 +1086,11 @@ func (s *Scheduler) Stats() SchedulerStats {
 		Evictions:       s.evictions.Load(),
 		Batches:         s.batches.Load(),
 		Fused:           s.fused.Load(),
+		Expired:         s.expired.Load(),
+		Degraded:        s.degraded.Load(),
+		Inflated:        s.inflated.Load(),
+		PressureLevel:   s.PressureLevel(),
+		RetryAfterSec:   s.RetryAfterSeconds(),
 		BatchSizeCounts: make([]int64, len(s.batchSizes)),
 		Lanes:           map[string]LaneStats{},
 		Wire:            s.wire.stats(),
@@ -801,6 +1100,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 	}
 	laneQueued := [numLanes]int{}
 	s.mu.Lock()
+	st.Draining = s.draining
 	st.GeometriesLive = len(s.geoms)
 	for _, g := range s.geoms {
 		gs := SchedGeometryStats{
@@ -833,6 +1133,7 @@ func (s *Scheduler) Stats() SchedulerStats {
 		st.Lanes[lane.String()] = LaneStats{
 			Queued:     laneQueued[lane],
 			Dispatched: dispatched,
+			Expired:    s.laneExpired[lane].Load(),
 			WaitP50Ms:  p50,
 			WaitP99Ms:  p99,
 		}

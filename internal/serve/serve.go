@@ -19,6 +19,7 @@ package serve
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"ultrabeam/internal/core"
 	"ultrabeam/internal/delay"
@@ -133,12 +134,17 @@ func ParseLane(name string) (Lane, error) {
 // Lane is a scheduling hint, not part of the geometry: it is deliberately
 // excluded from Fingerprint so interactive and bulk traffic of one probe
 // share the same warm session and delay store — the whole point of lanes
-// is two priorities over one hot pipeline, not two pipelines.
+// is two priorities over one hot pipeline, not two pipelines. Deadline is
+// likewise per-request, not per-geometry: the client's total latency
+// budget (X-Ultrabeam-Deadline-Ms header, deadline_ms stream field),
+// which the scheduler uses to drop a frame whose client has already given
+// up before it burns a core slot. 0 means no deadline.
 type SessionRequest struct {
-	Spec   core.SystemSpec
-	Config core.SessionConfig
-	Arch   Arch
-	Lane   Lane
+	Spec     core.SystemSpec
+	Config   core.SessionConfig
+	Arch     Arch
+	Lane     Lane
+	Deadline time.Duration
 }
 
 // Fingerprint canonically encodes the request: two requests map to the same

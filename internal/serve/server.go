@@ -28,6 +28,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ultrabeam/internal/beamform"
@@ -55,6 +56,12 @@ type ServerConfig struct {
 	// before 503. <=0 defaults to 10 s.
 	AcquireTimeout time.Duration
 }
+
+// deadlineGrace is how far past a client's own deadline the HTTP handler
+// keeps waiting, so the scheduler's expiry purge gets to classify the
+// frame (504, counted as expired) rather than racing the handler's
+// generic queue timeout at the exact deadline instant.
+const deadlineGrace = 50 * time.Millisecond
 
 // Server is an http.Handler exposing the beamform pool.
 //
@@ -102,6 +109,11 @@ type ServerConfig struct {
 type Server struct {
 	cfg ServerConfig
 	mux *http.ServeMux
+
+	// drainCh closes when Shutdown begins: the in-band signal stream
+	// connections watch to send GOAWAY at the next compound boundary.
+	drainCh   chan struct{}
+	drainOnce sync.Once
 }
 
 // NewServer wires the handler tree over the pool or the scheduler.
@@ -118,11 +130,44 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.AcquireTimeout <= 0 {
 		cfg.AcquireTimeout = 10 * time.Second
 	}
-	s := &Server{cfg: cfg, mux: http.NewServeMux()}
+	s := &Server{cfg: cfg, mux: http.NewServeMux(), drainCh: make(chan struct{})}
 	s.mux.HandleFunc("POST /beamform", s.handleBeamform)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	return s, nil
+}
+
+// Shutdown drains the server gracefully: new frames are refused with 503
+// + Retry-After (ErrDraining), open cine streams get an in-band GOAWAY at
+// their next compound boundary, /healthz flips to 503 with drain progress
+// so a router deroutes, and the call blocks until every queued frame has
+// finished (per lane, in priority order — nothing queued is dropped) or
+// ctx cancels. Idempotent; pair it with closing the listeners (see
+// cmd/usbeamd's SIGTERM path).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() { close(s.drainCh) })
+	if s.cfg.Scheduler != nil {
+		return s.cfg.Scheduler.Drain(ctx)
+	}
+	return s.cfg.Pool.Drain(ctx)
+}
+
+// draining reports whether Shutdown has begun.
+func (s *Server) draining() bool {
+	select {
+	case <-s.drainCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// retryAfterSeconds is the live backoff hint for 503 responses.
+func (s *Server) retryAfterSeconds() int {
+	if s.cfg.Scheduler != nil {
+		return s.cfg.Scheduler.RetryAfterSeconds()
+	}
+	return s.cfg.Pool.RetryAfterSeconds()
 }
 
 // ServeHTTP implements http.Handler.
@@ -137,6 +182,21 @@ func (s *Server) wireRec() *wireRecorder {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining() {
+		// 503 + progress: a router health-checking this endpoint deroutes
+		// the node while it empties out, and an operator can watch the
+		// queued count fall to zero.
+		remaining := 0
+		if s.cfg.Scheduler != nil {
+			remaining = s.cfg.Scheduler.QueuedFrames()
+		} else {
+			remaining = s.cfg.Pool.CheckedOut()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"status\":\"draining\",\"queued\":%d}\n", remaining)
+		return
+	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintln(w, "ok")
 }
@@ -156,13 +216,18 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-// httpError is a status-carrying error for request parsing.
+// httpError is a status-carrying error for request parsing. cause, when
+// set, keeps the original error chain reachable through errors.Is — the
+// stream transport uses it to tell a connection that died mid-upload
+// (io.ErrUnexpectedEOF) from a protocol violation.
 type httpError struct {
 	status int
 	msg    string
+	cause  error
 }
 
 func (e *httpError) Error() string { return e.msg }
+func (e *httpError) Unwrap() error { return e.cause }
 
 func badRequest(format string, args ...any) *httpError {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
@@ -174,9 +239,9 @@ func tooLarge(format string, args ...any) *httpError {
 
 // parseQuery resolves beamform parameters — shared by the HTTP handler
 // (r.URL.Query() plus header overrides) and the stream transport (the
-// hello query string). laneOverride, when non-empty, wins over the lane
-// parameter.
-func parseQuery(q url.Values, laneOverride string) (req SessionRequest, scanline bool, it, ip int, err error) {
+// hello query string). laneOverride and deadlineOverride, when non-empty,
+// win over the lane / deadline_ms parameters.
+func parseQuery(q url.Values, laneOverride, deadlineOverride string) (req SessionRequest, scanline bool, it, ip int, err error) {
 	spec := core.ReducedSpec()
 	switch q.Get("spec") {
 	case "", "reduced":
@@ -250,6 +315,18 @@ func parseQuery(q url.Values, laneOverride string) (req SessionRequest, scanline
 	if lerr != nil {
 		return req, false, 0, 0, badRequest("%v", lerr)
 	}
+	deadlineMs := deadlineOverride
+	if deadlineMs == "" {
+		deadlineMs = q.Get("deadline_ms")
+	}
+	var deadline time.Duration
+	if deadlineMs != "" {
+		ms, derr := strconv.Atoi(deadlineMs)
+		if derr != nil || ms <= 0 {
+			return req, false, 0, 0, badRequest("bad deadline_ms=%q (want a positive integer)", deadlineMs)
+		}
+		deadline = time.Duration(ms) * time.Millisecond
+	}
 	it, ip = spec.FocalTheta/2, spec.FocalPhi/2
 	switch q.Get("out") {
 	case "", "volume":
@@ -271,13 +348,13 @@ func parseQuery(q url.Values, laneOverride string) (req SessionRequest, scanline
 	default:
 		return req, false, 0, 0, badRequest("unknown out %q (want volume|scanline)", q.Get("out"))
 	}
-	return SessionRequest{Spec: spec, Config: cfg, Arch: arch, Lane: lane}, scanline, it, ip, nil
+	return SessionRequest{Spec: spec, Config: cfg, Arch: arch, Lane: lane, Deadline: deadline}, scanline, it, ip, nil
 }
 
 // parseRequest resolves an HTTP request's query parameters into a session
 // request plus the response selection.
 func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip int, err error) {
-	return parseQuery(r.URL.Query(), r.Header.Get("X-Ultrabeam-Lane"))
+	return parseQuery(r.URL.Query(), r.Header.Get("X-Ultrabeam-Lane"), r.Header.Get("X-Ultrabeam-Deadline-Ms"))
 }
 
 // wantsWire reports whether the request body is wire-framed: fmt=i16|f32|
@@ -434,7 +511,7 @@ func wireErr(err error) error {
 	if errors.As(err, &mbe) {
 		return tooLarge("body exceeds %d bytes", mbe.Limit)
 	}
-	return badRequest("%v", err)
+	return &httpError{status: http.StatusBadRequest, msg: err.Error(), cause: err}
 }
 
 // planesUsable reports whether a request's session consumes guarded
@@ -535,22 +612,31 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	req, scanline, it, ip, err := parseRequest(r)
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	q := r.URL.Query()
 	isWire, err := wantsWire(r.Header.Get("Content-Type"), q.Get("fmt"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	respEnc, err := respEncoding(q, r.Header.Get("Accept"))
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.AcquireTimeout)
+	// A client deadline tighter than the server's own queue bound also
+	// caps how long we hold the request. The small grace past the deadline
+	// lets the scheduler notice and classify the expiry (504, counted)
+	// instead of the wait lapsing into a generic queue timeout at the
+	// exact same instant.
+	waitBudget := s.cfg.AcquireTimeout
+	if d := req.Deadline + deadlineGrace; req.Deadline > 0 && d < waitBudget {
+		waitBudget = d
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), waitBudget)
 	defer cancel()
 
 	var vol *beamform.Volume
@@ -561,13 +647,13 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		// upload overlaps the backlog ahead of it.
 		pend, berr := s.cfg.Scheduler.Begin(req)
 		if berr != nil {
-			writeError(w, berr)
+			s.writeError(w, berr)
 			return
 		}
 		p, derr := readWirePayload(r.Body, req, txCount(req), s.cfg.MaxBodyBytes, s.wireRec())
 		if derr != nil {
 			pend.Abort()
-			writeError(w, derr)
+			s.writeError(w, derr)
 			return
 		}
 		if p.planes != nil {
@@ -581,12 +667,12 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		// intermediate), then lease a session.
 		p, derr := readWirePayload(r.Body, req, txCount(req), s.cfg.MaxBodyBytes, s.wireRec())
 		if derr != nil {
-			writeError(w, derr)
+			s.writeError(w, derr)
 			return
 		}
 		lease, lerr := s.cfg.Pool.Acquire(ctx, req)
 		if lerr != nil {
-			writeError(w, lerr)
+			s.writeError(w, lerr)
 			return
 		}
 		if p.planes != nil {
@@ -600,7 +686,7 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		decodeStart := time.Now()
 		txBufs, derr := readTransmits(r, req, s.cfg.MaxBodyBytes)
 		if derr != nil {
-			writeError(w, derr)
+			s.writeError(w, derr)
 			return
 		}
 		s.recordRaw(txBufs, time.Since(decodeStart))
@@ -609,13 +695,13 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		decodeStart := time.Now()
 		txBufs, derr := readTransmits(r, req, s.cfg.MaxBodyBytes)
 		if derr != nil {
-			writeError(w, derr)
+			s.writeError(w, derr)
 			return
 		}
 		s.recordRaw(txBufs, time.Since(decodeStart))
 		lease, lerr := s.cfg.Pool.Acquire(ctx, req)
 		if lerr != nil {
-			writeError(w, lerr)
+			s.writeError(w, lerr)
 			return
 		}
 		vol, err = lease.Session.BeamformCompound(txBufs)
@@ -626,7 +712,7 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 		lease.Release()
 	}
 	if err != nil {
-		writeError(w, err)
+		s.writeError(w, err)
 		return
 	}
 	data := vol.Data
@@ -680,16 +766,31 @@ func (s *Server) recordRaw(txBufs [][]rf.EchoBuffer, decode time.Duration) {
 	}
 }
 
-// writeError maps pool and parse errors onto HTTP statuses: overload and
-// queue timeout are 503 (retryable backpressure), parse errors 400.
-func writeError(w http.ResponseWriter, err error) {
+// writeError maps backend and parse errors onto HTTP statuses: overload,
+// drain and queue timeout are 503 (retryable backpressure) with a
+// Retry-After derived from live queue depth and dispatch rate — not a
+// constant — so clients back off proportionally to how far behind the
+// node actually is. Degraded frames are 503 with an explicit
+// X-Ultrabeam-Degraded marker (the frame was shed deliberately, not
+// failed); an expired client deadline is 504; parse errors 400.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
 	var he *httpError
 	switch {
 	case errors.As(err, &he):
 		http.Error(w, he.msg, he.status)
-	case errors.Is(err, ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
-		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrDegraded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("X-Ultrabeam-Degraded", "shed")
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		w.Header().Set("X-Ultrabeam-Draining", "1")
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrOverloaded), errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.Is(err, ErrExpired):
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 	case errors.Is(err, ErrClosed):
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	default:

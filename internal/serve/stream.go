@@ -12,18 +12,28 @@
 // with the backlog. Replies use the negotiated f32 or f64 volume encoding;
 // per-compound errors come back in-band as status volumes without killing
 // the stream, so one malformed frame does not drop a live cine feed.
+//
+// Every way a stream can end is deliberate and counted apart: a clean EOF
+// at a compound boundary, a client that vanished mid-frame, a protocol
+// violation that desynced the byte stream, a server drain (the connection
+// gets an in-band GOAWAY at the next compound boundary so the client can
+// reconnect elsewhere without losing a frame), or a server-side failure.
 package serve
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log"
 	"net"
 	"net/url"
 	"sync"
 	"time"
 
 	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/faultpoint"
 	"ultrabeam/internal/wire"
 )
 
@@ -32,6 +42,20 @@ import (
 // stream a pipeline: the next upload decodes while the scheduler works the
 // previous one.
 const streamDepth = 4
+
+// streamPollInterval is how often an idle stream read wakes to check for
+// drain or context cancellation. Only the wait for a compound's first
+// byte polls; once a compound starts arriving it is read without an
+// artificial deadline.
+const streamPollInterval = 250 * time.Millisecond
+
+// Injection points for the chaos harness: a read fault simulates the
+// server-side socket dying between compounds, a write fault a reply that
+// cannot be delivered. Both are internal-error closes, not client-gone.
+var (
+	streamReadFault  = faultpoint.New("serve.stream.read")
+	streamWriteFault = faultpoint.New("serve.stream.write")
+)
 
 // ServeStream accepts persistent cine connections on ln until the
 // listener closes or ctx is done. Protocol, all little-endian:
@@ -43,7 +67,10 @@ const streamDepth = 4
 //	         order, repeated per compound, back to back.
 //	server → one volume ("UBV1") per compound, in order: the beamformed
 //	         volume or scanline in the negotiated resp= encoding, or a
-//	         non-zero status with an error message for that compound.
+//	         non-zero status with an error message for that compound
+//	         (StatusOverloaded: resend after backoff; StatusDegraded: shed
+//	         by the overload ladder; StatusGoAway: the server is draining,
+//	         reconnect elsewhere and resend).
 //
 // Streaming requires scheduled mode (the stream rides Begin/Complete
 // pipelining); a pool-backed server refuses the hello.
@@ -67,6 +94,21 @@ func (s *Server) ServeStream(ctx context.Context, ln net.Listener) error {
 	}
 }
 
+// streamStatus maps a per-compound error onto its in-band reply status so
+// clients can tell retryable conditions apart without parsing messages.
+func streamStatus(err error) uint8 {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return wire.StatusOverloaded
+	case errors.Is(err, ErrDegraded):
+		return wire.StatusDegraded
+	case errors.Is(err, ErrDraining):
+		return wire.StatusGoAway
+	default:
+		return wire.StatusError
+	}
+}
+
 // serveStreamConn runs one cine connection to completion.
 func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 	query, err := wire.ReadHello(conn)
@@ -78,7 +120,7 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 		wire.WriteHelloReply(conn, 1, fmt.Sprintf("bad query: %v", err))
 		return
 	}
-	req, scanline, it, ip, perr := parseQuery(q, "")
+	req, scanline, it, ip, perr := parseQuery(q, "", "")
 	if perr != nil {
 		wire.WriteHelloReply(conn, 1, perr.Error())
 		return
@@ -92,10 +134,15 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 		wire.WriteHelloReply(conn, 1, "stream transport needs scheduled mode")
 		return
 	}
+	if s.draining() {
+		wire.WriteHelloReply(conn, 1, "draining: reconnect to another node")
+		return
+	}
 	if err := wire.WriteHelloReply(conn, 0, "ok"); err != nil {
 		return
 	}
-	s.wireRec().recordStream()
+	rec := s.wireRec()
+	rec.recordStream()
 
 	// The reader goroutine (this one) decodes compounds and submits them;
 	// the writer goroutine answers in submission order. results is the
@@ -106,6 +153,9 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 	}
 	results := make(chan result, streamDepth)
 	writerDone := make(chan struct{})
+	// writerCause is the writer's close verdict, if it stopped the stream:
+	// read only after writerDone closes.
+	writerCause := streamCloseClean
 	// fail queues an in-band error reply unless the writer is gone.
 	fail := func(err error) {
 		select {
@@ -123,8 +173,17 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 				vol, err = res.pend.Wait(wctx)
 				cancel()
 			}
+			if ferr := streamWriteFault.Err(); ferr != nil {
+				// Injected reply failure: an internal error, not the
+				// client's doing — close and say so.
+				writerCause = streamCloseInternal
+				log.Printf("serve: stream reply failed (internal): %v", ferr)
+				return
+			}
 			if err != nil {
-				if werr := wire.WriteVolumeError(conn, 1, err.Error()); werr != nil {
+				if werr := wire.WriteVolumeError(conn, streamStatus(err), err.Error()); werr != nil {
+					writerCause = streamCloseClientGone
+					log.Printf("serve: stream client gone mid-reply: %v", werr)
 					return
 				}
 				continue
@@ -136,31 +195,73 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 				theta, phi = 1, 1
 			}
 			if err := wire.WriteVolume(conn, respEnc, theta, phi, depth, data); err != nil {
+				writerCause = streamCloseClientGone
+				log.Printf("serve: stream client gone mid-reply: %v", err)
 				return
 			}
-			s.wireRec().recordReply(int64(len(data) * respEnc.SampleBytes()))
+			rec.recordReply(int64(len(data) * respEnc.SampleBytes()))
 		}
 	}()
 
 	wantTx := txCount(req)
-	rec := s.wireRec()
-	for ctx.Err() == nil {
+	cause := streamCloseClean
+	var first [1]byte
+readLoop:
+	for {
+		// Between compounds, poll for the first byte with a short read
+		// deadline so a drain or cancellation interrupts an idle stream —
+		// an armed deadline only while no compound is in flight, so a slow
+		// but live upload is never cut mid-frame.
+		var n int
+		var rerr error
+		for {
+			if ctx.Err() != nil || s.draining() {
+				cause = streamCloseDrain
+				break readLoop
+			}
+			conn.SetReadDeadline(time.Now().Add(streamPollInterval))
+			n, rerr = conn.Read(first[:])
+			if n > 0 {
+				break
+			}
+			var ne net.Error
+			if errors.As(rerr, &ne) && ne.Timeout() {
+				continue // idle poll tick; check drain and wait again
+			}
+			if rerr != nil {
+				if !errors.Is(rerr, io.EOF) {
+					cause = streamCloseClientGone
+				}
+				break readLoop
+			}
+		}
+		conn.SetReadDeadline(time.Time{})
+		if ferr := streamReadFault.Err(); ferr != nil {
+			// Injected ingest failure between compounds: internal, close.
+			log.Printf("serve: stream read failed (internal): %v", ferr)
+			cause = streamCloseInternal
+			break
+		}
+
 		// One compound: read and check the first header, reserve the queue
 		// slot, then decode payloads — the upload overlaps the backlog.
-		cr := &countingReader{r: conn}
+		cr := &countingReader{r: io.MultiReader(bytes.NewReader(first[:n]), conn)}
 		start := time.Now()
 		h, herr := wire.ReadHeader(cr)
 		if herr != nil {
-			if cr.n == 0 {
-				break // clean end of stream
+			if errors.Is(herr, io.EOF) || errors.Is(herr, io.ErrUnexpectedEOF) {
+				cause = streamCloseClientGone // died mid-header
+			} else {
+				fail(wireErr(herr))
+				cause = streamCloseDesync
 			}
-			fail(wireErr(herr))
 			break
 		}
 		if cerr := checkWireHeader(h, req, wantTx, 0, 0, s.cfg.MaxBodyBytes); cerr != nil {
 			// The unread payload desynchronises the byte stream: report
 			// in-band, then stop reading. The writer drains what's queued.
 			fail(cerr)
+			cause = streamCloseDesync
 			break
 		}
 		// Per-compound lane override: the frame header's lane byte lets a
@@ -171,13 +272,15 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 			creq.Lane = Lane(h.Lane - 1)
 		}
 		pend, berr := s.cfg.Scheduler.Begin(creq)
-		if berr != nil && !errors.Is(berr, ErrOverloaded) {
+		if berr != nil && !errors.Is(berr, ErrOverloaded) && !errors.Is(berr, ErrDraining) {
 			fail(berr)
+			cause = streamCloseDesync
 			break
 		}
-		// On overload pend is nil: decode anyway to keep the stream in
-		// sync, drop the compound, and report in-band — one saturated
-		// moment must not kill a live cine feed.
+		// On overload or drain pend is nil: decode anyway to keep the
+		// stream in sync, drop the compound, and report in-band — one
+		// saturated moment must not kill a live cine feed, and a draining
+		// server still answers every frame it read before the GOAWAY.
 		var p wirePayload
 		var derr error
 		for t := 0; t < wantTx; t++ {
@@ -201,11 +304,22 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 			if pend != nil {
 				pend.Abort()
 			}
+			if errors.Is(derr, io.EOF) || errors.Is(derr, io.ErrUnexpectedEOF) {
+				// The upload died mid-compound: a torn frame, not a
+				// protocol violation — nobody is listening for a reply.
+				cause = streamCloseClientGone
+				break
+			}
 			fail(derr)
+			cause = streamCloseDesync
 			break
 		}
 		if pend == nil {
 			fail(berr)
+			if errors.Is(berr, ErrDraining) {
+				cause = streamCloseDrain
+				break
+			}
 			continue
 		}
 		if p.planes != nil {
@@ -217,8 +331,18 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 		case results <- result{pend: pend}:
 		case <-writerDone:
 			pend.Abort()
+			break readLoop
 		}
 	}
 	close(results)
 	<-writerDone
+	if writerCause != streamCloseClean {
+		cause = writerCause
+	} else if cause == streamCloseDrain {
+		// Every compound read before the drain has been answered in order;
+		// say goodbye in-band so the client reconnects without guessing.
+		conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		wire.WriteGoAway(conn, "draining: reconnect to another node")
+	}
+	rec.recordStreamClose(cause)
 }

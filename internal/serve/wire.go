@@ -26,6 +26,42 @@ type wireRecorder struct {
 	planes    atomic.Int64 // frames decoded straight into float32 planes
 	bytesOut  atomic.Int64 // response payload bytes sent
 	streams   atomic.Int64 // cine stream connections accepted
+
+	// Per-cause stream close counters: a fleet of flapping clients, a
+	// misbehaving encoder and a draining server look identical as raw
+	// close counts but demand different responses — so each cause counts
+	// apart.
+	closesClean      atomic.Int64 // EOF at a compound boundary
+	closesClientGone atomic.Int64 // connection died mid-frame or mid-reply
+	closesDesync     atomic.Int64 // protocol violation desynced the byte stream
+	closesDrain      atomic.Int64 // server drain: GOAWAY sent
+	closesInternal   atomic.Int64 // server-side failure (incl. injected faults)
+}
+
+// streamCloseCause labels why a cine connection ended.
+type streamCloseCause int
+
+const (
+	streamCloseClean streamCloseCause = iota
+	streamCloseClientGone
+	streamCloseDesync
+	streamCloseDrain
+	streamCloseInternal
+)
+
+func (r *wireRecorder) recordStreamClose(cause streamCloseCause) {
+	switch cause {
+	case streamCloseClientGone:
+		r.closesClientGone.Add(1)
+	case streamCloseDesync:
+		r.closesDesync.Add(1)
+	case streamCloseDrain:
+		r.closesDrain.Add(1)
+	case streamCloseInternal:
+		r.closesInternal.Add(1)
+	default:
+		r.closesClean.Add(1)
+	}
 }
 
 // recordIngest counts one ingested transmit frame. enc < 0 marks the
@@ -65,6 +101,12 @@ type WireStats struct {
 	PlaneDecodes int64   `json:"plane_decodes"`
 	BytesOut     int64   `json:"bytes_out"`
 	Streams      int64   `json:"streams"`
+
+	StreamClosesClean      int64 `json:"stream_closes_clean"`
+	StreamClosesClientGone int64 `json:"stream_closes_client_gone"`
+	StreamClosesDesync     int64 `json:"stream_closes_desync"`
+	StreamClosesDrain      int64 `json:"stream_closes_drain"`
+	StreamClosesInternal   int64 `json:"stream_closes_internal"`
 }
 
 func (r *wireRecorder) stats() WireStats {
@@ -79,5 +121,11 @@ func (r *wireRecorder) stats() WireStats {
 		PlaneDecodes: r.planes.Load(),
 		BytesOut:     r.bytesOut.Load(),
 		Streams:      r.streams.Load(),
+
+		StreamClosesClean:      r.closesClean.Load(),
+		StreamClosesClientGone: r.closesClientGone.Load(),
+		StreamClosesDesync:     r.closesDesync.Load(),
+		StreamClosesDrain:      r.closesDrain.Load(),
+		StreamClosesInternal:   r.closesInternal.Load(),
 	}
 }

@@ -62,6 +62,28 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(seed(nil)[:HeaderBytes+7])                                                            // truncated payload
 	f.Add(seed(nil)[:13])                                                                       // truncated header
 	f.Add([]byte{})
+	// Torn-frame corpus: the cine stream reconnects after a client dies
+	// mid-upload, so every structurally distinct truncation point a torn
+	// TCP stream can produce gets a seed — the decoders must report all of
+	// them as clean errors, never short-read garbage or a hang.
+	full := seed(nil)
+	f.Add(full[:HeaderBytes])        // header complete, no chunk prefix
+	f.Add(full[:HeaderBytes+2])      // torn inside a chunk length prefix
+	f.Add(full[:HeaderBytes+4])      // chunk prefix complete, zero payload bytes
+	f.Add(full[:HeaderBytes+4+9])    // torn mid-sample (odd byte of an i16)
+	f.Add(full[:HeaderBytes+4+16])   // cut exactly at a chunk boundary
+	f.Add(full[:HeaderBytes+4+16+2]) // torn inside the second chunk prefix
+	f.Add(full[:len(full)-1])        // one byte short of a complete frame
+	{
+		src := testSamples(2 * 9)
+		fr := &Frame{Header: header(EncodingF64, 2, 9, 0), F64: src}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, fr, 0); err != nil {
+			f.Fatalf("seed frame: %v", err)
+		}
+		b := buf.Bytes()
+		f.Add(b[:HeaderBytes+4+11]) // torn mid-sample (f64 lane)
+	}
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -25,8 +26,27 @@ import (
 // the hard cap anyway; this just names it).
 const MaxHelloQuery = math.MaxUint16
 
-// MaxVolumeStatus values are small; anything a server maps an error into.
-// Status 0 means success.
+// Volume reply status values. Status 0 means success; everything else
+// rides the error payload (a UTF-8 message) back as a *RemoteError, and
+// the well-known non-zero values below let clients tell a retryable
+// condition from a fatal one without parsing the message.
+const (
+	// StatusOK: the payload is volume samples.
+	StatusOK uint8 = 0
+	// StatusError: generic frame failure (bad frame, internal error).
+	StatusError uint8 = 1
+	// StatusOverloaded: the frame was refused by backpressure; resend it
+	// after backing off. The connection stays usable.
+	StatusOverloaded uint8 = 2
+	// StatusDegraded: the frame was accepted and decoded, then
+	// deliberately shed by the server's overload ladder. Resending
+	// immediately will likely be shed again.
+	StatusDegraded uint8 = 3
+	// StatusGoAway: the server is draining; no more frames will be
+	// accepted on this connection. Sent in-band at a compound boundary so
+	// the client can reconnect elsewhere without losing a frame.
+	StatusGoAway uint8 = 4
+)
 
 // RemoteError is a non-zero status carried back over a stream or volume
 // message — the transport-level analogue of an HTTP error response.
@@ -37,6 +57,26 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string {
 	return fmt.Sprintf("wire: remote error (status %d): %s", e.Status, e.Msg)
+}
+
+// WriteGoAway emits the in-band drain notice: a volume-framed message
+// with StatusGoAway. Existing clients (pre-dating the status) see it as a
+// remote error and reconnect; aware clients treat it as a clean handoff.
+func WriteGoAway(w io.Writer, msg string) error {
+	return WriteVolumeError(w, StatusGoAway, msg)
+}
+
+// IsGoAway reports whether err is a server drain notice.
+func IsGoAway(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Status == StatusGoAway
+}
+
+// IsDegraded reports whether err marks a frame shed by the server's
+// overload degradation ladder.
+func IsDegraded(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Status == StatusDegraded
 }
 
 // WriteHello sends the stream handshake: the same query-string parameters

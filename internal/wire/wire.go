@@ -47,6 +47,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"ultrabeam/internal/faultpoint"
 )
 
 // Encoding selects the sample representation of a frame payload.
@@ -247,9 +249,17 @@ func newChunkReader(r io.Reader, h Header) *chunkReader {
 	return &chunkReader{r: r, remaining: h.PayloadBytes()}
 }
 
+// decodeFault simulates a transfer dying mid-payload — the torn-frame
+// case every ingest path must survive without corrupting a volume. Inert
+// unless a faultpoint schedule arms it.
+var decodeFault = faultpoint.New("wire.decode")
+
 func (c *chunkReader) Read(p []byte) (int, error) {
 	if c.remaining == 0 {
 		return 0, io.EOF
+	}
+	if err := decodeFault.Err(); err != nil {
+		return 0, err
 	}
 	if c.chunkLeft == 0 {
 		var pre [4]byte
