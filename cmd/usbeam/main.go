@@ -27,6 +27,7 @@
 //	sched       B6 scheduled vs checkout serving under mixed bulk + interactive load (always reduced scale)
 //	wire        B7 transport comparison: legacy f64 POST vs i16 wire frames vs the persistent i16 stream (always reduced scale)
 //	resilience  B8 failure-path triplet: drain latency, fault-burst recovery, interactive p99 under overload shed (always reduced scale)
+//	cluster     B9 geometry-sharded cluster: aggregate frames/s vs single node at fixed total delay memory, bit-identity through the router (-nodes N)
 //	bench       machine-readable perf records (-json writes BENCH_pipeline.json + BENCH_datapath.json + BENCH_compound.json + BENCH_serve.json)
 //	all         every text experiment in sequence
 //
@@ -71,6 +72,7 @@ func main() {
 	n := fs.Int("n", 2_000_000, "Monte Carlo samples (fixedpoint)")
 	path := fs.String("path", "block", "beamformer delay datapath: block|scalar")
 	frames := fs.Int("frames", 8, "cine length for cache/bench experiments")
+	nodes := fs.Int("nodes", 3, "cluster: backend node count")
 	jsonOut := fs.Bool("json", false, "bench: write JSON records instead of tables")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	memprofile := fs.String("memprofile", "", "write a heap profile after the experiment to this path")
@@ -205,6 +207,16 @@ func main() {
 		// latency while the bulk lane sheds.
 		var r experiments.ResilienceResult
 		r, err = experiments.ResilienceLoad(experiments.ServeSpec(), *frames)
+		if err == nil {
+			err = r.Table().Render(os.Stdout)
+		}
+	case "cluster":
+		// B9 shards the B5-scale workload across -nodes in-process
+		// backends behind the consistent-hash router, measuring each
+		// node-phase through the live router against a direct single-node
+		// baseline at the same total delay budget.
+		var r experiments.ClusterResult
+		r, err = experiments.ClusterLoad(*frames, *nodes)
 		if err == nil {
 			err = r.Table().Render(os.Stdout)
 		}
@@ -433,8 +445,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: usbeam <subcommand> [flags]
 subcommands: specs orders figure2 figure3a figure3c figure3d accuracy
              fixedpoint storage throughput bound block quality cache
-             datapath compound serve sched wire resilience bench all
+             datapath compound serve sched wire resilience cluster bench all
 flags: -reduced -exhaustive -arch tablefree|tablesteer -out FILE
        -theta DEG -phi DEG -depth N -n SAMPLES -path block|scalar
-       -frames N -json -cpuprofile FILE -memprofile FILE`)
+       -frames N -nodes N -json -cpuprofile FILE -memprofile FILE`)
 }

@@ -1,21 +1,20 @@
-// Serveclient: a minimal client for a running usbeamd. It synthesizes one
-// RF frame of a point scatterer on the reduced-scale geometry, sends it to
-// the daemon, and prints the returned scanline through the volume center —
-// the round trip the CI server-smoke step asserts on.
+// Serveclient: a minimal client for a running usbeamd (or a usbeamrouter
+// fronting a cluster of them). It synthesizes one RF frame of a point
+// scatterer on the reduced-scale geometry, sends it to the daemon, and
+// prints the returned scanline through the volume center — the round trip
+// the CI server-smoke step asserts on.
 //
 // The transport is selectable. -wire raw POSTs the legacy headerless
-// float64 body; -wire i16|f32|f64 POSTs a self-describing wire frame
-// (internal/wire) — i16 is the ADC-native format at roughly a third of the
-// f64 bytes. -stream switches from HTTP to the persistent cine transport:
-// one TCP connection, the query sent once, then -frames compounds pushed
-// back to back with volumes read in order.
+// float64 body; -wire i16|f32|f64 POSTs a self-describing wire frame —
+// i16 is the ADC-native format at roughly a third of the f64 bytes.
+// -stream switches from HTTP to the persistent cine transport: one TCP
+// connection, the query sent once, then -frames compounds pushed back to
+// back with volumes read in order.
 //
-// The client is resilient by default: HTTP 503s (overloaded, draining,
-// degraded) retry with jittered exponential backoff honoring the server's
-// Retry-After hint, and the stream transport sequence-tracks its compounds
-// — a GOAWAY or dead connection reconnects and resends only the frames the
-// server never answered, so nothing is beamformed twice. -retries bounds
-// both.
+// All of the transport logic — 503 backoff honoring Retry-After, stream
+// sequence tracking, reconnect-and-resend on GOAWAY — lives in the
+// importable SDK (ultrabeam/pkg/client); this example is just the SDK
+// plus a phantom and a sparkline.
 //
 // Run `go run ./cmd/usbeamd -stream-addr :8643` in one terminal, then:
 //
@@ -24,25 +23,17 @@
 package main
 
 import (
-	"bytes"
-	"encoding/binary"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"math"
-	"math/rand"
-	"net"
-	"net/http"
 	"os"
-	"strconv"
-	"strings"
-	"time"
 
 	"ultrabeam"
 	"ultrabeam/internal/geom"
 	"ultrabeam/internal/rf"
-	"ultrabeam/internal/wire"
+	"ultrabeam/pkg/client"
 )
 
 func main() {
@@ -71,18 +62,23 @@ func main() {
 	}
 
 	query := "spec=reduced&out=scanline&resp=" + *respFmt
-	var enc wire.Encoding
 	isWire := *wireFmt != "raw"
 	if isWire {
-		if enc, err = wire.ParseEncoding(*wireFmt); err != nil {
-			fail(err)
-		}
-		query += "&fmt=" + enc.String()
-		if enc != wire.EncodingF64 {
+		query += "&fmt=" + *wireFmt
+		if *wireFmt != "f64" {
 			// The narrowed encodings pair with the float32 session: the
 			// server decodes them straight into its float32 echo planes.
 			query += "&precision=float32"
 		}
+	}
+
+	c := &client.Client{
+		Addr:       *addr,
+		StreamAddr: *stream,
+		Retries:    *retries,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "serveclient: "+format+"\n", args...)
+		},
 	}
 
 	var line []float64
@@ -91,11 +87,15 @@ func main() {
 		if !isWire {
 			fail(fmt.Errorf("the stream transport carries wire frames: pick -wire i16|f32|f64"))
 		}
-		line, note = runStream(*stream, query, enc, spec.Elements(), win, samples, *frames, *retries)
-	} else if isWire {
-		line, note = postWire(*addr, query, enc, spec.Elements(), win, samples, *retries)
+		line, note = runStream(c, query, spec.Elements(), win, samples, *frames)
 	} else {
-		line, note = postRaw(*addr, query, samples, *retries)
+		res, err := c.Post(context.Background(), query, *wireFmt, spec.Elements(), win, samples)
+		if err != nil {
+			fail(err)
+		}
+		line = res.Data
+		note = fmt.Sprintf("%s body, %s response, server elapsed %s ms",
+			*wireFmt, res.Encoding, res.Header.Get("X-Ultrabeam-Elapsed-Ms"))
 	}
 
 	peak, peakAt := 0.0, 0
@@ -128,197 +128,40 @@ func main() {
 	}
 }
 
-// backoff picks the delay before retry attempt+1. A Retry-After hint from
-// the server wins (it is derived from actual queue depth and drain rate);
-// otherwise exponential from 100ms capped at 5s. Both get ±25% jitter so a
-// fleet of clients bounced by one overload burst does not reconverge on
-// the server in lockstep.
-func backoff(attempt int, retryAfter string) time.Duration {
-	d := 100 * time.Millisecond << uint(min(attempt, 6))
-	if d > 5*time.Second {
-		d = 5 * time.Second
-	}
-	if s, err := strconv.Atoi(strings.TrimSpace(retryAfter)); err == nil && s > 0 {
-		d = time.Duration(s) * time.Second
-	}
-	return time.Duration(float64(d) * (0.75 + rand.Float64()/2))
-}
-
-// postRaw POSTs the legacy headerless float64 body.
-func postRaw(addr, query string, samples []float64, retries int) ([]float64, string) {
-	body := make([]byte, 8*len(samples))
-	for i, v := range samples {
-		binary.LittleEndian.PutUint64(body[8*i:], math.Float64bits(v))
-	}
-	return post(addr, query, "application/octet-stream", body, fmt.Sprintf("raw f64 body, %d B", len(body)), retries)
-}
-
-// postWire POSTs one wire frame in the chosen encoding.
-func postWire(addr, query string, enc wire.Encoding, elements, win int, samples []float64, retries int) ([]float64, string) {
-	f, err := wire.NewFrame(enc, elements, win, 0, 1, samples)
+// runStream pushes n compounds over the persistent cine transport and
+// returns the last volume's samples. The SDK sequence-tracks the burst: a
+// GOAWAY or dead connection reconnects and resends only unanswered
+// frames, and an in-band per-compound error counts as answered (never
+// resent, never double-beamformed).
+func runStream(c *client.Client, query string, elements, win int, samples []float64, n int) ([]float64, string) {
+	s, err := c.DialStream(context.Background(), query)
 	if err != nil {
 		fail(err)
 	}
-	var buf bytes.Buffer
-	if err := wire.WriteFrame(&buf, f, 0); err != nil {
-		fail(err)
-	}
-	note := fmt.Sprintf("%s wire frame, %d B (f64 would be %d B)",
-		enc, buf.Len(), wire.FrameWireBytes(wire.Header{
-			Encoding: wire.EncodingF64, Elements: elements, Window: win, TxCount: 1,
-		}, 0))
-	return post(addr, query, wire.ContentType, buf.Bytes(), note, retries)
-}
-
-// post runs one HTTP round trip and decodes the response scanline. Dead
-// connections and 503s (overloaded, draining, degraded) retry with
-// jittered backoff, honoring the server's Retry-After hint.
-func post(addr, query, ct string, body []byte, note string, retries int) ([]float64, string) {
-	url := fmt.Sprintf("http://%s/beamform?%s", addr, query)
-	for attempt := 0; ; attempt++ {
-		resp, err := http.Post(url, ct, bytes.NewReader(body))
-		if err != nil {
-			if attempt >= retries {
-				fail(fmt.Errorf("POST %s: %w (is usbeamd running?)", url, err))
-			}
-			d := backoff(attempt, "")
-			fmt.Fprintf(os.Stderr, "serveclient: %v; retrying in %v\n", err, d.Round(time.Millisecond))
-			time.Sleep(d)
-			continue
-		}
-		raw, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
+	defer s.Close()
+	for i := 0; i < n; i++ {
+		if err := s.Send(client.Frame{Elements: elements, Window: win, Samples: samples}); err != nil {
 			fail(err)
 		}
-		if resp.StatusCode == http.StatusServiceUnavailable && attempt < retries {
-			d := backoff(attempt, resp.Header.Get("Retry-After"))
-			fmt.Fprintf(os.Stderr, "serveclient: 503 %s; retrying in %v\n",
-				strings.TrimSpace(string(raw)), d.Round(time.Millisecond))
-			time.Sleep(d)
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			fail(fmt.Errorf("%s: %s", resp.Status, raw))
-		}
-		line := decodeSamples(raw, resp.Header.Get("X-Ultrabeam-Encoding"))
-		return line, note + ", server elapsed " + resp.Header.Get("X-Ultrabeam-Elapsed-Ms") + " ms"
 	}
-}
-
-// decodeSamples parses a response body in the negotiated encoding.
-func decodeSamples(raw []byte, enc string) []float64 {
-	if enc == "f32" {
-		if len(raw) == 0 || len(raw)%4 != 0 {
-			fail(fmt.Errorf("response is %d bytes, not an f32 scanline", len(raw)))
+	var last *client.Volume
+	for k := 0; k < n; k++ {
+		v, err := s.Recv(context.Background())
+		if err != nil {
+			var re *client.RemoteError
+			if errors.As(err, &re) {
+				fmt.Fprintf(os.Stderr, "serveclient: compound %d rejected in-band: %v\n", k, err)
+				continue
+			}
+			fail(err)
 		}
-		out := make([]float64, len(raw)/4)
-		for i := range out {
-			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:])))
-		}
-		return out
-	}
-	if len(raw) == 0 || len(raw)%8 != 0 {
-		fail(fmt.Errorf("response is %d bytes, not a float64 scanline", len(raw)))
-	}
-	out := make([]float64, len(raw)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
-	}
-	return out
-}
-
-// runStream pushes n compounds over the persistent cine transport and
-// returns the last volume's samples. Frames are sequence-tracked: acked
-// counts compounds the server has answered (a volume, or an in-band
-// per-compound error — both are definitive answers and are never resent,
-// so nothing is double-beamformed). A GOAWAY (server draining) or a dead
-// connection reconnects with jittered backoff and resumes pushing from
-// the first unanswered frame.
-func runStream(addr, query string, enc wire.Encoding, elements, win int, samples []float64, n, retries int) ([]float64, string) {
-	f, err := wire.NewFrame(enc, elements, win, 0, 1, samples)
-	if err != nil {
-		fail(err)
-	}
-	var buf bytes.Buffer
-	if err := wire.WriteFrame(&buf, f, 0); err != nil {
-		fail(err)
-	}
-	var last *wire.Volume
-	acked, reconnects, attempt := 0, 0, 0
-	for acked < n {
-		if attempt > retries {
-			fail(fmt.Errorf("stream: gave up after %d attempts with %d/%d compounds answered", attempt, acked, n))
-		}
-		if attempt > 0 {
-			d := backoff(attempt-1, "")
-			fmt.Fprintf(os.Stderr, "serveclient: stream reconnect %d (answered %d/%d) in %v\n",
-				reconnects+1, acked, n, d.Round(time.Millisecond))
-			time.Sleep(d)
-			reconnects++
-		}
-		attempt++
-		acked = streamOnce(addr, query, buf.Bytes(), acked, n, &last, &attempt)
+		last = v
 	}
 	if last == nil {
 		fail(fmt.Errorf("stream: all %d compounds answered, none with a volume", n))
 	}
-	note := fmt.Sprintf("stream: %d × %s compounds of %d B, %d reconnect(s)", n, enc, buf.Len(), reconnects)
+	note := fmt.Sprintf("stream: %d compounds, %d reconnect(s)", n, s.Reconnects())
 	return last.Data, note
-}
-
-// streamOnce runs one connection: hello, push every unanswered compound,
-// read replies until done or the connection dies. Returns the updated
-// acked count; progress resets the caller's retry attempt counter.
-func streamOnce(addr, query string, frame []byte, acked, n int, last **wire.Volume, attempt *int) int {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "serveclient: dial %s: %v (is usbeamd running with -stream-addr?)\n", addr, err)
-		return acked
-	}
-	defer conn.Close()
-	if err := wire.WriteHello(conn, query); err != nil {
-		return acked
-	}
-	if err := wire.ReadHelloReply(conn); err != nil {
-		fmt.Fprintf(os.Stderr, "serveclient: stream hello refused: %v\n", err)
-		return acked
-	}
-	// Push the whole unanswered burst, then drain the replies: the server
-	// pipelines decode against the backlog. A write error is not fatal —
-	// the server still answers every compound it read; the rest resend on
-	// the next connection.
-	pushed := 0
-	for i := acked; i < n; i++ {
-		if _, err := conn.Write(frame); err != nil {
-			break
-		}
-		pushed++
-	}
-	for k := 0; k < pushed; k++ {
-		v, err := wire.ReadVolume(conn, 0)
-		if err == nil {
-			*last, acked, *attempt = v, acked+1, 0
-			continue
-		}
-		if wire.IsGoAway(err) {
-			// Draining: this compound was not beamformed and nothing else
-			// is coming on this connection. Resend from here elsewhere.
-			fmt.Fprintf(os.Stderr, "serveclient: server draining (GOAWAY) after %d/%d\n", acked, n)
-			return acked
-		}
-		var re *wire.RemoteError
-		if errors.As(err, &re) {
-			// In-band per-compound answer: definitive for this frame (it
-			// counts as acked, never resent), stream still healthy.
-			fmt.Fprintf(os.Stderr, "serveclient: compound %d rejected in-band: %v\n", acked, err)
-			acked, *attempt = acked+1, 0
-			continue
-		}
-		fmt.Fprintf(os.Stderr, "serveclient: stream read after %d/%d: %v\n", acked, n, err)
-		return acked
-	}
-	return acked
 }
 
 func fail(err error) {

@@ -1,0 +1,294 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/url"
+	"sync"
+	"time"
+
+	"ultrabeam/internal/serve"
+	"ultrabeam/internal/wire"
+	"ultrabeam/pkg/client"
+)
+
+// The cine stream proxy. A stream is pinned to one geometry by its hello,
+// so the whole connection routes once — then the proxy is a relay:
+// frames cross toward the owner verbatim (wire.CopyFrame — an i16
+// payload's quantized samples and scale are untouched, which is what
+// keeps volumes through the router bit-identical to direct serving) and
+// volumes cross back verbatim (wire.CopyVolume).
+//
+// The one thing the relay interprets is the drain contract. A backend
+// GOAWAY is hop-by-hop: the proxy consumes it, demotes the backend,
+// re-homes the stream to the fingerprint's next owner and resends every
+// unanswered compound in order — the client sees nothing but latency.
+// That works because the proxy buffers each compound before forwarding
+// (a backend never receives a torn compound) and because an unanswered
+// compound was, by the drain contract, never beamformed.
+
+// ServeStream accepts client cine connections on ln until the listener
+// closes or ctx is done, relaying each to its geometry's owner.
+func (r *Router) ServeStream(ctx context.Context, ln net.Listener) error {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			r.relayStream(ctx, conn)
+		}()
+	}
+}
+
+// errTrackWriter distinguishes "client write failed" from "backend read
+// failed" inside one CopyVolume call: only its own error means the
+// client is gone.
+type errTrackWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (t *errTrackWriter) Write(p []byte) (int, error) {
+	n, err := t.w.Write(p)
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+	return n, err
+}
+
+type streamRelay struct {
+	r      *Router
+	query  string
+	fp     string
+	wantTx int
+	client net.Conn
+
+	mu          sync.Mutex
+	backend     net.Conn
+	backendName string
+	pending     [][]byte // raw unanswered compounds, oldest first
+	readerDone  bool
+}
+
+func (r *Router) relayStream(ctx context.Context, conn net.Conn) {
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	query, err := wire.ReadHello(conn)
+	if err != nil {
+		return
+	}
+	q, err := url.ParseQuery(query)
+	if err != nil {
+		wire.WriteHelloReply(conn, 1, "bad query: "+err.Error())
+		return
+	}
+	opts, err := serve.ParseOptions(q, nil)
+	if err != nil {
+		wire.WriteHelloReply(conn, 1, err.Error())
+		return
+	}
+	s := &streamRelay{
+		r: r, query: query, fp: opts.Fingerprint(),
+		wantTx: max(1, len(opts.Request.Config.Transmits)), client: conn,
+	}
+	// First leg before acking the client's hello: a cluster with no owner
+	// (or one that refuses streams) refuses the hello with the reason.
+	if err := s.connectLocked(ctx); err != nil {
+		wire.WriteHelloReply(conn, 1, err.Error())
+		return
+	}
+	defer func() {
+		s.mu.Lock()
+		if s.backend != nil {
+			s.backend.Close()
+		}
+		s.mu.Unlock()
+	}()
+	if err := wire.WriteHelloReply(conn, 0, "ok"); err != nil {
+		return
+	}
+	r.stats.Lock()
+	r.stats.Streams++
+	r.stats.Unlock()
+
+	writerErr := make(chan error, 1)
+	go func() { writerErr <- s.relayReplies(ctx) }()
+	s.relayFrames()
+	<-writerErr
+}
+
+// relayFrames is the client→backend half: read one full compound,
+// remember it as pending, forward it. Buffering the compound first means
+// a backend swap mid-upload can never leave a torn compound behind.
+func (s *streamRelay) relayFrames() {
+	defer func() {
+		s.mu.Lock()
+		s.readerDone = true
+		// Wake a writer blocked on a backend read with nothing left owed.
+		if len(s.pending) == 0 && s.backend != nil {
+			s.backend.Close()
+		}
+		s.mu.Unlock()
+	}()
+	for {
+		var buf bytes.Buffer
+		for t := 0; t < s.wantTx; t++ {
+			h, err := wire.ReadHeader(s.client)
+			if err != nil {
+				return // client done (clean EOF) or gone or desynced — relay over
+			}
+			if h.PayloadBytes() > s.r.cfg.MaxBodyBytes {
+				return
+			}
+			if err := wire.CopyFrame(&buf, s.client, h); err != nil {
+				return
+			}
+		}
+		s.mu.Lock()
+		s.pending = append(s.pending, buf.Bytes())
+		if s.backend != nil {
+			if _, err := s.backend.Write(buf.Bytes()); err != nil {
+				// Broken leg: the reply side notices and re-homes; this
+				// compound is pending and will be resent there.
+				s.backend.Close()
+				s.backend = nil
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// relayReplies is the backend→client half: forward answers in order, ack
+// pending compounds, and re-home on GOAWAY or a dead backend.
+func (s *streamRelay) relayReplies(ctx context.Context) error {
+	for {
+		s.mu.Lock()
+		done := s.readerDone && len(s.pending) == 0
+		conn := s.backend
+		s.mu.Unlock()
+		if done {
+			return nil
+		}
+		if conn == nil {
+			if err := s.rehome(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		tw := &errTrackWriter{w: s.client}
+		status, err := wire.CopyVolume(tw, conn, 0)
+		if err != nil {
+			if tw.err != nil {
+				return tw.err // client gone; the relay is over
+			}
+			s.dropBackend(conn, "stream read: "+err.Error())
+			continue
+		}
+		if status == wire.StatusGoAway {
+			// Hop-by-hop drain notice (already consumed, not forwarded):
+			// this backend answers nothing more we are owed.
+			s.r.markUnhealthy(s.backendName, "stream GOAWAY")
+			s.dropBackend(conn, "goaway")
+			continue
+		}
+		s.ackOne()
+	}
+}
+
+func (s *streamRelay) ackOne() {
+	s.mu.Lock()
+	if len(s.pending) > 0 {
+		s.pending = s.pending[1:]
+	}
+	if s.readerDone && len(s.pending) == 0 && s.backend != nil {
+		// Everything owed is answered and no more is coming: release the
+		// backend leg so both halves wind down.
+		s.backend.Close()
+		s.backend = nil
+	}
+	s.mu.Unlock()
+}
+
+func (s *streamRelay) dropBackend(conn net.Conn, reason string) {
+	s.mu.Lock()
+	if s.backend == conn {
+		conn.Close()
+		s.backend = nil
+		s.r.logf("cluster: stream leg to %s dropped (%s); %d compounds pending", s.backendName, reason, len(s.pending))
+	}
+	s.mu.Unlock()
+}
+
+// rehome re-resolves the fingerprint's owner (membership may just have
+// changed — often because this very stream observed the GOAWAY), opens a
+// new leg and resends every unanswered compound in order. Consecutive
+// failures back off with jitter and give up after the retry budget; any
+// answered compound resets the count via connectLocked's success path.
+func (s *streamRelay) rehome(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if s.readerDone && len(s.pending) == 0 {
+			return nil
+		}
+		if attempt > s.r.cfg.Retries {
+			return errors.New("cluster: stream re-home exhausted retries")
+		}
+		if attempt > 0 {
+			time.Sleep(client.Backoff(attempt-1, ""))
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if err := s.connectLocked(ctx); err != nil {
+			s.r.logf("cluster: stream re-home for %s: %v", s.fp, err)
+			continue
+		}
+		s.r.stats.Lock()
+		s.r.stats.Rehomes++
+		s.r.stats.Unlock()
+		s.r.logf("cluster: stream re-homed to %s (%d compounds resent)", s.backendName, len(s.pending))
+		return nil
+	}
+}
+
+// connectLocked opens a leg to the current owner and replays the pending
+// backlog. Callers hold s.mu (or own s exclusively, before the relay
+// starts).
+func (s *streamRelay) connectLocked(ctx context.Context) error {
+	owner, ok := s.r.owner(s.fp)
+	if !ok {
+		return errors.New("no backend available")
+	}
+	if owner.StreamAddr == "" {
+		return errors.New("owner " + owner.name() + " takes no streams")
+	}
+	dctx, cancel := context.WithTimeout(ctx, s.r.cfg.HealthTimeout)
+	conn, err := client.DialHello(dctx, nil, owner.StreamAddr, s.query)
+	cancel()
+	if err != nil {
+		s.r.markUnhealthy(owner.name(), "stream dial: "+err.Error())
+		return err
+	}
+	for _, c := range s.pending {
+		if _, err := conn.Write(c); err != nil {
+			conn.Close()
+			return err
+		}
+	}
+	s.backend, s.backendName = conn, owner.name()
+	return nil
+}

@@ -1,0 +1,37 @@
+// Residency-plan handoff: what moves between nodes when a geometry changes
+// owner is the *plan* — per-transmit quotas over the deterministic nappe
+// prefix — never cached bytes. Because every block regenerates
+// bit-identically on demand (the Plan contract), a receiving store that
+// installs the same plan and warms serves exactly what the old owner
+// served; ClampQuota is the adapter for the receiving store's budget,
+// which may be smaller than the exporter's.
+package delaycache
+
+// ClampQuota fits an imported per-transmit residency plan to a store with
+// depths nappes per transmit and a budget of resident blocks: each quota
+// is capped to [0, depths], and if the total still exceeds resident the
+// quotas are scaled down proportionally (largest-remainder rounding, via
+// PlanWeighted) so the result always satisfies Plan's invariants.
+// Deterministic: equal inputs yield equal plans on every node.
+func ClampQuota(quota []int, depths, resident int) []int {
+	capped := make([]int, len(quota))
+	total := 0
+	for t, q := range quota {
+		if q < 0 {
+			q = 0
+		}
+		if q > depths {
+			q = depths
+		}
+		capped[t] = q
+		total += q
+	}
+	if total <= resident {
+		return capped
+	}
+	weights := make([]float64, len(capped))
+	for t, q := range capped {
+		weights[t] = float64(q)
+	}
+	return PlanWeighted(resident, depths, weights)
+}

@@ -1,0 +1,90 @@
+package delaycache
+
+import "testing"
+
+func sum(q []int) int {
+	n := 0
+	for _, v := range q {
+		n += v
+	}
+	return n
+}
+
+func TestClampQuotaFitsAnyBudget(t *testing.T) {
+	cases := []struct {
+		name             string
+		quota            []int
+		depths, resident int
+		wantSame         bool // plan already fits: returned verbatim (capped)
+	}{
+		{"fits", []int{3, 2, 1}, 10, 8, true},
+		{"exactly", []int{4, 4}, 4, 8, true},
+		{"over-budget", []int{10, 10, 10}, 10, 12, false},
+		{"over-depth", []int{50, 1}, 10, 20, false},
+		{"negative", []int{-3, 5}, 10, 10, false},
+		{"empty", nil, 10, 4, true},
+		{"zero-budget", []int{5, 5}, 10, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := ClampQuota(c.quota, c.depths, c.resident)
+			if len(got) != len(c.quota) {
+				t.Fatalf("arity %d, want %d", len(got), len(c.quota))
+			}
+			if s := sum(got); s > c.resident {
+				t.Errorf("clamped plan retains %d blocks over budget %d", s, c.resident)
+			}
+			for i, q := range got {
+				if q < 0 || q > c.depths {
+					t.Errorf("quota[%d] = %d outside [0, %d]", i, q, c.depths)
+				}
+			}
+			if c.wantSame {
+				for i, q := range got {
+					want := c.quota[i]
+					if want < 0 {
+						want = 0
+					}
+					if want > c.depths {
+						want = c.depths
+					}
+					if q != want {
+						t.Errorf("quota[%d] = %d, want %d (plan fits, must pass through)", i, q, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestClampQuotaProportional(t *testing.T) {
+	// A 3:1 skew squeezed in half keeps the skew.
+	got := ClampQuota([]int{6, 2}, 10, 4)
+	if got[0] != 3 || got[1] != 1 {
+		t.Fatalf("ClampQuota([6 2], depths=10, resident=4) = %v, want [3 1]", got)
+	}
+	// Determinism across calls.
+	again := ClampQuota([]int{6, 2}, 10, 4)
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatalf("ClampQuota not deterministic: %v vs %v", got, again)
+		}
+	}
+}
+
+// TestClampedPlanInstalls proves the clamped plan always satisfies
+// Plan's invariants on a real store with a smaller budget than the
+// exporter's.
+func TestClampedPlanInstalls(t *testing.T) {
+	provs, depths := transmitProviders(t, 2)
+	store, err := NewShared(Config{Providers: provs, Depths: depths,
+		BudgetBytes: 3 * int64(provs[0].Layout().BlockLen()) * narrowDelayBytes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exported := []int{depths, depths} // a full-residency exporter's plan
+	clamped := ClampQuota(exported, store.Depths(), store.ResidentBlocks())
+	if err := store.Plan(clamped); err != nil {
+		t.Fatalf("clamped plan rejected: %v", err)
+	}
+}

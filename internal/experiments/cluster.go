@@ -1,0 +1,321 @@
+// Experiment B9: geometry-sharded cluster throughput — aggregate frames/s
+// vs node count at fixed total delay memory. The cluster's claim is the
+// paper's amortization argument scaled out: the delay working set belongs
+// to the geometry, so consistent-hashing geometries across N nodes gives
+// each node a disjoint warm set and the fleet's cache budget is additive —
+// N nodes hold N shards of one working set instead of N copies of it, and
+// aggregate capacity grows with N while per-geometry memory stays fixed.
+//
+// Methodology (one machine, GOMAXPROCS-pinned): the nodes share nothing,
+// so each node's capacity is measured through the live router one
+// node-phase at a time — time-division multiplexing of the single
+// measurement machine — and the aggregate is the sum of per-node rates,
+// exactly what N separate machines would sustain concurrently. The
+// baseline is the same workload POSTed directly at one node serving every
+// geometry from the same total budget. Both sides get one warmup frame
+// per geometry; the router's proxy overhead is inside the measured cluster
+// phases, so the reported ratio is net of it.
+//
+// The correctness half of the claim rides along: one frame is beamformed
+// through the router and directly on its owner at every session precision
+// (float64, float32, wide), and the responses must match byte for byte —
+// the router relays verbatim and prewarmed stores regenerate bit-identical
+// blocks, so sharding must be invisible in the samples.
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"time"
+
+	"ultrabeam/internal/cluster"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/report"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/serve"
+)
+
+// ClusterRow is one node-phase of the B9 measurement.
+type ClusterRow struct {
+	Node         string  `json:"node"`
+	Geometries   int     `json:"geometries"`
+	Frames       int     `json:"frames"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+}
+
+// ClusterResult carries experiment B9.
+type ClusterResult struct {
+	Spec              string
+	Nodes             int
+	Geometries        int
+	FramesPerGeometry int
+	BudgetBytes       int64 // per-geometry delay budget (identical in both modes)
+
+	SingleFramesPerSec    float64
+	AggregateFramesPerSec float64
+	ClusterOverSingle     float64
+
+	IdenticalPrecisions []string // precisions proven bit-identical through the router
+	Rows                []ClusterRow
+}
+
+// clusterPrecisions is the full session-precision surface the bit-identity
+// sweep must cover.
+var clusterPrecisions = []string{"float64", "float32", "wide"}
+
+// ClusterLoad runs B9: nodes usbeamd stacks behind a consistent-hash
+// router on loopback, 2 geometries per node, framesPerGeom frames each.
+// The spec is ServeSpec-scale with small focal-grid perturbations to make
+// the geometries distinct.
+func ClusterLoad(framesPerGeom, nodes int) (ClusterResult, error) {
+	res := ClusterResult{Nodes: nodes, FramesPerGeometry: framesPerGeom}
+	if framesPerGeom < 1 || nodes < 2 {
+		return res, fmt.Errorf("experiments: cluster needs ≥1 frame per geometry and ≥2 nodes, got %d/%d", framesPerGeom, nodes)
+	}
+	s := ServeSpec()
+	res.Spec = s.String()
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: s.Array(), Conv: s.Converter(), Pulse: rf.NewPulse(s.Fc, s.B),
+		BufSamples: s.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * s.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	frame := encodeWireFrame(bufs)
+	blockBytes := int64(s.FocalTheta*s.FocalPhi*s.Elements()) * 2
+	res.BudgetBytes = blockBytes * int64(s.FocalDepth) / 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// The cluster: N nodes plus the router. perNode geometries each, so
+	// the single-node baseline must hold nodes×perNode warm sessions from
+	// the same total budget the shards split.
+	const perNode = 2
+	total := nodes * perNode
+	backs := make([]*clusterNode, nodes)
+	bes := make([]cluster.Backend, nodes)
+	for i := range backs {
+		n, err := startClusterNode(total + len(clusterPrecisions))
+		if err != nil {
+			return res, err
+		}
+		defer n.close()
+		backs[i] = n
+		bes[i] = cluster.Backend{Addr: n.addr}
+	}
+	r := cluster.New(cluster.Config{Backends: bes, HealthInterval: 200 * time.Millisecond})
+	defer r.Close()
+	r.CheckNow(ctx)
+	rln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, err
+	}
+	rhs := &http.Server{Handler: r.Handler()}
+	go rhs.Serve(rln)
+	defer rhs.Shutdown(context.Background())
+	routerURL := "http://" + rln.Addr().String()
+
+	// Pick geometries off the ring until every node owns perNode: small
+	// focal-grid perturbations of the base spec, each a distinct
+	// fingerprint, assigned by consistent hash exactly as production
+	// traffic would be.
+	owned := map[string][]string{} // node name -> queries
+	queries := make([]string, 0, total)
+	for dt := 0; dt < 12 && len(queries) < total; dt++ {
+		for dp := 0; dp < 12 && len(queries) < total; dp++ {
+			g := s
+			g.FocalTheta += dt
+			g.FocalPhi += dp
+			q := clusterQuery(g, res.BudgetBytes)
+			fp, err := clusterFingerprint(q)
+			if err != nil {
+				return res, err
+			}
+			owner, ok := r.Owner(fp)
+			if !ok {
+				return res, fmt.Errorf("experiments: ring has no owner for %s", fp)
+			}
+			if len(owned[owner.Addr]) >= perNode {
+				continue
+			}
+			owned[owner.Addr] = append(owned[owner.Addr], q)
+			queries = append(queries, q)
+		}
+	}
+	if len(queries) < total {
+		return res, fmt.Errorf("experiments: could not spread %d geometries over %d nodes (got %d)", total, nodes, len(queries))
+	}
+	res.Geometries = total
+	httpc := &http.Client{}
+
+	// Baseline: one node, every geometry, same per-geometry budgets — the
+	// whole working set behind one CPU.
+	single, err := startClusterNode(total)
+	if err != nil {
+		return res, err
+	}
+	singleURL := "http://" + single.addr
+	for _, q := range queries { // warm
+		if _, err := clusterPost(httpc, singleURL, q, frame); err != nil {
+			single.close()
+			return res, err
+		}
+	}
+	t0 := time.Now()
+	for f := 0; f < framesPerGeom; f++ {
+		for _, q := range queries {
+			if _, err := clusterPost(httpc, singleURL, q, frame); err != nil {
+				single.close()
+				return res, err
+			}
+		}
+	}
+	res.SingleFramesPerSec = float64(total*framesPerGeom) / time.Since(t0).Seconds()
+	single.close() // release before the cluster phases claim the CPU
+
+	// Cluster phases: each node's owned geometries driven through the
+	// router while the other nodes idle — the time-division stand-in for
+	// N machines. Aggregate = Σ per-node rates.
+	names := make([]string, 0, len(owned))
+	for name := range owned {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		qs := owned[name]
+		for _, q := range qs { // warm through the router (prewarms the owner)
+			if _, err := clusterPost(httpc, routerURL, q, frame); err != nil {
+				return res, err
+			}
+		}
+		t0 := time.Now()
+		for f := 0; f < framesPerGeom; f++ {
+			for _, q := range qs {
+				if _, err := clusterPost(httpc, routerURL, q, frame); err != nil {
+					return res, err
+				}
+			}
+		}
+		rate := float64(len(qs)*framesPerGeom) / time.Since(t0).Seconds()
+		res.Rows = append(res.Rows, ClusterRow{
+			Node: name, Geometries: len(qs), Frames: len(qs) * framesPerGeom, FramesPerSec: rate,
+		})
+		res.AggregateFramesPerSec += rate
+	}
+	if res.SingleFramesPerSec > 0 {
+		res.ClusterOverSingle = res.AggregateFramesPerSec / res.SingleFramesPerSec
+	}
+
+	// Bit-identity at every precision: the same frame through the router
+	// and directly on its owner must beamform to the same bytes.
+	for _, prec := range clusterPrecisions {
+		q := queries[0] + "&precision=" + prec
+		viaRouter, err := clusterPost(httpc, routerURL, q, frame)
+		if err != nil {
+			return res, fmt.Errorf("experiments: precision %s via router: %w", prec, err)
+		}
+		fp, err := clusterFingerprint(q)
+		if err != nil {
+			return res, err
+		}
+		owner, ok := r.Owner(fp)
+		if !ok {
+			return res, fmt.Errorf("experiments: no owner for precision %s", prec)
+		}
+		direct, err := clusterPost(httpc, "http://"+owner.Addr, q, frame)
+		if err != nil {
+			return res, fmt.Errorf("experiments: precision %s direct: %w", prec, err)
+		}
+		if !bytes.Equal(viaRouter, direct) {
+			return res, fmt.Errorf("experiments: precision %s volumes differ through the router", prec)
+		}
+		res.IdenticalPrecisions = append(res.IdenticalPrecisions, prec)
+	}
+	return res, nil
+}
+
+// clusterNode is one in-process usbeamd stack on a loopback listener.
+type clusterNode struct {
+	addr  string
+	close func()
+}
+
+func startClusterNode(maxGeometries int) (*clusterNode, error) {
+	sched := serve.NewScheduler(serve.SchedulerConfig{MaxGeometries: maxGeometries})
+	srv, err := serve.NewServer(serve.ServerConfig{Scheduler: sched, AcquireTimeout: time.Minute})
+	if err != nil {
+		sched.Close()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sched.Close()
+		return nil, err
+	}
+	hs := &http.Server{Handler: srv}
+	go hs.Serve(ln)
+	return &clusterNode{
+		addr: ln.Addr().String(),
+		close: func() {
+			hs.Shutdown(context.Background())
+			sched.Close()
+		},
+	}, nil
+}
+
+func clusterQuery(s core.SystemSpec, budget int64) string {
+	return fmt.Sprintf("elemx=%d&elemy=%d&ftheta=%d&fphi=%d&fdepth=%d&budget=%d&out=scanline",
+		s.ElemX, s.ElemY, s.FocalTheta, s.FocalPhi, s.FocalDepth, budget)
+}
+
+func clusterFingerprint(query string) (string, error) {
+	q, err := url.ParseQuery(query)
+	if err != nil {
+		return "", err
+	}
+	opts, err := serve.ParseOptions(q, nil)
+	if err != nil {
+		return "", err
+	}
+	return opts.Fingerprint(), nil
+}
+
+func clusterPost(c *http.Client, base, query string, frame []byte) ([]byte, error) {
+	resp, err := c.Post(base+"/v1/beamform?"+query, "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, body)
+	}
+	return body, nil
+}
+
+// Table renders B9.
+func (r ClusterResult) Table() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("B9 — cluster aggregate frames/s vs single node (%d nodes, %d geometries, %d frames each, %sB/geometry budget)",
+			r.Nodes, r.Geometries, r.FramesPerGeometry, report.Eng(float64(r.BudgetBytes))),
+		"node", "geometries", "frames/s")
+	t.Add("single (direct)", fmt.Sprintf("%d", r.Geometries), fmt.Sprintf("%.2f", r.SingleFramesPerSec))
+	for _, row := range r.Rows {
+		t.Add(row.Node+" (via router)", fmt.Sprintf("%d", row.Geometries), fmt.Sprintf("%.2f", row.FramesPerSec))
+	}
+	t.Add("cluster aggregate", fmt.Sprintf("%d", r.Geometries), fmt.Sprintf("%.2f", r.AggregateFramesPerSec))
+	t.Add("cluster / single", "", fmt.Sprintf("%.2f×", r.ClusterOverSingle))
+	t.Add("bit-identical precisions", "", fmt.Sprintf("%d/%d", len(r.IdenticalPrecisions), len(clusterPrecisions)))
+	return t
+}

@@ -284,6 +284,21 @@ type ServeBenchRecord struct {
 	RecoveryMs               float64 `json:"recovery_ms"`
 	DegradedShedFrames       int64   `json:"degraded_shed_frames"`
 	DegradedInteractiveP99Ms float64 `json:"degraded_interactive_p99_ms"`
+
+	// B9: the geometry-sharded cluster (see ClusterLoad), both gated as
+	// absolute bounds: cluster_over_single must stay ≥ 2.0 — three
+	// time-division-measured nodes behind the consistent-hash router
+	// aggregate at least twice one node holding the whole working set at
+	// the same total delay budget — and cluster_identical_precisions must
+	// stay 3: volumes beamformed through the router match the owner's
+	// direct answer byte for byte at float64, float32 and wide.
+	ClusterNodes               int          `json:"cluster_nodes"`
+	ClusterGeometries          int          `json:"cluster_geometries"`
+	ClusterSingleFramesPerSec  float64      `json:"cluster_single_frames_per_sec"`
+	ClusterFramesPerSec        float64      `json:"cluster_frames_per_sec"`
+	ClusterOverSingle          float64      `json:"cluster_over_single"`
+	ClusterIdenticalPrecisions int          `json:"cluster_identical_precisions"`
+	ClusterRows                []ClusterRow `json:"cluster_rows"`
 }
 
 // serveBenchConns is the headline connection count of the gated record.
@@ -378,8 +393,23 @@ func BenchServe(frames int) (ServeBenchRecord, error) {
 	rec.RecoveryMs = rres.RecoveryMs
 	rec.DegradedShedFrames = rres.DegradedShed
 	rec.DegradedInteractiveP99Ms = rres.DegradedInteractiveP99Ms
+
+	cres, err := ClusterLoad(frames, clusterBenchNodes)
+	if err != nil {
+		return rec, err
+	}
+	rec.ClusterNodes = cres.Nodes
+	rec.ClusterGeometries = cres.Geometries
+	rec.ClusterSingleFramesPerSec = cres.SingleFramesPerSec
+	rec.ClusterFramesPerSec = cres.AggregateFramesPerSec
+	rec.ClusterOverSingle = cres.ClusterOverSingle
+	rec.ClusterIdenticalPrecisions = len(cres.IdenticalPrecisions)
+	rec.ClusterRows = cres.Rows
 	return rec, nil
 }
+
+// clusterBenchNodes is the gated record's cluster size.
+const clusterBenchNodes = 3
 
 // WriteJSON emits the record as indented JSON.
 func (r ServeBenchRecord) WriteJSON(w io.Writer) error {
@@ -412,5 +442,9 @@ func (r ServeBenchRecord) Table() *report.Table {
 	t.Add("drain latency", fmt.Sprintf("%.1f ms (%d-frame backlog)", r.DrainMs, r.DrainBacklogFrames))
 	t.Add("fault recovery", fmt.Sprintf("%.1f ms", r.RecoveryMs))
 	t.Add("interactive p99 under shed", fmt.Sprintf("%.1f ms (%d bulk shed)", r.DegradedInteractiveP99Ms, r.DegradedShedFrames))
+	t.Add("cluster aggregate frames/s", fmt.Sprintf("%.2f (%d nodes, %d geometries)", r.ClusterFramesPerSec, r.ClusterNodes, r.ClusterGeometries))
+	t.Add("single-node frames/s", fmt.Sprintf("%.2f", r.ClusterSingleFramesPerSec))
+	t.Add("cluster / single", fmt.Sprintf("%.2f×", r.ClusterOverSingle))
+	t.Add("router bit-identical precisions", fmt.Sprintf("%d/3", r.ClusterIdenticalPrecisions))
 	return t
 }

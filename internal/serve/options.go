@@ -1,0 +1,248 @@
+// RequestOptions: the versioned, typed form of the beamform request
+// grammar. The parameter set accreted endpoint by endpoint (spec/geometry
+// overrides in PR 5, lanes and deadline headers in PR 6/8, fmt=/resp= and
+// the wire Content-Type/Accept negotiation in PR 7); ParseOptions and
+// Encode make the whole grammar one round-trippable value, shared by the
+// HTTP handler, the stream hello and the cluster router — a request parsed
+// anywhere re-encodes to a canonical query string that parses back to the
+// same typed value, which is what lets a router re-issue a request (or a
+// residency plan) to another node without keeping the original bytes.
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/wire"
+	"ultrabeam/internal/xdcr"
+)
+
+// RequestOptions is one beamform request, fully resolved: the session key
+// (geometry, datapath config, architecture), the per-request scheduling
+// fields (lane, deadline), the response selection and the body/response
+// encodings. It is the typed value behind every transport:
+//
+//	POST /v1/beamform?…      ParseOptions(r.URL.Query(), r.Header)
+//	stream hello query       ParseOptions(q, nil)
+//	router re-issue          opts.Encode() → canonical query string
+type RequestOptions struct {
+	// Request keys the warm session: spec, config, arch, plus the lane and
+	// deadline scheduling fields.
+	Request SessionRequest
+	// Scanline selects the one-scanline response (out=scanline); Theta and
+	// Phi are the scanline grid indices. When Scanline is false they hold
+	// the grid center (the default a later out=scanline would use).
+	Scanline   bool
+	Theta, Phi int
+	// WireBody reports that the request body is wire-framed (fmt=i16|f32|
+	// f64 or Content-Type application/x-ultrabeam-frame). BodyFormat is the
+	// canonical fmt= name ("i16", "f32", "f64"; empty for a raw float64
+	// body or a self-described wire body negotiated by Content-Type only).
+	WireBody   bool
+	BodyFormat string
+	// Resp is the response sample encoding (resp= / Accept negotiation).
+	Resp wire.Encoding
+}
+
+// ParseOptions resolves the full request grammar — query parameters plus,
+// when hdr is non-nil, the header overrides (X-Ultrabeam-Lane,
+// X-Ultrabeam-Deadline-Ms, Content-Type, Accept). Headers win over
+// parameters, so a proxy can reclassify traffic without rewriting URLs.
+// The stream hello passes hdr == nil: its grammar is parameters only.
+func ParseOptions(q url.Values, hdr http.Header) (RequestOptions, error) {
+	var lane, deadline, contentType, accept string
+	if hdr != nil {
+		lane = hdr.Get("X-Ultrabeam-Lane")
+		deadline = hdr.Get("X-Ultrabeam-Deadline-Ms")
+		contentType = hdr.Get("Content-Type")
+		accept = hdr.Get("Accept")
+	}
+	req, scanline, it, ip, err := parseQuery(q, lane, deadline)
+	if err != nil {
+		return RequestOptions{}, err
+	}
+	isWire, err := wantsWire(contentType, q.Get("fmt"))
+	if err != nil {
+		return RequestOptions{}, err
+	}
+	respEnc, err := respEncoding(q, accept)
+	if err != nil {
+		return RequestOptions{}, err
+	}
+	return RequestOptions{
+		Request:    req,
+		Scanline:   scanline,
+		Theta:      it,
+		Phi:        ip,
+		WireBody:   isWire,
+		BodyFormat: canonicalFormat(q.Get("fmt")),
+		Resp:       respEnc,
+	}, nil
+}
+
+// canonicalFormat maps the fmt= aliases onto their canonical names. The
+// caller has already validated the value through wantsWire.
+func canonicalFormat(f string) string {
+	switch f {
+	case "i16", "int16":
+		return "i16"
+	case "f32", "float32":
+		return "f32"
+	case "f64", "float64":
+		return "f64"
+	}
+	return ""
+}
+
+// Encode renders the options as the canonical /v1 query values: the
+// minimal parameter set that ParseOptions maps back to an equal value.
+// Lane and deadline come back as parameters (lane=, deadline_ms=), not
+// headers, so the encoding is transport-independent — usable as a POST
+// query, a stream hello, or a residency-plan key shipped between nodes.
+//
+// Not every programmatically-constructed SessionRequest is expressible in
+// the grammar: a spec whose physical constants match neither Table I base,
+// a transmit set other than the axial transmits= family, or a WideCache
+// flag inconsistent with the precision all return an error. Everything
+// ParseOptions itself produced encodes.
+func (o RequestOptions) Encode() (url.Values, error) {
+	q := url.Values{}
+	if err := encodeSpec(q, o.Request.Spec); err != nil {
+		return nil, err
+	}
+	cfg := o.Request.Config
+	if o.Request.Arch != ArchTableFree {
+		q.Set("arch", o.Request.Arch.String())
+	}
+	switch cfg.Window {
+	case xdcr.Hann:
+	case xdcr.Rect:
+		q.Set("window", "rect")
+	default:
+		return nil, fmt.Errorf("serve: window %v not expressible (want hann|rect)", cfg.Window)
+	}
+	switch cfg.Precision {
+	case beamform.PrecisionFloat64, beamform.PrecisionFloat32, beamform.PrecisionWide:
+	default:
+		return nil, fmt.Errorf("serve: precision %v not expressible", cfg.Precision)
+	}
+	if cfg.WideCache != (cfg.Precision == beamform.PrecisionWide) {
+		return nil, fmt.Errorf("serve: WideCache=%t inconsistent with precision %s (the grammar pairs them)",
+			cfg.WideCache, cfg.Precision)
+	}
+	if cfg.Precision != beamform.PrecisionFloat64 {
+		q.Set("precision", cfg.Precision.String())
+	}
+	switch {
+	case !cfg.Cached:
+		q.Set("budget", "none")
+	case cfg.CacheBudget != -1:
+		q.Set("budget", strconv.FormatInt(cfg.CacheBudget, 10))
+	}
+	if n := len(cfg.Transmits); n > 0 {
+		want := delayAxialSet(n, o.Request.Spec)
+		if len(want) != n {
+			return nil, fmt.Errorf("serve: %d-transmit set not expressible", n)
+		}
+		for i, t := range cfg.Transmits {
+			if t != want[i] {
+				return nil, fmt.Errorf("serve: transmit %d origin (%g,%g,%g) is not the axial transmits=%d set",
+					i, t.Origin.X, t.Origin.Y, t.Origin.Z, n)
+			}
+		}
+		q.Set("transmits", strconv.Itoa(n))
+	}
+	if cfg.SharedCache != nil {
+		return nil, fmt.Errorf("serve: SharedCache is not part of the request grammar")
+	}
+	if o.Request.Lane != LaneInteractive {
+		q.Set("lane", o.Request.Lane.String())
+	}
+	if o.Request.Deadline > 0 {
+		q.Set("deadline_ms", strconv.Itoa(int(o.Request.Deadline.Milliseconds())))
+	}
+	if o.Scanline {
+		q.Set("out", "scanline")
+		q.Set("theta", strconv.Itoa(o.Theta))
+		q.Set("phi", strconv.Itoa(o.Phi))
+	}
+	if o.BodyFormat != "" {
+		q.Set("fmt", o.BodyFormat)
+	}
+	if o.Resp == wire.EncodingF32 {
+		q.Set("resp", "f32")
+	}
+	return q, nil
+}
+
+// encodeSpec reverse-maps a resolved SystemSpec onto the grammar's
+// spec=reduced|paper base plus elemx/elemy/ftheta/fphi/fdepth overrides,
+// choosing the base needing the fewest overrides.
+func encodeSpec(q url.Values, spec core.SystemSpec) error {
+	bases := []struct {
+		name string
+		spec core.SystemSpec
+	}{
+		{"reduced", core.ReducedSpec()},
+		{"paper", core.PaperSpec()},
+	}
+	bestName, bestOverrides := "", map[string]int(nil)
+	for _, b := range bases {
+		if spec.C != b.spec.C || spec.Fc != b.spec.Fc || spec.B != b.spec.B ||
+			spec.PitchL != b.spec.PitchL || spec.ThetaDeg != b.spec.ThetaDeg ||
+			spec.PhiDeg != b.spec.PhiDeg || spec.DepthLambda != b.spec.DepthLambda ||
+			spec.Fs != b.spec.Fs {
+			continue
+		}
+		ov := map[string]int{}
+		for _, f := range []struct {
+			name       string
+			have, base int
+		}{
+			{"elemx", spec.ElemX, b.spec.ElemX},
+			{"elemy", spec.ElemY, b.spec.ElemY},
+			{"ftheta", spec.FocalTheta, b.spec.FocalTheta},
+			{"fphi", spec.FocalPhi, b.spec.FocalPhi},
+			{"fdepth", spec.FocalDepth, b.spec.FocalDepth},
+		} {
+			if f.have != f.base {
+				ov[f.name] = f.have
+			}
+		}
+		if bestOverrides == nil || len(ov) < len(bestOverrides) {
+			bestName, bestOverrides = b.name, ov
+		}
+	}
+	if bestOverrides == nil {
+		return fmt.Errorf("serve: spec physical constants match neither reduced nor paper base")
+	}
+	if bestName != "reduced" {
+		q.Set("spec", bestName)
+	}
+	for _, name := range []string{"elemx", "elemy", "ftheta", "fphi", "fdepth"} {
+		if v, ok := bestOverrides[name]; ok {
+			q.Set(name, strconv.Itoa(v))
+		}
+	}
+	return nil
+}
+
+// EncodeQuery is Encode flattened to the canonical query-string form used
+// by the stream hello and the residency-plan handoff. Parameters sort
+// alphabetically (url.Values.Encode), so equal options yield equal
+// strings.
+func (o RequestOptions) EncodeQuery() (string, error) {
+	q, err := o.Encode()
+	if err != nil {
+		return "", err
+	}
+	return q.Encode(), nil
+}
+
+// Fingerprint is the canonical shard/session key of the options' session
+// request — the cluster router hashes exactly this.
+func (o RequestOptions) Fingerprint() string { return o.Request.Fingerprint() }

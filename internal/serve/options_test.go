@@ -1,0 +1,356 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"ultrabeam/internal/beamform"
+	"ultrabeam/internal/core"
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/wire"
+)
+
+// TestOptionsRoundTrip: every expressible parameter set survives
+// ParseOptions → Encode → ParseOptions unchanged — the property that lets
+// the router and the plan handoff re-issue requests from the typed value
+// alone.
+func TestOptionsRoundTrip(t *testing.T) {
+	queries := []string{
+		"",
+		"spec=paper",
+		"spec=reduced&elemx=12&elemy=10&ftheta=25&fphi=27&fdepth=80",
+		"arch=tablesteer&window=rect&precision=float32",
+		"arch=exact&precision=wide",
+		"budget=none",
+		"budget=1048576&transmits=4",
+		"transmits=2&lane=bulk&deadline_ms=250",
+		"out=scanline&theta=3&phi=5",
+		"fmt=i16&resp=f32",
+		"fmt=f64",
+		"spec=paper&elemx=16&elemy=16&ftheta=33&fphi=33&fdepth=100", // reduced, spelled via paper
+	}
+	for _, qs := range queries {
+		t.Run(qs, func(t *testing.T) {
+			q, err := url.ParseQuery(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := ParseOptions(q, nil)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			enc, err := first.Encode()
+			if err != nil {
+				t.Fatalf("encode: %v", err)
+			}
+			second, err := ParseOptions(enc, nil)
+			if err != nil {
+				t.Fatalf("reparse %q: %v", enc.Encode(), err)
+			}
+			if !reflect.DeepEqual(first, second) {
+				t.Errorf("round trip changed the options:\n first: %+v\nsecond: %+v\n  (enc %q)",
+					first, second, enc.Encode())
+			}
+			if first.Fingerprint() != second.Fingerprint() {
+				t.Errorf("round trip changed the fingerprint")
+			}
+			// Canonical form is a fixed point: encoding the reparse yields
+			// byte-identical query strings.
+			enc2, err := second.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if enc.Encode() != enc2.Encode() {
+				t.Errorf("canonical encoding is not a fixed point: %q vs %q", enc.Encode(), enc2.Encode())
+			}
+		})
+	}
+}
+
+// TestOptionsHeaderOverrides: the header half of the grammar (lane,
+// deadline, wire Content-Type, f32 Accept) lands in the typed value and
+// re-encodes as parameters, so one canonical form captures both spellings.
+func TestOptionsHeaderOverrides(t *testing.T) {
+	q, _ := url.ParseQuery("lane=interactive&deadline_ms=9999")
+	hdr := http.Header{}
+	hdr.Set("X-Ultrabeam-Lane", "bulk")
+	hdr.Set("X-Ultrabeam-Deadline-Ms", "125")
+	hdr.Set("Content-Type", wire.ContentType)
+	hdr.Set("Accept", "application/x-ultrabeam-f32")
+	opts, err := ParseOptions(q, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Request.Lane != LaneBulk {
+		t.Errorf("lane header did not win: %v", opts.Request.Lane)
+	}
+	if opts.Request.Deadline != 125*time.Millisecond {
+		t.Errorf("deadline header did not win: %v", opts.Request.Deadline)
+	}
+	if !opts.WireBody {
+		t.Error("wire Content-Type did not select a wire body")
+	}
+	if opts.Resp != wire.EncodingF32 {
+		t.Error("f32 Accept did not select the f32 response")
+	}
+	enc, err := opts.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Get("lane") != "bulk" || enc.Get("deadline_ms") != "125" || enc.Get("resp") != "f32" {
+		t.Errorf("headers did not re-encode as parameters: %q", enc.Encode())
+	}
+	reparsed, err := ParseOptions(enc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reparsed.Request.Lane != LaneBulk || reparsed.Request.Deadline != 125*time.Millisecond ||
+		reparsed.Resp != wire.EncodingF32 {
+		t.Errorf("re-encoded parameters lost a header override: %+v", reparsed)
+	}
+}
+
+// TestOptionsEncodeRejectsInexpressible: programmatic values outside the
+// grammar fail loudly instead of encoding to a lie.
+func TestOptionsEncodeRejectsInexpressible(t *testing.T) {
+	cases := map[string]func(*RequestOptions){
+		"foreign spec": func(o *RequestOptions) { o.Request.Spec.C = 1234 },
+		"custom transmits": func(o *RequestOptions) {
+			o.Request.Config.Transmits = []delay.Transmit{{}}
+		},
+		"wide-cache mismatch": func(o *RequestOptions) {
+			o.Request.Config.WideCache = true
+		},
+		"precision out of range": func(o *RequestOptions) {
+			o.Request.Config.Precision = beamform.Precision(42)
+		},
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			opts := RequestOptions{Request: SessionRequest{
+				Spec:   core.ReducedSpec(),
+				Config: core.SessionConfig{Cached: true, CacheBudget: -1},
+			}}
+			mutate(&opts)
+			if _, err := opts.Encode(); err == nil {
+				t.Error("Encode accepted an inexpressible value")
+			}
+		})
+	}
+}
+
+// TestV1AliasEquivalence: every legacy path and its /v1/ alias answer one
+// request identically — same handler, wire-checked.
+func TestV1AliasEquivalence(t *testing.T) {
+	ts, _ := newSchedTestServer(t, SchedulerConfig{})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+	legacyCode, legacyBody := get("/healthz")
+	v1Code, v1Body := get("/v1/healthz")
+	if legacyCode != v1Code || !bytes.Equal(legacyBody, v1Body) {
+		t.Errorf("healthz differs between mounts: %d %q vs %d %q", legacyCode, legacyBody, v1Code, v1Body)
+	}
+
+	var volumes [][]byte
+	for _, path := range []string{"/beamform", "/v1/beamform"} {
+		resp, err := http.Post(ts.URL+path+"?"+tinyQuery(nil),
+			"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: %s: %s", path, resp.Status, body)
+		}
+		volumes = append(volumes, body)
+	}
+	if !bytes.Equal(volumes[0], volumes[1]) {
+		t.Error("legacy and /v1 beamform volumes differ")
+	}
+
+	for _, path := range []string{"/stats", "/v1/stats"} {
+		code, body := get(path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d", path, code)
+		}
+		var st SchedulerStats
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if st.Completed != 2 || st.GeometriesLive != 1 {
+			t.Errorf("%s: completed=%d live=%d, want 2/1", path, st.Completed, st.GeometriesLive)
+		}
+	}
+}
+
+// TestPlansPrewarmHandoff is the warm-store handoff round trip over HTTP:
+// node A serves a partial-budget geometry, exports its residency plan;
+// node B imports it cold via /v1/prewarm, prefills in the background, and
+// then serves the same frame bit-identically — no cached bytes crossed.
+func TestPlansPrewarmHandoff(t *testing.T) {
+	tsA, _ := newSchedTestServer(t, SchedulerConfig{})
+	tsB, schedB := newSchedTestServer(t, SchedulerConfig{})
+	spec := tinySpec()
+	spec.DepthLambda = core.ReducedSpec().DepthLambda
+	bufs := tinyFrame(t, spec)
+
+	// A partial budget (5 of the 10 depth blocks) so the exported plan is
+	// non-trivial.
+	req := tinyRequest()
+	req.Spec = spec
+	sizing, cache, err := spec.NewSessionConfig(req.Config, req.Arch.NewProvider(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := cache.Shared().BlockBytes() * 5
+	destroySession(sizing, cache)
+	q := url.Values{"budget": {strconv.FormatInt(budget, 10)}}
+
+	post := func(ts string) []byte {
+		t.Helper()
+		resp, err := http.Post(ts+"/v1/beamform?"+tinyQuery(q),
+			"application/octet-stream", bytes.NewReader(encodeFrame(bufs)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("beamform: %s: %s", resp.Status, body)
+		}
+		return body
+	}
+	want := post(tsA.URL)
+
+	resp, err := http.Get(tsA.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans PlansResponse
+	if err := json.NewDecoder(resp.Body).Decode(&plans); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(plans.Plans) != 1 || plans.Skipped != 0 {
+		t.Fatalf("exported plans: %+v", plans)
+	}
+	plan := plans.Plans[0]
+	if len(plan.Quota) == 0 {
+		t.Fatalf("partial-budget geometry exported no quota: %+v", plan)
+	}
+
+	// Replay on B, which has never seen the geometry.
+	body, _ := json.Marshal(plan)
+	presp, err := http.Post(tsB.URL+"/v1/prewarm", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pbody, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusAccepted {
+		t.Fatalf("prewarm: %s: %s", presp.Status, pbody)
+	}
+
+	// The background fill completes: B's store reaches the planned
+	// residency without one frame served.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := schedB.Stats()
+		if len(st.Geometries) == 1 && st.Geometries[0].Cache != nil &&
+			st.Geometries[0].Cache.Fills >= 5 {
+			if got := st.Geometries[0].Plan; !reflect.DeepEqual(got, plan.Quota) {
+				t.Fatalf("B installed plan %v, want %v", got, plan.Quota)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("prewarm never filled B's store: %+v", st.Geometries)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if got := post(tsB.URL); !bytes.Equal(got, want) {
+		t.Error("prewarmed node serves different bytes than the exporter")
+	}
+}
+
+// TestPrewarmRefusals: prewarm respects the node's lifecycle the same way
+// live traffic does.
+func TestPrewarmRefusals(t *testing.T) {
+	ts, sched := newSchedTestServer(t, SchedulerConfig{})
+	plan := func(query string) []byte {
+		b, _ := json.Marshal(ResidencyPlan{Query: query})
+		return b
+	}
+	resp, err := http.Post(ts.URL+"/v1/prewarm", "application/json",
+		bytes.NewReader(plan("spec=nosuch")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad plan query: %d, want 400", resp.StatusCode)
+	}
+
+	if err := sched.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/prewarm", "application/json",
+		bytes.NewReader(plan(tinyQuery(nil))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("prewarm during drain: %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("draining prewarm carries no Retry-After")
+	}
+}
+
+// TestPoolModePlansNotImplemented: checkout mode has no residency plans to
+// export; the endpoints answer 501, and the router treats that as "nothing
+// to hand off".
+func TestPoolModePlansNotImplemented(t *testing.T) {
+	ts, _ := newTestServer(t, PoolConfig{MaxSessions: 1})
+	resp, err := http.Get(ts.URL + "/v1/plans")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("pool-mode plans: %d, want 501", resp.StatusCode)
+	}
+	presp, err := http.Post(ts.URL+"/v1/prewarm", "application/json",
+		bytes.NewReader([]byte(fmt.Sprintf("{\"query\":%q}", tinyQuery(nil)))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("pool-mode prewarm: %d, want 501", presp.StatusCode)
+	}
+}

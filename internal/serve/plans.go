@@ -1,0 +1,142 @@
+// Residency-plan export/import: the warm-store handoff half of the
+// cluster. A geometry's warm state is fully described by two small values
+// — the canonical /v1 query naming the session (RequestOptions.Encode) and
+// the per-transmit residency quotas its delay store runs — because block
+// content is deterministic by the delaycache contract: a new owner that
+// builds the same session, installs the same plan and warms serves
+// bit-identically to the old owner. So rebalancing ships plans, never
+// bytes: GET /v1/plans exports them, POST /v1/prewarm replays one on the
+// new owner, and the router drives both when ring membership changes.
+package serve
+
+import (
+	"ultrabeam/internal/delaycache"
+)
+
+// ResidencyPlan is one geometry's warm state, serialized for handoff.
+type ResidencyPlan struct {
+	// Query is the canonical /v1 query string reconstructing the session
+	// request (ParseOptions of exactly these parameters rebuilds the same
+	// fingerprint on any node).
+	Query string `json:"query"`
+	// Quota is the per-transmit residency plan in force, omitted for a
+	// full-residency store (the default plan is already optimal there).
+	// The importer clamps it to its own budget (delaycache.ClampQuota).
+	Quota []int `json:"quota,omitempty"`
+}
+
+// PlansResponse is the GET /v1/plans payload.
+type PlansResponse struct {
+	Plans []ResidencyPlan `json:"plans"`
+	// Skipped counts geometries whose request is not expressible in the
+	// /v1 grammar (programmatic transmit sets, non-Table-I specs): they
+	// serve fine locally but cannot be handed off by plan.
+	Skipped int `json:"skipped,omitempty"`
+}
+
+// ExportPlans snapshots every live geometry as a ResidencyPlan. Draining
+// schedulers still export — handoff during drain is exactly the point:
+// the router pulls the plans while the node empties and replays them on
+// the new owners. Geometries whose requests fall outside the /v1 grammar
+// are counted, not exported.
+func (s *Scheduler) ExportPlans() PlansResponse {
+	resp := PlansResponse{Plans: []ResidencyPlan{}}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, g := range s.geoms {
+		req := g.req
+		req.Lane, req.Deadline = LaneInteractive, 0 // per-request fields, not geometry
+		query, err := (RequestOptions{Request: req}).EncodeQuery()
+		if err != nil {
+			resp.Skipped++
+			continue
+		}
+		p := ResidencyPlan{Query: query}
+		if g.cache != nil {
+			if store := g.cache.Shared(); store != nil && !store.FullResidency() {
+				p.Quota = store.PlanQuota()
+			}
+		}
+		resp.Plans = append(resp.Plans, p)
+	}
+	return resp
+}
+
+// Prewarm replays an exported residency plan: it creates the geometry if
+// cold (building the session and delay store exactly as the first live
+// frame would), installs the imported quota clamped to the local budget,
+// and fills the planned blocks in the background. Deterministic residency
+// makes this a complete warm-store handoff — after the fill, the node
+// serves the geometry bit-identically to the exporter, without one cached
+// byte having crossed the network. Returns ErrDraining/ErrClosed from a
+// node that cannot take new geometries, ErrOverloaded when every slot is
+// pinned by live work. A geometry still mid-build keeps its own plan (its
+// store fills lazily); prewarming it again later is cheap and idempotent.
+func (s *Scheduler) Prewarm(req SessionRequest, quota []int) error {
+	if err := req.validate(); err != nil {
+		return err
+	}
+	fp := req.Fingerprint()
+	now := s.cfg.Now()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	g := s.geoms[fp]
+	if g == nil {
+		if len(s.geoms) >= s.cfg.MaxGeometries && !s.evictColdestLocked() {
+			s.mu.Unlock()
+			return ErrOverloaded
+		}
+		g = &schedGeom{fp: fp, req: req, building: true, lastUsed: now,
+			prewarm: append([]int(nil), quota...), warmOnBuild: true}
+		s.geoms[fp] = g
+		s.wg.Add(1)
+		go s.build(g)
+		s.mu.Unlock()
+		return nil
+	}
+	g.lastUsed = now
+	cache := g.cache
+	s.mu.Unlock()
+	if cache == nil {
+		return nil // mid-build: its own planStore/lazy fills take over
+	}
+	store := cache.Shared()
+	installPlan(store, quota)
+	s.warmInBackground(store)
+	return nil
+}
+
+// installPlan applies an imported quota to a store, clamped to the local
+// budget; arity mismatches (a different transmits= on the exporter than
+// the store was built with — impossible for same-fingerprint handoff,
+// defensive here) keep the local plan.
+func installPlan(store *delaycache.Shared, quota []int) {
+	if store == nil || store.FullResidency() || len(quota) == 0 {
+		return
+	}
+	if len(quota) != store.Transmits() {
+		return
+	}
+	_ = store.Plan(delaycache.ClampQuota(quota, store.Depths(), store.ResidentBlocks()))
+}
+
+// warmInBackground prefills a store's planned blocks off the request path.
+// Concurrent live fills are safe and never duplicated (per-block
+// sync.Once); Close waits for the fill through s.wg.
+func (s *Scheduler) warmInBackground(store *delaycache.Shared) {
+	if store == nil {
+		return
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		store.Warm()
+	}()
+}

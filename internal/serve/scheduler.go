@@ -179,6 +179,11 @@ type schedGeom struct {
 	building bool // session under construction; jobs queue meanwhile
 	running  bool // dispatch loop live
 	lastUsed time.Time
+
+	// prewarm/warmOnBuild carry a handed-off residency plan into build():
+	// set only at creation (Prewarm), read by build without the lock.
+	prewarm     []int
+	warmOnBuild bool
 }
 
 // frameJob is one submitted frame: decoded echo sets (or pre-decoded
@@ -571,6 +576,9 @@ func (s *Scheduler) build(g *schedGeom) {
 	}
 	if err == nil && cache != nil {
 		s.planStore(cache.Shared(), g.req)
+		if g.warmOnBuild {
+			installPlan(cache.Shared(), g.prewarm)
+		}
 	}
 
 	s.mu.Lock()
@@ -596,6 +604,12 @@ func (s *Scheduler) build(g *schedGeom) {
 		go s.run(g)
 	}
 	s.mu.Unlock()
+	if g.warmOnBuild && cache != nil {
+		// A handed-off geometry prefills its planned blocks now, off the
+		// request path — the whole point of shipping the plan ahead of the
+		// traffic.
+		s.warmInBackground(cache.Shared())
+	}
 }
 
 // planStore installs the per-transmit residency plan on a geometry's

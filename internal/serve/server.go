@@ -63,11 +63,17 @@ type ServerConfig struct {
 // generic queue timeout at the exact deadline instant.
 const deadlineGrace = 50 * time.Millisecond
 
-// Server is an http.Handler exposing the beamform pool.
+// Server is an http.Handler exposing the beamform pool. The versioned API
+// mounts under /v1/ with the original paths kept as aliases on the same
+// handlers:
 //
-//	POST /beamform   RF frame (raw float64 or wire-framed) → volume/scanline
-//	GET  /healthz    liveness
-//	GET  /stats      pool/scheduler + shared-cache + wire statistics (JSON)
+//	POST /v1/beamform   RF frame (raw float64 or wire-framed) → volume/scanline
+//	GET  /v1/healthz    liveness (503 + drain progress while draining)
+//	GET  /v1/stats      pool/scheduler + shared-cache + wire statistics (JSON)
+//	GET  /v1/plans      residency-plan export (scheduled mode; the cluster
+//	                    handoff source — answers during drain)
+//	POST /v1/prewarm    residency-plan import: build + plan + warm one
+//	                    geometry ahead of its traffic (202 Accepted)
 //
 // /beamform query parameters:
 //
@@ -131,9 +137,17 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.AcquireTimeout = 10 * time.Second
 	}
 	s := &Server{cfg: cfg, mux: http.NewServeMux(), drainCh: make(chan struct{})}
-	s.mux.HandleFunc("POST /beamform", s.handleBeamform)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
+	// The versioned API lives under /v1/; the original paths stay mounted
+	// as aliases on the same handlers, so pre-/v1 clients keep working and
+	// the equivalence is structural, not best-effort.
+	for _, prefix := range []string{"", "/v1"} {
+		s.mux.HandleFunc("POST "+prefix+"/beamform", s.handleBeamform)
+		s.mux.HandleFunc("GET "+prefix+"/healthz", s.handleHealthz)
+		s.mux.HandleFunc("GET "+prefix+"/stats", s.handleStats)
+	}
+	// Plan handoff is /v1-only: new in the clustered API, no legacy alias.
+	s.mux.HandleFunc("GET /v1/plans", s.handlePlans)
+	s.mux.HandleFunc("POST /v1/prewarm", s.handlePrewarm)
 	return s, nil
 }
 
@@ -214,6 +228,55 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if err := enc.Encode(stats); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
+}
+
+// handlePlans exports the scheduler's live geometries as residency plans —
+// the warm-store handoff source. Deliberately not gated on draining: a
+// draining node is exactly the one whose plans the router wants.
+func (s *Server) handlePlans(w http.ResponseWriter, _ *http.Request) {
+	if s.cfg.Scheduler == nil {
+		http.Error(w, "plan export needs scheduled mode", http.StatusNotImplemented)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.cfg.Scheduler.ExportPlans()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handlePrewarm imports one residency plan: body {"query": "...", "quota":
+// [...]} as exported by /v1/plans. Replies 202 — the fill proceeds in the
+// background; the geometry serves (lazily filling) immediately.
+func (s *Server) handlePrewarm(w http.ResponseWriter, r *http.Request) {
+	if s.cfg.Scheduler == nil {
+		http.Error(w, "prewarm needs scheduled mode", http.StatusNotImplemented)
+		return
+	}
+	var plan ResidencyPlan
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&plan); err != nil {
+		s.writeError(w, badRequest("prewarm body: %v", err))
+		return
+	}
+	q, err := url.ParseQuery(plan.Query)
+	if err != nil {
+		s.writeError(w, badRequest("prewarm query: %v", err))
+		return
+	}
+	opts, perr := ParseOptions(q, nil)
+	if perr != nil {
+		s.writeError(w, perr)
+		return
+	}
+	if err := s.cfg.Scheduler.Prewarm(opts.Request, plan.Quota); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	fmt.Fprintf(w, "{\"status\":\"warming\",\"fingerprint\":%q}\n", opts.Request.Fingerprint())
 }
 
 // httpError is a status-carrying error for request parsing. cause, when
@@ -349,12 +412,6 @@ func parseQuery(q url.Values, laneOverride, deadlineOverride string) (req Sessio
 		return req, false, 0, 0, badRequest("unknown out %q (want volume|scanline)", q.Get("out"))
 	}
 	return SessionRequest{Spec: spec, Config: cfg, Arch: arch, Lane: lane, Deadline: deadline}, scanline, it, ip, nil
-}
-
-// parseRequest resolves an HTTP request's query parameters into a session
-// request plus the response selection.
-func parseRequest(r *http.Request) (req SessionRequest, scanline bool, it, ip int, err error) {
-	return parseQuery(r.URL.Query(), r.Header.Get("X-Ultrabeam-Lane"), r.Header.Get("X-Ultrabeam-Deadline-Ms"))
 }
 
 // wantsWire reports whether the request body is wire-framed: fmt=i16|f32|
@@ -610,22 +667,13 @@ func readWirePayload(body io.Reader, req SessionRequest, wantTx int, maxBytes in
 
 func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
-	req, scanline, it, ip, err := parseRequest(r)
+	opts, err := ParseOptions(r.URL.Query(), r.Header)
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
-	q := r.URL.Query()
-	isWire, err := wantsWire(r.Header.Get("Content-Type"), q.Get("fmt"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	respEnc, err := respEncoding(q, r.Header.Get("Accept"))
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
+	req, scanline, it, ip := opts.Request, opts.Scanline, opts.Theta, opts.Phi
+	isWire, respEnc := opts.WireBody, opts.Resp
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	// A client deadline tighter than the server's own queue bound also
 	// caps how long we hold the request. The small grace past the deadline

@@ -120,16 +120,13 @@ func (s *Server) serveStreamConn(ctx context.Context, conn net.Conn) {
 		wire.WriteHelloReply(conn, 1, fmt.Sprintf("bad query: %v", err))
 		return
 	}
-	req, scanline, it, ip, perr := parseQuery(q, "", "")
+	opts, perr := ParseOptions(q, nil)
 	if perr != nil {
 		wire.WriteHelloReply(conn, 1, perr.Error())
 		return
 	}
-	respEnc, perr := respEncoding(q, "")
-	if perr != nil {
-		wire.WriteHelloReply(conn, 1, perr.Error())
-		return
-	}
+	req, scanline, it, ip := opts.Request, opts.Scanline, opts.Theta, opts.Phi
+	respEnc := opts.Resp
 	if s.cfg.Scheduler == nil {
 		wire.WriteHelloReply(conn, 1, "stream transport needs scheduled mode")
 		return
