@@ -21,7 +21,7 @@
 //	block       B1 block-vs-scalar delay-generation rates (always reduced scale)
 //	quality     §II-A image-quality experiment (-path block|scalar)
 //	cache       B2 frames/s vs delay-cache budget sweep (-frames N; always reduced scale)
-//	datapath    B3 precision/bandwidth sweep: wide vs int16×f64 vs int16×f32 (always reduced scale)
+//	datapath    B3/B10 precision/bandwidth sweep: wide vs int16×f64 vs int16×f32 vs ADC-native int16×i16, plus the small-volume dispatch crossover (always reduced scale)
 //	compound    B4 multi-transmit compounding sweep: transmit count × cache budget (always reduced scale)
 //	serve       B5 served frames/s + latency vs connection count, shared vs per-session delay budgets (always reduced scale)
 //	sched       B6 scheduled vs checkout serving under mixed bulk + interactive load (always reduced scale)

@@ -40,6 +40,7 @@ func main() {
 	addr := flag.String("addr", "localhost:8642", "usbeamd HTTP address")
 	wireFmt := flag.String("wire", "raw", "request format: raw (legacy float64 body) or i16|f32|f64 wire frames")
 	respFmt := flag.String("resp", "f64", "response sample encoding: f64|f32")
+	prec := flag.String("prec", "", "session precision for wire requests: float32 (default for i16/f32 wire) or i16 (ADC-native fixed-point kernel)")
 	stream := flag.String("stream", "", "use the persistent cine stream transport at this TCP address instead of HTTP")
 	frames := flag.Int("frames", 4, "compounds to push over the stream transport")
 	retries := flag.Int("retries", 5, "retry budget: 503s and dead connections back off and try again this many times")
@@ -65,11 +66,19 @@ func main() {
 	isWire := *wireFmt != "raw"
 	if isWire {
 		query += "&fmt=" + *wireFmt
-		if *wireFmt != "f64" {
-			// The narrowed encodings pair with the float32 session: the
+		switch {
+		case *prec != "":
+			// Explicit session precision; i16 wire on a prec=i16 session
+			// is the fully ADC-native path — the server decodes straight
+			// into guarded int16 planes and runs the fixed-point kernel.
+			query += "&precision=" + *prec
+		case *wireFmt != "f64":
+			// The narrowed encodings default to the float32 session: the
 			// server decodes them straight into its float32 echo planes.
 			query += "&precision=float32"
 		}
+	} else if *prec != "" {
+		fail(errors.New("-prec pairs with a wire request format: pick -wire i16|f32|f64"))
 	}
 
 	c := &client.Client{

@@ -33,7 +33,7 @@ func scaledFrames(bufs []rf.EchoBuffer, n int) [][]rf.EchoBuffer {
 // batchSession builds a single-transmit session for one cache-budget
 // variant. budget semantics: <-1 → no cache at all, -1 → unlimited, else
 // the byte budget (0 = nothing resident, every block regenerated).
-func batchSession(t *testing.T, eng *Engine, cfg Config, budget int64) *Session {
+func batchSession(t testing.TB, eng *Engine, cfg Config, budget int64) *Session {
 	t.Helper()
 	p := delay.AsBlock(exactProvider(cfg), delay.Layout{
 		NTheta: cfg.Vol.Theta.N, NPhi: cfg.Vol.Phi.N, NX: cfg.Arr.NX, NY: cfg.Arr.NY,

@@ -75,9 +75,10 @@ func ParsePath(name string) (Path, error) {
 // delay words themselves are exact at every precision — quantizing a
 // fractional delay to its int16 selection index is the rounding the
 // beamformer performs anyway (delay.Index16) — so PrecisionFloat64 is
-// bit-identical to the scalar reference; only PrecisionFloat32 trades
-// precision (float32 echo samples and accumulation), and the tests gate
-// that trade at ≥ 60 dB PSNR against the float64 golden volume.
+// bit-identical to the scalar reference; PrecisionFloat32 trades precision
+// (float32 echo samples and accumulation) and PrecisionInt16 trades further
+// (int16 echo samples, int32 fixed-point accumulation), and the tests gate
+// both trades at ≥ 60 dB PSNR against the float64 golden volume.
 type Precision int
 
 const (
@@ -95,6 +96,15 @@ const (
 	// delay blocks and float64 echo accumulation. Kept as the A/B baseline
 	// the narrow kernels are benchmarked against.
 	PrecisionWide
+	// PrecisionInt16 runs the ADC-native fixed-point datapath: int16 delay
+	// blocks against a quantized int16 echo plane (2 B/sample plus one
+	// scale per frame×transmit), accumulated in int32 fixed point by the
+	// purego/native accumulateNappe16I16 kernel — the paper's §V-B word
+	// widths (14-bit indices, narrow samples, 18-bit accumulator words)
+	// carried onto machine registers. Like float32 it is gated at ≥ 60 dB
+	// PSNR against the float64 golden volume; see kernel_i16.go for the
+	// saturation analysis that sizes the accumulator headroom.
+	PrecisionInt16
 )
 
 func (p Precision) String() string {
@@ -105,12 +115,14 @@ func (p Precision) String() string {
 		return "float32"
 	case PrecisionWide:
 		return "wide"
+	case PrecisionInt16:
+		return "i16"
 	}
 	return fmt.Sprintf("Precision(%d)", int(p))
 }
 
-// ParsePrecision parses a precision name ("float64", "float32" or "wide")
-// — the shared parser behind the CLI -precision flags.
+// ParsePrecision parses a precision name ("float64", "float32", "wide" or
+// "i16") — the shared parser behind the CLI -precision flags.
 func ParsePrecision(name string) (Precision, error) {
 	switch name {
 	case "float64", "f64":
@@ -119,8 +131,10 @@ func ParsePrecision(name string) (Precision, error) {
 		return PrecisionFloat32, nil
 	case "wide":
 		return PrecisionWide, nil
+	case "i16", "int16":
+		return PrecisionInt16, nil
 	}
-	return PrecisionFloat64, fmt.Errorf("beamform: unknown precision %q (want float64|float32|wide)", name)
+	return PrecisionFloat64, fmt.Errorf("beamform: unknown precision %q (want float64|float32|wide|i16)", name)
 }
 
 // Config assembles a beamforming engine.
@@ -149,6 +163,19 @@ type Engine struct {
 	activeIdx []int32
 	activeW   []float64
 	activeW32 []float32 // activeW rounded once for the float32 kernel
+
+	// Fixed-point apodization for the i16 kernel (kernel_i16.go): activeWQ
+	// quantizes activeW to signed Q15 against wqScale, preShift is the
+	// per-product right shift that keeps the int32 accumulator inside its
+	// headroom bound, i16Rescale folds wqScale and the shift back out of a
+	// finished voxel, and i16OK reports whether the bound was satisfiable
+	// for this aperture (the session demotes to the exact float64 kernel
+	// when it was not).
+	activeWQ   []int16
+	wqScale    float64
+	preShift   uint
+	i16Rescale float64
+	i16OK      bool
 }
 
 // New builds an engine, precomputing the separable apodization.
@@ -161,6 +188,7 @@ func New(cfg Config) *Engine {
 			e.activeW32 = append(e.activeW32, float32(w))
 		}
 	}
+	e.initI16()
 	return e
 }
 

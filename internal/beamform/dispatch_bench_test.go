@@ -1,0 +1,63 @@
+package beamform
+
+import (
+	"fmt"
+	"testing"
+
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+// BenchmarkDispatchRounds measures the B10 dispatch crossover: the same
+// i16 frame beamformed with the convert and accumulate phases collected in
+// two token rounds (the historical dispatch) versus fused into one
+// (jobConvertAccumulate). The per-frame difference is a fixed number of
+// worker wakeups, so the relative win grows as the volume shrinks — the
+// tiny grid is where the two-round dispatch was pure overhead, and the mid
+// grid is where the rounds stop mattering. defaultOneRoundVoxels sits
+// between them.
+func BenchmarkDispatchRounds(b *testing.B) {
+	vols := []struct {
+		name string
+		vol  scan.Volume
+	}{
+		{"tiny270vox", scan.NewVolume(geom.Radians(30), geom.Radians(8), 0.02, 9, 3, 10)},
+		{"small6kvox", scan.NewVolume(geom.Radians(30), geom.Radians(20), 0.02, 17, 9, 40)},
+		{"mid67kvox", scan.NewVolume(geom.Radians(40), geom.Radians(30), 0.03, 33, 17, 120)},
+	}
+	arr := xdcr.NewArray(8, 8, 0.385e-3/2)
+	bufs, err := rf.Synthesize(rf.Config{
+		Arr: arr, Conv: conv, Pulse: rf.NewPulse(4e6, 4e6), BufSamples: 400,
+	}, rf.PointPhantom(geom.Vec3{Z: 0.012}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := [][][]rf.EchoBuffer{{bufs}} // one frame, one transmit
+	for _, v := range vols {
+		cfg := Config{Vol: v.vol, Arr: arr, Conv: conv, Window: xdcr.Hann, Precision: PrecisionInt16}
+		eng := New(cfg)
+		for _, rounds := range []struct {
+			name      string
+			threshold int
+		}{{"tworound", 0}, {"oneround", 1 << 30}} {
+			b.Run(fmt.Sprintf("%s/%s", v.name, rounds.name), func(b *testing.B) {
+				sess := batchSession(b, eng, cfg, -1)
+				defer sess.Close()
+				dsts := []*Volume{sess.NewVolume()}
+				prev := SetOneRoundDispatchVoxels(rounds.threshold)
+				defer SetOneRoundDispatchVoxels(prev)
+				if err := sess.BeamformBatch(dsts, batch); err != nil { // warm delay cache + planes
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sess.BeamformBatch(dsts, batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

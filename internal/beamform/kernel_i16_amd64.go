@@ -1,0 +1,66 @@
+//go:build amd64 && !purego
+
+package beamform
+
+import (
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/scan"
+)
+
+// accumulateNappe16I16 is the SIMD-shaped native body of the fixed-point
+// kernel: the gather body of accumulateNappe16I16Ref hand-unrolled 8 wide
+// over four independent int32 accumulators, walking the packed i16Gather
+// operand table so the whole loop carries one element base pointer instead
+// of three parallel arrays. The amd64 backend lowers each line to a
+// sign-extending load (MOVWLSX), a 32-bit multiply and one arithmetic
+// shift, with eight echo-plane loads in flight per iteration — the same
+// unroll discipline as the float32 narrow kernel, minus its floating-point
+// latency chains. Unlike that kernel, splitting the sum across lanes here
+// changes nothing numerically: integer addition is associative, so this
+// body is bit-identical to the purego golden (asserted by the kernel_i16
+// property tests), not merely PSNR-close. Build-gated rather than
+// GOAMD64-gated: every op is baseline amd64; with GOAMD64=v3 the compiler
+// is free to lower the shaped body further.
+func (e *Engine) accumulateNappe16I16(blk delay.Block16, plane []int16, els []i16Gather, win, id int, out *Volume, scale float64, add bool) {
+	uw := uint(win)
+	nE := len(e.apod)
+	nA := len(els)
+	// The &15 mask is semantically a no-op (initI16 bounds preShift to
+	// [0,15]) but proves to the compiler that the shift cannot exceed the
+	// register width, so every product gets one SAR instead of the five-op
+	// oversized-shift guard Go emits for an unbounded amount.
+	sh := e.preShift & 15
+	k := 0
+	for it := 0; it < e.Cfg.Vol.Theta.N; it++ {
+		base := out.Vol.Linear(scan.Index{Theta: it, Phi: 0, Depth: id})
+		for ip := 0; ip < e.Cfg.Vol.Phi.N; ip++ {
+			voxel := blk[k : k+nE]
+			// Each line fuses its gather address into the multiply-accumulate
+			// rather than materializing eight indices first: the short live
+			// ranges plus the single els base keep the four accumulators and
+			// the shift count in registers instead of spill slots.
+			var acc0, acc1, acc2, acc3 int32
+			j := 0
+			for ; j+8 <= nA; j += 8 {
+				acc0 += int32(plane[int(els[j].ro)+int(min(uint(int(voxel[els[j].idx])), uw))]) * els[j].wq >> sh
+				acc1 += int32(plane[int(els[j+1].ro)+int(min(uint(int(voxel[els[j+1].idx])), uw))]) * els[j+1].wq >> sh
+				acc2 += int32(plane[int(els[j+2].ro)+int(min(uint(int(voxel[els[j+2].idx])), uw))]) * els[j+2].wq >> sh
+				acc3 += int32(plane[int(els[j+3].ro)+int(min(uint(int(voxel[els[j+3].idx])), uw))]) * els[j+3].wq >> sh
+				acc0 += int32(plane[int(els[j+4].ro)+int(min(uint(int(voxel[els[j+4].idx])), uw))]) * els[j+4].wq >> sh
+				acc1 += int32(plane[int(els[j+5].ro)+int(min(uint(int(voxel[els[j+5].idx])), uw))]) * els[j+5].wq >> sh
+				acc2 += int32(plane[int(els[j+6].ro)+int(min(uint(int(voxel[els[j+6].idx])), uw))]) * els[j+6].wq >> sh
+				acc3 += int32(plane[int(els[j+7].ro)+int(min(uint(int(voxel[els[j+7].idx])), uw))]) * els[j+7].wq >> sh
+			}
+			for ; j < nA; j++ { // scalar tail: active counts not divisible by 8
+				acc0 += int32(plane[int(els[j].ro)+int(min(uint(int(voxel[els[j].idx])), uw))]) * els[j].wq >> sh
+			}
+			v := float64(acc0+acc1+acc2+acc3) * scale
+			if add {
+				out.Data[base+ip] += v
+			} else {
+				out.Data[base+ip] = v
+			}
+			k += nE
+		}
+	}
+}

@@ -1,0 +1,13 @@
+//go:build purego || !amd64
+
+package beamform
+
+import "ultrabeam/internal/delay"
+
+// accumulateNappe16I16 on the purego (or non-amd64) build is the scalar
+// golden reference itself: the executable oracle the native variant is
+// held bit-identical to. CI runs the full kernel suite under -tags purego
+// so this body is always exercised, never just compiled.
+func (e *Engine) accumulateNappe16I16(blk delay.Block16, plane []int16, els []i16Gather, win, id int, out *Volume, scale float64, add bool) {
+	e.accumulateNappe16I16Ref(blk, plane, els, win, id, out, scale, add)
+}

@@ -1,0 +1,536 @@
+// Property tests for the fixed-point i16 kernel: the native (amd64
+// unrolled) body must be BIT-IDENTICAL to accumulateNappe16I16Ref — not
+// PSNR-close — because everything before the final float64 rescale is
+// integer arithmetic, and integer addition is associative. The adversarial
+// generators here drive exactly the inputs the saturation analysis in
+// kernel_i16.go reasons about: window-edge and out-of-range indices,
+// samples pinned at ±32767 with signs aligned to the weights (the
+// worst-case accumulation), ragged active-element tails that exercise the
+// 8-wide unroll's scalar remainder, and all-zero planes. Under -tags
+// purego the native body IS the reference, so the identity holds
+// trivially and the suite still validates the int64 no-overflow
+// cross-check.
+package beamform
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"ultrabeam/internal/delay"
+	"ultrabeam/internal/geom"
+	"ultrabeam/internal/rf"
+	"ultrabeam/internal/scan"
+	"ultrabeam/internal/xdcr"
+)
+
+// i16KernelHarness holds one synthetic kernel-call setup: an engine, a
+// guarded int16 plane, the packed operand table and a delay block the two
+// kernel bodies consume directly.
+type i16KernelHarness struct {
+	eng   *Engine
+	plane []int16
+	els   []i16Gather
+	blk   delay.Block16
+	win   int
+}
+
+// newI16Harness builds a Rect-window engine over an nx×ny array (Rect
+// keeps every element active, so nx·ny controls the unroll tail length
+// exactly) and allocates the plane/block buffers for the given window.
+func newI16Harness(t *testing.T, nx, ny, win int) *i16KernelHarness {
+	t.Helper()
+	cfg := Config{
+		Vol:    scan.NewVolume(geom.Radians(30), geom.Radians(8), 0.02, 5, 2, 4),
+		Arr:    xdcr.NewArray(nx, ny, 0.385e-3/2),
+		Conv:   conv,
+		Window: xdcr.Rect,
+	}
+	eng := New(cfg)
+	if !eng.i16OK {
+		t.Fatalf("%dx%d Rect aperture unexpectedly fails the accumulator bound", nx, ny)
+	}
+	if want := nx * ny; len(eng.activeIdx) != want {
+		t.Fatalf("Rect window dropped elements: %d active of %d", len(eng.activeIdx), want)
+	}
+	nE := len(eng.apod)
+	return &i16KernelHarness{
+		eng:   eng,
+		plane: make([]int16, nE*(win+1)),
+		els:   eng.i16GatherTable(win),
+		blk:   make(delay.Block16, cfg.Vol.Theta.N*cfg.Vol.Phi.N*nE),
+		win:   win,
+	}
+}
+
+// run drives both kernel bodies over every depth slice and asserts exact
+// equality, in store mode and then add mode on top of the stored pass.
+func (h *i16KernelHarness) run(t *testing.T, name string, scale float64) {
+	t.Helper()
+	vol := h.eng.Cfg.Vol
+	native := &Volume{Vol: vol, Data: make([]float64, vol.Points())}
+	ref := &Volume{Vol: vol, Data: make([]float64, vol.Points())}
+	for _, add := range []bool{false, true} {
+		for id := 0; id < vol.Depth.N; id++ {
+			h.eng.accumulateNappe16I16(h.blk, h.plane, h.els, h.win, id, native, scale, add)
+			h.eng.accumulateNappe16I16Ref(h.blk, h.plane, h.els, h.win, id, ref, scale, add)
+		}
+		for i := range ref.Data {
+			if native.Data[i] != ref.Data[i] {
+				t.Fatalf("%s (add=%t): native %v != ref %v at voxel %d",
+					name, add, native.Data[i], ref.Data[i], i)
+			}
+		}
+	}
+}
+
+// TestI16KernelNativeMatchesRef is the purego/native bit-identity
+// property: seeded random planes and adversarial index patterns across
+// aperture shapes whose active counts cover every 8-wide unroll tail
+// (1, 9→tail 1, 15→tail 7, 16→no tail, 21→tail 5).
+func TestI16KernelNativeMatchesRef(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x1b16))
+	shapes := []struct{ nx, ny int }{{1, 1}, {3, 3}, {5, 3}, {4, 4}, {7, 3}}
+	// Index edge cases the generator always mixes in: both clamp
+	// boundaries, the int16 extremes, and negative indices (which the
+	// branchless clamp must route into the guard slot).
+	edges := []int16{0, 1, -1, -32768, 32767}
+	for _, sh := range shapes {
+		for _, win := range []int{1, 7, 300} {
+			h := newI16Harness(t, sh.nx, sh.ny, win)
+			edge := append([]int16{int16(win - 1), int16(win)}, edges...)
+			for round := 0; round < 4; round++ {
+				for i := range h.plane {
+					h.plane[i] = int16(rng.Intn(65536) - 32768)
+				}
+				// Guard slots stay zero, like every real ingest path.
+				for d := 0; d < len(h.eng.apod); d++ {
+					h.plane[d*(win+1)+win] = 0
+				}
+				for i := range h.blk {
+					if rng.Intn(4) == 0 {
+						h.blk[i] = edge[rng.Intn(len(edge))]
+					} else {
+						h.blk[i] = int16(rng.Intn(win))
+					}
+				}
+				h.run(t, "random", 1.0/32767)
+			}
+			// All-zero plane: exact silence from both bodies.
+			for i := range h.plane {
+				h.plane[i] = 0
+			}
+			h.run(t, "all-zero", 1.0)
+		}
+	}
+}
+
+// TestI16KernelSaturationExtremes drives the literal worst case of the
+// saturation analysis — every sample pinned at ±32767 with its sign
+// aligned to its element's quantized weight, so every product adds with
+// the same sign — and cross-checks the int32 accumulation against an
+// int64 one. If the preShift bound were wrong, the int32 path would wrap
+// and diverge from the int64 sum; instead both must agree exactly, and
+// the native body must still match the reference bit for bit.
+func TestI16KernelSaturationExtremes(t *testing.T) {
+	cfg, _, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(30), 0, 0.02, 3, 1, 2)
+	eng := New(cfg) // Hann 16×16: 196 active elements, tail 4
+	if !eng.i16OK {
+		t.Fatal("psf aperture unexpectedly fails the accumulator bound")
+	}
+	win := 9
+	nE := len(eng.apod)
+	plane := make([]int16, nE*(win+1))
+	els := eng.i16GatherTable(win)
+	var acc64 int64
+	for j, d := range eng.activeIdx {
+		s := int16(32767)
+		if eng.activeWQ[j] < 0 {
+			s = -32767
+		}
+		// The whole row carries the extreme, so any index hits it.
+		for i := 0; i < win; i++ {
+			plane[int(d)*(win+1)+i] = s
+		}
+		acc64 += int64(int32(s) * int32(eng.activeWQ[j]) >> eng.preShift)
+	}
+	if acc64 > i16AccBound || acc64 < math.MinInt32 {
+		t.Fatalf("worst-case sum %d escapes the documented bound %d", acc64, int64(i16AccBound))
+	}
+	blk := make(delay.Block16, cfg.Vol.Theta.N*cfg.Vol.Phi.N*nE) // all index 0
+	native := &Volume{Vol: cfg.Vol, Data: make([]float64, cfg.Vol.Points())}
+	ref := &Volume{Vol: cfg.Vol, Data: make([]float64, cfg.Vol.Points())}
+	for id := 0; id < cfg.Vol.Depth.N; id++ {
+		eng.accumulateNappe16I16(blk, plane, els, win, id, native, 1.0, false)
+		eng.accumulateNappe16I16Ref(blk, plane, els, win, id, ref, 1.0, false)
+	}
+	for i := range ref.Data {
+		if ref.Data[i] != float64(acc64) {
+			t.Fatalf("voxel %d: int32 path %v != int64 cross-check %d (accumulator wrapped?)",
+				i, ref.Data[i], acc64)
+		}
+		if native.Data[i] != ref.Data[i] {
+			t.Fatalf("voxel %d: native %v != ref %v at saturation", i, native.Data[i], ref.Data[i])
+		}
+	}
+}
+
+// TestI16AccumulatorBoundDemotion pins the initI16 escape hatch: an
+// aperture whose worst-case sum cannot fit the int32 bound even at the
+// maximum shift must set i16OK false (the session then demotes to the
+// exact float64 kernel), while every real test aperture fits.
+func TestI16AccumulatorBoundDemotion(t *testing.T) {
+	huge := &Engine{activeW: make([]float64, 40000)}
+	for i := range huge.activeW {
+		huge.activeW[i] = 1
+	}
+	huge.initI16()
+	if huge.i16OK {
+		t.Error("40000-element unit aperture cannot satisfy the bound, but i16OK is set")
+	}
+	cfg, _, _ := psfSetup(t)
+	eng := New(cfg)
+	if !eng.i16OK || eng.preShift > 15 {
+		t.Errorf("Table-I-shaped aperture: i16OK=%t preShift=%d", eng.i16OK, eng.preShift)
+	}
+	worst := int64(0)
+	for _, q := range eng.activeWQ {
+		a := int64(q)
+		if a < 0 {
+			a = -a
+		}
+		worst += a * 32767
+	}
+	if worst>>eng.preShift > i16AccBound {
+		t.Errorf("preShift %d leaves worst case %d above the bound", eng.preShift, worst>>eng.preShift)
+	}
+	if eng.preShift > 0 && worst>>(eng.preShift-1) <= i16AccBound {
+		t.Errorf("preShift %d is not minimal", eng.preShift)
+	}
+}
+
+// TestPrecisionInt16PSNRGate gates the ADC-native datapath end to end:
+// the fixed-point session volume must sit at least 60 dB below the
+// float64 golden peak — the same acceptance bar the float32 kernel
+// cleared, now with 2-byte echo samples.
+func TestPrecisionInt16PSNRGate(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 40)
+	golden, err := New(cfg).Beamform(exactProvider(cfg), bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16 := cfg
+	c16.Precision = PrecisionInt16
+	eng := New(c16)
+	sess, err := eng.NewSession(exactProvider(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	fixed, err := sess.Beamform(bufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := PeakSignalRatio(golden, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 60 {
+		t.Errorf("i16 kernel PSNR = %.1f dB, want ≥ 60", psnr)
+	}
+	sim, err := Similarity(golden, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim < 0.999999 {
+		t.Errorf("i16 kernel similarity = %v", sim)
+	}
+}
+
+// TestPrecisionInt16CompoundPSNR extends the gate to compounding: an
+// N-transmit fixed-point compound must reconstruct the float64 compound
+// above 60 dB (each transmit quantizes with its own frame scale).
+func TestPrecisionInt16CompoundPSNR(t *testing.T) {
+	cfg, _, target := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 7, 1, 20)
+	txs := delay.SteeredTransmits(3, 0.004, 0.004)
+	provs, txBufs := compoundSetup(t, cfg, txs, target)
+	goldenSess, err := New(cfg).NewSessionProviders(provs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := goldenSess.BeamformCompound(txBufs)
+	goldenSess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c16 := cfg
+	c16.Precision = PrecisionInt16
+	sess, err := New(c16).NewSessionProviders(provs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	fixed, err := sess.BeamformCompound(txBufs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psnr, err := PeakSignalRatio(golden, fixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if psnr < 60 {
+		t.Errorf("i16 compound PSNR = %.1f dB, want ≥ 60", psnr)
+	}
+}
+
+// framePlanesI16 flattens single-transmit frames through rf.PlaneI16 —
+// the same quantization contract the session's convert phase applies.
+func framePlanesI16(t *testing.T, frames [][]rf.EchoBuffer, win int) ([][][]int16, [][]float32) {
+	t.Helper()
+	planes := make([][][]int16, len(frames))
+	scales := make([][]float32, len(frames))
+	for k, f := range frames {
+		p, scale, err := rf.PlaneI16(f, win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		planes[k] = [][]int16{p}
+		scales[k] = []float32{scale}
+	}
+	return planes, scales
+}
+
+// TestBatchPlanesI16MatchesBufferBatch is the zero-conversion ingest
+// contract: an i16 plane batch (quantized by rf.PlaneI16, the layout
+// wire.DecodePlaneI16 streams into) must produce exactly the volumes of a
+// buffer batch over the same samples — bit-identical, because the convert
+// phase applies the very same quantization before the same kernel — at
+// every cache budget, interleaved with buffer batches on one session.
+func TestBatchPlanesI16MatchesBufferBatch(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 30)
+	cfg.Precision = PrecisionInt16
+	frames := scaledFrames(bufs, 4)
+	win := len(bufs[0].Samples)
+	planes, scales := framePlanesI16(t, frames, win)
+
+	for _, budget := range []int64{-2, -1, 0} {
+		eng := New(cfg)
+		refSess := batchSession(t, eng, cfg, budget)
+		refs := make([]*Volume, len(frames))
+		for k, f := range frames {
+			v, err := refSess.Beamform(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refs[k] = v
+		}
+		refSess.Close()
+
+		sess := batchSession(t, eng, cfg, budget)
+		check := func(dsts []*Volume, ks ...int) {
+			t.Helper()
+			for i, k := range ks {
+				for j := range refs[k].Data {
+					if refs[k].Data[j] != dsts[i].Data[j] {
+						t.Fatalf("budget %d: i16 plane frame %d differs from buffer path at %d: %v vs %v",
+							budget, k, j, dsts[i].Data[j], refs[k].Data[j])
+					}
+				}
+			}
+		}
+		planeBatch := func(ks ...int) {
+			t.Helper()
+			dsts := make([]*Volume, len(ks))
+			sub := make([][][]int16, len(ks))
+			sc := make([][]float32, len(ks))
+			for i, k := range ks {
+				dsts[i] = sess.NewVolume()
+				sub[i] = planes[k]
+				sc[i] = scales[k]
+			}
+			if err := sess.BeamformBatchPlanesI16(dsts, win, sub, sc); err != nil {
+				t.Fatal(err)
+			}
+			check(dsts, ks...)
+		}
+		planeBatch(0, 1)
+		planeBatch(2, 3, 0)
+		// Interleave a buffer batch: the convert phase must re-quantize
+		// into its own plane without disturbing the external-plane state.
+		dst := sess.NewVolume()
+		if err := sess.BeamformBatch([]*Volume{dst}, [][][]rf.EchoBuffer{{frames[1]}}); err != nil {
+			t.Fatal(err)
+		}
+		check([]*Volume{dst}, 1)
+		planeBatch(3)
+		if got := sess.Frames(); got != 7 {
+			t.Errorf("budget %d: Frames = %d, want 7", budget, got)
+		}
+		sess.Close()
+	}
+}
+
+// TestBatchPlanesI16Validation pins the i16 plane-batch error surface,
+// including the NaN-pinned and non-finite scales the wire header could
+// in principle carry.
+func TestBatchPlanesI16Validation(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 16)
+	win := len(bufs[0].Samples)
+	plane, scale, err := rf.PlaneI16(bufs, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("needs_i16", func(t *testing.T) {
+		c := cfg
+		c.Precision = PrecisionFloat32
+		sess := batchSession(t, New(c), c, -1)
+		defer sess.Close()
+		err := sess.BeamformBatchPlanesI16([]*Volume{sess.NewVolume()}, win,
+			[][][]int16{{plane}}, [][]float32{{scale}})
+		if err == nil || !strings.Contains(err.Error(), "i16") {
+			t.Fatalf("float32 session accepted an i16 plane batch: %v", err)
+		}
+	})
+
+	c := cfg
+	c.Precision = PrecisionInt16
+	sess := batchSession(t, New(c), c, -1)
+	defer sess.Close()
+	one := func(win int, planes [][][]int16, scales [][]float32, dsts ...*Volume) error {
+		if dsts == nil {
+			dsts = []*Volume{sess.NewVolume()}
+		}
+		return sess.BeamformBatchPlanesI16(dsts, win, planes, scales)
+	}
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"zero_window", func() error {
+			return one(0, [][][]int16{{plane}}, [][]float32{{scale}})
+		}},
+		{"window_over_max", func() error {
+			return one(delay.MaxEchoWindow+1, [][][]int16{{plane}}, [][]float32{{scale}})
+		}},
+		{"empty_batch", func() error {
+			return sess.BeamformBatchPlanesI16(nil, win, nil, nil)
+		}},
+		{"transmit_count", func() error {
+			return one(win, [][][]int16{{plane, plane}}, [][]float32{{scale, scale}})
+		}},
+		{"scale_arity", func() error {
+			return one(win, [][][]int16{{plane}}, [][]float32{{scale, scale}})
+		}},
+		{"short_plane", func() error {
+			return one(win, [][][]int16{{plane[:10]}}, [][]float32{{scale}})
+		}},
+		{"zero_scale", func() error {
+			return one(win, [][][]int16{{plane}}, [][]float32{{0}})
+		}},
+		{"negative_scale", func() error {
+			return one(win, [][][]int16{{plane}}, [][]float32{{-1}})
+		}},
+		{"nan_scale", func() error {
+			return one(win, [][][]int16{{plane}}, [][]float32{{float32(math.NaN())}})
+		}},
+		{"inf_scale", func() error {
+			return one(win, [][][]int16{{plane}}, [][]float32{{float32(math.Inf(1))}})
+		}},
+		{"shared_dst", func() error {
+			d := sess.NewVolume()
+			return sess.BeamformBatchPlanesI16([]*Volume{d, d}, win,
+				[][][]int16{{plane}, {plane}}, [][]float32{{scale}, {scale}})
+		}},
+		{"nil_dst", func() error {
+			return sess.BeamformBatchPlanesI16([]*Volume{nil}, win,
+				[][][]int16{{plane}}, [][]float32{{scale}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.run(); err == nil {
+				t.Fatal("invalid i16 plane batch accepted")
+			}
+		})
+	}
+}
+
+// TestOneRoundDispatchBitIdentical pins the fused-dispatch equivalence:
+// forcing the one-round jobConvertAccumulate shape and forcing the legacy
+// two-round shape must produce bit-identical volumes — the in-pool
+// barrier preserves the convert-before-accumulate order exactly — for
+// both convert-bearing kernels.
+func TestOneRoundDispatchBitIdentical(t *testing.T) {
+	defer SetOneRoundDispatchVoxels(-1)
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), geom.Radians(10), 0.03, 9, 3, 30)
+	frames := scaledFrames(bufs, 3)
+	for _, prec := range []Precision{PrecisionFloat32, PrecisionInt16} {
+		c := cfg
+		c.Precision = prec
+		eng := New(c)
+		results := map[int][]*Volume{}
+		for _, threshold := range []int{0, 1 << 30} { // two rounds, fused
+			SetOneRoundDispatchVoxels(threshold)
+			sess := batchSession(t, eng, c, -1)
+			dsts := make([]*Volume, len(frames))
+			batch := make([][][]rf.EchoBuffer, len(frames))
+			for k, f := range frames {
+				dsts[k] = sess.NewVolume()
+				batch[k] = [][]rf.EchoBuffer{f}
+			}
+			if err := sess.BeamformBatch(dsts, batch); err != nil {
+				t.Fatal(err)
+			}
+			sess.Close()
+			results[threshold] = dsts
+		}
+		for k := range frames {
+			a, b := results[0][k], results[1<<30][k]
+			for i := range a.Data {
+				if a.Data[i] != b.Data[i] {
+					t.Fatalf("%v frame %d: two-round %v != fused %v at voxel %d",
+						prec, k, a.Data[i], b.Data[i], i)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionInt16SteadyStateAllocFree extends the alloc-free criterion
+// to the fixed-point path: once the int16 plane exists and blocks are
+// resident, i16 frames allocate nothing.
+func TestSessionInt16SteadyStateAllocFree(t *testing.T) {
+	cfg, bufs, _ := psfSetup(t)
+	cfg.Vol = scan.NewVolume(geom.Radians(40), 0, 0.03, 7, 1, 16)
+	cfg.Precision = PrecisionInt16
+	eng := New(cfg)
+	src := newRetainingSource16(exactProvider(cfg))
+	for id := 0; id < cfg.Vol.Depth.N; id++ {
+		src.Nappe16(id)
+	}
+	sess, err := eng.NewSession(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	out := &Volume{Vol: cfg.Vol, Data: make([]float64, cfg.Vol.Points())}
+	if err := sess.BeamformInto(out, bufs); err != nil { // warm: sizes plane
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if err := sess.BeamformInto(out, bufs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 0 {
+		t.Errorf("steady-state i16 BeamformInto allocates %.1f objects/frame, want 0", avg)
+	}
+}

@@ -157,7 +157,7 @@ func TestHugeEchoWindowFallsBackWide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, prec := range []Precision{PrecisionFloat64, PrecisionFloat32, PrecisionWide} {
+	for _, prec := range []Precision{PrecisionFloat64, PrecisionFloat32, PrecisionWide, PrecisionInt16} {
 		c := cfg
 		c.Precision = prec
 		eng := New(c)
@@ -326,6 +326,7 @@ func TestParsePrecision(t *testing.T) {
 		"float64": PrecisionFloat64, "f64": PrecisionFloat64,
 		"float32": PrecisionFloat32, "f32": PrecisionFloat32, "narrow": PrecisionFloat32,
 		"wide": PrecisionWide,
+		"i16":  PrecisionInt16, "int16": PrecisionInt16,
 	}
 	for name, want := range cases {
 		got, err := ParsePrecision(name)
@@ -336,7 +337,7 @@ func TestParsePrecision(t *testing.T) {
 	if _, err := ParsePrecision("float16"); err == nil {
 		t.Error("unknown precision must fail")
 	}
-	for _, p := range []Precision{PrecisionFloat64, PrecisionFloat32, PrecisionWide} {
+	for _, p := range []Precision{PrecisionFloat64, PrecisionFloat32, PrecisionWide, PrecisionInt16} {
 		if p.String() == "" {
 			t.Errorf("Precision(%d).String empty", p)
 		}

@@ -15,7 +15,12 @@
 // never depends on the geometry. PrecisionFloat32 additionally flattens
 // the echo buffers to a guarded float32 plane (rebuilt in parallel each
 // frame by a convert phase) and accumulates through the unrolled branchless
-// kernel.
+// kernel; PrecisionInt16 quantizes them to a guarded int16 plane instead —
+// 2 B/sample, one scale per frame×transmit — and accumulates in int32
+// fixed point through the purego/native kernel_i16 split. Convert-bearing
+// frames of small volumes fuse the convert and accumulate phases into one
+// token round (jobConvertAccumulate) so tiny specs stop paying two
+// dispatch round trips per frame.
 //
 // Multi-transmit compounding (PR 4): a session built over N per-transmit
 // providers beamforms each depth slice once per transmit — the first
@@ -73,8 +78,44 @@ type sessionJob int
 
 const (
 	jobAccumulate sessionJob = iota // beamform the frame's depth slices
-	jobConvert                      // flatten echo buffers to float32
+	jobConvert                      // flatten echo buffers to the kernel plane
+	// jobConvertAccumulate fuses both phases into one token round: each
+	// worker converts its stripe, meets the others at an in-pool barrier,
+	// then accumulates its stripe. Numerically identical to the two-round
+	// dispatch (the barrier enforces the same convert-before-accumulate
+	// ordering); what it removes is one full token round trip through the
+	// dispatching goroutine — which is most of a small volume's frame time
+	// (the B2 tiny-spec rows), and why BeamformBatch selects it below the
+	// measured OneRoundDispatchVoxels threshold.
+	jobConvertAccumulate
 )
+
+// defaultOneRoundVoxels is the measured crossover of the fused dispatch:
+// below it the saved token round dominates, above it the two forms are
+// within noise of each other (the barrier and the extra round cost the
+// same few microseconds, invisible behind tens of milliseconds of kernel
+// work) — see BenchmarkDispatchRounds. The threshold is deliberately
+// generous: fusing is never measurably slower, so only genuinely large
+// volumes keep the legacy two-round shape.
+const defaultOneRoundVoxels = 1 << 16
+
+// oneRoundVoxels is the active threshold; a package-level knob so the B10
+// experiment and the crossover benchmark can force either shape.
+var oneRoundVoxels = defaultOneRoundVoxels
+
+// SetOneRoundDispatchVoxels overrides the voxel-count threshold below
+// which a convert-bearing batch runs as one fused token round, returning
+// the previous value: 0 forces the two-round dispatch always, a huge value
+// forces fusion always, negative restores the default. It is a benchmark
+// and experiment knob — not safe to call with frames in flight.
+func SetOneRoundDispatchVoxels(v int) int {
+	prev := oneRoundVoxels
+	if v < 0 {
+		v = defaultOneRoundVoxels
+	}
+	oneRoundVoxels = v
+	return prev
+}
 
 // Session is a reusable multi-frame beamformer: one geometry, one delay
 // provider per transmit, a persistent worker pool. Single-insonification
@@ -101,6 +142,7 @@ type Session struct {
 	outs    []*Volume           // one destination volume per frame in flight
 	narrow  bool                // int16 delay blocks are exact for this batch's windows
 	useFlat bool                // accumulate through the float32 kernel this batch
+	useI16  bool                // accumulate through the fixed-point i16 kernel this batch
 
 	// tx1 / batch1 / out1 are the persistent wrappers BeamformInto and
 	// BeamformCompoundInto reuse so the steady-state single frame stays
@@ -121,12 +163,36 @@ type Session struct {
 	planeLen int
 	flatOff  []int32
 
+	// The i16 form of the flattened planes (PrecisionInt16): quantized
+	// int16 rows sharing flatWin/planeLen geometry with flat, plus one
+	// kernel rescale per frame×transmit plane (i16Scale[k·T+t] =
+	// Engine.i16VoxelScale of the plane's quantization step), written by
+	// the convert phase before the accumulate phase reads it. i16Els is
+	// the fixed-point kernel's packed per-element operand table for the
+	// current window (Engine.i16GatherTable), rebuilt with flatOff.
+	flatI16  []int16
+	i16Scale []float64
+	i16Els   []i16Gather
+
 	// extPlanes, when non-nil, carries caller-owned guarded float32 planes
 	// for the batch in flight (extPlanes[k][t] is frame k / transmit t,
 	// stride flatWin+1, guard slots zero) — the decode-into-plane ingest
 	// path: the wire layer already produced the exact layout convertStripe
 	// would build, so the convert dispatch is skipped entirely.
 	extPlanes [][][]float32
+
+	// extPlanesI16 is the i16 form of extPlanes — caller-owned quantized
+	// planes (wire.DecodePlaneI16 output), their per-plane rescales carried
+	// in i16Scale exactly as the internal convert would have left them.
+	extPlanesI16 [][][]int16
+
+	// The fused-dispatch barrier: workers running jobConvertAccumulate
+	// arrive here between their convert and accumulate halves. The last
+	// arrival resets the counter and releases the rest through barRelease
+	// (buffered workers−1, allocated once), so the steady state stays
+	// allocation-free.
+	barArrived atomic.Int32
+	barRelease chan struct{}
 
 	// frames is atomic: a serving frontend scrapes Frames() from stats
 	// goroutines while the owning goroutine beamforms.
@@ -188,6 +254,7 @@ func (e *Engine) NewSessionProviders(ps []delay.Provider) (*Session, error) {
 			s.srcs16[t] = src
 		}
 	}
+	s.barRelease = make(chan struct{}, s.workers-1)
 	s.start = make([]chan struct{}, s.workers)
 	for w := 0; w < s.workers; w++ {
 		s.start[w] = make(chan struct{}, 1)
@@ -206,12 +273,43 @@ func (s *Session) worker(w int) {
 	for range s.start[w] {
 		switch s.job {
 		case jobConvert:
-			s.convertStripe(w)
+			s.convert(w)
+		case jobConvertAccumulate:
+			s.convert(w)
+			s.barrier()
+			s.accumulateStripe(w, buf16, scratch)
 		default:
 			s.accumulateStripe(w, buf16, scratch)
 		}
 		s.done <- struct{}{}
 	}
+}
+
+// convert runs the batch's convert phase stripe for worker w in whichever
+// plane representation the batch selected.
+func (s *Session) convert(w int) {
+	if s.useI16 {
+		s.convertStripeI16(w)
+	} else {
+		s.convertStripe(w)
+	}
+}
+
+// barrier holds a jobConvertAccumulate worker until every worker's convert
+// half is done — the ordering edge the two-round dispatch got from its
+// intermediate token collection, at the cost of one atomic and a channel
+// op instead of a full round trip. Safe for reuse across batches: the next
+// batch cannot be dispatched until every worker has passed the barrier and
+// sent done, at which point the counter is zero and the channel is empty.
+func (s *Session) barrier() {
+	if int(s.barArrived.Add(1)) == s.workers {
+		s.barArrived.Store(0)
+		for i := 0; i < s.workers-1; i++ {
+			s.barRelease <- struct{}{}
+		}
+		return
+	}
+	<-s.barRelease
 }
 
 // convertStripe flattens echo buffers of the batch into the session's
@@ -232,6 +330,23 @@ func (s *Session) convertStripe(w int) {
 		for i, v := range s.batch[k][t][d].Samples {
 			row[i] = float32(v)
 		}
+	}
+}
+
+// convertStripeI16 quantizes echo buffers of the batch into the session's
+// guarded int16 planes, striping over whole (frame, transmit) planes
+// rather than element rows: the per-frame quantization scale is a
+// reduction over the entire plane (the peak pass), so a plane is one
+// worker's indivisible unit. Plane k·T+t starts at (k·T+t)·planeLen and
+// its kernel rescale lands in i16Scale[k·T+t].
+func (s *Session) convertStripeI16(w int) {
+	nTx := len(s.batch[0])
+	total := len(s.batch) * nTx
+	for r := w; r < total; r += s.workers {
+		k, t := r/nTx, r%nTx
+		plane := s.flatI16[r*s.planeLen : (r+1)*s.planeLen]
+		scale := rf.QuantizePlaneI16(plane, s.batch[k][t], s.flatWin)
+		s.i16Scale[r] = s.eng.i16VoxelScale(scale)
 	}
 }
 
@@ -287,7 +402,18 @@ func (s *Session) accumulateStripe(w int, buf16 delay.Block16, scratch []float64
 			if !resident {
 				delay.Fill16(s.bps[t], id, buf16, scratch)
 			}
-			if s.useFlat {
+			if s.useI16 {
+				if s.extPlanesI16 != nil {
+					for k := range s.extPlanesI16 {
+						s.eng.accumulateNappe16I16(blk, s.extPlanesI16[k][t], s.i16Els, s.flatWin, id, s.outs[k], s.i16Scale[k*nTx+t], add)
+					}
+					continue
+				}
+				for k := range s.batch {
+					plane := s.flatI16[(k*nTx+t)*s.planeLen : (k*nTx+t+1)*s.planeLen]
+					s.eng.accumulateNappe16I16(blk, plane, s.i16Els, s.flatWin, id, s.outs[k], s.i16Scale[k*nTx+t], add)
+				}
+			} else if s.useFlat {
 				if s.extPlanes != nil {
 					for k := range s.extPlanes {
 						s.eng.accumulateNappe16Narrow(blk, s.extPlanes[k][t], s.flatOff, s.flatWin, id, s.outs[k], add)
@@ -434,30 +560,50 @@ func (s *Session) BeamformBatch(dsts []*Volume, batch [][][]rf.EchoBuffer) error
 		}
 	}
 	s.narrow = narrowOK && s.eng.Cfg.Precision != PrecisionWide
-	// The flat decision is per-frame-shape, independent of batch size, so a
-	// batched frame takes exactly the kernel it would take alone.
-	s.useFlat = s.narrow && uniform && s.eng.Cfg.Precision == PrecisionFloat32 &&
-		len(batch[0])*len(batch[0][0])*(win+1) <= math.MaxInt32 // row offsets are int32
+	// The flat/i16 decision is per-frame-shape, independent of batch size,
+	// so a batched frame takes exactly the kernel it would take alone.
+	planeFits := uniform && len(batch[0])*len(batch[0][0])*(win+1) <= math.MaxInt32 // row offsets are int32
+	s.useFlat = s.narrow && planeFits && s.eng.Cfg.Precision == PrecisionFloat32
+	// An aperture that defeated the int32 accumulator bound (i16OK false)
+	// demotes to the exact float64 kernel rather than risking overflow.
+	s.useI16 = s.narrow && planeFits && s.eng.Cfg.Precision == PrecisionInt16 && s.eng.i16OK
 	s.batch, s.outs = batch, dsts
-	if s.useFlat {
+	if s.useFlat || s.useI16 {
 		plane := len(batch[0][0]) * (win + 1)
 		if s.flatWin != win || s.planeLen != plane {
 			// Window changed: rebuild the plane geometry.
-			s.flat = nil
+			s.flat, s.flatI16 = nil, nil
 			s.flatWin, s.planeLen = win, plane
 			s.flatOff = make([]int32, len(s.eng.activeIdx))
 			for j, d := range s.eng.activeIdx {
 				s.flatOff[j] = d * int32(win+1)
 			}
+			if s.useI16 {
+				s.i16Els = s.eng.i16GatherTable(win)
+			}
 		}
-		if need := len(batch) * len(batch[0]) * plane; need > len(s.flat) {
-			// Grow only: a smaller batch reuses the larger plane set (rows
-			// never move within a plane, so guard slots stay zero).
+		// Grow only: a smaller batch reuses the larger plane set (rows
+		// never move within a plane, so guard slots stay zero).
+		need := len(batch) * len(batch[0]) * plane
+		if s.useI16 {
+			if need > len(s.flatI16) {
+				s.flatI16 = make([]int16, need)
+			}
+			if n := len(batch) * len(batch[0]); n > len(s.i16Scale) {
+				s.i16Scale = make([]float64, n)
+			}
+		} else if need > len(s.flat) {
 			s.flat = make([]float32, need)
 		}
-		s.dispatch(jobConvert)
+		if s.eng.Cfg.Vol.Points() <= oneRoundVoxels {
+			s.dispatch(jobConvertAccumulate)
+		} else {
+			s.dispatch(jobConvert)
+			s.dispatch(jobAccumulate)
+		}
+	} else {
+		s.dispatch(jobAccumulate)
 	}
-	s.dispatch(jobAccumulate)
 	s.batch, s.outs = nil, nil
 	s.frames.Add(int64(len(batch)))
 	return nil
@@ -527,9 +673,9 @@ func (s *Session) BeamformBatchPlanes(dsts []*Volume, win int, planes [][][]floa
 			}
 		}
 	}
-	s.narrow, s.useFlat = true, true
+	s.narrow, s.useFlat, s.useI16 = true, true, false
 	if s.flatWin != win || s.planeLen != planeLen {
-		s.flat = nil // any interleaved buffer batch re-sizes its own planes
+		s.flat, s.flatI16 = nil, nil // any interleaved buffer batch re-sizes its own planes
 		s.flatWin, s.planeLen = win, planeLen
 		s.flatOff = make([]int32, len(s.eng.activeIdx))
 		for j, d := range s.eng.activeIdx {
@@ -539,6 +685,109 @@ func (s *Session) BeamformBatchPlanes(dsts []*Volume, win int, planes [][][]floa
 	s.extPlanes, s.outs = planes, dsts
 	s.dispatch(jobAccumulate)
 	s.extPlanes, s.outs = nil, nil
+	s.frames.Add(int64(len(planes)))
+	return nil
+}
+
+// BeamformBatchPlanesI16 is the ADC-native form of BeamformBatchPlanes: a
+// batch of compound frames whose echoes already live in guarded int16
+// planes — the layout wire.DecodePlaneI16 streams straight off an i16 UBF1
+// frame — with scales[k][t] the quantization step of frame k / transmit t
+// (sample = int16·scale, positive and finite, as the wire header carries
+// it). When the client ships i16 frames and the session runs the i16
+// kernel, ingest is a near-memcpy: no float32 intermediate exists anywhere
+// between the ADC words on the wire and the kernel's gathers.
+//
+// It requires PrecisionInt16 on an aperture that satisfied the int32
+// accumulator bound (Engine.I16Capable; sessions whose aperture demoted
+// reject plane batches rather than silently widening, because the caller
+// already quantized) and a window within delay.MaxEchoWindow. The
+// accumulation order matches BeamformBatch's i16 path exactly, so a plane
+// batch is bit-identical to BeamformBatch over echo buffers that quantize
+// to the same int16 samples and scales.
+func (s *Session) BeamformBatchPlanesI16(dsts []*Volume, win int, planes [][][]int16, scales [][]float32) error {
+	if s.closed {
+		return errors.New("beamform: session is closed")
+	}
+	if err := batchFault.Err(); err != nil {
+		return err
+	}
+	if s.eng.Cfg.Precision != PrecisionInt16 {
+		return fmt.Errorf("beamform: i16 plane batches need Precision=i16 (have %s)", s.eng.Cfg.Precision)
+	}
+	if !s.eng.i16OK {
+		return errors.New("beamform: aperture exceeds the int32 accumulator bound; i16 plane batches unavailable")
+	}
+	if win <= 0 || win > delay.MaxEchoWindow {
+		return fmt.Errorf("beamform: plane window %d outside (0, %d]", win, delay.MaxEchoWindow)
+	}
+	if len(planes) == 0 {
+		return errors.New("beamform: empty batch")
+	}
+	if len(dsts) != len(planes) {
+		return fmt.Errorf("beamform: %d destination volumes for %d frames", len(dsts), len(planes))
+	}
+	elems := s.eng.Cfg.Arr.Elements()
+	planeLen := elems * (win + 1)
+	if planeLen > math.MaxInt32 { // row offsets are int32
+		return fmt.Errorf("beamform: plane of %d int16s exceeds the int32 offset range", planeLen)
+	}
+	for k, dst := range dsts {
+		if dst == nil || len(dst.Data) != s.eng.Cfg.Vol.Points() {
+			return fmt.Errorf("beamform: destination volume needs %d points", s.eng.Cfg.Vol.Points())
+		}
+		if dst.Vol != s.eng.Cfg.Vol {
+			return fmt.Errorf("beamform: destination grid %v is not the session grid %v",
+				dst.Vol, s.eng.Cfg.Vol)
+		}
+		for j := 0; j < k; j++ {
+			if dsts[j] == dst {
+				return fmt.Errorf("beamform: frames %d and %d share a destination volume", j, k)
+			}
+		}
+	}
+	if len(scales) != len(planes) {
+		return fmt.Errorf("beamform: %d scale sets for %d frames", len(scales), len(planes))
+	}
+	nTx := len(s.bps)
+	for k, tx := range planes {
+		if len(tx) != nTx {
+			return fmt.Errorf("beamform: frame %d has %d planes for %d transmits", k, len(tx), nTx)
+		}
+		if len(scales[k]) != nTx {
+			return fmt.Errorf("beamform: frame %d has %d scales for %d transmits", k, len(scales[k]), nTx)
+		}
+		for t, p := range tx {
+			if len(p) != planeLen {
+				return fmt.Errorf("beamform: frame %d transmit %d plane has %d int16s (want %d elements × %d)",
+					k, t, len(p), elems, win+1)
+			}
+			if sc := scales[k][t]; !(sc > 0) || math.IsInf(float64(sc), 0) {
+				return fmt.Errorf("beamform: frame %d transmit %d scale %v is not a positive finite factor", k, t, sc)
+			}
+		}
+	}
+	s.narrow, s.useFlat, s.useI16 = true, false, true
+	if s.flatWin != win || s.planeLen != planeLen {
+		s.flat, s.flatI16 = nil, nil // any interleaved buffer batch re-sizes its own planes
+		s.flatWin, s.planeLen = win, planeLen
+		s.flatOff = make([]int32, len(s.eng.activeIdx))
+		for j, d := range s.eng.activeIdx {
+			s.flatOff[j] = d * int32(win+1)
+		}
+		s.i16Els = s.eng.i16GatherTable(win)
+	}
+	if n := len(planes) * nTx; n > len(s.i16Scale) {
+		s.i16Scale = make([]float64, n)
+	}
+	for k := range scales {
+		for t, sc := range scales[k] {
+			s.i16Scale[k*nTx+t] = s.eng.i16VoxelScale(sc)
+		}
+	}
+	s.extPlanesI16, s.outs = planes, dsts
+	s.dispatch(jobAccumulate)
+	s.extPlanesI16, s.outs = nil, nil
 	s.frames.Add(int64(len(planes)))
 	return nil
 }

@@ -184,7 +184,11 @@ func (s SystemSpec) NewCachedSession(w xdcr.Window, p delay.Provider, budgetByte
 // NewSessionConfig: kernel precision, an optional nappe-block delay cache
 // (narrow int16 storage by default; WideCache restores the float64 A/B
 // representation, which PrecisionWide consumes from residency), and an
-// optional multi-transmit compounding set.
+// optional multi-transmit compounding set. PrecisionInt16 pairs with the
+// default narrow cache exactly like PrecisionFloat32 — the int16 delay
+// blocks it consumes are the cache's native representation — and differs
+// only in the echo side of the kernel (quantized int16 plane, int32
+// fixed-point accumulate).
 type SessionConfig struct {
 	Window      xdcr.Window
 	Precision   beamform.Precision

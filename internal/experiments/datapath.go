@@ -1,11 +1,15 @@
-// Experiment B3: the precision/bandwidth sweep of the narrow datapath. The
-// paper's premise is that delay words are small — 14-bit indices into an
-// ~8000-sample echo window (§V-B) — so moving them as float64 spends 4× the
-// bytes the design point assumes. B3 beamforms the same steady-state cine
-// through the three session datapaths (wide float64 blocks, int16 blocks ×
-// float64 echo, int16 blocks × float32 echo through the unrolled kernel)
-// and reports frames/s, per-word storage, image fidelity against the wide
-// golden volume, and the §V-B-budget residency each representation buys.
+// Experiment B3/B10: the precision/bandwidth sweep of the narrow datapath.
+// The paper's premise is that delay words are small — 14-bit indices into
+// an ~8000-sample echo window (§V-B) — so moving them as float64 spends 4×
+// the bytes the design point assumes. B3 beamforms the same steady-state
+// cine through the session datapaths (wide float64 blocks, int16 blocks ×
+// float64 echo, int16 blocks × float32 echo through the unrolled kernel,
+// and — B10 — int16 blocks × int16 ADC-native echo through the fixed-point
+// kernel) and reports frames/s, per-word storage, image fidelity against
+// the wide golden volume, and the §V-B-budget residency each
+// representation buys. B10 additionally measures the small-volume dispatch
+// crossover: a dispatch-bound tiny volume beamformed through the fused
+// one-token-round dispatch vs the legacy two-round shape.
 package experiments
 
 import (
@@ -50,6 +54,16 @@ type DatapathResult struct {
 	ResidentBlocksWide   int
 	ResidentBlocksNarrow int
 	TotalBlocks          int
+
+	// Small-volume dispatch crossover (B10): the same i16 session over a
+	// dispatch-bound tiny volume, forced through the legacy two-token-round
+	// dispatch and the fused one-round shape. On a volume this small the
+	// token round trips are a visible fraction of the frame, so the ratio
+	// isolates the dispatch cost the fusion removes.
+	SmallVolVoxels      int
+	SmallVolFrames      int
+	SmallVolTwoRoundFPS float64
+	SmallVolOneRoundFPS float64
 }
 
 // datapathPoint describes one B3 configuration.
@@ -86,6 +100,7 @@ func Datapath(s core.SystemSpec, frames int) (DatapathResult, error) {
 		{label: "wide f64×f64", precision: beamform.PrecisionWide, wideCache: true, echoBytes: 8},
 		{label: "int16×f64", precision: beamform.PrecisionFloat64, echoBytes: 8},
 		{label: "int16×f32", precision: beamform.PrecisionFloat32, echoBytes: 4},
+		{label: "int16×i16", precision: beamform.PrecisionInt16, echoBytes: 2},
 	}
 	var golden *beamform.Volume
 	for _, pt := range points {
@@ -101,12 +116,23 @@ func Datapath(s core.SystemSpec, frames int) (DatapathResult, error) {
 		// pure steady state.
 		cache.Warm()
 		res.Workers = sess.Workers()
-		fps, err := sessionFPS(sess, bufs, frames)
-		if err != nil {
-			sess.Close()
-			return res, err
+		var fps float64
+		var vol *beamform.Volume
+		if pt.precision == beamform.PrecisionInt16 {
+			// The i16 row measures the datapath as served: echo frames
+			// arrive ADC-native over the i16 wire format, so ingest is
+			// wire.DecodePlaneI16's near-memcpy into the guarded int16 plane
+			// and no float conversion exists anywhere in the frame. The
+			// float rows keep their float64 echo source (an f64 or f32 body
+			// is widened/narrowed by the session's convert phase — exactly
+			// what serving an i16 body on a float session pays).
+			fps, vol, err = i16PlaneFPS(sess, bufs, frames)
+		} else {
+			fps, err = sessionFPS(sess, bufs, frames)
+			if err == nil {
+				vol, err = sess.Beamform(bufs)
+			}
 		}
-		vol, err := sess.Beamform(bufs)
 		sess.Close()
 		if err != nil {
 			return res, err
@@ -148,7 +174,79 @@ func Datapath(s core.SystemSpec, frames int) (DatapathResult, error) {
 		}
 	}
 	res.TotalBlocks = s.FocalDepth
+
+	// B10 dispatch crossover: shrink probe and grid to the B2 tiny-spec
+	// shape — a shallow 8×8 aperture over hundreds of voxels, where a frame
+	// is microseconds of convert+kernel work and the token round trips are
+	// a visible fraction of it.
+	small := s
+	small.ElemX, small.ElemY = 8, 8
+	small.DepthLambda = 60
+	small.FocalTheta, small.FocalPhi, small.FocalDepth = 9, 3, 10
+	smallBufs, err := rf.Synthesize(rf.Config{
+		Arr: small.Array(), Conv: small.Converter(), Pulse: rf.NewPulse(small.Fc, small.B),
+		BufSamples: small.EchoBufferSamples(),
+	}, rf.PointPhantom(geom.Vec3{Z: 0.6 * small.Depth()}))
+	if err != nil {
+		return res, err
+	}
+	res.SmallVolVoxels = small.FocalTheta * small.FocalPhi * small.FocalDepth
+	res.SmallVolFrames = frames * 250 // tiny frames: thousands/s, so many reps
+	for _, fused := range []bool{false, true} {
+		threshold := 0 // force the legacy two-round dispatch
+		if fused {
+			threshold = 1 << 30 // force the one-round fusion
+		}
+		prev := beamform.SetOneRoundDispatchVoxels(threshold)
+		sp := small.NewTableFree()
+		sp.UseFixed = true
+		sess, cache, err := small.NewSessionConfig(core.SessionConfig{
+			Window: xdcr.Hann, Precision: beamform.PrecisionInt16,
+			Cached: true, CacheBudget: -1,
+		}, sp)
+		if err != nil {
+			beamform.SetOneRoundDispatchVoxels(prev)
+			return res, err
+		}
+		cache.Warm()
+		fps, err := sessionFPS(sess, smallBufs, res.SmallVolFrames)
+		sess.Close()
+		beamform.SetOneRoundDispatchVoxels(prev)
+		if err != nil {
+			return res, err
+		}
+		if fused {
+			res.SmallVolOneRoundFPS = fps
+		} else {
+			res.SmallVolTwoRoundFPS = fps
+		}
+	}
 	return res, nil
+}
+
+// i16PlaneFPS measures the ADC-native i16 cine rate: the frame quantized
+// once into a guarded int16 plane (what wire.DecodePlaneI16 leaves after
+// its near-memcpy ingest — quantization happened at the ADC, not here),
+// then streamed through BeamformBatchPlanesI16 like sessionFPS streams
+// echo buffers. Returns the rate plus one beamformed volume for fidelity
+// scoring.
+func i16PlaneFPS(sess *beamform.Session, bufs []rf.EchoBuffer, frames int) (float64, *beamform.Volume, error) {
+	win := len(bufs[0].Samples)
+	plane, scale, err := rf.PlaneI16(bufs, win)
+	if err != nil {
+		return 0, nil, err
+	}
+	planes := [][][]int16{{plane}}
+	scales := [][]float32{{scale}}
+	dsts := []*beamform.Volume{sess.NewVolume()}
+	start := time.Now()
+	for i := 0; i < frames; i++ {
+		if err := sess.BeamformBatchPlanesI16(dsts, win, planes, scales); err != nil {
+			return 0, nil, err
+		}
+	}
+	fps := float64(frames) / time.Since(start).Seconds()
+	return fps, dsts[0], nil
 }
 
 // Table renders B3.
@@ -171,6 +269,13 @@ func (r DatapathResult) Table() *report.Table {
 			psnr,
 			fmt.Sprintf("%.6f", row.Similarity))
 	}
+	if r.SmallVolTwoRoundFPS > 0 {
+		t.Add(fmt.Sprintf("i16 %d-voxel two-round", r.SmallVolVoxels), "—", "2",
+			fmt.Sprintf("%.0f", r.SmallVolTwoRoundFPS), "1.00×", "—", "—")
+		t.Add(fmt.Sprintf("i16 %d-voxel one-round", r.SmallVolVoxels), "—", "2",
+			fmt.Sprintf("%.0f", r.SmallVolOneRoundFPS),
+			fmt.Sprintf("%.2f×", r.SmallVolOneRoundFPS/r.SmallVolTwoRoundFPS), "—", "—")
+	}
 	return t
 }
 
@@ -187,19 +292,32 @@ type DatapathRecord struct {
 	WideFramesPerSec    float64 `json:"wide_frames_per_sec"`
 	Float64FramesPerSec float64 `json:"float64_frames_per_sec"`
 	Float32FramesPerSec float64 `json:"float32_frames_per_sec"`
+	I16FramesPerSec     float64 `json:"i16_frames_per_sec"`
 
 	Float64SpeedupVsWide float64 `json:"float64_speedup_vs_wide"`
 	Float32SpeedupVsWide float64 `json:"float32_speedup_vs_wide"`
+	I16SpeedupVsWide     float64 `json:"i16_speedup_vs_wide"`
+	// The B10 headline ratio: the ADC-native fixed-point kernel against the
+	// float32 kernel it supersedes as the narrow datapath's last factor.
+	I16OverF32 float64 `json:"i16_over_f32"`
 
-	// Image fidelity of the float32 kernel against the wide golden volume.
+	// Image fidelity of the narrowed kernels against the wide golden volume.
 	Float32PSNRdB      float64 `json:"float32_psnr_db"`
 	Float32Similarity  float64 `json:"float32_similarity"`
+	I16PSNRdB          float64 `json:"i16_psnr_db"`
+	I16Similarity      float64 `json:"i16_similarity"`
 	DelayBytesWide     int64   `json:"delay_bytes_wide"`
 	DelayBytesNarrow   int64   `json:"delay_bytes_narrow"`
 	BankBudgetBytes    int64   `json:"bank_budget_bytes"`
 	ResidentWideAtBank int     `json:"resident_blocks_wide_at_bank_budget"`
 	ResidentNarrowAt   int     `json:"resident_blocks_narrow_at_bank_budget"`
 	TotalBlocks        int     `json:"total_blocks"`
+
+	// B10 small-volume dispatch crossover (i16 session, tiny grid).
+	SmallVolVoxels          int     `json:"smallvol_voxels"`
+	SmallVolTwoRoundFPS     float64 `json:"smallvol_two_round_fps"`
+	SmallVolOneRoundFPS     float64 `json:"smallvol_one_round_fps"`
+	SmallVolDispatchSpeedup float64 `json:"smallvol_dispatch_speedup"`
 }
 
 // BenchDatapath measures the B3 sweep and packages it as the per-PR record.
@@ -226,11 +344,25 @@ func BenchDatapath(s core.SystemSpec, frames int) (DatapathRecord, error) {
 			rec.Float32FramesPerSec = row.FramesPerSec
 			rec.Float32PSNRdB = row.PSNRdB
 			rec.Float32Similarity = row.Similarity
+		case beamform.PrecisionInt16:
+			rec.I16FramesPerSec = row.FramesPerSec
+			rec.I16PSNRdB = row.PSNRdB
+			rec.I16Similarity = row.Similarity
 		}
 	}
 	if rec.WideFramesPerSec > 0 {
 		rec.Float64SpeedupVsWide = rec.Float64FramesPerSec / rec.WideFramesPerSec
 		rec.Float32SpeedupVsWide = rec.Float32FramesPerSec / rec.WideFramesPerSec
+		rec.I16SpeedupVsWide = rec.I16FramesPerSec / rec.WideFramesPerSec
+	}
+	if rec.Float32FramesPerSec > 0 {
+		rec.I16OverF32 = rec.I16FramesPerSec / rec.Float32FramesPerSec
+	}
+	rec.SmallVolVoxels = r.SmallVolVoxels
+	rec.SmallVolTwoRoundFPS = r.SmallVolTwoRoundFPS
+	rec.SmallVolOneRoundFPS = r.SmallVolOneRoundFPS
+	if r.SmallVolTwoRoundFPS > 0 {
+		rec.SmallVolDispatchSpeedup = r.SmallVolOneRoundFPS / r.SmallVolTwoRoundFPS
 	}
 	rec.BankBudgetBytes = r.BankBudgetBytes
 	rec.ResidentWideAtBank = r.ResidentBlocksWide
@@ -252,8 +384,13 @@ func (r DatapathRecord) Table() *report.Table {
 	t.Add("wide frames/s", fmt.Sprintf("%.2f", r.WideFramesPerSec))
 	t.Add("int16×f64 frames/s", fmt.Sprintf("%.2f (%.2f×)", r.Float64FramesPerSec, r.Float64SpeedupVsWide))
 	t.Add("int16×f32 frames/s", fmt.Sprintf("%.2f (%.2f×)", r.Float32FramesPerSec, r.Float32SpeedupVsWide))
+	t.Add("int16×i16 frames/s", fmt.Sprintf("%.2f (%.2f× wide, %.2f× f32)",
+		r.I16FramesPerSec, r.I16SpeedupVsWide, r.I16OverF32))
 	t.Add("float32 PSNR", fmt.Sprintf("%.1f dB", r.Float32PSNRdB))
+	t.Add("i16 PSNR", fmt.Sprintf("%.1f dB", r.I16PSNRdB))
 	t.Add("§V-B budget residency", fmt.Sprintf("%d → %d of %d blocks (wide → narrow)",
 		r.ResidentWideAtBank, r.ResidentNarrowAt, r.TotalBlocks))
+	t.Add("small-vol dispatch", fmt.Sprintf("%.0f → %.0f frames/s (%.2f×, %d voxels, 2→1 token rounds)",
+		r.SmallVolTwoRoundFPS, r.SmallVolOneRoundFPS, r.SmallVolDispatchSpeedup, r.SmallVolVoxels))
 	return t
 }

@@ -409,10 +409,10 @@ func TestDatapathSweep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Rows) != 3 {
+	if len(r.Rows) != 4 {
 		t.Fatalf("got %d rows: %+v", len(r.Rows), r.Rows)
 	}
-	wide, f64, f32 := r.Rows[0], r.Rows[1], r.Rows[2]
+	wide, f64, f32, i16 := r.Rows[0], r.Rows[1], r.Rows[2], r.Rows[3]
 	if wide.DelayBytes != 8 || f64.DelayBytes != 2 || f32.DelayBytes != 2 {
 		t.Errorf("delay bytes: %d/%d/%d", wide.DelayBytes, f64.DelayBytes, f32.DelayBytes)
 	}
@@ -426,6 +426,17 @@ func TestDatapathSweep(t *testing.T) {
 	}
 	if f32.Similarity < 0.999999 {
 		t.Errorf("float32 similarity = %v", f32.Similarity)
+	}
+	// The fixed-point kernel is gated at the same acceptance threshold.
+	if i16.EchoBytes != 2 || i16.DelayBytes != 2 {
+		t.Errorf("i16 row bytes: %d/%d", i16.DelayBytes, i16.EchoBytes)
+	}
+	if i16.PSNRdB < 60 {
+		t.Errorf("i16 PSNR = %.1f dB, want ≥ 60", i16.PSNRdB)
+	}
+	// B10 dispatch crossover: both legs measured on the tiny i16 session.
+	if r.SmallVolVoxels <= 0 || r.SmallVolTwoRoundFPS <= 0 || r.SmallVolOneRoundFPS <= 0 {
+		t.Errorf("degenerate small-volume crossover: %+v", r)
 	}
 	for _, row := range r.Rows {
 		if row.FramesPerSec <= 0 || row.Speedup <= 0 {
@@ -450,6 +461,12 @@ func TestDatapathSweep(t *testing.T) {
 	}
 	if rec.Float32PSNRdB < 60 {
 		t.Errorf("record PSNR = %.1f", rec.Float32PSNRdB)
+	}
+	if rec.I16FramesPerSec <= 0 || rec.I16OverF32 <= 0 || rec.I16PSNRdB < 60 {
+		t.Errorf("degenerate i16 record fields: %+v", rec)
+	}
+	if rec.SmallVolDispatchSpeedup <= 0 {
+		t.Errorf("small-volume dispatch speedup missing: %+v", rec)
 	}
 	var buf bytes.Buffer
 	if err := rec.WriteJSON(&buf); err != nil {

@@ -181,6 +181,81 @@ func Plane32(bufs []EchoBuffer, win int) ([]float32, error) {
 	return plane, nil
 }
 
+// PlaneI16 flattens a uniform-window echo buffer set into one guarded
+// int16 plane — the ADC-native form of Plane32: element d's win samples at
+// plane[d·(win+1)], guard slots zero, plus one per-frame quantization
+// scale such that sample = int16·scale. Quantization follows the wire
+// codec's QuantizeI16 contract exactly: scale is peak/32767 so the loudest
+// sample spans the full int16 range, values round to even and saturate at
+// ±32767, ±Inf saturates, NaN quantizes to 0, and an all-zero (or
+// all-non-finite) frame gets scale 1 — the scale is always positive and
+// finite, never NaN-pinned. The fixed-point beamform kernel
+// (PrecisionInt16) gathers from this layout; the wire layer's
+// DecodePlaneI16 produces the same layout straight off the network.
+func PlaneI16(bufs []EchoBuffer, win int) ([]int16, float32, error) {
+	if win <= 0 {
+		return nil, 0, fmt.Errorf("rf: plane window %d must be positive", win)
+	}
+	for d, b := range bufs {
+		if len(b.Samples) != win {
+			return nil, 0, fmt.Errorf("rf: element %d has %d samples; a plane needs a uniform window of %d", d, len(b.Samples), win)
+		}
+	}
+	plane := make([]int16, len(bufs)*(win+1)) // fresh: guard slots zero
+	scale := QuantizePlaneI16(plane, bufs, win)
+	return plane, scale, nil
+}
+
+// QuantizePlaneI16 is the in-place form of PlaneI16 for reused planes:
+// every buffer must hold exactly win samples and plane must hold
+// len(bufs)·(win+1) int16s with its guard slots already zero (rows are
+// fully overwritten; guards are never touched). The beamform session's
+// convert phase calls this per frame after validating the shape once per
+// batch.
+func QuantizePlaneI16(plane []int16, bufs []EchoBuffer, win int) (scale float32) {
+	peak := 0.0
+	for _, b := range bufs {
+		for _, v := range b.Samples {
+			if a := math.Abs(v); a > peak && !math.IsInf(v, 0) {
+				peak = a
+			}
+		}
+	}
+	s := peak / 32767
+	if s == 0 || math.IsNaN(s) {
+		s = 1
+	}
+	scale = float32(s)
+	inv := 1 / float64(scale) // one divide; the loops multiply
+	stride := win + 1
+	for d, b := range bufs {
+		row := plane[d*stride : d*stride+win]
+		for i, v := range b.Samples {
+			x := v * inv
+			switch {
+			case math.IsNaN(x):
+				row[i] = 0
+			case x >= 32767:
+				row[i] = 32767
+			case x <= -32767:
+				row[i] = -32767
+			default:
+				row[i] = int16((x + roundI16Magic) - roundI16Magic)
+			}
+		}
+	}
+	return scale
+}
+
+// roundI16Magic rounds half-to-even without math.RoundToEven's bit
+// twiddling (which amd64 does not intrinsify and which dominated the
+// convert phase's profile): adding 3·2^51 pushes any |x| < 2^51 into
+// [2^52, 2^53), where float64 spacing is exactly 1.0, so the add itself
+// rounds to the nearest integer with IEEE ties-to-even; the subtraction of
+// two integers that close is exact. The constant's parity is even, so tie
+// parity — and therefore every result bit — matches math.RoundToEven.
+const roundI16Magic = float64(3 << 51)
+
 // Config drives echo synthesis.
 type Config struct {
 	Arr        xdcr.Array

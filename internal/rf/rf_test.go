@@ -276,3 +276,106 @@ func TestEchoBuffer32MatchesWide(t *testing.T) {
 		t.Errorf("NarrowAll = %+v", all)
 	}
 }
+
+// TestPlaneI16Quantization pins the ADC-native plane contract: guarded
+// layout, peak-normalized scale, round-to-even, saturation at ±32767,
+// NaN→0, ±Inf saturating without poisoning the peak, and the all-zero
+// frame's scale-1 fallback — the exact QuantizeI16 wire contract, so a
+// locally quantized plane and a network-decoded one are interchangeable.
+func TestPlaneI16Quantization(t *testing.T) {
+	bufs := []EchoBuffer{
+		{Samples: []float64{100, -50, 25}},
+		{Samples: []float64{0, 1, -100}},
+	}
+	plane, scale, err := PlaneI16(bufs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float32(100.0 / 32767); scale != want {
+		t.Fatalf("scale = %v, want %v", scale, want)
+	}
+	if len(plane) != 2*4 {
+		t.Fatalf("plane length %d, want 8 (guarded stride)", len(plane))
+	}
+	want := []int16{32767, -16384, 8192, 0, 0, 328, -32767, 0}
+	for i, v := range want {
+		got := plane[i]
+		// Row samples round to even of sample/scale; recompute exactly.
+		if i%4 != 3 {
+			d, s := i/4, i%4
+			got = plane[i]
+			exact := int16(math.RoundToEven(bufs[d].Samples[s] / float64(scale)))
+			if got != exact {
+				t.Errorf("plane[%d] = %d, want %d (round-to-even)", i, got, exact)
+			}
+			continue
+		}
+		if got != v {
+			t.Errorf("guard slot %d = %d, want 0", i, got)
+		}
+	}
+	// The loudest sample spans the full range exactly.
+	if plane[0] != 32767 || plane[6] != -32767 {
+		t.Errorf("peak samples = %d, %d, want ±32767", plane[0], plane[6])
+	}
+
+	// Non-finite handling: NaN→0, ±Inf saturates, and neither sets the peak.
+	nf := []EchoBuffer{{Samples: []float64{math.NaN(), math.Inf(1), math.Inf(-1), 2}}}
+	plane, scale, err = PlaneI16(nf, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float32(2.0 / 32767); scale != want {
+		t.Fatalf("non-finite frame scale = %v, want %v (finite peak only)", scale, want)
+	}
+	if plane[0] != 0 || plane[1] != 32767 || plane[2] != -32767 || plane[3] != 32767 {
+		t.Errorf("non-finite quantization = %v", plane[:4])
+	}
+
+	// All-zero (and all-non-finite) frames: scale 1, never zero or NaN.
+	for _, s := range [][]float64{{0, 0}, {math.NaN(), math.NaN()}} {
+		_, scale, err := PlaneI16([]EchoBuffer{{Samples: s}}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scale != 1 {
+			t.Errorf("degenerate frame %v scale = %v, want 1", s, scale)
+		}
+	}
+}
+
+// TestPlaneI16RoundTripError bounds the quantization error: every
+// reconstructed sample int16·scale must sit within half a quantization
+// step of the source.
+func TestPlaneI16RoundTripError(t *testing.T) {
+	bufs, err := Synthesize(testConfig(), PointPhantom(geom.Vec3{Z: 0.01}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	win := len(bufs[0].Samples)
+	plane, scale, err := PlaneI16(bufs, win)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := float64(scale) / 2 * 1.0000001
+	for d, b := range bufs {
+		row := plane[d*(win+1) : d*(win+1)+win]
+		for i, v := range b.Samples {
+			if diff := math.Abs(float64(row[i])*float64(scale) - v); diff > half {
+				t.Fatalf("element %d sample %d: |%v·%v − %v| = %v exceeds half a step",
+					d, i, row[i], scale, v, diff)
+			}
+		}
+	}
+}
+
+// TestPlaneI16Validation pins the shape errors shared with Plane32.
+func TestPlaneI16Validation(t *testing.T) {
+	bufs := []EchoBuffer{{Samples: []float64{1, 2}}, {Samples: []float64{3}}}
+	if _, _, err := PlaneI16(bufs, 2); err == nil {
+		t.Error("ragged windows must be rejected")
+	}
+	if _, _, err := PlaneI16(bufs[:1], 0); err == nil {
+		t.Error("zero window must be rejected")
+	}
+}

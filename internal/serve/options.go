@@ -126,7 +126,8 @@ func (o RequestOptions) Encode() (url.Values, error) {
 		return nil, fmt.Errorf("serve: window %v not expressible (want hann|rect)", cfg.Window)
 	}
 	switch cfg.Precision {
-	case beamform.PrecisionFloat64, beamform.PrecisionFloat32, beamform.PrecisionWide:
+	case beamform.PrecisionFloat64, beamform.PrecisionFloat32,
+		beamform.PrecisionWide, beamform.PrecisionInt16:
 	default:
 		return nil, fmt.Errorf("serve: precision %v not expressible", cfg.Precision)
 	}

@@ -35,6 +35,7 @@ func TestOptionsRoundTrip(t *testing.T) {
 		"transmits=2&lane=bulk&deadline_ms=250",
 		"out=scanline&theta=3&phi=5",
 		"fmt=i16&resp=f32",
+		"precision=i16&fmt=i16",
 		"fmt=f64",
 		"spec=paper&elemx=16&elemy=16&ftheta=33&fphi=33&fdepth=100", // reduced, spelled via paper
 	}

@@ -193,13 +193,15 @@ type schedGeom struct {
 // flips (Complete*), so decode overlaps the backlog without a stalled
 // upload ever blocking a batch.
 type frameJob struct {
-	tx       [][]rf.EchoBuffer
-	planes   [][][]float32 // plane ingest: planes[0][t], one frame per job
-	win      int           // plane window (planes != nil)
-	lane     Lane
-	shape    shapeKey
-	enq      time.Time
-	deadline time.Time // zero: no client deadline; else drop from queue past it
+	tx        [][]rf.EchoBuffer
+	planes    [][][]float32 // plane ingest: planes[0][t], one frame per job
+	planesI16 [][][]int16   // i16 plane ingest: planesI16[0][t]
+	scales    [][]float32   // i16 quantization scales: scales[0][t]
+	win       int           // plane window (planes or planesI16 != nil)
+	lane      Lane
+	shape     shapeKey
+	enq       time.Time
+	deadline  time.Time // zero: no client deadline; else drop from queue past it
 
 	ready   bool      // payload fully decoded; batchable
 	readyAt time.Time // lane wait is measured from here, not enq:
@@ -214,7 +216,8 @@ type frameJob struct {
 // frames whose narrow/flat datapath decisions agree, so the scheduler
 // groups queued frames by this key (mirroring beamform's frameShape plus
 // the element arity). Plane-ingest frames fuse only with plane-ingest
-// frames — they dispatch through BeamformBatchPlanes.
+// frames — they dispatch through BeamformBatchPlanes — and i16
+// plane-ingest frames only with each other (BeamformBatchPlanesI16).
 type shapeKey struct {
 	transmits int
 	elements  int
@@ -222,6 +225,7 @@ type shapeKey struct {
 	uniform   bool
 	win       int
 	planes    bool
+	i16       bool
 }
 
 func frameShapeKey(tx [][]rf.EchoBuffer) shapeKey {
@@ -310,7 +314,8 @@ func (s *Scheduler) janitor() {
 
 // PendingFrame is a queue slot reserved by Begin before the frame's
 // payload exists server-side: the streaming-ingest handle. Exactly one of
-// CompleteBuffers / CompletePlanes / Abort must follow, then Wait collects
+// CompleteBuffers / CompletePlanes / CompletePlanesI16 / Abort must
+// follow, then Wait collects
 // the volume. The slot holds its lane position while the upload decodes,
 // and the first frame of a cold geometry starts the session build
 // immediately — so by the time a large upload finishes arriving, the
@@ -483,6 +488,25 @@ func (p *PendingFrame) CompletePlanes(win int, planes [][]float32) {
 	p.job.shape = shapeKey{
 		transmits: len(planes), elements: p.g.req.Spec.Elements(),
 		narrowOK: true, uniform: true, win: win, planes: true,
+	}
+	p.complete()
+}
+
+// CompletePlanesI16 delivers the frame as guarded int16 echo planes with
+// their per-transmit quantization scales — the layout wire.DecodePlaneI16
+// streams into — and makes the job dispatchable through
+// Session.BeamformBatchPlanesI16. The geometry's session must run
+// Precision=i16 (the fingerprint carries precision, so an i16-completed
+// geometry is fixed-point by construction); every plane must be
+// elements·(win+1) long with zero guard slots and every scale positive
+// finite.
+func (p *PendingFrame) CompletePlanesI16(win int, planes [][]int16, scales []float32) {
+	p.job.planesI16 = [][][]int16{planes}
+	p.job.scales = [][]float32{scales}
+	p.job.win = win
+	p.job.shape = shapeKey{
+		transmits: len(planes), elements: p.g.req.Spec.Elements(),
+		narrowOK: true, uniform: true, win: win, planes: true, i16: true,
 	}
 	p.complete()
 }
@@ -740,8 +764,9 @@ func (s *Scheduler) shedBulkLocked(g *schedGeom) {
 // dispatch beamforms one batch through the geometry's hot session and
 // completes its jobs. A batch error fails every job in it (the session
 // rejects malformed frames before touching any output). Plane batches
-// (wire ingest) run through BeamformBatchPlanes — same accumulation
-// order, no convert phase; the shape key keeps the two forms apart.
+// (wire ingest) run through BeamformBatchPlanes / BeamformBatchPlanesI16
+// — same accumulation order, no convert phase; the shape key keeps the
+// three forms apart.
 func (s *Scheduler) dispatch(g *schedGeom, batch []*frameJob) {
 	start := s.cfg.Now()
 	outs := make([]*beamform.Volume, len(batch))
@@ -750,7 +775,15 @@ func (s *Scheduler) dispatch(g *schedGeom, batch []*frameJob) {
 		s.lanes[j.lane].observe(start.Sub(j.readyAt))
 	}
 	err := dispatchFault.Err()
-	if err == nil && batch[0].shape.planes {
+	if err == nil && batch[0].shape.i16 {
+		planes := make([][][]int16, len(batch))
+		scales := make([][]float32, len(batch))
+		for i, j := range batch {
+			planes[i] = j.planesI16[0]
+			scales[i] = j.scales[0]
+		}
+		err = g.sess.BeamformBatchPlanesI16(outs, batch[0].win, planes, scales)
+	} else if err == nil && batch[0].shape.planes {
 		planes := make([][][]float32, len(batch))
 		for i, j := range batch {
 			planes[i] = j.planes[0]

@@ -5,7 +5,9 @@
 // or f64 payloads in length-prefixed chunks, one frame per transmit,
 // concatenated — no multipart needed). Wire uploads decode incrementally:
 // i16/f32 chunks convert straight into guarded float32 echo planes (no
-// float64 intermediate, no whole-frame buffer) and the frame's queue slot
+// float64 intermediate, no whole-frame buffer) — and for a prec=i16
+// session an i16 frame lands in a guarded int16 plane without any float
+// conversion at all, the near-memcpy ingest — and the frame's queue slot
 // is reserved before the upload finishes, so decode overlaps the
 // scheduler's backlog. The beamformed volume (or one scanline of it)
 // returns as binary float64 or, negotiated, float32 at half the reply
@@ -81,7 +83,9 @@ const deadlineGrace = 50 * time.Millisecond
 //	elemx,elemy          element-grid overrides
 //	ftheta,fphi,fdepth   focal-grid overrides
 //	arch=tablefree|tablesteer|exact   delay architecture (default tablefree)
-//	precision=float64|float32|wide    session kernel (default float64)
+//	precision=float64|float32|wide|i16   session kernel (default float64;
+//	                     i16 is the ADC-native fixed-point kernel — pair it
+//	                     with fmt=i16 for the zero-conversion ingest path)
 //	window=hann|rect                  receive apodization (default hann)
 //	budget=N             delay-cache byte budget (default -1 = full residency;
 //	                     "none" disables caching)
@@ -550,14 +554,31 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// wirePayload is one compound frame decoded off the wire: either guarded
-// float32 planes (planes[t], stride win+1 — the decode-into-plane path)
-// or float64 echo sets (tx[t][element] — the golden path every precision
-// accepts). Exactly one is non-nil.
+// wirePayload is one compound frame decoded off the wire: guarded float32
+// planes (planes[t], stride win+1 — the decode-into-plane path), guarded
+// int16 planes plus their per-transmit quantization scales (planesI16[t],
+// scales[t] — the ADC-native path feeding the fixed-point kernel with no
+// float conversion at ingest), or float64 echo sets (tx[t][element] — the
+// golden path every precision accepts). Exactly one of planes / planesI16
+// / tx is non-nil.
 type wirePayload struct {
-	planes [][]float32
-	win    int
-	tx     [][]rf.EchoBuffer
+	planes    [][]float32
+	planesI16 [][]int16
+	scales    []float32
+	win       int
+	tx        [][]rf.EchoBuffer
+}
+
+// kind labels which guarded-plane form (if any) the payload decoded into —
+// the per-precision split of the plane-decode counters.
+func (p *wirePayload) kind() planeKind {
+	switch {
+	case p.planesI16 != nil:
+		return planeI16
+	case p.planes != nil:
+		return planeF32
+	}
+	return planeNone
 }
 
 // wireErr maps a wire decode error onto an HTTP status: a tripped
@@ -577,6 +598,19 @@ func wireErr(err error) error {
 // (for f64 wire frames that path is bit-exact at every precision).
 func planesUsable(req SessionRequest, win int) bool {
 	return req.Config.Precision == beamform.PrecisionFloat32 && win <= delay.MaxEchoWindow
+}
+
+// planesI16Usable reports whether a frame decodes straight into a guarded
+// int16 plane: an i16-encoded wire frame bound for a prec=i16 session —
+// the quantized samples on the wire are exactly what the fixed-point
+// kernel gathers, so ingest is a near-memcpy and the header's scale rides
+// along. Any other encoding sent to an i16 session falls back to float64
+// echo buffers (the session quantizes in its convert phase); a compound
+// that switches encodings after an i16 transmit 0 is rejected by the
+// decoder's encoding check.
+func planesI16Usable(req SessionRequest, h wire.Header) bool {
+	return req.Config.Precision == beamform.PrecisionInt16 &&
+		h.Encoding == wire.EncodingI16 && h.Window <= delay.MaxEchoWindow
 }
 
 // checkWireHeader validates a frame header against the request geometry
@@ -603,17 +637,32 @@ func checkWireHeader(h wire.Header, req SessionRequest, wantTx, t, win int, maxB
 }
 
 // decodeWireFrame streams a checked frame's payload into p, picking p's
-// form on the first transmit: guarded float32 planes when the session can
-// consume them, float64 echo buffers otherwise.
+// form on the first transmit: guarded int16 planes for an i16 frame bound
+// for an i16 session, guarded float32 planes when the narrow float kernel
+// can consume them, float64 echo buffers otherwise.
 func decodeWireFrame(body io.Reader, h wire.Header, req SessionRequest, wantTx, t int, p *wirePayload) error {
 	elements := req.Spec.Elements()
 	if t == 0 {
 		p.win = h.Window
-		if planesUsable(req, h.Window) {
+		switch {
+		case planesI16Usable(req, h):
+			p.planesI16 = make([][]int16, wantTx)
+			p.scales = make([]float32, wantTx)
+		case planesUsable(req, h.Window):
 			p.planes = make([][]float32, wantTx)
-		} else {
+		default:
 			p.tx = make([][]rf.EchoBuffer, wantTx)
 		}
+	}
+	if p.planesI16 != nil {
+		stride := p.win + 1
+		plane := make([]int16, elements*stride) // fresh: guard slots zero
+		if err := wire.DecodePlaneI16(body, h, plane, stride); err != nil {
+			return wireErr(err)
+		}
+		p.planesI16[t] = plane
+		p.scales[t] = h.Scale
+		return nil
 	}
 	if p.planes != nil {
 		stride := p.win + 1
@@ -660,7 +709,7 @@ func readWirePayload(body io.Reader, req SessionRequest, wantTx int, maxBytes in
 		if err != nil {
 			return nil, err
 		}
-		rec.recordIngest(h.Encoding, false, cr.n-before, time.Since(start), p.planes != nil)
+		rec.recordIngest(h.Encoding, false, cr.n-before, time.Since(start), p.kind())
 	}
 	return &p, nil
 }
@@ -704,9 +753,12 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, derr)
 			return
 		}
-		if p.planes != nil {
+		switch {
+		case p.planesI16 != nil:
+			pend.CompletePlanesI16(p.win, p.planesI16, p.scales)
+		case p.planes != nil:
 			pend.CompletePlanes(p.win, p.planes)
-		} else {
+		default:
 			pend.CompleteBuffers(p.tx)
 		}
 		vol, err = pend.Wait(ctx)
@@ -723,10 +775,15 @@ func (s *Server) handleBeamform(w http.ResponseWriter, r *http.Request) {
 			s.writeError(w, lerr)
 			return
 		}
-		if p.planes != nil {
+		switch {
+		case p.planesI16 != nil:
+			vol = lease.Session.NewVolume()
+			err = lease.Session.BeamformBatchPlanesI16([]*beamform.Volume{vol}, p.win,
+				[][][]int16{p.planesI16}, [][]float32{p.scales})
+		case p.planes != nil:
 			vol = lease.Session.NewVolume()
 			err = lease.Session.BeamformBatchPlanes([]*beamform.Volume{vol}, p.win, [][][]float32{p.planes})
-		} else {
+		default:
 			vol, err = lease.Session.BeamformCompound(p.tx)
 		}
 		lease.Release()
@@ -810,7 +867,7 @@ func (s *Server) recordRaw(txBufs [][]rf.EchoBuffer, decode time.Duration) {
 		for _, b := range bufs {
 			n += int64(8 * len(b.Samples))
 		}
-		rec.recordIngest(wire.EncodingF64, true, n, per, false)
+		rec.recordIngest(wire.EncodingF64, true, n, per, planeNone)
 	}
 }
 

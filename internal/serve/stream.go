@@ -295,7 +295,7 @@ readLoop:
 			if derr = decodeWireFrame(cr, h, req, wantTx, t, &p); derr != nil {
 				break
 			}
-			rec.recordIngest(h.Encoding, false, cr.n-before, time.Since(start), p.planes != nil)
+			rec.recordIngest(h.Encoding, false, cr.n-before, time.Since(start), p.kind())
 		}
 		if derr != nil {
 			if pend != nil {
@@ -319,9 +319,12 @@ readLoop:
 			}
 			continue
 		}
-		if p.planes != nil {
+		switch {
+		case p.planesI16 != nil:
+			pend.CompletePlanesI16(p.win, p.planesI16, p.scales)
+		case p.planes != nil:
 			pend.CompletePlanes(p.win, p.planes)
-		} else {
+		default:
 			pend.CompleteBuffers(p.tx)
 		}
 		select {

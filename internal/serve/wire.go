@@ -23,7 +23,9 @@ type wireRecorder struct {
 	framesF32 atomic.Int64
 	framesF64 atomic.Int64 // wire-framed f64
 	framesRaw atomic.Int64 // legacy headerless float64 bodies
-	planes    atomic.Int64 // frames decoded straight into float32 planes
+	planes    atomic.Int64 // frames decoded straight into guarded planes (any precision)
+	planesF32 atomic.Int64 // … of which float32 planes (narrow float kernel)
+	planesI16 atomic.Int64 // … of which int16 planes (fixed-point kernel, zero-conversion)
 	bytesOut  atomic.Int64 // response payload bytes sent
 	streams   atomic.Int64 // cine stream connections accepted
 
@@ -64,9 +66,19 @@ func (r *wireRecorder) recordStreamClose(cause streamCloseCause) {
 	}
 }
 
+// planeKind labels which guarded-plane form (if any) an ingested frame
+// decoded into — the plane-decode counters split by target precision.
+type planeKind int
+
+const (
+	planeNone planeKind = iota
+	planeF32
+	planeI16
+)
+
 // recordIngest counts one ingested transmit frame. enc < 0 marks the
 // legacy raw float64 body.
-func (r *wireRecorder) recordIngest(enc wire.Encoding, raw bool, bytes int64, decode time.Duration, toPlane bool) {
+func (r *wireRecorder) recordIngest(enc wire.Encoding, raw bool, bytes int64, decode time.Duration, plane planeKind) {
 	r.framesIn.Add(1)
 	r.bytesIn.Add(bytes)
 	r.decodeNs.Add(int64(decode))
@@ -80,8 +92,13 @@ func (r *wireRecorder) recordIngest(enc wire.Encoding, raw bool, bytes int64, de
 	default:
 		r.framesF64.Add(1)
 	}
-	if toPlane {
+	switch plane {
+	case planeF32:
 		r.planes.Add(1)
+		r.planesF32.Add(1)
+	case planeI16:
+		r.planes.Add(1)
+		r.planesI16.Add(1)
 	}
 }
 
@@ -99,8 +116,13 @@ type WireStats struct {
 	FramesF64    int64   `json:"frames_f64"`
 	FramesRaw    int64   `json:"frames_raw"`
 	PlaneDecodes int64   `json:"plane_decodes"`
-	BytesOut     int64   `json:"bytes_out"`
-	Streams      int64   `json:"streams"`
+	// PlaneDecodes split by target precision: f32 planes feed the narrow
+	// float kernel, i16 planes the fixed-point kernel (the zero-conversion
+	// ingest). The two sum to PlaneDecodes.
+	PlaneDecodesF32 int64 `json:"plane_decodes_f32"`
+	PlaneDecodesI16 int64 `json:"plane_decodes_i16"`
+	BytesOut        int64 `json:"bytes_out"`
+	Streams         int64 `json:"streams"`
 
 	StreamClosesClean      int64 `json:"stream_closes_clean"`
 	StreamClosesClientGone int64 `json:"stream_closes_client_gone"`
@@ -111,16 +133,18 @@ type WireStats struct {
 
 func (r *wireRecorder) stats() WireStats {
 	return WireStats{
-		FramesIn:     r.framesIn.Load(),
-		BytesIn:      r.bytesIn.Load(),
-		DecodeMs:     float64(r.decodeNs.Load()) / 1e6,
-		FramesI16:    r.framesI16.Load(),
-		FramesF32:    r.framesF32.Load(),
-		FramesF64:    r.framesF64.Load(),
-		FramesRaw:    r.framesRaw.Load(),
-		PlaneDecodes: r.planes.Load(),
-		BytesOut:     r.bytesOut.Load(),
-		Streams:      r.streams.Load(),
+		FramesIn:        r.framesIn.Load(),
+		BytesIn:         r.bytesIn.Load(),
+		DecodeMs:        float64(r.decodeNs.Load()) / 1e6,
+		FramesI16:       r.framesI16.Load(),
+		FramesF32:       r.framesF32.Load(),
+		FramesF64:       r.framesF64.Load(),
+		FramesRaw:       r.framesRaw.Load(),
+		PlaneDecodes:    r.planes.Load(),
+		PlaneDecodesF32: r.planesF32.Load(),
+		PlaneDecodesI16: r.planesI16.Load(),
+		BytesOut:        r.bytesOut.Load(),
+		Streams:         r.streams.Load(),
 
 		StreamClosesClean:      r.closesClean.Load(),
 		StreamClosesClientGone: r.closesClientGone.Load(),

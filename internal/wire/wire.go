@@ -332,6 +332,48 @@ func DecodePlane(r io.Reader, h Header, plane []float32, stride int) error {
 	return drainFrame(cr)
 }
 
+// DecodePlaneI16 streams an i16 frame payload directly into a guarded
+// int16 echo plane — the ADC-native ingest fast path: when the target
+// session's kernel is fixed-point (beamform.PrecisionInt16), the upload is
+// a near-memcpy — little-endian int16 words off the wire into the plane
+// the kernel gathers from, no float conversion anywhere — with the frame's
+// quantization scale riding alongside in the header for the caller to
+// hand the kernel. Layout as DecodePlane: element d's samples at
+// plane[d·stride : d·stride+window], guard slots untouched. Only
+// EncodingI16 frames qualify (other encodings carry no scale and would
+// need a server-side quantization pass; callers route them through
+// DecodePlane or DecodeF64 instead).
+func DecodePlaneI16(r io.Reader, h Header, plane []int16, stride int) error {
+	if h.Encoding != EncodingI16 {
+		return fmt.Errorf("wire: DecodePlaneI16 needs an i16 frame (have %s)", h.Encoding)
+	}
+	if stride <= h.Window {
+		return fmt.Errorf("wire: plane stride %d must exceed the %d-sample window (guard slot)", stride, h.Window)
+	}
+	if need := h.Elements * stride; len(plane) < need {
+		return fmt.Errorf("wire: plane of %d int16s for %d elements × stride %d (need %d)", len(plane), h.Elements, stride, need)
+	}
+	cr := newChunkReader(r, h)
+	var scratch [decodeScratch]byte
+	for d := 0; d < h.Elements; d++ {
+		row := plane[d*stride : d*stride+h.Window]
+		for off := 0; off < h.Window; {
+			n := (h.Window - off) * 2
+			if n > len(scratch) {
+				n = len(scratch)
+			}
+			if _, err := io.ReadFull(cr, scratch[:n]); err != nil {
+				return fmt.Errorf("wire: frame payload (element %d): %w", d, err)
+			}
+			for i, out := 0, row[off:off+n/2]; i < len(out); i++ {
+				out[i] = int16(binary.LittleEndian.Uint16(scratch[2*i:]))
+			}
+			off += n / 2
+		}
+	}
+	return drainFrame(cr)
+}
+
 // decodeSamples32 converts one run of raw payload bytes into float32s.
 func decodeSamples32(dst []float32, raw []byte, h Header) {
 	switch h.Encoding {
@@ -460,19 +502,27 @@ func QuantizeI16(samples []float64) (q []int16, scale float32) {
 	inv := 1 / float64(scale) // one divide; the loop multiplies
 	q = make([]int16, len(samples))
 	for i, v := range samples {
+		x := v * inv
 		switch {
-		case math.IsNaN(v):
+		case math.IsNaN(x):
 			q[i] = 0
-		case v*inv >= 32767:
+		case x >= 32767:
 			q[i] = 32767
-		case v*inv <= -32767:
+		case x <= -32767:
 			q[i] = -32767
 		default:
-			q[i] = int16(math.RoundToEven(v * inv))
+			// Half-to-even via the 3·2^51 magic constant — bit-identical to
+			// math.RoundToEven for |x| < 32767 and much cheaper; see
+			// rf.QuantizePlaneI16, whose rounding this must match exactly
+			// (plane batches are bit-identical to wire-quantized batches
+			// only because the two quantizers agree on every sample).
+			q[i] = int16((x + roundI16Magic) - roundI16Magic)
 		}
 	}
 	return q, scale
 }
+
+const roundI16Magic = float64(3 << 51)
 
 // WriteFrame emits one frame — header then chunked payload — with
 // chunkBytes-sized chunks (≤0 selects DefaultChunk). This is the client

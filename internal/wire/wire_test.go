@@ -401,3 +401,78 @@ func TestHelloRoundTrip(t *testing.T) {
 		t.Fatal("bad hello magic accepted")
 	}
 }
+
+// TestDecodePlaneI16 pins the ADC-native ingest fast path: an i16 frame
+// streams bit-exactly into a guarded int16 plane (near-memcpy — the int16
+// words land untouched), guard slots stay untouched, and the scale rides
+// in the header unchanged.
+func TestDecodePlaneI16(t *testing.T) {
+	const elems, win, stride = 5, 37, 38
+	src := testSamples(elems * win)
+	q, scale := QuantizeI16(src)
+	f := &Frame{Header: header(EncodingI16, elems, win, scale), I16: q}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f, 96); err != nil { // force many small chunks
+		t.Fatalf("WriteFrame: %v", err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatalf("ReadHeader: %v", err)
+	}
+	if h.Scale != scale {
+		t.Fatalf("header scale %v != %v", h.Scale, scale)
+	}
+	plane := make([]int16, elems*stride)
+	for i := range plane {
+		plane[i] = -999 // poison: guard slots must stay untouched by decode
+	}
+	if err := DecodePlaneI16(&buf, h, plane, stride); err != nil {
+		t.Fatalf("DecodePlaneI16: %v", err)
+	}
+	for d := 0; d < elems; d++ {
+		for j := 0; j < win; j++ {
+			if got := plane[d*stride+j]; got != q[d*win+j] {
+				t.Fatalf("plane[%d,%d] = %d, want %d (not bit-exact)", d, j, got, q[d*win+j])
+			}
+		}
+		if plane[d*stride+win] != -999 {
+			t.Fatalf("guard slot of element %d overwritten: %v", d, plane[d*stride+win])
+		}
+	}
+}
+
+// TestDecodePlaneI16Rejects pins the fast path's refusal surface: only
+// EncodingI16 frames qualify, and the guarded-plane geometry checks match
+// DecodePlane's.
+func TestDecodePlaneI16Rejects(t *testing.T) {
+	const elems, win = 4, 16
+	for _, enc := range []Encoding{EncodingF32, EncodingF64} {
+		h := header(enc, elems, win, 0)
+		if err := DecodePlaneI16(strings.NewReader(""), h, make([]int16, elems*(win+1)), win+1); err == nil {
+			t.Fatalf("%s frame accepted by the i16-only decoder", enc)
+		}
+	}
+	h := header(EncodingI16, elems, win, 0.01)
+	if err := DecodePlaneI16(strings.NewReader(""), h, make([]int16, elems*win), win); err == nil {
+		t.Fatal("stride == window (no guard slot) accepted")
+	}
+	if err := DecodePlaneI16(strings.NewReader(""), h, make([]int16, 10), win+1); err == nil {
+		t.Fatal("short plane accepted")
+	}
+	// Truncated payload: the streaming read must surface the torn frame.
+	src := testSamples(elems * win)
+	q, scale := QuantizeI16(src)
+	f := &Frame{Header: header(EncodingI16, elems, win, scale), I16: q}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, f, 0); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:HeaderBytes+40]
+	rh, err := ReadHeader(bytes.NewReader(raw[:HeaderBytes]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := DecodePlaneI16(bytes.NewReader(raw[HeaderBytes:]), rh, make([]int16, elems*(win+1)), win+1); err == nil {
+		t.Fatal("truncated i16 payload decoded without error")
+	}
+}

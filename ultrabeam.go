@@ -160,11 +160,13 @@ type Precision = beamform.Precision
 // The session datapath precisions: PrecisionFloat64 is the bit-identical
 // golden model over int16 delay blocks (the default), PrecisionFloat32 the
 // narrow float32 kernel (PSNR-gated), PrecisionWide the pre-narrowing
-// float64 A/B baseline.
+// float64 A/B baseline, PrecisionInt16 the ADC-native fixed-point kernel
+// (int16 echo plane, int32 accumulate, PSNR-gated like float32).
 const (
 	PrecisionFloat64 = beamform.PrecisionFloat64
 	PrecisionFloat32 = beamform.PrecisionFloat32
 	PrecisionWide    = beamform.PrecisionWide
+	PrecisionInt16   = beamform.PrecisionInt16
 )
 
 // SessionConfig selects the datapath of a session built by
